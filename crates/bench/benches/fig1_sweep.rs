@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig.-1 data path: one (instance, A) observation
+//! and a whole collection profile at micro scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::experiments::{micro_encoding, micro_profile};
+use qross::collect::observe;
+use solvers::sa::{SaConfig, SimulatedAnnealer};
+
+fn bench_observe(c: &mut Criterion) {
+    let encoding = micro_encoding(7, 3);
+    let solver = SimulatedAnnealer::new(SaConfig {
+        sweeps: 32,
+        ..Default::default()
+    });
+    c.bench_function("fig1_observe_one_point", |b| {
+        b.iter(|| observe(&encoding, &solver, 1.0, 8, 5))
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let encoding = micro_encoding(7, 3);
+    c.bench_function("fig1_collect_profile", |b| {
+        b.iter(|| micro_profile(&encoding, 9))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_observe, bench_profile
+}
+criterion_main!(benches);

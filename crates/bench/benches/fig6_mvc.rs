@@ -1,0 +1,42 @@
+//! Criterion bench for the Fig.-6 data path: one MVC penalty point on
+//! plain SA and on the analog-noise QA model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use problems::{MvcInstance, RelaxableProblem};
+use solvers::sa::{SaConfig, SimulatedAnnealer};
+use solvers::{AnalogNoise, Solver};
+
+fn bench_mvc_point(c: &mut Criterion) {
+    let graph = MvcInstance::random_gnp("bench", 40, 0.5, 11);
+    let qubo_low = graph.to_qubo(2.0);
+    let qubo_high = graph.to_qubo(2000.0);
+    let sa = SimulatedAnnealer::new(SaConfig {
+        sweeps: 128,
+        ..Default::default()
+    });
+    let qa = AnalogNoise::new(
+        SimulatedAnnealer::new(SaConfig {
+            sweeps: 128,
+            ..Default::default()
+        }),
+        0.03,
+    );
+    let mut group = c.benchmark_group("fig6_mvc_point_40v");
+    group.bench_function("sa_low_penalty", |b| b.iter(|| sa.sample(&qubo_low, 8, 1)));
+    group.bench_function("sa_high_penalty", |b| {
+        b.iter(|| sa.sample(&qubo_high, 8, 1))
+    });
+    group.bench_function("qa_low_penalty", |b| b.iter(|| qa.sample(&qubo_low, 8, 1)));
+    group.bench_function("qa_high_penalty", |b| {
+        b.iter(|| qa.sample(&qubo_high, 8, 1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_mvc_point
+}
+criterion_main!(benches);

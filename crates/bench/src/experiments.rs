@@ -1,0 +1,636 @@
+//! Experiment implementations shared by the binaries and the criterion
+//! benches.
+
+use serde::{Deserialize, Serialize};
+
+use problems::tsp::generator::{generate_instance, GeneratorConfig};
+use problems::tsp::heuristics;
+use problems::{MvcInstance, TspEncoding, TspInstance};
+use qross::collect::{collect_profile, observe, CollectConfig};
+use qross::eval::{aggregate_gap_curves, gap_curve, run_strategy, MethodCurve};
+use qross::pipeline::{Pipeline, PipelineConfig, TrainedQross, A_DOMAIN};
+use qross::strategy::{ComposedStrategy, ProposalStrategy, TunerStrategy};
+use solvers::da::{DaConfig, DigitalAnnealer};
+use solvers::qbsolv::{Qbsolv, QbsolvConfig};
+use solvers::sa::{SaConfig, SimulatedAnnealer};
+use solvers::tabu::TabuConfig;
+use solvers::{AnalogNoise, Solver};
+use tuners::{BayesOpt, RandomSearch, Tpe};
+
+use crate::Scale;
+
+/// Solver roster used by the experiments, mirroring the paper's DA and
+/// Qbsolv (plus plain SA for Fig. 1).
+pub struct Solvers {
+    /// Digital Annealer simulator (the paper's primary solver)
+    pub da: DigitalAnnealer,
+    /// plain simulated annealing (Fig. 1 lower row)
+    pub sa: SimulatedAnnealer,
+    /// qbsolv decomposition hybrid (generalisation experiments)
+    pub qbsolv: Qbsolv,
+}
+
+impl Solvers {
+    /// Builds the roster at the given scale.
+    pub fn at(scale: Scale) -> Solvers {
+        match scale {
+            Scale::Quick => Solvers {
+                da: DigitalAnnealer::new(DaConfig {
+                    steps: 1200,
+                    ..Default::default()
+                }),
+                sa: SimulatedAnnealer::new(SaConfig {
+                    sweeps: 128,
+                    ..Default::default()
+                }),
+                qbsolv: Qbsolv::new(QbsolvConfig {
+                    subproblem_size: 32,
+                    max_passes: 6,
+                    tabu: TabuConfig {
+                        max_iters: 200,
+                        stall_limit: 60,
+                        tenure: None,
+                    },
+                    ..Default::default()
+                }),
+            },
+            Scale::Paper => Solvers {
+                da: DigitalAnnealer::default(),
+                sa: SimulatedAnnealer::default(),
+                qbsolv: Qbsolv::default(),
+            },
+        }
+    }
+}
+
+/// Batch size (solutions per solver call) per scale — the paper uses 128.
+pub fn batch_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 24,
+        Scale::Paper => 128,
+    }
+}
+
+/// Trials per instance (the paper's x-axis runs to 20).
+pub const TRIALS: usize = 20;
+
+/// Pipeline configuration per scale.
+pub fn pipeline_config(scale: Scale, seed: u64) -> PipelineConfig {
+    let mut cfg = match scale {
+        Scale::Quick => PipelineConfig::quick(),
+        Scale::Paper => PipelineConfig::paper(),
+    };
+    cfg.seed = seed;
+    cfg
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 — Pf and minimum energy vs A
+// ---------------------------------------------------------------------------
+
+/// One solver's sweep series for Fig. 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Series {
+    /// solver name
+    pub solver: String,
+    /// swept relaxation parameters
+    pub a: Vec<f64>,
+    /// probability of feasibility per point
+    pub pf: Vec<f64>,
+    /// minimum batch energy per point
+    pub min_energy: Vec<f64>,
+    /// mean batch energy per point
+    pub e_avg: Vec<f64>,
+}
+
+/// Fig. 1 result: DA (upper row) and SA (lower row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1Result {
+    /// instance identifier
+    pub instance: String,
+    /// per-solver sweep series
+    pub series: Vec<Fig1Series>,
+}
+
+/// Regenerates Fig. 1: sweep `A`, record `Pf` and energy envelopes for the
+/// Digital Annealer and Simulated Annealing on one instance.
+pub fn fig1(scale: Scale, seed: u64) -> Fig1Result {
+    let gen_cfg = match scale {
+        Scale::Quick => GeneratorConfig {
+            min_cities: 10,
+            max_cities: 10,
+            ..Default::default()
+        },
+        Scale::Paper => GeneratorConfig::default(),
+    };
+    let instance = generate_instance(&gen_cfg, seed, 0);
+    let encoding = TspEncoding::preprocessed(instance);
+    let batch = match scale {
+        Scale::Quick => 32,
+        Scale::Paper => 128,
+    };
+    let points = 25;
+    let (lo, hi) = A_DOMAIN;
+    let a_values: Vec<f64> = (0..points)
+        .map(|k| (lo.ln() + (hi.ln() - lo.ln()) * k as f64 / (points - 1) as f64).exp())
+        .collect();
+    let solvers = Solvers::at(scale);
+    let mut series = Vec::new();
+    for (name, solver) in [
+        ("da", &solvers.da as &dyn Solver),
+        ("sa", &solvers.sa as &dyn Solver),
+    ] {
+        let mut s = Fig1Series {
+            solver: name.to_string(),
+            a: Vec::new(),
+            pf: Vec::new(),
+            min_energy: Vec::new(),
+            e_avg: Vec::new(),
+        };
+        for (k, &a) in a_values.iter().enumerate() {
+            let obs = observe(
+                &encoding,
+                solver,
+                a,
+                batch,
+                mathkit::rng::derive_seed(seed, 500 + k as u64),
+            );
+            s.a.push(a);
+            s.pf.push(obs.pf);
+            s.min_energy.push(obs.min_energy);
+            s.e_avg.push(obs.e_avg);
+        }
+        series.push(s);
+    }
+    Fig1Result {
+        instance: encoding.fitness_instance().name().to_string(),
+        series,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 3/4/5 + Table 1 — strategy comparison
+// ---------------------------------------------------------------------------
+
+/// A full strategy-comparison result (one figure panel).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonResult {
+    /// dataset label (`synthetic` / `realworld`)
+    pub dataset: String,
+    /// evaluation solver name
+    pub solver: String,
+    /// number of evaluation instances
+    pub instances: usize,
+    /// per-method aggregate gap curves
+    pub curves: Vec<MethodCurve>,
+}
+
+impl ComparisonResult {
+    /// The curve of a given method.
+    pub fn method(&self, name: &str) -> Option<&MethodCurve> {
+        self.curves.iter().find(|c| c.method == name)
+    }
+}
+
+/// The four benchmark methods of §5.1.
+pub const METHODS: [&str; 4] = ["qross", "tpe", "bo", "random"];
+
+/// Runs the four-method comparison of Figs. 3–4 on the given encodings.
+///
+/// `trained` supplies the surrogate for the QROSS composed strategy; the
+/// baselines get the same trial budget and solver.
+#[allow(clippy::too_many_arguments)] // experiment descriptor, not an API
+pub fn compare_methods<S: Solver + ?Sized>(
+    trained: &TrainedQross,
+    encodings: &[TspEncoding],
+    solver: &S,
+    solver_label: &str,
+    dataset_label: &str,
+    batch: usize,
+    trials: usize,
+    seed: u64,
+) -> ComparisonResult {
+    let mut per_method_curves: Vec<Vec<Vec<f64>>> = vec![Vec::new(); METHODS.len()];
+    for (idx, enc) in encodings.iter().enumerate() {
+        // Reference (near-optimal) and fallback (weak feasible) fitness.
+        let inst = enc.fitness_instance();
+        let (_, reference) = heuristics::reference_tour(inst, 8);
+        let nn = inst.tour_length(&heuristics::nearest_neighbor(inst, 0));
+        let fallback = nn.max(reference) * 1.5;
+        let features = trained.featurizer.extract(enc.qubo_instance());
+        let iseed = mathkit::rng::derive_seed(seed, 9000 + idx as u64);
+
+        for (m, &method) in METHODS.iter().enumerate() {
+            let mut strategy: Box<dyn ProposalStrategy> = match method {
+                "qross" => Box::new(ComposedStrategy::new(
+                    &trained.surrogate,
+                    features.clone(),
+                    A_DOMAIN,
+                    batch,
+                    iseed,
+                )),
+                "tpe" => Box::new(TunerStrategy::new(
+                    Tpe::new(A_DOMAIN.0, A_DOMAIN.1, iseed),
+                    fallback,
+                )),
+                "bo" => Box::new(TunerStrategy::new(
+                    BayesOpt::new(A_DOMAIN.0, A_DOMAIN.1, iseed),
+                    fallback,
+                )),
+                "random" => Box::new(TunerStrategy::new(
+                    RandomSearch::new(A_DOMAIN.0, A_DOMAIN.1, iseed),
+                    fallback,
+                )),
+                other => unreachable!("unknown method {other}"),
+            };
+            let run = run_strategy(enc, solver, strategy.as_mut(), trials, batch, iseed);
+            per_method_curves[m].push(gap_curve(&run, reference, fallback));
+        }
+    }
+    let curves = METHODS
+        .iter()
+        .zip(per_method_curves.iter())
+        .map(|(name, curves)| MethodCurve::from_cis(name, &aggregate_gap_curves(curves)))
+        .collect();
+    ComparisonResult {
+        dataset: dataset_label.to_string(),
+        solver: solver_label.to_string(),
+        instances: encodings.len(),
+        curves,
+    }
+}
+
+/// Trains the QROSS pipeline on the experiment solver at the given scale.
+pub fn train_qross<S: Solver + ?Sized>(scale: Scale, seed: u64, solver: &S) -> TrainedQross {
+    Pipeline::new(pipeline_config(scale, seed)).run(solver)
+}
+
+/// The out-of-distribution evaluation set (Fig. 4): preprocessed encodings
+/// of the stand-in "real-world" instances, size-capped at quick scale.
+pub fn realworld_encodings(scale: Scale) -> Vec<TspEncoding> {
+    let instances = match scale {
+        Scale::Quick => problems::realworld::benchmark_subset(35),
+        Scale::Paper => problems::realworld::benchmark_set(),
+    };
+    instances
+        .into_iter()
+        .map(TspEncoding::preprocessed)
+        .collect()
+}
+
+/// Fig. 3: synthetic test-set comparison on the Digital Annealer.
+pub fn fig3(scale: Scale, seed: u64) -> ComparisonResult {
+    let solvers = Solvers::at(scale);
+    let trained = train_qross(scale, seed, &solvers.da);
+    compare_methods(
+        &trained,
+        &trained.test_encodings,
+        &solvers.da,
+        "da",
+        "synthetic",
+        batch_for(scale),
+        TRIALS,
+        seed,
+    )
+}
+
+/// Fig. 4: out-of-distribution comparison on the Digital Annealer.
+pub fn fig4(scale: Scale, seed: u64) -> ComparisonResult {
+    let solvers = Solvers::at(scale);
+    let trained = train_qross(scale, seed, &solvers.da);
+    let encodings = realworld_encodings(scale);
+    compare_methods(
+        &trained,
+        &encodings,
+        &solvers.da,
+        "da",
+        "realworld",
+        batch_for(scale),
+        TRIALS,
+        seed,
+    )
+}
+
+/// Fig. 5 result: the ablation curves.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// QROSS trained on DA, evaluated with DA (blue solid in the paper)
+    pub qross_on_da: MethodCurve,
+    /// QROSS trained on DA, evaluated with Qbsolv (blue dashed)
+    pub qross_on_qbsolv: MethodCurve,
+    /// TPE evaluated with DA
+    pub tpe_on_da: MethodCurve,
+    /// TPE evaluated with Qbsolv
+    pub tpe_on_qbsolv: MethodCurve,
+    /// QROSS (DA-trained) evaluated with a deliberately mismatched solver
+    /// — an under-converged final-state annealer whose `Pf(A)` sigmoid
+    /// sits elsewhere. Our DA and Qbsolv *simulators* share single-flip
+    /// dynamics and coincide on small instances (see EXPERIMENTS.md), so
+    /// this extra pair exhibits the mechanism the paper's ablation tests:
+    /// solver-specific knowledge does not transfer across solvers with
+    /// different feasibility characteristics.
+    pub qross_on_mismatched: MethodCurve,
+    /// TPE evaluated with the mismatched solver
+    pub tpe_on_mismatched: MethodCurve,
+}
+
+/// The deliberately mismatched evaluation solver for the Fig. 5 extension:
+/// an under-converged annealer returning final states.
+pub fn mismatched_solver() -> SimulatedAnnealer {
+    SimulatedAnnealer::new(SaConfig {
+        sweeps: 24,
+        track_best: false,
+        ..Default::default()
+    })
+}
+
+/// Fig. 5 (appendix A ablation): train QROSS on DA data, evaluate on
+/// Qbsolv — the mismatch should erase QROSS's advantage over TPE.
+pub fn fig5(scale: Scale, seed: u64) -> Fig5Result {
+    let solvers = Solvers::at(scale);
+    let trained = train_qross(scale, seed, &solvers.da);
+    let batch = batch_for(scale);
+    let on_da = compare_methods(
+        &trained,
+        &trained.test_encodings,
+        &solvers.da,
+        "da",
+        "synthetic",
+        batch,
+        TRIALS,
+        seed,
+    );
+    let on_qb = compare_methods(
+        &trained,
+        &trained.test_encodings,
+        &solvers.qbsolv,
+        "qbsolv",
+        "synthetic",
+        batch,
+        TRIALS,
+        seed,
+    );
+    let weak = mismatched_solver();
+    let on_weak = compare_methods(
+        &trained,
+        &trained.test_encodings,
+        &weak,
+        "weak-sa",
+        "synthetic",
+        batch,
+        TRIALS,
+        seed,
+    );
+    Fig5Result {
+        qross_on_da: on_da.method("qross").expect("qross curve").clone(),
+        qross_on_qbsolv: on_qb.method("qross").expect("qross curve").clone(),
+        tpe_on_da: on_da.method("tpe").expect("tpe curve").clone(),
+        tpe_on_qbsolv: on_qb.method("tpe").expect("tpe curve").clone(),
+        qross_on_mismatched: on_weak.method("qross").expect("qross curve").clone(),
+        tpe_on_mismatched: on_weak.method("tpe").expect("tpe curve").clone(),
+    }
+}
+
+/// Table 1: gap at trials #3 and #20 for every (solver, dataset, method).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// evaluation solver
+    pub solver: String,
+    /// method name
+    pub method: String,
+    /// synthetic-dataset gap at trial #3
+    pub synthetic_3: f64,
+    /// synthetic-dataset gap at trial #20
+    pub synthetic_20: f64,
+    /// realworld-dataset gap at trial #3
+    pub realworld_3: f64,
+    /// realworld-dataset gap at trial #20
+    pub realworld_20: f64,
+}
+
+/// Full Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// one row per (solver, method)
+    pub rows: Vec<Table1Row>,
+}
+
+/// Regenerates Table 1. The surrogate is retrained per solver (the paper
+/// constructs a separate training dataset from each solver's solutions,
+/// §5.3).
+pub fn table1(scale: Scale, seed: u64) -> Table1Result {
+    let solvers = Solvers::at(scale);
+    let batch = batch_for(scale);
+    let rw = realworld_encodings(scale);
+    let mut rows = Vec::new();
+    for (solver_label, solver) in [
+        ("da", &solvers.da as &dyn Solver),
+        ("qbsolv", &solvers.qbsolv as &dyn Solver),
+    ] {
+        let trained = train_qross(scale, seed, solver);
+        let synth = compare_methods(
+            &trained,
+            &trained.test_encodings,
+            solver,
+            solver_label,
+            "synthetic",
+            batch,
+            TRIALS,
+            seed,
+        );
+        let real = compare_methods(
+            &trained,
+            &rw,
+            solver,
+            solver_label,
+            "realworld",
+            batch,
+            TRIALS,
+            seed,
+        );
+        for method in METHODS {
+            let s = synth.method(method).expect("method curve");
+            let r = real.method(method).expect("method curve");
+            rows.push(Table1Row {
+                solver: solver_label.to_string(),
+                method: method.to_string(),
+                synthetic_3: s.gap_at_trial(3),
+                synthetic_20: s.gap_at_trial(20),
+                realworld_3: r.gap_at_trial(3),
+                realworld_20: r.gap_at_trial(20),
+            });
+        }
+    }
+    Table1Result { rows }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — MVC penalty-weight degradation (appendix B)
+// ---------------------------------------------------------------------------
+
+/// One solver's Fig. 6 series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Series {
+    /// solver label (`sa` / `qa`)
+    pub solver: String,
+    /// swept penalty weights
+    pub penalty: Vec<f64>,
+    /// best energy normalised to the run's overall best, per weight
+    /// (averaged over seeds)
+    pub energy_normalized: Vec<f64>,
+}
+
+/// Fig. 6 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// number of graph vertices
+    pub vertices: usize,
+    /// per-solver series
+    pub series: Vec<Fig6Series>,
+}
+
+/// Regenerates Fig. 6: weighted-MVC penalty sweep (`σ ∈ 10^0 … 10^4`) on
+/// `G(65, 0.5)` with `U[0,1)` weights, 4 seeds, comparing plain SA against
+/// the analog-control-error quantum-annealer model.
+pub fn fig6(scale: Scale, seed: u64) -> Fig6Result {
+    let n = 65; // chimera-embeddable size used by the paper
+    let (num_seeds, sweep_points, batch) = match scale {
+        Scale::Quick => (4, 9, 16),
+        Scale::Paper => (4, 17, 64),
+    };
+    // Hardware annealers return the *final* state of each read — they
+    // cannot track the best state visited — so the appendix-B experiment
+    // runs both solvers in final-state mode.
+    let sa = SimulatedAnnealer::new(SaConfig {
+        sweeps: 256,
+        track_best: false,
+        ..Default::default()
+    });
+    // DW_2000Q stand-in: same dynamics, analog control error on the
+    // Hamiltonian coefficients (appendix B cites ~1–5% control error).
+    let qa = AnalogNoise::new(
+        SimulatedAnnealer::new(SaConfig {
+            sweeps: 256,
+            track_best: false,
+            ..Default::default()
+        }),
+        0.01,
+    );
+    let penalties: Vec<f64> = (0..sweep_points)
+        .map(|k| 10f64.powf(4.0 * k as f64 / (sweep_points - 1) as f64))
+        .collect();
+
+    let mut series: Vec<Fig6Series> = [("sa", &sa as &dyn Solver), ("qa", &qa as &dyn Solver)]
+        .into_iter()
+        .map(|(label, _)| Fig6Series {
+            solver: label.to_string(),
+            penalty: penalties.clone(),
+            energy_normalized: vec![0.0; penalties.len()],
+        })
+        .collect();
+
+    for s in 0..num_seeds {
+        let graph = MvcInstance::random_gnp(
+            &format!("mvc65_{s}"),
+            n,
+            0.5,
+            mathkit::rng::derive_seed(seed, s as u64),
+        );
+        for (si, (label, solver)) in [("sa", &sa as &dyn Solver), ("qa", &qa as &dyn Solver)]
+            .into_iter()
+            .enumerate()
+        {
+            let _ = label;
+            // Best feasible cover weight per penalty point.
+            let mut best_per_point = vec![f64::INFINITY; penalties.len()];
+            for (k, &sigma) in penalties.iter().enumerate() {
+                let obs = observe(
+                    &graph,
+                    solver,
+                    sigma,
+                    batch,
+                    mathkit::rng::derive_seed(seed, 1_000 + (s * 100 + k) as u64),
+                );
+                if let Some(f) = obs.best_fitness {
+                    best_per_point[k] = f;
+                }
+            }
+            // Normalise to the best energy discovered in this run
+            // (the paper's y-axis: "energy normalised to the minimum
+            // energy state discovered in a run").
+            let run_best = best_per_point.iter().cloned().fold(f64::INFINITY, f64::min);
+            let fallback = graph.cover_weight(&graph.greedy_cover());
+            for (k, &b) in best_per_point.iter().enumerate() {
+                let value = if b.is_finite() { b } else { fallback };
+                series[si].energy_normalized[k] += value / run_best / num_seeds as f64;
+            }
+        }
+    }
+    Fig6Result {
+        vertices: n,
+        series,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convenience used by criterion benches
+// ---------------------------------------------------------------------------
+
+/// A tiny encoded TSP instance for micro-benchmarks.
+pub fn micro_encoding(cities: usize, seed: u64) -> TspEncoding {
+    let cfg = GeneratorConfig {
+        min_cities: cities,
+        max_cities: cities,
+        ..Default::default()
+    };
+    TspEncoding::preprocessed(generate_instance(&cfg, seed, 0))
+}
+
+/// A micro collection profile (used by the fig1 criterion bench).
+pub fn micro_profile(encoding: &TspEncoding, seed: u64) -> usize {
+    let solver = SimulatedAnnealer::new(SaConfig {
+        sweeps: 32,
+        ..Default::default()
+    });
+    let cfg = CollectConfig {
+        batch: 8,
+        sweep_points: 6,
+        ..Default::default()
+    };
+    collect_profile(encoding, &solver, &cfg, seed).len()
+}
+
+/// Silences the unused-import lint for TspInstance in rustdoc examples.
+pub fn instance_name(inst: &TspInstance) -> &str {
+    inst.name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_quick_shape() {
+        let result = fig1(Scale::Quick, 3);
+        assert_eq!(result.series.len(), 2);
+        for s in &result.series {
+            assert_eq!(s.a.len(), 25);
+            // Pf trend: right end more feasible than left end.
+            let left = s.pf[..5].iter().sum::<f64>() / 5.0;
+            let right = s.pf[20..].iter().sum::<f64>() / 5.0;
+            assert!(
+                right > left,
+                "{}: Pf trend inverted ({left} vs {right})",
+                s.solver
+            );
+            assert!(s.pf.iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn micro_helpers() {
+        let enc = micro_encoding(5, 1);
+        assert_eq!(enc.num_cities(), 5);
+        assert!(micro_profile(&enc, 2) >= 6);
+    }
+}

@@ -1,0 +1,140 @@
+//! # bench — the experiment harness regenerating every table and figure
+//!
+//! One binary per paper artefact (see DESIGN.md §4 for the index):
+//!
+//! | binary   | paper artefact | content |
+//! |----------|----------------|---------|
+//! | `fig1`   | Fig. 1         | Pf and min-energy vs `A` for DA and SA |
+//! | `fig3`   | Fig. 3         | gap vs trials, 4 methods, synthetic test set |
+//! | `fig4`   | Fig. 4         | gap vs trials, 4 methods, out-of-distribution set |
+//! | `fig5`   | Fig. 5         | cross-solver ablation (train DA, test Qbsolv) |
+//! | `fig6`   | Fig. 6         | MVC penalty sweep, analog-noise QA-sim vs SA |
+//! | `table1` | Table 1        | gap at trials #3/#20, 2 solvers × 2 datasets × 4 methods |
+//!
+//! Every binary accepts `--scale quick|paper` (default `quick`) and
+//! `--seed N`, prints a text rendition of the artefact, and writes JSON to
+//! `results/`.
+
+pub mod experiments;
+
+use serde::Serialize;
+
+/// Experiment scale: `quick` preserves the paper's qualitative shape at
+/// laptop cost; `paper` uses the publication settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// minutes-scale reproduction (default)
+    Quick,
+    /// the paper's full settings
+    Paper,
+}
+
+impl Scale {
+    /// Parses `quick` / `paper` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// experiment scale
+    pub scale: Scale,
+    /// root seed
+    pub seed: u64,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: Scale::Quick,
+            seed: 2021,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `--scale` and `--seed` from `std::env::args`, exiting with a
+    /// usage message on malformed input.
+    pub fn from_args() -> Cli {
+        let mut cli = Cli::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    let v = args.get(i).map(String::as_str).unwrap_or("");
+                    match Scale::parse(v) {
+                        Some(s) => cli.scale = s,
+                        None => usage_exit(&format!("bad --scale value `{v}`")),
+                    }
+                }
+                "--seed" => {
+                    i += 1;
+                    let v = args.get(i).map(String::as_str).unwrap_or("");
+                    match v.parse::<u64>() {
+                        Ok(s) => cli.seed = s,
+                        Err(_) => usage_exit(&format!("bad --seed value `{v}`")),
+                    }
+                }
+                "--help" | "-h" => usage_exit(""),
+                other => usage_exit(&format!("unknown argument `{other}`")),
+            }
+            i += 1;
+        }
+        cli
+    }
+}
+
+fn usage_exit(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: <experiment> [--scale quick|paper] [--seed N]");
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}
+
+/// Writes a JSON artefact under `results/`, creating the directory on
+/// demand. Returns the path written.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("result serialises");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Renders a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths.iter())
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn row_renders_fixed_width() {
+        let r = row(&["a".to_string(), "bb".to_string()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,283 @@
+//! Solver-data collection (paper §3.3, "Data Preparation").
+//!
+//! For each training instance the solver is sampled over a schedule of
+//! relaxation-parameter values. The paper's guidance:
+//!
+//! * "make sure that `{A | 0 < Pf(g,A) < 1}` are well sampled" — the
+//!   sigmoid *slope* carries the signal;
+//! * "at least a sizable number of samples in `{A | Pf = 0 or 1}`" — the
+//!   *plateaus* prevent over-fitting.
+//!
+//! [`collect_profile`] implements that: exponential probing locates the
+//! slope (`A_left` with `Pf = 0`, `A_right` with `Pf = 1`), then the probe
+//! observations are densified with a log-spaced sweep between
+//! `A_left / margin` and `A_right · margin`, so both plateaus and the slope
+//! are covered.
+
+use problems::RelaxableProblem;
+use serde::{Deserialize, Serialize};
+use solvers::Solver;
+
+/// One solver call's summary at a given relaxation parameter — exactly the
+/// targets the surrogate learns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverObservation {
+    /// relaxation parameter used
+    pub a: f64,
+    /// fraction of feasible solutions in the batch (paper eq. 1)
+    pub pf: f64,
+    /// batch mean QUBO energy
+    pub e_avg: f64,
+    /// batch energy standard deviation
+    pub e_std: f64,
+    /// best original-units fitness among feasible solutions, if any
+    pub best_fitness: Option<f64>,
+    /// lowest QUBO energy in the batch
+    pub min_energy: f64,
+}
+
+/// Configuration of the A-sampling schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectConfig {
+    /// starting probe value
+    pub a_init: f64,
+    /// probe growth/shrink factor for the exponential search
+    pub probe_factor: f64,
+    /// hard bounds for any sampled A
+    pub a_bounds: (f64, f64),
+    /// number of log-spaced sweep points between the located bounds
+    pub sweep_points: usize,
+    /// multiplicative margin extending the sweep into both plateaus
+    pub plateau_margin: f64,
+    /// solutions per solver call (the paper's B = 128)
+    pub batch: usize,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig {
+            a_init: 1.0,
+            probe_factor: 2.0,
+            a_bounds: (1e-3, 1e3),
+            sweep_points: 12,
+            plateau_margin: 2.0,
+            batch: 32,
+        }
+    }
+}
+
+/// Evaluates one `(instance, A)` pair on the solver.
+pub fn observe<P: RelaxableProblem + ?Sized, S: Solver + ?Sized>(
+    problem: &P,
+    solver: &S,
+    a: f64,
+    batch: usize,
+    seed: u64,
+) -> SolverObservation {
+    let qubo = problem.to_qubo(a);
+    let set = solver.sample(&qubo, batch, seed);
+    let pf = set.feasibility_fraction(|x| problem.is_feasible(x));
+    let best_fitness = set
+        .best_feasible(|x| problem.is_feasible(x))
+        .and_then(|s| problem.fitness(&s.assignment));
+    SolverObservation {
+        a,
+        pf,
+        e_avg: set.mean_energy(),
+        e_std: set.std_energy(),
+        best_fitness,
+        min_energy: set.best().map(|s| s.energy).unwrap_or(f64::NAN),
+    }
+}
+
+/// Collects a full A-profile of one instance: exponential slope location
+/// plus a log-spaced sweep with plateau margins. Observations are returned
+/// sorted by `a` (probe duplicates merged).
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (non-positive bounds or
+/// factors, zero sweep points or batch).
+pub fn collect_profile<P: RelaxableProblem + ?Sized, S: Solver + ?Sized>(
+    problem: &P,
+    solver: &S,
+    config: &CollectConfig,
+    seed: u64,
+) -> Vec<SolverObservation> {
+    assert!(
+        config.a_bounds.0 > 0.0 && config.a_bounds.0 < config.a_bounds.1,
+        "invalid A bounds"
+    );
+    assert!(config.probe_factor > 1.0, "probe factor must exceed 1");
+    assert!(config.plateau_margin >= 1.0, "margin must be at least 1");
+    assert!(
+        config.sweep_points >= 2 && config.batch > 0,
+        "sweep points and batch must be positive"
+    );
+    let (lo_bound, hi_bound) = config.a_bounds;
+    let mut observations: Vec<SolverObservation> = Vec::new();
+    let mut stream = 0u64;
+    let mut probe = |a: f64, observations: &mut Vec<SolverObservation>| -> f64 {
+        stream += 1;
+        let obs = observe(
+            problem,
+            solver,
+            a,
+            config.batch,
+            mathkit::rng::derive_seed(seed, stream),
+        );
+        let pf = obs.pf;
+        observations.push(obs);
+        pf
+    };
+
+    // Locate A_right: smallest probed A with Pf = 1.
+    let mut a_right = config.a_init.clamp(lo_bound, hi_bound);
+    let mut pf = probe(a_right, &mut observations);
+    while pf < 1.0 && a_right < hi_bound {
+        a_right = (a_right * config.probe_factor).min(hi_bound);
+        pf = probe(a_right, &mut observations);
+    }
+    // Locate A_left: largest probed A with Pf = 0.
+    let mut a_left = (config.a_init / config.probe_factor).clamp(lo_bound, hi_bound);
+    let mut pf = probe(a_left, &mut observations);
+    while pf > 0.0 && a_left > lo_bound {
+        a_left = (a_left / config.probe_factor).max(lo_bound);
+        pf = probe(a_left, &mut observations);
+    }
+
+    // Log-spaced sweep with plateau margins.
+    let sweep_lo = (a_left / config.plateau_margin).max(lo_bound);
+    let sweep_hi = (a_right * config.plateau_margin).min(hi_bound);
+    let (log_lo, log_hi) = (sweep_lo.ln(), sweep_hi.ln());
+    for k in 0..config.sweep_points {
+        let t = k as f64 / (config.sweep_points - 1) as f64;
+        let a = (log_lo + t * (log_hi - log_lo)).exp();
+        probe(a, &mut observations);
+    }
+
+    observations.sort_by(|x, y| x.a.partial_cmp(&y.a).unwrap_or(std::cmp::Ordering::Equal));
+    observations.dedup_by(|b, a| {
+        if (a.a - b.a).abs() < 1e-12 {
+            true // keep the first of near-identical A values
+        } else {
+            false
+        }
+    });
+    observations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problems::{TspEncoding, TspInstance};
+    use solvers::sa::{SaConfig, SimulatedAnnealer};
+
+    fn small_problem() -> TspEncoding {
+        TspEncoding::preprocessed(TspInstance::from_coords(
+            "t5",
+            &[(0.0, 0.0), (2.0, 0.3), (3.0, 2.0), (1.0, 3.0), (-1.0, 1.5)],
+        ))
+    }
+
+    fn fast_solver() -> SimulatedAnnealer {
+        SimulatedAnnealer::new(SaConfig {
+            sweeps: 64,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn observe_consistency() {
+        let p = small_problem();
+        let s = fast_solver();
+        let obs = observe(&p, &s, 2.0, 16, 1);
+        assert_eq!(obs.a, 2.0);
+        assert!((0.0..=1.0).contains(&obs.pf));
+        assert!(obs.e_std >= 0.0);
+        if obs.pf > 0.0 {
+            assert!(obs.best_fitness.is_some());
+        } else {
+            assert!(obs.best_fitness.is_none());
+        }
+    }
+
+    #[test]
+    fn profile_covers_slope_and_plateaus() {
+        let p = small_problem();
+        let s = fast_solver();
+        let cfg = CollectConfig {
+            batch: 16,
+            sweep_points: 10,
+            ..Default::default()
+        };
+        let profile = collect_profile(&p, &s, &cfg, 7);
+        assert!(profile.len() >= 10);
+        // Sorted by A.
+        for w in profile.windows(2) {
+            assert!(w[0].a <= w[1].a);
+        }
+        // Plateau coverage: at least one Pf=0-ish and one Pf=1 observation.
+        assert!(
+            profile.first().unwrap().pf < 0.5,
+            "low-A end should be infeasible-dominated: {:?}",
+            profile.first()
+        );
+        assert!(
+            profile.last().unwrap().pf > 0.5,
+            "high-A end should be feasible-dominated"
+        );
+        // Slope coverage: some observation strictly between.
+        assert!(
+            profile.iter().any(|o| o.pf > 0.0 && o.pf < 1.0),
+            "no slope samples collected"
+        );
+    }
+
+    #[test]
+    fn pf_is_nondecreasing_in_trend() {
+        // Not strictly monotone (stochastic), but the low-third average
+        // must not exceed the high-third average.
+        let p = small_problem();
+        let s = fast_solver();
+        let cfg = CollectConfig {
+            batch: 16,
+            ..Default::default()
+        };
+        let profile = collect_profile(&p, &s, &cfg, 3);
+        let third = profile.len() / 3;
+        let low: f64 = profile[..third].iter().map(|o| o.pf).sum::<f64>() / third.max(1) as f64;
+        let high: f64 = profile[profile.len() - third..]
+            .iter()
+            .map(|o| o.pf)
+            .sum::<f64>()
+            / third.max(1) as f64;
+        assert!(high >= low, "Pf trend inverted: low {low}, high {high}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = small_problem();
+        let s = fast_solver();
+        let cfg = CollectConfig {
+            batch: 8,
+            sweep_points: 6,
+            ..Default::default()
+        };
+        let a = collect_profile(&p, &s, &cfg, 11);
+        let b = collect_profile(&p, &s, &cfg, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid A bounds")]
+    fn rejects_bad_bounds() {
+        let p = small_problem();
+        let s = fast_solver();
+        let cfg = CollectConfig {
+            a_bounds: (1.0, 0.5),
+            ..Default::default()
+        };
+        let _ = collect_profile(&p, &s, &cfg, 0);
+    }
+}

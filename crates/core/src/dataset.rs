@@ -1,0 +1,380 @@
+//! Surrogate training dataset: (instance features, A) → (Pf, Eavg, Estd).
+//!
+//! Implements the normalisation guidance of §3.3 ("pre-processing
+//! techniques, e.g. shifting or scaling, move A of different problems to
+//! the same order of magnitude... Normalisation helps the convergence of
+//! the training curve"): features are z-scored per column, the relaxation
+//! parameter enters as `ln A` (the collection schedule is log-spaced) and
+//! is z-scored, and both energy targets are z-scored with scalers that are
+//! stored alongside the model so predictions can be mapped back to energy
+//! units.
+
+use mathkit::stats::ZScore;
+use mathkit::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::collect::SolverObservation;
+use crate::QrossError;
+
+/// One training row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetRow {
+    /// instance feature vector
+    pub features: Vec<f64>,
+    /// relaxation parameter (raw, not logged)
+    pub a: f64,
+    /// observed probability of feasibility
+    pub pf: f64,
+    /// observed batch mean energy
+    pub e_avg: f64,
+    /// observed batch energy standard deviation
+    pub e_std: f64,
+}
+
+/// A collection of training rows with a fixed feature width.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateDataset {
+    rows: Vec<DatasetRow>,
+    feat_dim: usize,
+}
+
+impl SurrogateDataset {
+    /// Creates an empty dataset for `feat_dim`-wide features.
+    pub fn new(feat_dim: usize) -> Self {
+        SurrogateDataset {
+            rows: Vec::new(),
+            feat_dim,
+        }
+    }
+
+    /// Feature width.
+    pub fn feat_dim(&self) -> usize {
+        self.feat_dim
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows view.
+    pub fn rows(&self) -> &[DatasetRow] {
+        &self.rows
+    }
+
+    /// Adds one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width differs from the dataset's or any value
+    /// is non-finite.
+    pub fn push(&mut self, row: DatasetRow) {
+        assert_eq!(row.features.len(), self.feat_dim, "feature width mismatch");
+        assert!(
+            row.features.iter().all(|v| v.is_finite())
+                && row.a.is_finite()
+                && row.a > 0.0
+                && row.pf.is_finite()
+                && row.e_avg.is_finite()
+                && row.e_std.is_finite(),
+            "non-finite or non-positive dataset entry"
+        );
+        self.rows.push(row);
+    }
+
+    /// Adds a whole instance profile (shared features, many observations).
+    pub fn push_profile(&mut self, features: &[f64], profile: &[SolverObservation]) {
+        for obs in profile {
+            self.push(DatasetRow {
+                features: features.to_vec(),
+                a: obs.a,
+                pf: obs.pf,
+                e_avg: obs.e_avg,
+                e_std: obs.e_std,
+            });
+        }
+    }
+
+    /// Deterministic train/validation split: every `k`-th row (by a seeded
+    /// shuffle) goes to validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `val_fraction` is outside `[0, 1)`.
+    pub fn split(&self, val_fraction: f64, seed: u64) -> (SurrogateDataset, SurrogateDataset) {
+        assert!(
+            (0.0..1.0).contains(&val_fraction),
+            "validation fraction must be in [0, 1)"
+        );
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..self.rows.len()).collect();
+        let mut rng = mathkit::rng::derive_rng(seed, 0x5F17);
+        order.shuffle(&mut rng);
+        let n_val = (self.rows.len() as f64 * val_fraction).round() as usize;
+        let mut train = SurrogateDataset::new(self.feat_dim);
+        let mut val = SurrogateDataset::new(self.feat_dim);
+        for (k, &idx) in order.iter().enumerate() {
+            if k < n_val {
+                val.rows.push(self.rows[idx].clone());
+            } else {
+                train.rows.push(self.rows[idx].clone());
+            }
+        }
+        (train, val)
+    }
+}
+
+/// Normalisation parameters fitted on a training dataset and stored with
+/// the surrogate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scalers {
+    /// per-feature-column z-scores
+    pub features: Vec<ZScore>,
+    /// z-score of `ln A`
+    pub log_a: ZScore,
+    /// z-score of the mean-energy target
+    pub e_avg: ZScore,
+    /// z-score of the energy-std target
+    pub e_std: ZScore,
+}
+
+impl Scalers {
+    /// Fits scalers on a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrossError::BadDataset`] for an empty dataset.
+    pub fn fit(dataset: &SurrogateDataset) -> Result<Self, QrossError> {
+        if dataset.is_empty() {
+            return Err(QrossError::BadDataset {
+                message: "cannot fit scalers on an empty dataset".to_string(),
+            });
+        }
+        let d = dataset.feat_dim();
+        let mut features = Vec::with_capacity(d);
+        for c in 0..d {
+            let col: Vec<f64> = dataset.rows().iter().map(|r| r.features[c]).collect();
+            features.push(ZScore::fit(&col));
+        }
+        let log_a: Vec<f64> = dataset.rows().iter().map(|r| r.a.ln()).collect();
+        let e_avg: Vec<f64> = dataset.rows().iter().map(|r| r.e_avg).collect();
+        let e_std: Vec<f64> = dataset.rows().iter().map(|r| r.e_std).collect();
+        Ok(Scalers {
+            features,
+            log_a: ZScore::fit(&log_a),
+            e_avg: ZScore::fit(&e_avg),
+            e_std: ZScore::fit(&e_std),
+        })
+    }
+
+    /// Builds the normalised network input `[z(features)…, z(ln a)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width differs from the fitted width or
+    /// `a <= 0`.
+    pub fn input_row(&self, features: &[f64], a: f64) -> Vec<f64> {
+        assert_eq!(
+            features.len(),
+            self.features.len(),
+            "feature width mismatch"
+        );
+        assert!(a > 0.0, "relaxation parameter must be positive");
+        let mut row: Vec<f64> = features
+            .iter()
+            .zip(self.features.iter())
+            .map(|(v, z)| z.transform(*v))
+            .collect();
+        row.push(self.log_a.transform(a.ln()));
+        row
+    }
+
+    /// Network input width (features + 1 for the parameter).
+    pub fn input_dim(&self) -> usize {
+        self.features.len() + 1
+    }
+}
+
+/// Matrices ready for the neural trainer.
+#[derive(Debug, Clone)]
+pub struct TrainingMatrices {
+    /// normalised inputs, one row per dataset row
+    pub x: Matrix,
+    /// `Pf` targets (1 column)
+    pub y_pf: Matrix,
+    /// normalised `(Eavg, Estd)` targets (2 columns)
+    pub y_energy: Matrix,
+}
+
+/// Converts a dataset into training matrices using fitted scalers.
+///
+/// # Errors
+///
+/// Returns [`QrossError::BadDataset`] for an empty dataset.
+pub fn to_matrices(
+    dataset: &SurrogateDataset,
+    scalers: &Scalers,
+) -> Result<TrainingMatrices, QrossError> {
+    if dataset.is_empty() {
+        return Err(QrossError::BadDataset {
+            message: "no rows to convert".to_string(),
+        });
+    }
+    let n = dataset.len();
+    let d = scalers.input_dim();
+    let mut x = Matrix::zeros(n, d);
+    let mut y_pf = Matrix::zeros(n, 1);
+    let mut y_energy = Matrix::zeros(n, 2);
+    for (r, row) in dataset.rows().iter().enumerate() {
+        let input = scalers.input_row(&row.features, row.a);
+        x.row_slice_mut(r).copy_from_slice(&input);
+        y_pf[(r, 0)] = row.pf;
+        y_energy[(r, 0)] = scalers.e_avg.transform(row.e_avg);
+        y_energy[(r, 1)] = scalers.e_std.transform(row.e_std);
+    }
+    Ok(TrainingMatrices { x, y_pf, y_energy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> SurrogateDataset {
+        let mut ds = SurrogateDataset::new(2);
+        for i in 0..20 {
+            let a = 0.5 + i as f64 * 0.25;
+            ds.push(DatasetRow {
+                features: vec![i as f64, 10.0 - i as f64],
+                a,
+                pf: (i as f64 / 19.0).clamp(0.0, 1.0),
+                e_avg: 100.0 - i as f64,
+                e_std: 5.0 + (i % 3) as f64,
+            });
+        }
+        ds
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut ds = SurrogateDataset::new(2);
+        ds.push(DatasetRow {
+            features: vec![1.0, 2.0],
+            a: 1.0,
+            pf: 0.5,
+            e_avg: 0.0,
+            e_std: 1.0,
+        });
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn push_rejects_wrong_width() {
+        let mut ds = SurrogateDataset::new(2);
+        ds.push(DatasetRow {
+            features: vec![1.0],
+            a: 1.0,
+            pf: 0.5,
+            e_avg: 0.0,
+            e_std: 1.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn push_rejects_nan() {
+        let mut ds = SurrogateDataset::new(1);
+        ds.push(DatasetRow {
+            features: vec![f64::NAN],
+            a: 1.0,
+            pf: 0.5,
+            e_avg: 0.0,
+            e_std: 1.0,
+        });
+    }
+
+    #[test]
+    fn split_partitions() {
+        let ds = toy_dataset();
+        let (train, val) = ds.split(0.25, 3);
+        assert_eq!(train.len() + val.len(), ds.len());
+        assert_eq!(val.len(), 5);
+        // Deterministic.
+        let (t2, v2) = ds.split(0.25, 3);
+        assert_eq!(train, t2);
+        assert_eq!(val, v2);
+        // Different seed → different split.
+        let (t3, _) = ds.split(0.25, 4);
+        assert_ne!(train, t3);
+    }
+
+    #[test]
+    fn scalers_standardise() {
+        let ds = toy_dataset();
+        let sc = Scalers::fit(&ds).unwrap();
+        let m = to_matrices(&ds, &sc).unwrap();
+        assert_eq!(m.x.shape(), (20, 3));
+        assert_eq!(m.y_pf.shape(), (20, 1));
+        assert_eq!(m.y_energy.shape(), (20, 2));
+        // Column means ≈ 0 for standardised inputs.
+        let sums = m.x.sum_rows();
+        for c in 0..3 {
+            assert!(sums[(0, c)].abs() / 20.0 < 1e-9, "column {c} not centred");
+        }
+        // Pf targets are untouched probabilities.
+        assert!(m.y_pf.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn input_row_roundtrips_scaling() {
+        let ds = toy_dataset();
+        let sc = Scalers::fit(&ds).unwrap();
+        let row = &ds.rows()[7];
+        let input = sc.input_row(&row.features, row.a);
+        assert_eq!(input.len(), sc.input_dim());
+        // Energy scalers invert correctly.
+        let z = sc.e_avg.transform(row.e_avg);
+        assert!((sc.e_avg.inverse(z) - row.e_avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let ds = SurrogateDataset::new(3);
+        assert!(matches!(
+            Scalers::fit(&ds),
+            Err(QrossError::BadDataset { .. })
+        ));
+    }
+
+    #[test]
+    fn push_profile_replicates_features() {
+        let mut ds = SurrogateDataset::new(1);
+        let profile = vec![
+            crate::collect::SolverObservation {
+                a: 1.0,
+                pf: 0.0,
+                e_avg: 2.0,
+                e_std: 0.5,
+                best_fitness: None,
+                min_energy: 1.0,
+            },
+            crate::collect::SolverObservation {
+                a: 2.0,
+                pf: 1.0,
+                e_avg: 3.0,
+                e_std: 0.25,
+                best_fitness: Some(3.0),
+                min_energy: 2.5,
+            },
+        ];
+        ds.push_profile(&[9.0], &profile);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.rows()[0].features, vec![9.0]);
+        assert_eq!(ds.rows()[1].a, 2.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Minimum Fitness Strategy (paper §3.4.1, appendix F).
+//!
+//! Given surrogate predictions `Pf(A)`, `Eavg(A)`, `Estd(A)` and the batch
+//! size `B`, the expected *minimum* fitness of a batch with
+//! `m = Pf(A)·B` feasible solutions, each fitness modelled as
+//! `N(Eavg, Estd²)`, is (eq. 2 / eq. 15)
+//!
+//! `E[d̄] ≈ ∫_0^∞ (1 − Φ(z; Eavg, Estd²))^m dz`,
+//!
+//! with `lim_{Pf→0} E[d̄] = +∞` (appendix F). The optimal relaxation
+//! parameter is `argmin_A E[d̄](A)` (eq. 18), found here with the dense
+//! grid + golden-section global optimiser that stands in for scipy's
+//! `shgo`.
+//!
+//! The non-negative-fitness assumption behind eq. 15 does not hold after
+//! MVODM pre-processing (energies can be negative), so the integral is
+//! evaluated with a constant shift: `E[min(d)] = E[min(d + c)] − c` with
+//! `c` chosen so virtually all Gaussian mass is positive — an exact
+//! identity rather than an approximation.
+
+use mathkit::integrate::gauss_legendre_composite;
+use mathkit::optimize::{minimize_global_1d, Minimum};
+use mathkit::special::normal_sf;
+
+use crate::surrogate::{Surrogate, SurrogatePrediction};
+use crate::QrossError;
+
+/// Expectation of the minimum fitness in a batch (paper eq. 2).
+///
+/// Returns `+inf` when fewer than one feasible solution is expected in
+/// the batch (`m = pf·batch < 1`): the paper defines
+/// `lim_{Pf→0} Dmin = +∞`, and a fractional expected sample count has no
+/// meaningful minimum — proposing there risks an entirely infeasible
+/// trial.
+///
+/// # Examples
+///
+/// ```
+/// use qross::strategy::mfs::expected_min_fitness;
+/// // With one expected feasible sample the expectation is just the mean.
+/// let one = expected_min_fitness(1.0, 10.0, 2.0, 1);
+/// assert!((one - 10.0).abs() < 0.05);
+/// // More feasible samples push the expected minimum down.
+/// let many = expected_min_fitness(1.0, 10.0, 2.0, 64);
+/// assert!(many < one - 3.0);
+/// // Vanishing feasibility: infinite (paper appendix F).
+/// assert!(expected_min_fitness(0.001, 10.0, 2.0, 64).is_infinite());
+/// ```
+pub fn expected_min_fitness(pf: f64, e_avg: f64, e_std: f64, batch: usize) -> f64 {
+    let m = pf.clamp(0.0, 1.0) * batch as f64;
+    if m < 1.0 {
+        return f64::INFINITY;
+    }
+    let sigma = e_std.max(1e-12);
+    if sigma <= 1e-9 {
+        return e_avg; // degenerate distribution: min == mean
+    }
+    // Shift so the support is effectively positive (exact identity).
+    let spread = (2.0 * (m.max(1.0)).ln()).sqrt() + 8.0;
+    let low_tail = e_avg - spread * sigma;
+    let shift = if low_tail < 0.0 { -low_tail } else { 0.0 };
+    let mu = e_avg + shift;
+
+    // E[min] = z0 + ∫_{z0}^{z1} S(z)^m dz, where S^m ≈ 1 below z0 and ≈ 0
+    // above z1.
+    let z0 = (mu - spread * sigma).max(0.0);
+    let z1 = mu + 8.0 * sigma;
+    let integral = gauss_legendre_composite(|z| normal_sf(z, mu, sigma).powf(m), z0, z1, 24);
+    z0 + integral - shift
+}
+
+/// Expected minimum fitness of a surrogate prediction.
+pub fn expected_min_of(prediction: &SurrogatePrediction, batch: usize) -> f64 {
+    expected_min_fitness(prediction.pf, prediction.e_avg, prediction.e_std, batch)
+}
+
+/// Proposes the MFS-optimal relaxation parameter over `domain` (eq. 18).
+///
+/// Optimises in `ln A` (the surrogate's natural axis). Two guards keep
+/// the search where the surrogate is trustworthy:
+///
+/// 1. the domain is clamped to the trained `A` support (±2.5 σ of the
+///    training `ln A` distribution) — beyond it the energy head
+///    extrapolates and fabricates minima at the domain edges;
+/// 2. the search is further restricted to the predicted sigmoid *slope*
+///    `{A | 0.2 ≤ Pf(A) ≤ 0.98}` (with a right margin), implementing the
+///    paper's §3.1 hypothesis that "optimal solutions appear within
+///    0 < Pf < 1". The floor sits at 0.2 rather than 0 for two reasons:
+///    (a) the Pf head is far better calibrated than the energy head, but
+///    still carries error of a fraction of the slope width — proposals at
+///    predicted Pf ≈ 0.05 routinely measure Pf = 0; and (b) below ~0.2
+///    the batch energy statistics are dominated by *infeasible*
+///    assignments, so the Gaussian fitness model of eq. 16 no longer
+///    describes the feasible solutions whose minimum MFS optimises. The
+///    paper's own reported optima sit at Pf ≈ 0.78–0.91 (Fig. 1), safely
+///    inside this window.
+///
+/// # Errors
+///
+/// Returns [`QrossError::NoCandidate`] when the surrogate predicts
+/// (near-)zero feasibility across the whole domain.
+pub fn propose(
+    surrogate: &Surrogate,
+    features: &[f64],
+    domain: (f64, f64),
+    batch: usize,
+) -> Result<Minimum, QrossError> {
+    assert!(
+        domain.0 > 0.0 && domain.0 < domain.1,
+        "invalid A domain [{}, {}]",
+        domain.0,
+        domain.1
+    );
+    let (lo, hi) = clamp_to_trained(surrogate, domain);
+
+    // Locate the predicted sigmoid slope with a coarse sweep.
+    const GRID: usize = 96;
+    let ln_grid: Vec<f64> = (0..GRID)
+        .map(|k| lo.ln() + (hi.ln() - lo.ln()) * k as f64 / (GRID - 1) as f64)
+        .collect();
+    let a_grid: Vec<f64> = ln_grid.iter().map(|l| l.exp()).collect();
+    let preds = surrogate.predict_sweep(features, &a_grid);
+    let slope: Vec<usize> = (0..GRID)
+        .filter(|&k| preds[k].pf >= 0.2 && preds[k].pf <= 0.98)
+        .collect();
+    let (wlo, whi) = if slope.is_empty() {
+        (lo.ln(), hi.ln()) // saturated Pf head: fall back to the full window
+    } else {
+        // No margin on the left (Pf prediction error there costs
+        // feasibility); two grid steps on the right, where the energy dip
+        // often sits just past the predicted Pf ≈ 1 boundary.
+        let step = (hi.ln() - lo.ln()) / (GRID - 1) as f64;
+        let first = ln_grid[*slope.first().expect("non-empty")];
+        let last = ln_grid[*slope.last().expect("non-empty")] + 2.0 * step;
+        (first, last.min(hi.ln()))
+    };
+
+    let objective = |ln_a: f64| -> f64 {
+        let p = surrogate.predict(features, ln_a.exp());
+        expected_min_of(&p, batch)
+    };
+    let m = minimize_global_1d(&objective, wlo, whi, 64, 4, 1e-6).map_err(|e| {
+        QrossError::NoCandidate {
+            message: format!("MFS optimisation failed: {e}"),
+        }
+    })?;
+    if !m.value.is_finite() {
+        return Err(QrossError::NoCandidate {
+            message: "surrogate predicts zero feasibility across the domain".to_string(),
+        });
+    }
+    Ok(Minimum {
+        x: m.x.exp(),
+        value: m.value,
+    })
+}
+
+/// Intersects a requested domain with the surrogate's trained `A` support
+/// (±2.5 σ in `ln A`), falling back to the requested domain when the
+/// intersection is empty.
+pub(crate) fn clamp_to_trained(surrogate: &Surrogate, domain: (f64, f64)) -> (f64, f64) {
+    let (tlo, thi) = surrogate.trained_a_range(2.5);
+    let lo = domain.0.max(tlo);
+    let hi = domain.1.min(thi);
+    if lo < hi {
+        (lo, hi)
+    } else {
+        domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::rng::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn infeasible_is_infinite() {
+        assert!(expected_min_fitness(0.0, 10.0, 1.0, 128).is_infinite());
+        assert!(expected_min_fitness(1e-9, 10.0, 1.0, 128).is_infinite());
+    }
+
+    #[test]
+    fn single_sample_equals_mean() {
+        // m = 1: E[min of one N(mu, sigma)] = mu.
+        for (mu, sigma) in [(5.0, 1.0), (100.0, 10.0), (0.0, 2.0)] {
+            let v = expected_min_fitness(1.0, mu, sigma, 1);
+            assert!((v - mu).abs() < 0.05 * sigma.max(1.0), "mu={mu}: {v}");
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        // Compare against a direct Monte-Carlo estimate of E[min of m
+        // Gaussians].
+        let mut rng = seeded_rng(42);
+        for &(pf, mu, sigma, batch) in &[
+            (1.0, 10.0, 2.0, 16usize),
+            (0.5, 50.0, 5.0, 64),
+            (0.25, -3.0, 1.0, 128), // negative mean exercises the shift
+        ] {
+            let m = (pf * batch as f64).round() as usize;
+            let trials = 4000;
+            let mut acc = 0.0;
+            for _ in 0..trials {
+                let mut min = f64::INFINITY;
+                for _ in 0..m {
+                    let u1: f64 = rng.gen::<f64>().max(1e-300);
+                    let u2: f64 = rng.gen();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    min = min.min(mu + sigma * z);
+                }
+                acc += min;
+            }
+            let mc = acc / trials as f64;
+            let analytic = expected_min_fitness(pf, mu, sigma, batch);
+            assert!(
+                (mc - analytic).abs() < 0.12 * sigma,
+                "pf={pf} mu={mu}: MC {mc} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn decreasing_in_batch_size() {
+        let mut prev = f64::INFINITY;
+        for batch in [1usize, 4, 16, 64, 256] {
+            let v = expected_min_fitness(1.0, 20.0, 3.0, batch);
+            assert!(v < prev, "batch {batch}: {v} !< {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn increasing_in_mean() {
+        let lo = expected_min_fitness(0.8, 10.0, 2.0, 32);
+        let hi = expected_min_fitness(0.8, 15.0, 2.0, 32);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn balances_feasibility_against_energy() {
+        // The MFS core trade-off: higher Pf with higher Eavg can lose to
+        // lower Pf with lower Eavg — and vice versa when Pf gets tiny.
+        let safe = expected_min_fitness(1.0, 12.0, 1.0, 32); // all feasible, mediocre energy
+        let risky = expected_min_fitness(0.3, 10.0, 1.0, 32); // fewer feasible, better energy
+        assert!(risky < safe, "risky {risky} !< safe {safe}");
+        let too_risky = expected_min_fitness(0.01, 10.0, 1.0, 32);
+        assert!(too_risky > risky, "vanishing Pf must hurt");
+    }
+
+    #[test]
+    fn degenerate_sigma() {
+        assert_eq!(expected_min_fitness(1.0, 7.0, 0.0, 32), 7.0);
+    }
+}

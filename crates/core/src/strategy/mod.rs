@@ -1,0 +1,129 @@
+//! Parameter-selection strategies (paper §3.4 and §4.2).
+//!
+//! * [`mfs`] — Minimum Fitness Strategy: minimise the analytic expectation
+//!   of the minimum batch fitness (offline, eq. 2 / appendix F);
+//! * [`pbs`] — Pf-based Strategy: hit a target feasibility probability
+//!   (offline, eq. 3);
+//! * [`ofs`] — Online Fitting Strategy: sigmoid curve fitting on observed
+//!   `(A, Pf)` pairs of the instance at hand (Algorithm 1);
+//! * [`composed`] — the benchmark mixture from §5: one MFS proposal, PBS at
+//!   `p = 80%` and `20%`, then OFS for every further trial.
+//!
+//! The common [`ProposalStrategy`] interface lets the evaluation harness
+//! drive QROSS and the baseline tuners identically.
+
+pub mod composed;
+pub mod mfs;
+pub mod ofs;
+pub mod pbs;
+
+pub use composed::ComposedStrategy;
+pub use ofs::OnlineFitting;
+
+use crate::collect::SolverObservation;
+
+/// A sequential parameter-proposal strategy.
+///
+/// The harness loop per instance: `propose` an `A`, run one solver call,
+/// `observe` the outcome, repeat. Implementations may ignore observations
+/// (pure offline strategies) or adapt (OFS, tuners).
+pub trait ProposalStrategy: Send {
+    /// Identifier used in experiment reports.
+    fn name(&self) -> &str;
+
+    /// Proposes the relaxation parameter for the given 0-based trial.
+    fn propose(&mut self, trial: usize) -> f64;
+
+    /// Records the outcome of evaluating `a` on the solver.
+    fn observe(&mut self, a: f64, outcome: &SolverObservation);
+}
+
+/// Baseline adapter: drives a [`tuners::Tuner`] as a [`ProposalStrategy`].
+///
+/// The tuners minimise a scalar objective, so infeasible trials (no
+/// feasible solution in the batch) are encoded as `fallback_objective` —
+/// the harness passes a value worse than any feasible fitness (the paper's
+/// baselines likewise only see fitness values).
+pub struct TunerStrategy<T> {
+    tuner: T,
+    fallback_objective: f64,
+}
+
+impl<T: tuners::Tuner> TunerStrategy<T> {
+    /// Wraps a tuner. `fallback_objective` must exceed any achievable
+    /// fitness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fallback_objective` is not finite.
+    pub fn new(tuner: T, fallback_objective: f64) -> Self {
+        assert!(
+            fallback_objective.is_finite(),
+            "fallback objective must be finite"
+        );
+        TunerStrategy {
+            tuner,
+            fallback_objective,
+        }
+    }
+
+    /// Borrow of the wrapped tuner.
+    pub fn tuner(&self) -> &T {
+        &self.tuner
+    }
+}
+
+impl<T: tuners::Tuner> ProposalStrategy for TunerStrategy<T> {
+    fn name(&self) -> &str {
+        self.tuner.name()
+    }
+
+    fn propose(&mut self, _trial: usize) -> f64 {
+        self.tuner.ask()
+    }
+
+    fn observe(&mut self, a: f64, outcome: &SolverObservation) {
+        let y = outcome.best_fitness.unwrap_or(self.fallback_objective);
+        self.tuner.tell(a, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tuners::{RandomSearch, Tuner};
+
+    fn obs(a: f64, fitness: Option<f64>) -> SolverObservation {
+        SolverObservation {
+            a,
+            pf: if fitness.is_some() { 0.5 } else { 0.0 },
+            e_avg: 1.0,
+            e_std: 0.1,
+            best_fitness: fitness,
+            min_energy: 0.5,
+        }
+    }
+
+    #[test]
+    fn tuner_strategy_translates_infeasible_to_fallback() {
+        let mut s = TunerStrategy::new(RandomSearch::new(0.1, 10.0, 1), 999.0);
+        let a = s.propose(0);
+        s.observe(a, &obs(a, None));
+        assert_eq!(s.tuner().observations()[0].y, 999.0);
+        let a2 = s.propose(1);
+        s.observe(a2, &obs(a2, Some(5.0)));
+        assert_eq!(s.tuner().observations()[1].y, 5.0);
+    }
+
+    #[test]
+    fn tuner_strategy_name_passthrough() {
+        let s = TunerStrategy::new(RandomSearch::new(0.0, 1.0, 0), 10.0);
+        assert_eq!(s.name(), "random");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_fallback() {
+        let _ = TunerStrategy::new(RandomSearch::new(0.0, 1.0, 0), f64::NAN);
+    }
+}

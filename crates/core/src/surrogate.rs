@@ -1,0 +1,438 @@
+//! The solver surrogate (paper §3.2, appendix G).
+//!
+//! Two fully-connected heads over the shared input `[features ‖ z(ln A)]`:
+//!
+//! * the **Pf net** ends in a sigmoid and is trained with binary
+//!   cross-entropy against the (soft) feasibility fractions;
+//! * the **energy net** has two linear outputs — normalised `Eavg` and
+//!   `Estd` — trained with Huber loss ("we are expecting many outliers...
+//!   due to the stochastic nature of a QUBO solver").
+//!
+//! The paper trains the heads separately (appendix G: "Since the nature of
+//! Pf is different from that of Eavg and Estd, we train these targets
+//! separately"); so does [`Surrogate::train`].
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use mathkit::Matrix;
+use neural::loss::Loss;
+use neural::network::{Mlp, MlpBuilder, MlpState};
+use neural::optimizer::OptimizerConfig;
+use neural::trainer::{train_with_validation, TrainConfig, TrainHistory};
+
+use crate::dataset::{to_matrices, Scalers, SurrogateDataset};
+use crate::QrossError;
+
+/// Surrogate architecture and training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateConfig {
+    /// hidden width of both heads
+    pub hidden: usize,
+    /// training epochs per head
+    pub epochs: usize,
+    /// Adam learning rate
+    pub learning_rate: f64,
+    /// mini-batch size
+    pub batch_size: usize,
+    /// fraction of rows held out for validation tracking
+    pub val_fraction: f64,
+    /// weight-init / shuffling seed
+    pub seed: u64,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        SurrogateConfig {
+            hidden: 64,
+            epochs: 300,
+            learning_rate: 3e-3,
+            batch_size: 64,
+            val_fraction: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+/// Prediction triple for one `(instance, A)` query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurrogatePrediction {
+    /// predicted probability of feasibility, in `[0, 1]`
+    pub pf: f64,
+    /// predicted batch mean energy (original energy units)
+    pub e_avg: f64,
+    /// predicted batch energy standard deviation (original units, ≥ 0)
+    pub e_std: f64,
+}
+
+/// Training diagnostics returned alongside the surrogate.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Pf-head loss history
+    pub pf: TrainHistory,
+    /// energy-head loss history
+    pub energy: TrainHistory,
+    /// rows used for training
+    pub train_rows: usize,
+    /// rows used for validation
+    pub val_rows: usize,
+}
+
+/// The trained solver surrogate.
+///
+/// Thread-safe: prediction takes `&self` (forward caches live behind
+/// internal locks), so strategies can share a surrogate immutably.
+#[derive(Debug)]
+pub struct Surrogate {
+    pf_net: Mutex<Mlp>,
+    e_net: Mutex<Mlp>,
+    scalers: Scalers,
+}
+
+/// Serialisable snapshot of a [`Surrogate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurrogateState {
+    /// Pf-head network
+    pub pf_net: MlpState,
+    /// energy-head network
+    pub e_net: MlpState,
+    /// input/target normalisation
+    pub scalers: Scalers,
+}
+
+impl Surrogate {
+    /// Trains a surrogate on `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QrossError::BadDataset`] when the dataset is empty.
+    /// * [`QrossError::TrainingDiverged`] when either head's loss becomes
+    ///   non-finite.
+    pub fn train(
+        dataset: &SurrogateDataset,
+        config: &SurrogateConfig,
+    ) -> Result<(Self, TrainReport), QrossError> {
+        let (train_set, val_set) = dataset.split(config.val_fraction, config.seed);
+        if train_set.is_empty() {
+            return Err(QrossError::BadDataset {
+                message: "empty training split".to_string(),
+            });
+        }
+        let scalers = Scalers::fit(&train_set)?;
+        let tm = to_matrices(&train_set, &scalers)?;
+        let vm = if val_set.is_empty() {
+            None
+        } else {
+            Some(to_matrices(&val_set, &scalers)?)
+        };
+        let input_dim = scalers.input_dim();
+
+        let mut pf_net = MlpBuilder::new(input_dim)
+            .dense(config.hidden)
+            .relu()
+            .dense(config.hidden)
+            .relu()
+            .dense(1)
+            .sigmoid()
+            .build(mathkit::rng::derive_seed(config.seed, 1));
+        let mut e_net = MlpBuilder::new(input_dim)
+            .dense(config.hidden)
+            .relu()
+            .dense(config.hidden)
+            .relu()
+            .dense(2)
+            .build(mathkit::rng::derive_seed(config.seed, 2));
+
+        let tc = TrainConfig {
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            optimizer: OptimizerConfig::adam(config.learning_rate),
+            seed: config.seed,
+            target_loss: None,
+        };
+        let pf_hist = train_with_validation(
+            &mut pf_net,
+            &tm.x,
+            &tm.y_pf,
+            vm.as_ref().map(|v| (&v.x, &v.y_pf)),
+            &Loss::Bce,
+            &tc,
+        );
+        if pf_hist.diverged {
+            return Err(QrossError::TrainingDiverged);
+        }
+        let e_hist = train_with_validation(
+            &mut e_net,
+            &tm.x,
+            &tm.y_energy,
+            vm.as_ref().map(|v| (&v.x, &v.y_energy)),
+            &Loss::Huber { delta: 1.0 },
+            &tc,
+        );
+        if e_hist.diverged {
+            return Err(QrossError::TrainingDiverged);
+        }
+        let report = TrainReport {
+            pf: pf_hist,
+            energy: e_hist,
+            train_rows: train_set.len(),
+            val_rows: val_set.len(),
+        };
+        Ok((
+            Surrogate {
+                pf_net: Mutex::new(pf_net),
+                e_net: Mutex::new(e_net),
+                scalers,
+            },
+            report,
+        ))
+    }
+
+    /// Predicts `(Pf, Eavg, Estd)` for one query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature width differs from training or `a <= 0`.
+    pub fn predict(&self, features: &[f64], a: f64) -> SurrogatePrediction {
+        let input = Matrix::row(&self.scalers.input_row(features, a));
+        let pf = {
+            let mut net = self.pf_net.lock();
+            net.forward(&input)[(0, 0)]
+        };
+        let (z_avg, z_std) = {
+            let mut net = self.e_net.lock();
+            let out = net.forward(&input);
+            (out[(0, 0)], out[(0, 1)])
+        };
+        SurrogatePrediction {
+            pf: pf.clamp(0.0, 1.0),
+            e_avg: self.scalers.e_avg.inverse(z_avg),
+            e_std: self.scalers.e_std.inverse(z_std).max(1e-9),
+        }
+    }
+
+    /// Predicts a whole `A` sweep for one instance (single forward pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-width mismatch or a non-positive `a`.
+    pub fn predict_sweep(&self, features: &[f64], a_values: &[f64]) -> Vec<SurrogatePrediction> {
+        if a_values.is_empty() {
+            return Vec::new();
+        }
+        let d = self.scalers.input_dim();
+        let mut x = Matrix::zeros(a_values.len(), d);
+        for (r, &a) in a_values.iter().enumerate() {
+            x.row_slice_mut(r)
+                .copy_from_slice(&self.scalers.input_row(features, a));
+        }
+        let pf_out = {
+            let mut net = self.pf_net.lock();
+            net.forward(&x)
+        };
+        let e_out = {
+            let mut net = self.e_net.lock();
+            net.forward(&x)
+        };
+        (0..a_values.len())
+            .map(|r| SurrogatePrediction {
+                pf: pf_out[(r, 0)].clamp(0.0, 1.0),
+                e_avg: self.scalers.e_avg.inverse(e_out[(r, 0)]),
+                e_std: self.scalers.e_std.inverse(e_out[(r, 1)]).max(1e-9),
+            })
+            .collect()
+    }
+
+    /// The fitted normalisation parameters.
+    pub fn scalers(&self) -> &Scalers {
+        &self.scalers
+    }
+
+    /// The relaxation-parameter range covered by the training data:
+    /// `exp(mean ± sigmas·std)` of the trained `ln A` distribution.
+    ///
+    /// Offline strategies clamp their search to this range — outside it
+    /// the surrogate extrapolates, and extrapolated energy heads produce
+    /// spurious minima at the domain edges (the classic surrogate-
+    /// optimisation failure mode).
+    pub fn trained_a_range(&self, sigmas: f64) -> (f64, f64) {
+        let z = &self.scalers.log_a;
+        (
+            (z.mean - sigmas * z.std).exp(),
+            (z.mean + sigmas * z.std).exp(),
+        )
+    }
+
+    /// Serialisable snapshot.
+    pub fn to_state(&self) -> SurrogateState {
+        SurrogateState {
+            pf_net: self.pf_net.lock().to_state(),
+            e_net: self.e_net.lock().to_state(),
+            scalers: self.scalers.clone(),
+        }
+    }
+
+    /// Restores a surrogate from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrossError::Persistence`] for inconsistent network shapes.
+    pub fn from_state(state: SurrogateState) -> Result<Self, QrossError> {
+        let pf_net = Mlp::from_state(&state.pf_net).map_err(|e| QrossError::Persistence {
+            message: format!("pf net: {e}"),
+        })?;
+        let e_net = Mlp::from_state(&state.e_net).map_err(|e| QrossError::Persistence {
+            message: format!("energy net: {e}"),
+        })?;
+        Ok(Surrogate {
+            pf_net: Mutex::new(pf_net),
+            e_net: Mutex::new(e_net),
+            scalers: state.scalers,
+        })
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_state()).expect("surrogate state serialises")
+    }
+
+    /// Restores from [`Surrogate::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrossError::Persistence`] for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, QrossError> {
+        let state: SurrogateState =
+            serde_json::from_str(json).map_err(|e| QrossError::Persistence {
+                message: format!("json: {e}"),
+            })?;
+        Self::from_state(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetRow;
+    use mathkit::special::sigmoid;
+
+    /// Synthetic "solver" ground truth: Pf follows a sigmoid in ln A whose
+    /// midpoint shifts with the (single) feature; energies dip near the
+    /// midpoint.
+    fn synthetic_dataset(instances: usize, points: usize) -> SurrogateDataset {
+        let mut ds = SurrogateDataset::new(1);
+        for g in 0..instances {
+            let feature = g as f64 / instances as f64; // in [0, 1)
+            let midpoint = -0.5 + feature; // ln-A midpoint rises with feature
+            for k in 0..points {
+                let ln_a = -3.0 + 6.0 * k as f64 / (points - 1) as f64;
+                let pf = sigmoid(4.0 * (ln_a - midpoint));
+                let e_avg = 10.0 + 5.0 * (ln_a - midpoint).tanh() + feature;
+                let e_std = 1.0 + 0.5 * (1.0 - pf);
+                ds.push(DatasetRow {
+                    features: vec![feature],
+                    a: ln_a.exp(),
+                    pf,
+                    e_avg,
+                    e_std,
+                });
+            }
+        }
+        ds
+    }
+
+    fn quick_config() -> SurrogateConfig {
+        SurrogateConfig {
+            hidden: 24,
+            epochs: 250,
+            learning_rate: 5e-3,
+            batch_size: 32,
+            val_fraction: 0.1,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn learns_sigmoid_structure() {
+        let ds = synthetic_dataset(12, 15);
+        let (sur, report) = Surrogate::train(&ds, &quick_config()).unwrap();
+        assert!(report.train_rows > 0 && report.val_rows > 0);
+        // Pf must be low below the midpoint and high above, for a feature
+        // in the training range.
+        let f = [0.5];
+        let low = sur.predict(&f, (-3.0f64).exp());
+        let high = sur.predict(&f, (3.0f64).exp());
+        assert!(low.pf < 0.25, "low-A Pf = {}", low.pf);
+        assert!(high.pf > 0.75, "high-A Pf = {}", high.pf);
+    }
+
+    #[test]
+    fn energy_predictions_in_plausible_range() {
+        let ds = synthetic_dataset(10, 12);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let p = sur.predict(&[0.4], 1.0);
+        assert!((4.0..=18.0).contains(&p.e_avg), "e_avg {}", p.e_avg);
+        assert!(p.e_std > 0.0 && p.e_std < 4.0, "e_std {}", p.e_std);
+    }
+
+    #[test]
+    fn feature_shifts_the_midpoint() {
+        // The surrogate must use the *feature*, not just A: different
+        // features → different Pf at the same A.
+        let ds = synthetic_dataset(12, 15);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let a = 1.0; // ln A = 0: above the midpoint for small features,
+                     // below for large ones
+        let small = sur.predict(&[0.05], a);
+        let large = sur.predict(&[0.95], a);
+        assert!(
+            small.pf > large.pf + 0.2,
+            "feature ignored: {} vs {}",
+            small.pf,
+            large.pf
+        );
+    }
+
+    #[test]
+    fn sweep_matches_pointwise() {
+        let ds = synthetic_dataset(8, 10);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let f = [0.3];
+        let a_values = [0.1, 0.5, 1.0, 5.0];
+        let sweep = sur.predict_sweep(&f, &a_values);
+        for (k, &a) in a_values.iter().enumerate() {
+            let single = sur.predict(&f, a);
+            assert!((sweep[k].pf - single.pf).abs() < 1e-12);
+            assert!((sweep[k].e_avg - single.e_avg).abs() < 1e-9);
+        }
+        assert!(sur.predict_sweep(&f, &[]).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = synthetic_dataset(6, 8);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let json = sur.to_json();
+        let back = Surrogate::from_json(&json).unwrap();
+        let p1 = sur.predict(&[0.2], 0.7);
+        let p2 = back.predict(&[0.2], 0.7);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = SurrogateDataset::new(2);
+        assert!(matches!(
+            Surrogate::train(&ds, &quick_config()),
+            Err(QrossError::BadDataset { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_json_rejected() {
+        assert!(matches!(
+            Surrogate::from_json("{not json"),
+            Err(QrossError::Persistence { .. })
+        ));
+    }
+}

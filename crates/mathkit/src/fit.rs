@@ -1,0 +1,385 @@
+//! Curve fitting: the two-parameter logistic (sigmoid) fit used by the
+//! Online Fitting Strategy, and ordinary linear least squares.
+//!
+//! The OFS ansatz (paper eq. 7) is
+//! `S(A; θs, θo) = 1 / (1 + exp(−A·θs + θo))`.
+//! Fitting proceeds by damped Gauss–Newton (Levenberg–Marquardt) on the
+//! squared residuals, warm-started from a logit-space linear regression.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::{logit, sigmoid};
+use crate::{MathError, Result};
+
+/// Parameters of the OFS sigmoid ansatz `S(A) = σ(θs·A − θo)`.
+///
+/// `θs` (`scale`) controls the slope steepness; `θo` (`offset`) shifts the
+/// transition along the `A` axis. The transition midpoint sits at
+/// `A = θo / θs`.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::fit::SigmoidParams;
+/// let p = SigmoidParams { scale: 2.0, offset: 6.0 };
+/// assert!((p.eval(3.0) - 0.5).abs() < 1e-12); // midpoint at A = 3
+/// assert!(p.eval(10.0) > 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SigmoidParams {
+    /// slope parameter `θs`
+    pub scale: f64,
+    /// offset parameter `θo`
+    pub offset: f64,
+}
+
+impl SigmoidParams {
+    /// Evaluates the sigmoid at `a`.
+    pub fn eval(&self, a: f64) -> f64 {
+        sigmoid(self.scale * a - self.offset)
+    }
+
+    /// The `A` value where the sigmoid crosses probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Domain`] if `p` is outside `(0, 1)` or the
+    /// slope is zero.
+    pub fn inverse(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
+            return Err(MathError::Domain {
+                message: format!("sigmoid inverse requires 0 < p < 1, got {p}"),
+            });
+        }
+        if self.scale == 0.0 {
+            return Err(MathError::Domain {
+                message: "sigmoid inverse undefined for zero slope".to_string(),
+            });
+        }
+        Ok((logit(p, 1e-15) + self.offset) / self.scale)
+    }
+
+    /// The open interval of `A` where `eps < S(A) < 1 − eps` — the "slope"
+    /// region the Online Fitting Strategy samples from (Algorithm 1,
+    /// line 5).
+    ///
+    /// Returns `(lo, hi)` with `lo < hi` regardless of the sign of the
+    /// slope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::Domain`] on zero slope or invalid `eps`.
+    pub fn slope_interval(&self, eps: f64) -> Result<(f64, f64)> {
+        if !(0.0..0.5).contains(&eps) || eps == 0.0 {
+            return Err(MathError::Domain {
+                message: format!("slope_interval requires 0 < eps < 0.5, got {eps}"),
+            });
+        }
+        let a = self.inverse(eps)?;
+        let b = self.inverse(1.0 - eps)?;
+        Ok(if a < b { (a, b) } else { (b, a) })
+    }
+}
+
+/// Outcome of a sigmoid fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SigmoidFit {
+    /// fitted parameters
+    pub params: SigmoidParams,
+    /// final sum of squared residuals
+    pub sse: f64,
+    /// number of Levenberg–Marquardt iterations used
+    pub iterations: usize,
+}
+
+/// Fits [`SigmoidParams`] to observations `(a_i, p_i)` with `p_i ∈ [0, 1]`.
+///
+/// Strategy: warm start from linear regression in logit space (clamping
+/// saturated observations), then Levenberg–Marquardt refinement on the
+/// untransformed squared error, which weights the slope region correctly.
+///
+/// # Errors
+///
+/// * [`MathError::DimensionMismatch`] for unequal input lengths.
+/// * [`MathError::Domain`] for fewer than two points or all-identical `a`.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::fit::{fit_sigmoid, SigmoidParams};
+/// let truth = SigmoidParams { scale: 1.4, offset: 42.0 };
+/// let a: Vec<f64> = (20..45).map(|i| i as f64).collect();
+/// let p: Vec<f64> = a.iter().map(|&x| truth.eval(x)).collect();
+/// let fit = fit_sigmoid(&a, &p)?;
+/// assert!((fit.params.scale - 1.4).abs() < 1e-3);
+/// assert!((fit.params.offset - 42.0).abs() < 1e-2);
+/// # Ok::<(), mathkit::MathError>(())
+/// ```
+pub fn fit_sigmoid(a: &[f64], p: &[f64]) -> Result<SigmoidFit> {
+    if a.len() != p.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: format!("length {}", a.len()),
+            found: format!("length {}", p.len()),
+        });
+    }
+    if a.len() < 2 {
+        return Err(MathError::Domain {
+            message: "sigmoid fit requires at least two observations".to_string(),
+        });
+    }
+    let amin = a.iter().cloned().fold(f64::INFINITY, f64::min);
+    let amax = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if amax - amin < 1e-12 {
+        return Err(MathError::Domain {
+            message: "sigmoid fit requires spread in the a values".to_string(),
+        });
+    }
+
+    // --- Warm start: least squares in logit space. ---
+    // logit(p) = θs·a − θo  →  regress y on a.
+    let ys: Vec<f64> = p.iter().map(|&pi| logit(pi, 1e-3)).collect();
+    let (slope, intercept) = linear_least_squares(a, &ys)?;
+    let mut params = SigmoidParams {
+        // Guard against a degenerate zero slope from saturated data.
+        scale: if slope.abs() < 1e-9 { 1e-3 } else { slope },
+        offset: -intercept,
+    };
+
+    // --- Levenberg–Marquardt on untransformed residuals. ---
+    let sse = |prm: &SigmoidParams| -> f64 {
+        a.iter()
+            .zip(p.iter())
+            .map(|(&ai, &pi)| {
+                let r = prm.eval(ai) - pi;
+                r * r
+            })
+            .sum()
+    };
+    let mut lambda = 1e-3;
+    let mut current = sse(&params);
+    let mut iterations = 0;
+    for _ in 0..200 {
+        iterations += 1;
+        // Jacobian of residuals r_i = S(a_i) − p_i w.r.t. (θs, θo):
+        // dS/dθs = S(1−S)·a, dS/dθo = −S(1−S).
+        let mut jtj = [[0.0_f64; 2]; 2];
+        let mut jtr = [0.0_f64; 2];
+        for (&ai, &pi) in a.iter().zip(p.iter()) {
+            let s = params.eval(ai);
+            let w = s * (1.0 - s);
+            let j0 = w * ai;
+            let j1 = -w;
+            let r = s - pi;
+            jtj[0][0] += j0 * j0;
+            jtj[0][1] += j0 * j1;
+            jtj[1][0] += j1 * j0;
+            jtj[1][1] += j1 * j1;
+            jtr[0] += j0 * r;
+            jtr[1] += j1 * r;
+        }
+        // Damped normal equations: (JᵀJ + λ·diag(JᵀJ)) δ = −Jᵀr.
+        let d0 = jtj[0][0] * (1.0 + lambda) + 1e-12;
+        let d1 = jtj[1][1] * (1.0 + lambda) + 1e-12;
+        let det = d0 * d1 - jtj[0][1] * jtj[1][0];
+        if det.abs() < 1e-300 {
+            break;
+        }
+        let dx0 = (-jtr[0] * d1 + jtr[1] * jtj[0][1]) / det;
+        let dx1 = (-jtr[1] * d0 + jtr[0] * jtj[1][0]) / det;
+        let trial = SigmoidParams {
+            scale: params.scale + dx0,
+            offset: params.offset + dx1,
+        };
+        let trial_sse = sse(&trial);
+        if trial_sse.is_finite() && trial_sse < current {
+            let improvement = current - trial_sse;
+            params = trial;
+            current = trial_sse;
+            lambda = (lambda * 0.5).max(1e-12);
+            if improvement < 1e-14 {
+                break;
+            }
+        } else {
+            lambda *= 4.0;
+            if lambda > 1e10 {
+                break;
+            }
+        }
+    }
+    Ok(SigmoidFit {
+        params,
+        sse: current,
+        iterations,
+    })
+}
+
+/// Ordinary least squares for `y ≈ slope·x + intercept`.
+///
+/// # Errors
+///
+/// * [`MathError::DimensionMismatch`] for unequal lengths.
+/// * [`MathError::Domain`] for fewer than two points or zero variance in
+///   `x`.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::fit::linear_least_squares;
+/// let (m, b) = linear_least_squares(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0])?;
+/// assert!((m - 2.0).abs() < 1e-12);
+/// assert!((b - 1.0).abs() < 1e-12);
+/// # Ok::<(), mathkit::MathError>(())
+/// ```
+pub fn linear_least_squares(x: &[f64], y: &[f64]) -> Result<(f64, f64)> {
+    if x.len() != y.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: format!("length {}", x.len()),
+            found: format!("length {}", y.len()),
+        });
+    }
+    let n = x.len();
+    if n < 2 {
+        return Err(MathError::Domain {
+            message: "linear regression requires at least two points".to_string(),
+        });
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (xi, yi) in x.iter().zip(y.iter()) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+    }
+    if sxx < 1e-300 {
+        return Err(MathError::Domain {
+            message: "zero variance in x".to_string(),
+        });
+    }
+    let slope = sxy / sxx;
+    Ok((slope, my - slope * mx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|&v| -0.5 * v + 3.0).collect();
+        let (m, b) = linear_least_squares(&x, &y).unwrap();
+        assert!((m + 0.5).abs() < 1e-12);
+        assert!((b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_errors() {
+        assert!(linear_least_squares(&[1.0], &[1.0]).is_err());
+        assert!(linear_least_squares(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(linear_least_squares(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn sigmoid_fit_recovers_truth() {
+        let truth = SigmoidParams {
+            scale: 0.8,
+            offset: 24.0,
+        };
+        let a: Vec<f64> = (10..55).map(|i| i as f64).collect();
+        let p: Vec<f64> = a.iter().map(|&x| truth.eval(x)).collect();
+        let fit = fit_sigmoid(&a, &p).unwrap();
+        assert!((fit.params.scale - truth.scale).abs() < 1e-4, "{fit:?}");
+        assert!((fit.params.offset - truth.offset).abs() < 1e-3, "{fit:?}");
+        assert!(fit.sse < 1e-10);
+    }
+
+    #[test]
+    fn sigmoid_fit_with_noise() {
+        // Deterministic pseudo-noise; the fit should land near the truth.
+        let truth = SigmoidParams {
+            scale: 1.2,
+            offset: 36.0,
+        };
+        let a: Vec<f64> = (20..45).map(|i| i as f64).collect();
+        let p: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let noise = 0.02 * ((i as f64 * 2.399).sin());
+                (truth.eval(x) + noise).clamp(0.0, 1.0)
+            })
+            .collect();
+        let fit = fit_sigmoid(&a, &p).unwrap();
+        let mid_truth = truth.offset / truth.scale;
+        let mid_fit = fit.params.offset / fit.params.scale;
+        assert!(
+            (mid_fit - mid_truth).abs() < 0.5,
+            "midpoints {mid_fit} vs {mid_truth}"
+        );
+    }
+
+    #[test]
+    fn sigmoid_fit_saturated_data() {
+        // Only 0s and 1s — the transition location is ambiguous but a fit
+        // must still be produced with the crossover inside the gap.
+        let a = [1.0, 2.0, 3.0, 30.0, 40.0, 50.0];
+        let p = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let fit = fit_sigmoid(&a, &p).unwrap();
+        let mid = fit.params.offset / fit.params.scale;
+        assert!(mid > 3.0 && mid < 30.0, "midpoint {mid}");
+    }
+
+    #[test]
+    fn sigmoid_inverse_roundtrip() {
+        let prm = SigmoidParams {
+            scale: 0.7,
+            offset: 14.0,
+        };
+        for &p in &[0.1, 0.3, 0.5, 0.8, 0.95] {
+            let a = prm.inverse(p).unwrap();
+            assert!((prm.eval(a) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_inverse_domain() {
+        let prm = SigmoidParams {
+            scale: 1.0,
+            offset: 0.0,
+        };
+        assert!(prm.inverse(0.0).is_err());
+        assert!(prm.inverse(1.0).is_err());
+        let flat = SigmoidParams {
+            scale: 0.0,
+            offset: 0.0,
+        };
+        assert!(flat.inverse(0.5).is_err());
+    }
+
+    #[test]
+    fn slope_interval_ordering() {
+        let prm = SigmoidParams {
+            scale: 2.0,
+            offset: 10.0,
+        };
+        let (lo, hi) = prm.slope_interval(0.05).unwrap();
+        assert!(lo < hi);
+        assert!((prm.eval(lo) - 0.05).abs() < 1e-9);
+        assert!((prm.eval(hi) - 0.95).abs() < 1e-9);
+        // Negative slope still yields an ordered interval.
+        let neg = SigmoidParams {
+            scale: -2.0,
+            offset: -10.0,
+        };
+        let (lo2, hi2) = neg.slope_interval(0.05).unwrap();
+        assert!(lo2 < hi2);
+    }
+
+    #[test]
+    fn fit_requires_spread() {
+        assert!(fit_sigmoid(&[2.0, 2.0], &[0.2, 0.8]).is_err());
+        assert!(fit_sigmoid(&[1.0], &[0.5]).is_err());
+        assert!(fit_sigmoid(&[1.0, 2.0], &[0.5]).is_err());
+    }
+}

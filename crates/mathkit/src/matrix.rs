@@ -1,0 +1,617 @@
+//! Dense row-major matrices.
+//!
+//! [`Matrix`] is deliberately small: it provides exactly the operations the
+//! neural-network ([`neural`](https://docs.rs)) and Gaussian-process code
+//! paths need — construction, element access, matrix multiplication,
+//! transposition, element-wise maps and reductions. It is not a general
+//! linear-algebra library.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MathError, Result};
+
+/// A dense, row-major `rows x cols` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c[(1, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mathkit::Matrix;
+    /// let m = Matrix::zeros(2, 3);
+    /// assert_eq!(m.shape(), (2, 3));
+    /// assert_eq!(m[(1, 2)], 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows passed to from_rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a single-column matrix from a slice.
+    pub fn column(values: &[f64]) -> Self {
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a single-row matrix from a slice.
+    pub fn row(values: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_slice(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col_vec(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index {c} out of bounds");
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Matrix multiplication `self * other`.
+    ///
+    /// Uses an ikj loop ordering so the inner loop streams over contiguous
+    /// memory of both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (j, &bkj) in brow.iter().enumerate() {
+                    orow[j] += aik * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * other` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn tmatmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "tmatmul: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
+            let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (i, &aki) in arow.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (j, &bkj) in brow.iter().enumerate() {
+                    orow[j] += aki * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..other.rows {
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut acc = 0.0;
+                for (a, b) in arow.iter().zip(brow.iter()) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose of `self`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise combination with an arbitrary binary function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_with<F: Fn(f64, f64) -> f64>(&self, other: &Matrix, f: F) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_with: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f64) -> f64>(&mut self, f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Multiplies every element by `s` and returns the result.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Adds `row` (a 1 x cols matrix) to every row of `self`, returning a new
+    /// matrix. This is the broadcast used to apply bias vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.rows() != 1` or the column counts differ.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows(), 1, "broadcast operand must have exactly 1 row");
+        assert_eq!(self.cols, row.cols(), "broadcast: column mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let dst = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (d, s) in dst.iter_mut().zip(row.data.iter()) {
+                *d += s;
+            }
+        }
+        out
+    }
+
+    /// Sums over rows, producing a `1 x cols` matrix (column totals).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, s) in out.data.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; `0.0` for an empty matrix.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute element; `0.0` for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Extracts rows `indices` into a new matrix (used for mini-batching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "row index {src} out of bounds");
+            out.row_slice_mut(dst).copy_from_slice(self.row_slice(src));
+        }
+        out
+    }
+
+    /// Horizontally concatenates `self` and `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when the row counts differ.
+    pub fn hcat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("{} rows", self.rows),
+                found: format!("{} rows", other.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row_slice(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols]
+                .copy_from_slice(other.row_slice(r));
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:+.4}", self[(r, c)])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.sum(), 0.0);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn tmatmul_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[-1.0, 2.0], &[0.0, 1.0]]);
+        assert_eq!(a.tmatmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.5, 1.5, -1.0]]);
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.0]]);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let a = Matrix::zeros(3, 2);
+        let bias = Matrix::row(&[1.0, -1.0]);
+        let out = a.add_row_broadcast(&bias);
+        for r in 0..3 {
+            assert_eq!(out[(r, 0)], 1.0);
+            assert_eq!(out[(r, 1)], -1.0);
+        }
+    }
+
+    #[test]
+    fn sum_rows_column_totals() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let s = a.sum_rows();
+        assert_eq!(s, Matrix::row(&[9.0, 12.0]));
+    }
+
+    #[test]
+    fn select_rows_batches() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let sel = a.select_rows(&[2, 0]);
+        assert_eq!(sel, Matrix::from_rows(&[&[3.0], &[1.0]]));
+    }
+
+    #[test]
+    fn hcat_and_mismatch() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = a.hcat(&b).unwrap();
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c[(1, 2)], 6.0);
+        let bad = Matrix::zeros(3, 1);
+        assert!(a.hcat(&bad).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::zeros(1, 2);
+        assert!(!a.has_non_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::zeros(1, 1);
+        assert!(!format!("{a}").is_empty());
+        assert!(!format!("{a:?}").is_empty());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a, Matrix::filled(2, 2, 2.0));
+    }
+}

@@ -1,0 +1,467 @@
+//! Derivative-free optimisation: bisection, golden-section, grid search,
+//! multi-start global 1-D minimisation, and Nelder–Mead.
+//!
+//! The paper uses scipy's `shgo` to minimise the surrogate-predicted
+//! expected-minimum-fitness over the relaxation parameter `A` (§3.4.1).
+//! `A` is one-dimensional, so a dense-grid scan followed by golden-section
+//! refinement of the best basins ([`minimize_global_1d`]) is an equivalent
+//! global strategy; Nelder–Mead is provided for the multi-dimensional
+//! fits (sigmoid calibration fallback, GP hyper-parameters).
+
+use crate::{MathError, Result};
+
+/// Result of a scalar minimisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minimum {
+    /// location of the minimum
+    pub x: f64,
+    /// objective value at [`Minimum::x`]
+    pub value: f64,
+}
+
+/// Finds a root of `f` on `[lo, hi]` by bisection.
+///
+/// # Errors
+///
+/// * [`MathError::Domain`] if `lo >= hi` or `f(lo)` and `f(hi)` have the
+///   same sign.
+/// * [`MathError::NoConvergence`] if the interval does not shrink below
+///   `tol` within `max_iter` iterations (practically unreachable for
+///   sensible tolerances).
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::optimize::bisect;
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), mathkit::MathError>(())
+/// ```
+pub fn bisect<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    if lo >= hi {
+        return Err(MathError::Domain {
+            message: format!("bisect requires lo < hi, got [{lo}, {hi}]"),
+        });
+    }
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(MathError::Domain {
+            message: "bisect requires a sign change over the interval".to_string(),
+        });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || hi - lo < tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(MathError::NoConvergence { routine: "bisect" })
+}
+
+/// Golden-section minimisation of a unimodal `f` on `[lo, hi]`.
+///
+/// Converges linearly; `tol` is the final bracket width.
+///
+/// # Errors
+///
+/// Returns [`MathError::Domain`] if `lo >= hi`.
+pub fn golden_section<F: Fn(f64) -> f64>(
+    f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Minimum> {
+    if lo >= hi {
+        return Err(MathError::Domain {
+            message: format!("golden_section requires lo < hi, got [{lo}, {hi}]"),
+        });
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..max_iter {
+        if hi - lo < tol {
+            break;
+        }
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    Ok(Minimum { x, value: f(x) })
+}
+
+/// Evaluates `f` on `points` evenly-spaced grid nodes over `[lo, hi]` and
+/// returns the best node.
+///
+/// # Errors
+///
+/// Returns [`MathError::Domain`] for an empty grid or inverted interval.
+pub fn grid_search<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, points: usize) -> Result<Minimum> {
+    if points == 0 || lo > hi {
+        return Err(MathError::Domain {
+            message: "grid_search requires points > 0 and lo <= hi".to_string(),
+        });
+    }
+    let mut best = Minimum {
+        x: lo,
+        value: f64::INFINITY,
+    };
+    for i in 0..points {
+        let x = if points == 1 {
+            0.5 * (lo + hi)
+        } else {
+            lo + (hi - lo) * i as f64 / (points - 1) as f64
+        };
+        let v = f(x);
+        if v < best.value {
+            best = Minimum { x, value: v };
+        }
+    }
+    Ok(best)
+}
+
+/// Global 1-D minimisation: dense grid scan, then golden-section refinement
+/// around the `refine_top` best grid basins.
+///
+/// This is the repo's stand-in for scipy's `shgo` (see DESIGN.md): for a
+/// one-dimensional, cheap-to-evaluate surrogate objective, a fine grid scan
+/// enumerates every basin, and local refinement recovers the global optimum
+/// to high precision.
+///
+/// # Errors
+///
+/// Returns [`MathError::Domain`] for an invalid interval or an empty grid.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::optimize::minimize_global_1d;
+/// // Bimodal objective whose global minimum is near x = 3.
+/// let f = |x: f64| (x - 3.0).powi(2).min((x + 1.0).powi(2) + 0.5);
+/// let m = minimize_global_1d(&f, -5.0, 5.0, 200, 3, 1e-9)?;
+/// assert!((m.x - 3.0).abs() < 1e-6);
+/// # Ok::<(), mathkit::MathError>(())
+/// ```
+pub fn minimize_global_1d<F: Fn(f64) -> f64>(
+    f: &F,
+    lo: f64,
+    hi: f64,
+    grid_points: usize,
+    refine_top: usize,
+    tol: f64,
+) -> Result<Minimum> {
+    if lo >= hi || grid_points < 2 {
+        return Err(MathError::Domain {
+            message: "minimize_global_1d requires lo < hi and grid_points >= 2".to_string(),
+        });
+    }
+    let step = (hi - lo) / (grid_points - 1) as f64;
+    let mut evals: Vec<Minimum> = (0..grid_points)
+        .map(|i| {
+            let x = lo + i as f64 * step;
+            Minimum { x, value: f(x) }
+        })
+        .collect();
+    evals.sort_by(|a, b| {
+        a.value
+            .partial_cmp(&b.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut best = evals[0];
+    for seed in evals.iter().take(refine_top.max(1)) {
+        let wlo = (seed.x - step).max(lo);
+        let whi = (seed.x + step).min(hi);
+        if whi <= wlo {
+            continue;
+        }
+        if let Ok(m) = golden_section(f, wlo, whi, tol, 200) {
+            if m.value < best.value {
+                best = m;
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Configuration for [`nelder_mead`].
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadConfig {
+    /// maximum number of simplex iterations
+    pub max_iter: usize,
+    /// convergence threshold on the simplex value spread
+    pub f_tol: f64,
+    /// initial simplex edge length (relative perturbation per coordinate)
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_iter: 500,
+            f_tol: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Nelder–Mead simplex minimisation in `R^n`.
+///
+/// Standard reflection/expansion/contraction/shrink coefficients
+/// (1, 2, 0.5, 0.5).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty starting point.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::optimize::{nelder_mead, NelderMeadConfig};
+/// let rosen = |x: &[f64]| {
+///     (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+/// };
+/// let cfg = NelderMeadConfig { max_iter: 5000, ..Default::default() };
+/// let (x, v) = nelder_mead(&rosen, &[-1.2, 1.0], &cfg)?;
+/// assert!(v < 1e-6);
+/// assert!((x[0] - 1.0).abs() < 1e-2);
+/// # Ok::<(), mathkit::MathError>(())
+/// ```
+pub fn nelder_mead<F: Fn(&[f64]) -> f64>(
+    f: &F,
+    x0: &[f64],
+    cfg: &NelderMeadConfig,
+) -> Result<(Vec<f64>, f64)> {
+    let n = x0.len();
+    if n == 0 {
+        return Err(MathError::EmptyInput);
+    }
+    // Build initial simplex: x0 plus n perturbed vertices.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        let h = if v[i].abs() > 1e-8 {
+            cfg.initial_step * v[i].abs()
+        } else {
+            cfg.initial_step
+        };
+        v[i] += h;
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+
+    for _ in 0..cfg.max_iter {
+        // Order vertices by objective value.
+        let mut idx: Vec<usize> = (0..=n).collect();
+        idx.sort_by(|&a, &b| {
+            values[a]
+                .partial_cmp(&values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let ordered: Vec<Vec<f64>> = idx.iter().map(|&i| simplex[i].clone()).collect();
+        let ordered_vals: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+        simplex = ordered;
+        values = ordered_vals;
+
+        if (values[n] - values[0]).abs() < cfg.f_tol {
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for v in simplex.iter().take(n) {
+            for (c, x) in centroid.iter_mut().zip(v.iter()) {
+                *c += x / n as f64;
+            }
+        }
+
+        let lerp = |from: &[f64], to: &[f64], t: f64| -> Vec<f64> {
+            from.iter()
+                .zip(to.iter())
+                .map(|(a, b)| a + t * (b - a))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = lerp(&centroid, &simplex[n], -1.0);
+        let fr = f(&xr);
+        if fr < values[0] {
+            // Expansion.
+            let xe = lerp(&centroid, &simplex[n], -2.0);
+            let fe = f(&xe);
+            if fe < fr {
+                simplex[n] = xe;
+                values[n] = fe;
+            } else {
+                simplex[n] = xr;
+                values[n] = fr;
+            }
+        } else if fr < values[n - 1] {
+            simplex[n] = xr;
+            values[n] = fr;
+        } else {
+            // Contraction (outside if reflected point improved on worst).
+            let (xc, fc) = if fr < values[n] {
+                let xc = lerp(&centroid, &simplex[n], -0.5);
+                let fc = f(&xc);
+                (xc, fc)
+            } else {
+                let xc = lerp(&centroid, &simplex[n], 0.5);
+                let fc = f(&xc);
+                (xc, fc)
+            };
+            if fc < values[n].min(fr) {
+                simplex[n] = xc;
+                values[n] = fc;
+            } else {
+                // Shrink towards the best vertex.
+                let best = simplex[0].clone();
+                for v in simplex.iter_mut().skip(1) {
+                    *v = lerp(&best, v, 0.5);
+                }
+                for (val, v) in values.iter_mut().zip(simplex.iter()).skip(1) {
+                    *val = f(v);
+                }
+            }
+        }
+    }
+
+    let mut best_i = 0;
+    for i in 1..=n {
+        if values[i] < values[best_i] {
+            best_i = i;
+        }
+    }
+    Ok((simplex[best_i].clone(), values[best_i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_requires_sign_change() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 100),
+            Err(MathError::Domain { .. })
+        ));
+    }
+
+    #[test]
+    fn golden_quadratic() {
+        let m = golden_section(|x| (x - 1.5) * (x - 1.5) + 2.0, -10.0, 10.0, 1e-10, 500).unwrap();
+        assert!((m.x - 1.5).abs() < 1e-6);
+        assert!((m.value - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_invalid_interval() {
+        assert!(golden_section(|x| x, 1.0, 0.0, 1e-9, 10).is_err());
+    }
+
+    #[test]
+    fn grid_finds_coarse_minimum() {
+        let m = grid_search(|x| (x - 0.3).abs(), 0.0, 1.0, 101).unwrap();
+        assert!((m.x - 0.3).abs() < 0.011);
+    }
+
+    #[test]
+    fn grid_single_point() {
+        let m = grid_search(|x| x, 0.0, 2.0, 1).unwrap();
+        assert_eq!(m.x, 1.0);
+    }
+
+    #[test]
+    fn global_1d_escapes_local_minimum() {
+        // Local minimum at x=-1 (value 0.5), global at x=3 (value 0).
+        let f = |x: f64| ((x + 1.0).powi(2) + 0.5).min((x - 3.0).powi(2));
+        let m = minimize_global_1d(&f, -5.0, 5.0, 100, 3, 1e-10).unwrap();
+        assert!((m.x - 3.0).abs() < 1e-5);
+        assert!(m.value < 1e-9);
+    }
+
+    #[test]
+    fn global_1d_sine_landscape() {
+        // min of sin(x) + 0.1 x over [0, 20] — multiple basins.
+        let f = |x: f64| x.sin() + 0.1 * x;
+        let m = minimize_global_1d(&f, 0.0, 20.0, 400, 5, 1e-10).unwrap();
+        // global min near x = 3*pi/2 + small shift ~ 4.612
+        assert!((m.x - 4.612).abs() < 0.05, "x = {}", m.x);
+    }
+
+    #[test]
+    fn nelder_mead_sphere() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let (x, v) = nelder_mead(&f, &[2.0, -3.0, 1.0], &NelderMeadConfig::default()).unwrap();
+        assert!(v < 1e-8, "v={v}");
+        for xi in x {
+            assert!(xi.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock() {
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let cfg = NelderMeadConfig {
+            max_iter: 10_000,
+            ..Default::default()
+        };
+        let (x, v) = nelder_mead(&rosen, &[-1.2, 1.0], &cfg).unwrap();
+        assert!(v < 1e-6, "v={v}, x={x:?}");
+    }
+
+    #[test]
+    fn nelder_mead_empty_input() {
+        let f = |_: &[f64]| 0.0;
+        assert!(matches!(
+            nelder_mead(&f, &[], &NelderMeadConfig::default()),
+            Err(MathError::EmptyInput)
+        ));
+    }
+}

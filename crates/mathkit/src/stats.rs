@@ -1,0 +1,507 @@
+//! Descriptive statistics, online accumulators and confidence intervals.
+//!
+//! The experiment harness reports "normalised optimality gap averaged across
+//! all test instances" with a 95% confidence band (paper Figs. 3–4); the
+//! helpers here compute exactly those quantities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MathError, Result};
+
+/// Arithmetic mean; `0.0` for empty input.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::stats::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance (divisor `n`); `0.0` for fewer than one element.
+pub fn variance_population(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divisor `n-1`); `0.0` for fewer than two elements.
+pub fn variance_sample(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation (divisor `n`).
+///
+/// This is the `Estd` statistic the solver surrogate learns: the spread of
+/// QUBO energies inside one solver batch.
+pub fn std_population(xs: &[f64]) -> f64 {
+    variance_population(xs).sqrt()
+}
+
+/// Sample standard deviation (divisor `n-1`).
+pub fn std_sample(xs: &[f64]) -> f64 {
+    variance_sample(xs).sqrt()
+}
+
+/// Minimum of a slice.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+pub fn min(xs: &[f64]) -> Result<f64> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.min(x)))
+        })
+        .ok_or(MathError::EmptyInput)
+}
+
+/// Maximum of a slice.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+pub fn max(xs: &[f64]) -> Result<f64> {
+    xs.iter()
+        .copied()
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.max(x)))
+        })
+        .ok_or(MathError::EmptyInput)
+}
+
+/// Linear-interpolated quantile (same convention as NumPy's default).
+///
+/// `q` is clamped to `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::stats::quantile;
+/// let q = quantile(&[1.0, 2.0, 3.0, 4.0], 0.5)?;
+/// assert_eq!(q, 2.5);
+/// # Ok::<(), mathkit::MathError>(())
+/// ```
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Ok(quantile_sorted(&sorted, q))
+}
+
+/// Quantile of an already-sorted slice (ascending). See [`quantile`].
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (xs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let w = pos - lo as f64;
+        xs[lo] * (1.0 - w) + xs[hi] * w
+    }
+}
+
+/// Median (the 0.5 quantile).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for an empty slice.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation coefficient of two equal-length slices.
+///
+/// # Errors
+///
+/// * [`MathError::DimensionMismatch`] for unequal lengths.
+/// * [`MathError::EmptyInput`] for empty input.
+/// * [`MathError::Domain`] when either series is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: format!("length {}", xs.len()),
+            found: format!("length {}", ys.len()),
+        });
+    }
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(MathError::Domain {
+            message: "correlation of a constant series".to_string(),
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Mean together with a normal-approximation confidence half-width.
+///
+/// `half_width = z * s / sqrt(n)` with `z = 1.959964` for the default 95%
+/// level — the same construction as the shaded bands in the paper's
+/// Figs. 3–5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanCi {
+    /// sample mean
+    pub mean: f64,
+    /// half-width of the confidence interval around the mean
+    pub half_width: f64,
+    /// number of observations
+    pub n: usize,
+}
+
+impl MeanCi {
+    /// Lower edge of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper edge of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+}
+
+/// 95% confidence interval for the mean of `xs` (normal approximation).
+///
+/// For `n < 2` the half-width is zero.
+pub fn mean_ci95(xs: &[f64]) -> MeanCi {
+    const Z95: f64 = 1.959963984540054;
+    let n = xs.len();
+    let m = mean(xs);
+    let hw = if n < 2 {
+        0.0
+    } else {
+        Z95 * std_sample(xs) / (n as f64).sqrt()
+    };
+    MeanCi {
+        mean: m,
+        half_width: hw,
+        n,
+    }
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use mathkit::stats::OnlineStats;
+/// let mut acc = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; `0.0` when empty.
+    pub fn variance_population(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation; `0.0` when empty.
+    pub fn std_population(&self) -> f64 {
+        self.variance_population().sqrt()
+    }
+
+    /// Sample variance; `0.0` for fewer than two observations.
+    pub fn variance_sample(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Min-max normalisation of a slice to `[0, 1]`; a constant slice maps to
+/// all zeros.
+pub fn minmax_normalize(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let lo = min(xs).expect("non-empty");
+    let hi = max(xs).expect("non-empty");
+    let span = hi - lo;
+    if span == 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - lo) / span).collect()
+}
+
+/// Z-score standardisation parameters learned from data.
+///
+/// Used by the dataset pipeline (paper §3.3: "Normalisation helps the
+/// convergence of the training curve").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZScore {
+    /// mean subtracted during transformation
+    pub mean: f64,
+    /// standard deviation divided during transformation (floored at `1e-12`)
+    pub std: f64,
+}
+
+impl ZScore {
+    /// Fits standardisation parameters on `xs`. A constant series yields
+    /// `std = 1` so the transform degenerates gracefully to centring.
+    pub fn fit(xs: &[f64]) -> Self {
+        let s = std_population(xs);
+        ZScore {
+            mean: mean(xs),
+            std: if s < 1e-12 { 1.0 } else { s },
+        }
+    }
+
+    /// Applies the transform to one value.
+    pub fn transform(&self, x: f64) -> f64 {
+        (x - self.mean) / self.std
+    }
+
+    /// Inverts the transform.
+    pub fn inverse(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance_population(&xs), 4.0);
+        assert_eq!(std_population(&xs), 2.0);
+        assert!((variance_sample(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance_population(&[]), 0.0);
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 2.5);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median(&xs).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_domain_error() {
+        assert!(matches!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(MathError::Domain { .. })
+        ));
+    }
+
+    #[test]
+    fn ci95_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let ci_small = mean_ci95(&small);
+        let ci_large = mean_ci95(&large);
+        assert!(ci_large.half_width < ci_small.half_width);
+        assert!(ci_small.lo() < ci_small.mean && ci_small.mean < ci_small.hi());
+    }
+
+    #[test]
+    fn ci95_single_sample_zero_width() {
+        let ci = mean_ci95(&[3.0]);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.mean, 3.0);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [0.5, -1.0, 2.0, 3.5, 3.5, -2.25];
+        let mut acc = OnlineStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((acc.variance_population() - variance_population(&xs)).abs() < 1e-12);
+        assert_eq!(acc.min(), -2.25);
+        assert_eq!(acc.max(), 3.5);
+    }
+
+    #[test]
+    fn online_merge_matches_whole() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..20] {
+            a.push(x);
+        }
+        for &x in &xs[20..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 50);
+        assert!((a.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((a.variance_population() - variance_population(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_normalize_range() {
+        let out = minmax_normalize(&[10.0, 20.0, 15.0]);
+        assert_eq!(out, vec![0.0, 1.0, 0.5]);
+        assert_eq!(minmax_normalize(&[7.0, 7.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zscore_roundtrip() {
+        let xs = [1.0, 5.0, 9.0, 13.0];
+        let z = ZScore::fit(&xs);
+        for &x in &xs {
+            assert!((z.inverse(z.transform(x)) - x).abs() < 1e-12);
+        }
+        let t: Vec<f64> = xs.iter().map(|&x| z.transform(x)).collect();
+        assert!(mean(&t).abs() < 1e-12);
+        assert!((std_population(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_series() {
+        let z = ZScore::fit(&[4.0, 4.0, 4.0]);
+        assert_eq!(z.transform(4.0), 0.0);
+        assert_eq!(z.std, 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Loss functions: MSE, Huber and binary cross-entropy.
+//!
+//! The paper's training recipe (§3.2, appendix G): BCE for the `Pf` head —
+//! whose targets are *soft* probabilities in `[0, 1]`, estimated from batch
+//! feasibility fractions — and Huber for the energy-statistics head,
+//! "as we are expecting many outliers in the dataset, due to the stochastic
+//! nature of a QUBO solver".
+
+use mathkit::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A pointwise loss over prediction/target batches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// mean squared error
+    Mse,
+    /// Huber loss with transition point `delta`
+    Huber {
+        /// quadratic-to-linear transition point
+        delta: f64,
+    },
+    /// binary cross-entropy over probabilities (accepts soft targets)
+    Bce,
+}
+
+impl Loss {
+    /// Mean loss over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or an empty batch.
+    pub fn value(&self, pred: &Matrix, target: &Matrix) -> f64 {
+        assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        let n = (pred.rows() * pred.cols()) as f64;
+        assert!(n > 0.0, "loss of an empty batch");
+        match self {
+            Loss::Mse => pred.zip_with(target, |p, t| (p - t) * (p - t)).sum() / n,
+            Loss::Huber { delta } => {
+                let d = *delta;
+                assert!(d > 0.0, "Huber delta must be positive");
+                pred.zip_with(target, |p, t| {
+                    let r = (p - t).abs();
+                    if r <= d {
+                        0.5 * r * r
+                    } else {
+                        d * (r - 0.5 * d)
+                    }
+                })
+                .sum()
+                    / n
+            }
+            Loss::Bce => {
+                pred.zip_with(target, |p, t| {
+                    let p = p.clamp(1e-9, 1.0 - 1e-9);
+                    -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+                })
+                .sum()
+                    / n
+            }
+        }
+    }
+
+    /// Gradient of the mean loss w.r.t. the predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or an empty batch.
+    pub fn grad(&self, pred: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        let n = (pred.rows() * pred.cols()) as f64;
+        assert!(n > 0.0, "loss of an empty batch");
+        match self {
+            Loss::Mse => pred.zip_with(target, |p, t| 2.0 * (p - t) / n),
+            Loss::Huber { delta } => {
+                let d = *delta;
+                pred.zip_with(target, |p, t| {
+                    let r = p - t;
+                    if r.abs() <= d {
+                        r / n
+                    } else {
+                        d * r.signum() / n
+                    }
+                })
+            }
+            Loss::Bce => pred.zip_with(target, |p, t| {
+                let p = p.clamp(1e-9, 1.0 - 1e-9);
+                ((p - t) / (p * (1.0 - p))) / n
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(loss: &Loss, pred: &[f64], target: &[f64]) {
+        let t = Matrix::row(target);
+        let eps = 1e-7;
+        let p0 = Matrix::row(pred);
+        let g = loss.grad(&p0, &t);
+        for i in 0..pred.len() {
+            let mut plus = pred.to_vec();
+            plus[i] += eps;
+            let mut minus = pred.to_vec();
+            minus[i] -= eps;
+            let numeric = (loss.value(&Matrix::row(&plus), &t)
+                - loss.value(&Matrix::row(&minus), &t))
+                / (2.0 * eps);
+            assert!(
+                (numeric - g[(0, i)]).abs() < 1e-5,
+                "{loss:?} idx {i}: numeric {numeric} vs {}",
+                g[(0, i)]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::row(&[1.0, 2.0]);
+        let t = Matrix::row(&[0.0, 4.0]);
+        assert!((Loss::Mse.value(&p, &t) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_gradient_fd() {
+        fd_check(&Loss::Mse, &[0.3, -1.2, 2.0], &[0.0, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn huber_quadratic_then_linear() {
+        let l = Loss::Huber { delta: 1.0 };
+        // |r| = 0.5 → quadratic: 0.125
+        let p = Matrix::row(&[0.5]);
+        let t = Matrix::row(&[0.0]);
+        assert!((l.value(&p, &t) - 0.125).abs() < 1e-12);
+        // |r| = 3 → linear: 1*(3-0.5) = 2.5
+        let p = Matrix::row(&[3.0]);
+        assert!((l.value(&p, &t) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_outlier_gradient_bounded() {
+        let l = Loss::Huber { delta: 1.0 };
+        let p = Matrix::row(&[1000.0]);
+        let t = Matrix::row(&[0.0]);
+        let g = l.grad(&p, &t);
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-12); // clipped at delta
+    }
+
+    #[test]
+    fn huber_gradient_fd() {
+        fd_check(
+            &Loss::Huber { delta: 0.7 },
+            &[0.1, -2.0, 0.69, 5.0],
+            &[0.0, 0.0, 0.0, 0.0],
+        );
+    }
+
+    #[test]
+    fn bce_perfect_prediction_near_zero() {
+        let p = Matrix::row(&[0.999_999, 0.000_001]);
+        let t = Matrix::row(&[1.0, 0.0]);
+        assert!(Loss::Bce.value(&p, &t) < 1e-5);
+    }
+
+    #[test]
+    fn bce_soft_targets_minimised_at_target() {
+        // With soft target 0.3, the BCE over p is minimised at p = 0.3.
+        let t = Matrix::row(&[0.3]);
+        let at_target = Loss::Bce.value(&Matrix::row(&[0.3]), &t);
+        for p in [0.1, 0.2, 0.5, 0.9] {
+            assert!(Loss::Bce.value(&Matrix::row(&[p]), &t) > at_target);
+        }
+    }
+
+    #[test]
+    fn bce_gradient_fd() {
+        fd_check(&Loss::Bce, &[0.2, 0.5, 0.8], &[0.0, 0.3, 1.0]);
+    }
+
+    #[test]
+    fn bce_clamps_extremes() {
+        let p = Matrix::row(&[0.0, 1.0]);
+        let t = Matrix::row(&[1.0, 0.0]);
+        let v = Loss::Bce.value(&p, &t);
+        assert!(v.is_finite());
+        assert!(Loss::Bce
+            .grad(&p, &t)
+            .as_slice()
+            .iter()
+            .all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = Loss::Mse.value(&Matrix::zeros(1, 2), &Matrix::zeros(1, 3));
+    }
+}

@@ -1,0 +1,97 @@
+//! # problems — constrained combinatorial problems and QUBO encodings
+//!
+//! The paper's case study is the Travelling Salesman Problem (§4), its
+//! appendix uses Minimum Vertex Cover (appendix B), and it confirms the
+//! core hypothesis on QAPLIB (§3.1 fn. 2). This crate implements all
+//! three problem families end to end:
+//!
+//! * [`tsp`] — instances, the synthetic generators of appendix D, the n²
+//!   QUBO encoding of Lucas (2014) used in §4.1, the MVODM pre-processing
+//!   of appendix E, and classical reference heuristics (nearest-neighbour,
+//!   2-opt, Or-opt) that provide the "near-optimal fitness" the paper
+//!   normalises against;
+//! * [`tsplib`] — a TSPLIB95 parser (EUC_2D, CEIL_2D, MAN_2D, MAX_2D, ATT,
+//!   GEO and EXPLICIT matrices);
+//! * [`realworld`] — the out-of-distribution benchmark set standing in for
+//!   the paper's 11 TSPLIB instances (see DESIGN.md: the original data
+//!   files are not redistributable here, so deterministic generators with
+//!   matching sizes and diverse spatial structure are used instead — load
+//!   genuine `.tsp` files through [`tsplib`] when available);
+//! * [`mvc`] — weighted Minimum Vertex Cover with the appendix-B QUBO
+//!   penalty form;
+//! * [`qap`] — Quadratic Assignment Problem with the permutation QUBO
+//!   encoding.
+//!
+//! All encodings implement [`RelaxableProblem`], the interface the QROSS
+//! pipeline consumes: build a QUBO for a relaxation parameter `A`, test
+//! feasibility of solver outputs, and score feasible solutions in original
+//! objective units.
+
+pub mod mvc;
+pub mod qap;
+pub mod realworld;
+pub mod tsp;
+pub mod tsplib;
+
+pub use mvc::MvcInstance;
+pub use qap::QapInstance;
+pub use tsp::{TspEncoding, TspInstance};
+
+use qubo::QuboModel;
+
+/// A constrained problem relaxed into QUBO form with a penalty parameter.
+///
+/// This is the contract between problem encodings and the QROSS pipeline:
+/// the surrogate learns `Pf(g, A)` and energy statistics of the QUBO built
+/// by [`RelaxableProblem::to_qubo`], while [`RelaxableProblem::fitness`]
+/// scores feasible assignments in the *original* objective units (for TSP,
+/// tour length under the unmodified distance matrix — appendix E).
+pub trait RelaxableProblem: Send + Sync {
+    /// Human-readable instance identifier.
+    fn name(&self) -> &str;
+
+    /// Number of binary variables of the QUBO encoding.
+    fn num_vars(&self) -> usize;
+
+    /// Builds the penalty relaxation for parameter `relaxation`.
+    fn to_qubo(&self, relaxation: f64) -> QuboModel;
+
+    /// Whether `x` satisfies every constraint of the original problem.
+    fn is_feasible(&self, x: &[u8]) -> bool;
+
+    /// Original-units objective of `x`, or `None` when `x` is infeasible.
+    fn fitness(&self, x: &[u8]) -> Option<f64>;
+}
+
+/// Errors from problem construction and data parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProblemError {
+    /// A TSPLIB file could not be parsed.
+    Parse {
+        /// line number (1-based) where parsing failed, when known
+        line: usize,
+        /// explanation
+        message: String,
+    },
+    /// The instance data is structurally invalid (wrong matrix shape,
+    /// negative dimension, unknown edge-weight type, ...).
+    InvalidInstance {
+        /// explanation
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProblemError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ProblemError::InvalidInstance { message } => {
+                write!(f, "invalid instance: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}

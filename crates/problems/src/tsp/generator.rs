@@ -1,0 +1,228 @@
+//! Synthetic TSP dataset generation (paper appendix D).
+//!
+//! "We use uniform distribution and exponential distribution as our random
+//! number generators to create the coordinates of the cities. The parameter
+//! for the exponential distribution is generated from uniform distributions
+//! over a range. The uniform distribution is generated on a bounded domain.
+//! After we generated the coordinate data, we then compute the
+//! corresponding Euclidean distance."
+//!
+//! [`SyntheticDataset`] reproduces the experiment-scale dataset of §5: 300
+//! instances with 20–30 cities, split 270 train / 30 test (sizes and counts
+//! configurable for the `quick` experiment scale).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mathkit::rng::derive_rng;
+
+use super::TspInstance;
+
+/// Coordinate distribution used for a generated instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoordDistribution {
+    /// i.i.d. uniform on `[0, side] x [0, side]`
+    Uniform,
+    /// i.i.d. exponential per axis, rate drawn per instance
+    Exponential,
+}
+
+/// Configuration for [`SyntheticDataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// inclusive city-count range
+    pub min_cities: usize,
+    /// inclusive upper bound on city count
+    pub max_cities: usize,
+    /// side length of the uniform domain
+    pub uniform_side: f64,
+    /// inclusive range from which the exponential rate is drawn
+    pub exp_rate_range: (f64, f64),
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            min_cities: 20,
+            max_cities: 30,
+            uniform_side: 100.0,
+            exp_rate_range: (0.02, 0.2),
+        }
+    }
+}
+
+/// Generates one synthetic instance.
+///
+/// Even indices use the uniform generator, odd indices the exponential
+/// one, so a dataset interleaves both families deterministically.
+///
+/// # Panics
+///
+/// Panics if the configuration ranges are inverted or non-positive.
+pub fn generate_instance(config: &GeneratorConfig, seed: u64, index: u64) -> TspInstance {
+    assert!(
+        config.min_cities >= 3 && config.min_cities <= config.max_cities,
+        "invalid city range {}..={}",
+        config.min_cities,
+        config.max_cities
+    );
+    assert!(config.uniform_side > 0.0, "uniform domain must be positive");
+    assert!(
+        config.exp_rate_range.0 > 0.0 && config.exp_rate_range.0 <= config.exp_rate_range.1,
+        "invalid exponential rate range"
+    );
+    let mut rng = derive_rng(seed, index);
+    let n = rng.gen_range(config.min_cities..=config.max_cities);
+    let dist_kind = if index.is_multiple_of(2) {
+        CoordDistribution::Uniform
+    } else {
+        CoordDistribution::Exponential
+    };
+    let coords: Vec<(f64, f64)> = match dist_kind {
+        CoordDistribution::Uniform => (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..config.uniform_side),
+                    rng.gen_range(0.0..config.uniform_side),
+                )
+            })
+            .collect(),
+        CoordDistribution::Exponential => {
+            let rate = rng.gen_range(config.exp_rate_range.0..=config.exp_rate_range.1);
+            (0..n)
+                .map(|_| {
+                    // Inverse-CDF exponential draws per axis.
+                    let u1: f64 = rng.gen::<f64>().max(1e-300);
+                    let u2: f64 = rng.gen::<f64>().max(1e-300);
+                    (-u1.ln() / rate, -u2.ln() / rate)
+                })
+                .collect()
+        }
+    };
+    let tag = match dist_kind {
+        CoordDistribution::Uniform => "u",
+        CoordDistribution::Exponential => "e",
+    };
+    TspInstance::from_coords(&format!("synth_{tag}{n}_{index:03}"), &coords)
+}
+
+/// A reproducible synthetic dataset with a train/test split.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    train: Vec<TspInstance>,
+    test: Vec<TspInstance>,
+}
+
+impl SyntheticDataset {
+    /// Generates `train + test` instances from one root seed, assigning
+    /// the last `test` instances to the held-out split (matching the
+    /// paper's 270/30 protocol at `train = 270, test = 30`).
+    pub fn generate(config: &GeneratorConfig, train: usize, test: usize, seed: u64) -> Self {
+        let total = train + test;
+        let mut instances: Vec<TspInstance> = (0..total as u64)
+            .map(|i| generate_instance(config, seed, i))
+            .collect();
+        let test_set = instances.split_off(train);
+        SyntheticDataset {
+            train: instances,
+            test: test_set,
+        }
+    }
+
+    /// Training instances.
+    pub fn train(&self) -> &[TspInstance] {
+        &self.train
+    }
+
+    /// Held-out test instances.
+    pub fn test(&self) -> &[TspInstance] {
+        &self.test
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = GeneratorConfig::default();
+        let a = generate_instance(&cfg, 42, 7);
+        let b = generate_instance(&cfg, 42, 7);
+        assert_eq!(a, b);
+        let c = generate_instance(&cfg, 42, 8);
+        assert_ne!(a.matrix(), c.matrix());
+    }
+
+    #[test]
+    fn city_counts_in_range() {
+        let cfg = GeneratorConfig {
+            min_cities: 5,
+            max_cities: 9,
+            ..Default::default()
+        };
+        for i in 0..40 {
+            let inst = generate_instance(&cfg, 1, i);
+            assert!((5..=9).contains(&inst.num_cities()), "{}", inst.name());
+        }
+    }
+
+    #[test]
+    fn both_families_appear() {
+        let cfg = GeneratorConfig {
+            min_cities: 5,
+            max_cities: 6,
+            ..Default::default()
+        };
+        let u = generate_instance(&cfg, 3, 0);
+        let e = generate_instance(&cfg, 3, 1);
+        assert!(u.name().starts_with("synth_u"));
+        assert!(e.name().starts_with("synth_e"));
+    }
+
+    #[test]
+    fn split_sizes() {
+        let cfg = GeneratorConfig {
+            min_cities: 5,
+            max_cities: 7,
+            ..Default::default()
+        };
+        let ds = SyntheticDataset::generate(&cfg, 12, 4, 9);
+        assert_eq!(ds.train().len(), 12);
+        assert_eq!(ds.test().len(), 4);
+        // Train and test are disjoint streams of the same generator.
+        assert_ne!(ds.train()[0].matrix(), ds.test()[0].matrix());
+    }
+
+    #[test]
+    fn distances_positive_and_finite() {
+        let cfg = GeneratorConfig {
+            min_cities: 8,
+            max_cities: 8,
+            ..Default::default()
+        };
+        for i in 0..6 {
+            let inst = generate_instance(&cfg, 5, i);
+            for a in 0..8 {
+                for b in 0..8 {
+                    let d = inst.distance(a, b);
+                    assert!(d.is_finite());
+                    if a != b {
+                        assert!(d > 0.0, "degenerate duplicate city");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid city range")]
+    fn rejects_bad_range() {
+        let cfg = GeneratorConfig {
+            min_cities: 10,
+            max_cities: 5,
+            ..Default::default()
+        };
+        let _ = generate_instance(&cfg, 0, 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Classical TSP heuristics: nearest-neighbour construction, 2-opt and
+//! Or-opt local search.
+//!
+//! The paper reports the *normalised optimality gap* against a
+//! "near-optimal fitness" per instance (Figs. 3–4). These heuristics
+//! produce that reference: multi-start nearest-neighbour tours polished by
+//! 2-opt and Or-opt, which is near-optimal on instances of the sizes used
+//! (14–90 cities).
+
+use super::TspInstance;
+
+/// Builds a nearest-neighbour tour starting from `start`.
+///
+/// # Panics
+///
+/// Panics if `start >= num_cities` or the instance has no cities.
+///
+/// # Examples
+///
+/// ```
+/// use problems::{tsp::heuristics, TspInstance};
+/// let inst = TspInstance::from_coords("line", &[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+/// let tour = heuristics::nearest_neighbor(&inst, 0);
+/// assert_eq!(tour, vec![0, 1, 2]);
+/// ```
+#[allow(clippy::needless_range_loop)] // next indexes visited and distances
+pub fn nearest_neighbor(instance: &TspInstance, start: usize) -> Vec<usize> {
+    let n = instance.num_cities();
+    assert!(n > 0, "instance has no cities");
+    assert!(start < n, "start city out of range");
+    let mut tour = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut current = start;
+    tour.push(current);
+    visited[current] = true;
+    for _ in 1..n {
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for next in 0..n {
+            if !visited[next] {
+                let d = instance.distance(current, next);
+                if d < best_d {
+                    best_d = d;
+                    best = next;
+                }
+            }
+        }
+        current = best;
+        tour.push(current);
+        visited[current] = true;
+    }
+    tour
+}
+
+/// Improves a tour in place with 2-opt (first-improvement sweeps until no
+/// improving exchange exists). Returns the number of improving moves made.
+///
+/// # Panics
+///
+/// Panics if `tour` is not a permutation of the instance's cities.
+pub fn two_opt(instance: &TspInstance, tour: &mut [usize]) -> usize {
+    let n = tour.len();
+    assert!(
+        super::is_permutation(tour, instance.num_cities()),
+        "2-opt requires a complete tour"
+    );
+    if n < 4 {
+        return 0;
+    }
+    let mut moves = 0;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n - 1 {
+            for k in i + 2..n {
+                // Skip the wrap-around edge pair (it is the same edge).
+                if i == 0 && k == n - 1 {
+                    continue;
+                }
+                let a = tour[i];
+                let b = tour[i + 1];
+                let c = tour[k];
+                let d = tour[(k + 1) % n];
+                let delta = instance.distance(a, c) + instance.distance(b, d)
+                    - instance.distance(a, b)
+                    - instance.distance(c, d);
+                if delta < -1e-12 {
+                    tour[i + 1..=k].reverse();
+                    moves += 1;
+                    improved = true;
+                }
+            }
+        }
+    }
+    moves
+}
+
+/// Or-opt: relocates segments of 1–3 consecutive cities to better
+/// positions. Returns the number of improving moves.
+///
+/// # Panics
+///
+/// Panics if `tour` is not a permutation of the instance's cities.
+pub fn or_opt(instance: &TspInstance, tour: &mut Vec<usize>) -> usize {
+    let n = tour.len();
+    assert!(
+        super::is_permutation(tour, instance.num_cities()),
+        "Or-opt requires a complete tour"
+    );
+    if n < 5 {
+        return 0;
+    }
+    let mut moves = 0;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for seg_len in 1..=3usize {
+            for start in 0..n {
+                if seg_len >= n - 2 {
+                    continue;
+                }
+                let current_len = instance.tour_length(tour);
+                // Extract the segment.
+                let mut rest: Vec<usize> = Vec::with_capacity(n - seg_len);
+                let mut segment: Vec<usize> = Vec::with_capacity(seg_len);
+                for (idx, &c) in tour.iter().enumerate() {
+                    let in_segment = (idx + n - start) % n < seg_len;
+                    if in_segment {
+                        segment.push(c);
+                    } else {
+                        rest.push(c);
+                    }
+                }
+                // Try every reinsertion point.
+                let mut best_tour: Option<(f64, Vec<usize>)> = None;
+                for pos in 0..rest.len() {
+                    let mut cand = rest.clone();
+                    for (o, &c) in segment.iter().enumerate() {
+                        cand.insert(pos + o, c);
+                    }
+                    let len = instance.tour_length(&cand);
+                    if len < current_len - 1e-12
+                        && best_tour.as_ref().is_none_or(|(bl, _)| len < *bl)
+                    {
+                        best_tour = Some((len, cand));
+                    }
+                }
+                if let Some((_, cand)) = best_tour {
+                    *tour = cand;
+                    moves += 1;
+                    improved = true;
+                }
+            }
+        }
+    }
+    moves
+}
+
+/// A reference (near-optimal) tour: best of `starts` nearest-neighbour
+/// constructions, each polished with 2-opt then Or-opt then 2-opt again.
+///
+/// Returns `(tour, length)`.
+///
+/// # Panics
+///
+/// Panics if the instance has fewer than 3 cities.
+pub fn reference_tour(instance: &TspInstance, starts: usize) -> (Vec<usize>, f64) {
+    let n = instance.num_cities();
+    assert!(n >= 3, "reference tour needs at least 3 cities");
+    let starts = starts.clamp(1, n);
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    // Deterministic spread of start cities.
+    for s in 0..starts {
+        let start = s * n / starts;
+        let mut tour = nearest_neighbor(instance, start);
+        two_opt(instance, &mut tour);
+        or_opt(instance, &mut tour);
+        two_opt(instance, &mut tour);
+        let len = instance.tour_length(&tour);
+        if best.as_ref().is_none_or(|(_, bl)| len < *bl) {
+            best = Some((tour, len));
+        }
+    }
+    best.expect("at least one start")
+}
+
+/// A cheap tour estimate — single nearest-neighbour construction plus one
+/// 2-opt polish — used where only a length *feature* is needed (the
+/// instance featurizer) rather than a high-quality reference.
+///
+/// Returns `(tour, length)`.
+///
+/// # Panics
+///
+/// Panics if the instance has fewer than 3 cities.
+pub fn reference_tour_shallow(instance: &TspInstance) -> (Vec<usize>, f64) {
+    let n = instance.num_cities();
+    assert!(n >= 3, "tour estimate needs at least 3 cities");
+    let mut tour = nearest_neighbor(instance, 0);
+    two_opt(instance, &mut tour);
+    let len = instance.tour_length(&tour);
+    (tour, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::rng::seeded_rng;
+    use rand::Rng;
+
+    fn circle_instance(n: usize) -> TspInstance {
+        // Cities on a circle: the optimal tour follows the perimeter.
+        let coords: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (t.cos(), t.sin())
+            })
+            .collect();
+        TspInstance::from_coords("circle", &coords)
+    }
+
+    fn optimal_circle_length(n: usize) -> f64 {
+        let inst = circle_instance(n);
+        let tour: Vec<usize> = (0..n).collect();
+        inst.tour_length(&tour)
+    }
+
+    #[test]
+    fn nn_on_line_is_optimal() {
+        let inst =
+            TspInstance::from_coords("line", &[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let tour = nearest_neighbor(&inst, 0);
+        assert_eq!(tour, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_opt_uncrosses() {
+        let inst = circle_instance(8);
+        // Start from a deliberately crossed tour.
+        let mut tour = vec![0, 4, 1, 5, 2, 6, 3, 7];
+        two_opt(&inst, &mut tour);
+        let len = inst.tour_length(&tour);
+        assert!((len - optimal_circle_length(8)).abs() < 1e-9, "len={len}");
+    }
+
+    #[test]
+    fn or_opt_relocates() {
+        let inst = TspInstance::from_coords(
+            "cluster",
+            &[
+                (0.0, 0.0),
+                (1.0, 0.0),
+                (2.0, 0.0),
+                (10.0, 0.0),
+                (11.0, 0.0),
+                (2.5, 0.2),
+            ],
+        );
+        // Bad order: city 5 (near the left cluster) stuck between the
+        // right-cluster cities.
+        let mut tour = vec![0, 1, 2, 3, 5, 4];
+        let before = inst.tour_length(&tour);
+        or_opt(&inst, &mut tour);
+        let after = inst.tour_length(&tour);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn reference_tour_near_optimal_on_circle() {
+        for n in [6, 10, 16] {
+            let inst = circle_instance(n);
+            let (tour, len) = reference_tour(&inst, 4);
+            assert!(super::super::is_permutation(&tour, n));
+            assert!(
+                (len - optimal_circle_length(n)).abs() < 1e-9,
+                "n={n}: {len} vs {}",
+                optimal_circle_length(n)
+            );
+        }
+    }
+
+    #[test]
+    fn reference_beats_or_matches_plain_nn() {
+        let mut rng = seeded_rng(5);
+        let coords: Vec<(f64, f64)> = (0..20)
+            .map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let inst = TspInstance::from_coords("rand20", &coords);
+        let nn_len = inst.tour_length(&nearest_neighbor(&inst, 0));
+        let (_, ref_len) = reference_tour(&inst, 5);
+        assert!(ref_len <= nn_len + 1e-9);
+    }
+
+    #[test]
+    fn two_opt_returns_zero_on_optimal() {
+        let inst = circle_instance(6);
+        let mut tour: Vec<usize> = (0..6).collect();
+        assert_eq!(two_opt(&inst, &mut tour), 0);
+    }
+
+    #[test]
+    fn small_instances_no_panic() {
+        let inst = circle_instance(3);
+        let mut tour = vec![0, 1, 2];
+        assert_eq!(two_opt(&inst, &mut tour), 0);
+        let mut tour_v = vec![0, 1, 2];
+        assert_eq!(or_opt(&inst, &mut tour_v), 0);
+        let (t, _) = reference_tour(&inst, 10);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete tour")]
+    fn two_opt_rejects_partial_tour() {
+        let inst = circle_instance(5);
+        let mut tour = vec![0, 1, 2];
+        let _ = two_opt(&inst, &mut tour);
+    }
+}

@@ -1,0 +1,494 @@
+//! TSPLIB95 parser.
+//!
+//! Parses the symmetric-TSP subset of the TSPLIB95 format (Reinelt 1991),
+//! covering every edge-weight type used by the instances the paper
+//! evaluates on (14 ≤ N < 90): coordinate types `EUC_2D`, `CEIL_2D`,
+//! `MAN_2D`, `MAX_2D`, `ATT`, `GEO`, and `EXPLICIT` matrices in
+//! `FULL_MATRIX`, `UPPER_ROW`, `LOWER_ROW`, `UPPER_DIAG_ROW` and
+//! `LOWER_DIAG_ROW` formats. Distance functions follow the TSPLIB95
+//! specification exactly (including its integer rounding conventions).
+//!
+//! The genuine TSPLIB data files are not bundled (see DESIGN.md); this
+//! parser lets users load them from disk, and the test-suite exercises it
+//! with format-faithful fixture files.
+
+use mathkit::Matrix;
+
+use crate::tsp::TspInstance;
+use crate::ProblemError;
+
+/// Edge-weight types supported by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeWeightType {
+    Euc2d,
+    Ceil2d,
+    Man2d,
+    Max2d,
+    Att,
+    Geo,
+    Explicit,
+}
+
+/// Matrix layouts for `EXPLICIT` edge weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeWeightFormat {
+    FullMatrix,
+    UpperRow,
+    LowerRow,
+    UpperDiagRow,
+    LowerDiagRow,
+}
+
+/// Parses TSPLIB95 text into a [`TspInstance`].
+///
+/// # Errors
+///
+/// Returns [`ProblemError::Parse`] with a line number for malformed input
+/// and [`ProblemError::InvalidInstance`] for structurally impossible data
+/// (e.g. missing dimension).
+///
+/// # Examples
+///
+/// ```
+/// use problems::tsplib::parse_tsplib;
+/// let text = "NAME: tiny\nTYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0.0 0.0\n2 3.0 0.0\n3 0.0 4.0\nEOF\n";
+/// let inst = parse_tsplib(text)?;
+/// assert_eq!(inst.num_cities(), 3);
+/// assert_eq!(inst.distance(0, 1), 3.0);
+/// assert_eq!(inst.distance(1, 2), 5.0);
+/// # Ok::<(), problems::ProblemError>(())
+/// ```
+pub fn parse_tsplib(text: &str) -> Result<TspInstance, ProblemError> {
+    let mut name = String::from("unnamed");
+    let mut dimension: Option<usize> = None;
+    let mut ew_type: Option<EdgeWeightType> = None;
+    let mut ew_format: Option<EdgeWeightFormat> = None;
+    let mut coords: Vec<(f64, f64)> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+
+    #[derive(PartialEq)]
+    enum Section {
+        Header,
+        NodeCoords,
+        EdgeWeights,
+        Done,
+    }
+    let mut section = Section::Header;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("EOF") {
+            section = Section::Done;
+            continue;
+        }
+        match section {
+            Section::Done => {}
+            Section::Header => {
+                if line.eq_ignore_ascii_case("NODE_COORD_SECTION") {
+                    section = Section::NodeCoords;
+                    continue;
+                }
+                if line.eq_ignore_ascii_case("EDGE_WEIGHT_SECTION") {
+                    section = Section::EdgeWeights;
+                    continue;
+                }
+                if line.eq_ignore_ascii_case("DISPLAY_DATA_SECTION") {
+                    // Display coordinates are cosmetic; ignore the section by
+                    // consuming until EOF keyword handled above.
+                    section = Section::Done;
+                    continue;
+                }
+                let (key, value) = split_header(line, lineno)?;
+                match key.to_ascii_uppercase().as_str() {
+                    "NAME" => name = value.to_string(),
+                    "TYPE" => {
+                        let v = value.to_ascii_uppercase();
+                        if v != "TSP" {
+                            return Err(ProblemError::Parse {
+                                line: lineno,
+                                message: format!("unsupported problem TYPE `{value}`"),
+                            });
+                        }
+                    }
+                    "COMMENT" => {}
+                    "DIMENSION" => {
+                        dimension =
+                            Some(value.parse::<usize>().map_err(|e| ProblemError::Parse {
+                                line: lineno,
+                                message: format!("bad DIMENSION: {e}"),
+                            })?);
+                    }
+                    "EDGE_WEIGHT_TYPE" => {
+                        ew_type = Some(match value.to_ascii_uppercase().as_str() {
+                            "EUC_2D" => EdgeWeightType::Euc2d,
+                            "CEIL_2D" => EdgeWeightType::Ceil2d,
+                            "MAN_2D" => EdgeWeightType::Man2d,
+                            "MAX_2D" => EdgeWeightType::Max2d,
+                            "ATT" => EdgeWeightType::Att,
+                            "GEO" => EdgeWeightType::Geo,
+                            "EXPLICIT" => EdgeWeightType::Explicit,
+                            other => {
+                                return Err(ProblemError::Parse {
+                                    line: lineno,
+                                    message: format!("unsupported EDGE_WEIGHT_TYPE `{other}`"),
+                                })
+                            }
+                        });
+                    }
+                    "EDGE_WEIGHT_FORMAT" => {
+                        ew_format = Some(match value.to_ascii_uppercase().as_str() {
+                            "FULL_MATRIX" => EdgeWeightFormat::FullMatrix,
+                            "UPPER_ROW" => EdgeWeightFormat::UpperRow,
+                            "LOWER_ROW" => EdgeWeightFormat::LowerRow,
+                            "UPPER_DIAG_ROW" => EdgeWeightFormat::UpperDiagRow,
+                            "LOWER_DIAG_ROW" => EdgeWeightFormat::LowerDiagRow,
+                            other => {
+                                return Err(ProblemError::Parse {
+                                    line: lineno,
+                                    message: format!("unsupported EDGE_WEIGHT_FORMAT `{other}`"),
+                                })
+                            }
+                        });
+                    }
+                    "NODE_COORD_TYPE" | "DISPLAY_DATA_TYPE" => {}
+                    other => {
+                        return Err(ProblemError::Parse {
+                            line: lineno,
+                            message: format!("unknown header keyword `{other}`"),
+                        })
+                    }
+                }
+            }
+            Section::NodeCoords => {
+                let mut parts = line.split_whitespace();
+                let _index = parts.next().ok_or_else(|| ProblemError::Parse {
+                    line: lineno,
+                    message: "missing node index".to_string(),
+                })?;
+                let x: f64 = parse_num(parts.next(), lineno, "x coordinate")?;
+                let y: f64 = parse_num(parts.next(), lineno, "y coordinate")?;
+                coords.push((x, y));
+            }
+            Section::EdgeWeights => {
+                for tok in line.split_whitespace() {
+                    weights.push(tok.parse::<f64>().map_err(|e| ProblemError::Parse {
+                        line: lineno,
+                        message: format!("bad edge weight `{tok}`: {e}"),
+                    })?);
+                }
+            }
+        }
+    }
+
+    let n = dimension.ok_or_else(|| ProblemError::InvalidInstance {
+        message: "missing DIMENSION".to_string(),
+    })?;
+    if n < 2 {
+        return Err(ProblemError::InvalidInstance {
+            message: format!("DIMENSION must be at least 2, got {n}"),
+        });
+    }
+    let ew = ew_type.ok_or_else(|| ProblemError::InvalidInstance {
+        message: "missing EDGE_WEIGHT_TYPE".to_string(),
+    })?;
+
+    let dist = match ew {
+        EdgeWeightType::Explicit => {
+            let fmt = ew_format.ok_or_else(|| ProblemError::InvalidInstance {
+                message: "EXPLICIT weights require EDGE_WEIGHT_FORMAT".to_string(),
+            })?;
+            explicit_matrix(n, fmt, &weights)?
+        }
+        _ => {
+            if coords.len() != n {
+                return Err(ProblemError::InvalidInstance {
+                    message: format!("expected {n} coordinates, found {}", coords.len()),
+                });
+            }
+            coord_matrix(n, ew, &coords)
+        }
+    };
+    TspInstance::from_matrix(&name, dist)
+}
+
+/// Reads and parses a TSPLIB file from disk.
+///
+/// # Errors
+///
+/// I/O failures are wrapped into [`ProblemError::InvalidInstance`]; parse
+/// failures propagate from [`parse_tsplib`].
+pub fn load_tsplib_file(path: &std::path::Path) -> Result<TspInstance, ProblemError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ProblemError::InvalidInstance {
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    parse_tsplib(&text)
+}
+
+fn split_header(line: &str, lineno: usize) -> Result<(&str, &str), ProblemError> {
+    match line.split_once(':') {
+        Some((k, v)) => Ok((k.trim(), v.trim())),
+        None => Err(ProblemError::Parse {
+            line: lineno,
+            message: format!("expected `KEY: VALUE`, got `{line}`"),
+        }),
+    }
+}
+
+fn parse_num(tok: Option<&str>, lineno: usize, what: &str) -> Result<f64, ProblemError> {
+    let tok = tok.ok_or_else(|| ProblemError::Parse {
+        line: lineno,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse::<f64>().map_err(|e| ProblemError::Parse {
+        line: lineno,
+        message: format!("bad {what} `{tok}`: {e}"),
+    })
+}
+
+/// TSPLIB `nint` (round half away from zero, as in the reference C code).
+fn nint(x: f64) -> f64 {
+    (x + 0.5).floor()
+}
+
+fn coord_matrix(n: usize, ew: EdgeWeightType, coords: &[(f64, f64)]) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    // GEO precomputation: latitude/longitude in radians per TSPLIB spec.
+    let geo: Vec<(f64, f64)> = if ew == EdgeWeightType::Geo {
+        coords
+            .iter()
+            .map(|&(x, y)| {
+                let to_rad = |v: f64| {
+                    let deg = v.trunc();
+                    let min = v - deg;
+                    std::f64::consts::PI * (deg + 5.0 * min / 3.0) / 180.0
+                };
+                (to_rad(x), to_rad(y))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (xi, yi) = coords[i];
+            let (xj, yj) = coords[j];
+            let dx = xi - xj;
+            let dy = yi - yj;
+            let d = match ew {
+                EdgeWeightType::Euc2d => nint((dx * dx + dy * dy).sqrt()),
+                EdgeWeightType::Ceil2d => (dx * dx + dy * dy).sqrt().ceil(),
+                EdgeWeightType::Man2d => nint(dx.abs() + dy.abs()),
+                EdgeWeightType::Max2d => nint(dx.abs()).max(nint(dy.abs())),
+                EdgeWeightType::Att => {
+                    let r = ((dx * dx + dy * dy) / 10.0).sqrt();
+                    let t = nint(r);
+                    if t < r {
+                        t + 1.0
+                    } else {
+                        t
+                    }
+                }
+                EdgeWeightType::Geo => {
+                    const RRR: f64 = 6378.388;
+                    let (lat_i, lon_i) = geo[i];
+                    let (lat_j, lon_j) = geo[j];
+                    let q1 = (lon_i - lon_j).cos();
+                    let q2 = (lat_i - lat_j).cos();
+                    let q3 = (lat_i + lat_j).cos();
+                    (RRR * (0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3)).acos() + 1.0).floor()
+                }
+                EdgeWeightType::Explicit => unreachable!("handled separately"),
+            };
+            m[(i, j)] = d;
+            m[(j, i)] = d;
+        }
+    }
+    m
+}
+
+fn explicit_matrix(
+    n: usize,
+    fmt: EdgeWeightFormat,
+    weights: &[f64],
+) -> Result<Matrix, ProblemError> {
+    let expected = match fmt {
+        EdgeWeightFormat::FullMatrix => n * n,
+        EdgeWeightFormat::UpperRow | EdgeWeightFormat::LowerRow => n * (n - 1) / 2,
+        EdgeWeightFormat::UpperDiagRow | EdgeWeightFormat::LowerDiagRow => n * (n + 1) / 2,
+    };
+    if weights.len() != expected {
+        return Err(ProblemError::InvalidInstance {
+            message: format!(
+                "edge weight count {} does not match format ({expected} expected for n={n})",
+                weights.len()
+            ),
+        });
+    }
+    let mut m = Matrix::zeros(n, n);
+    let mut it = weights.iter().copied();
+    match fmt {
+        EdgeWeightFormat::FullMatrix => {
+            for i in 0..n {
+                for j in 0..n {
+                    let w = it.next().expect("length checked");
+                    if i != j {
+                        m[(i, j)] = w;
+                    }
+                }
+            }
+            // Symmetrise defensively (TSPLIB symmetric instances repeat the
+            // triangle; tolerate tiny asymmetries by averaging).
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+                    m[(i, j)] = avg;
+                    m[(j, i)] = avg;
+                }
+            }
+        }
+        EdgeWeightFormat::UpperRow => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let w = it.next().expect("length checked");
+                    m[(i, j)] = w;
+                    m[(j, i)] = w;
+                }
+            }
+        }
+        EdgeWeightFormat::LowerRow => {
+            for i in 1..n {
+                for j in 0..i {
+                    let w = it.next().expect("length checked");
+                    m[(i, j)] = w;
+                    m[(j, i)] = w;
+                }
+            }
+        }
+        EdgeWeightFormat::UpperDiagRow => {
+            for i in 0..n {
+                for j in i..n {
+                    let w = it.next().expect("length checked");
+                    if i != j {
+                        m[(i, j)] = w;
+                        m[(j, i)] = w;
+                    }
+                }
+            }
+        }
+        EdgeWeightFormat::LowerDiagRow => {
+            for i in 0..n {
+                for j in 0..=i {
+                    let w = it.next().expect("length checked");
+                    if i != j {
+                        m[(i, j)] = w;
+                        m[(j, i)] = w;
+                    }
+                }
+            }
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euc2d_rounding() {
+        let text = "NAME: t\nTYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 1.4 0\n3 0 1.6\nEOF\n";
+        let inst = parse_tsplib(text).unwrap();
+        // nint(1.4)=1, nint(1.6)=2, nint(sqrt(1.96+2.56)=2.126)=2
+        assert_eq!(inst.distance(0, 1), 1.0);
+        assert_eq!(inst.distance(0, 2), 2.0);
+        assert_eq!(inst.distance(1, 2), 2.0);
+    }
+
+    #[test]
+    fn ceil2d() {
+        let text = "NAME: t\nTYPE: TSP\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: CEIL_2D\nNODE_COORD_SECTION\n1 0 0\n2 1.1 0\nEOF\n";
+        let inst = parse_tsplib(text).unwrap();
+        assert_eq!(inst.distance(0, 1), 2.0);
+    }
+
+    #[test]
+    fn man2d_and_max2d() {
+        let man = "NAME: t\nTYPE: TSP\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: MAN_2D\nNODE_COORD_SECTION\n1 0 0\n2 3 4\nEOF\n";
+        assert_eq!(parse_tsplib(man).unwrap().distance(0, 1), 7.0);
+        let max = "NAME: t\nTYPE: TSP\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: MAX_2D\nNODE_COORD_SECTION\n1 0 0\n2 3 4\nEOF\n";
+        assert_eq!(parse_tsplib(max).unwrap().distance(0, 1), 4.0);
+    }
+
+    #[test]
+    fn att_pseudo_euclidean() {
+        // dx=10, dy=0: r = sqrt(100/10) = sqrt(10) ≈ 3.1623; t = 3 < r → 4.
+        let text = "NAME: t\nTYPE: TSP\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: ATT\nNODE_COORD_SECTION\n1 0 0\n2 10 0\nEOF\n";
+        assert_eq!(parse_tsplib(text).unwrap().distance(0, 1), 4.0);
+    }
+
+    #[test]
+    fn geo_distance_spec() {
+        // Two points one degree of latitude apart on the same meridian:
+        // the TSPLIB geodesic is ~111 km.
+        let text = "NAME: t\nTYPE: TSP\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: GEO\nNODE_COORD_SECTION\n1 10.0 20.0\n2 11.0 20.0\nEOF\n";
+        let d = parse_tsplib(text).unwrap().distance(0, 1);
+        assert!((d - 111.0).abs() <= 1.5, "geo distance {d}");
+    }
+
+    #[test]
+    fn explicit_full_matrix() {
+        let text = "NAME: t\nTYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: FULL_MATRIX\nEDGE_WEIGHT_SECTION\n0 1 2\n1 0 3\n2 3 0\nEOF\n";
+        let inst = parse_tsplib(text).unwrap();
+        assert_eq!(inst.distance(0, 1), 1.0);
+        assert_eq!(inst.distance(0, 2), 2.0);
+        assert_eq!(inst.distance(1, 2), 3.0);
+    }
+
+    #[test]
+    fn explicit_triangles_agree() {
+        // The same 4-city metric in all four triangle layouts.
+        let upper_row = "NAME: t\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n1 2 3\n4 5\n6\nEOF\n";
+        let lower_row = "NAME: t\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: LOWER_ROW\nEDGE_WEIGHT_SECTION\n1\n2 4\n3 5 6\nEOF\n";
+        let upper_diag = "NAME: t\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: UPPER_DIAG_ROW\nEDGE_WEIGHT_SECTION\n0 1 2 3\n0 4 5\n0 6\n0\nEOF\n";
+        let lower_diag = "NAME: t\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW\nEDGE_WEIGHT_SECTION\n0\n1 0\n2 4 0\n3 5 6 0\nEOF\n";
+        let a = parse_tsplib(upper_row).unwrap();
+        for text in [lower_row, upper_diag, lower_diag] {
+            let b = parse_tsplib(text).unwrap();
+            assert_eq!(a.matrix(), b.matrix());
+        }
+        assert_eq!(a.distance(1, 3), 5.0);
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(matches!(
+            parse_tsplib("DIMENSION: x\n"),
+            Err(ProblemError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_tsplib("NAME: t\n"),
+            Err(ProblemError::InvalidInstance { .. })
+        ));
+        let missing_fmt = "NAME: t\nTYPE: TSP\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_SECTION\n0 1 1 0\nEOF\n";
+        assert!(parse_tsplib(missing_fmt).is_err());
+        let bad_count = "NAME: t\nTYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n1 2\nEOF\n";
+        assert!(parse_tsplib(bad_count).is_err());
+        assert!(matches!(
+            parse_tsplib("TYPE: ATSP\n"),
+            Err(ProblemError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn header_whitespace_tolerated() {
+        let text =
+            "NAME : padded\nTYPE : TSP\nDIMENSION : 2\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 0 5\nEOF\n";
+        let inst = parse_tsplib(text).unwrap();
+        assert_eq!(inst.name(), "padded");
+        assert_eq!(inst.distance(0, 1), 5.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! # qubo — QUBO models, energies and penalty relaxation
+//!
+//! The paper's problem-solving pipeline starts from a constrained binary
+//! program `min x'Qx  s.t.  Cx = d` and relaxes it into an unconstrained
+//! QUBO `min x'Qx + A·‖Cx − d‖²` (§1). This crate provides:
+//!
+//! * [`model`] — [`QuboModel`]: a sparse symmetric quadratic form over
+//!   binary variables, built through [`QuboBuilder`]; energy evaluation and
+//!   coefficient transforms (used by the noise/precision solver wrappers);
+//! * [`state`] — [`LocalFieldState`]: incremental single-flip evaluation
+//!   with O(1) energy deltas and O(deg) updates, the workhorse of every
+//!   annealing-style solver in the workspace;
+//! * [`program`] — [`ConstrainedBinaryProgram`]: linear-equality-constrained
+//!   binary programs and their penalty relaxation parameterised by `A`;
+//! * [`ising`] — conversion between QUBO and Ising forms.
+//!
+//! # Examples
+//!
+//! Build a tiny QUBO and evaluate its energy:
+//!
+//! ```
+//! use qubo::QuboBuilder;
+//! let mut b = QuboBuilder::new(3);
+//! b.add_linear(0, -1.0);
+//! b.add_quadratic(0, 1, 2.0);
+//! let model = b.build();
+//! // x = [1, 1, 0]: E = -1 + 2 = 1
+//! assert_eq!(model.energy(&[1, 1, 0]), 1.0);
+//! ```
+
+pub mod ising;
+pub mod model;
+pub mod program;
+pub mod state;
+
+pub use ising::IsingModel;
+pub use model::{QuboBuilder, QuboModel};
+pub use program::{ConstrainedBinaryProgram, LinearConstraint};
+pub use state::LocalFieldState;
+
+/// Errors from QUBO construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuboError {
+    /// A variable index was at least the declared number of variables.
+    VariableOutOfRange {
+        /// offending index
+        index: usize,
+        /// declared number of variables
+        num_vars: usize,
+    },
+    /// An assignment slice had the wrong length.
+    StateLengthMismatch {
+        /// expected number of variables
+        expected: usize,
+        /// provided length
+        found: usize,
+    },
+    /// A coefficient was NaN or infinite.
+    NonFiniteCoefficient,
+}
+
+impl std::fmt::Display for QuboError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuboError::VariableOutOfRange { index, num_vars } => {
+                write!(
+                    f,
+                    "variable index {index} out of range for {num_vars} variables"
+                )
+            }
+            QuboError::StateLengthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "state length {found} does not match {expected} variables"
+                )
+            }
+            QuboError::NonFiniteCoefficient => write!(f, "non-finite coefficient"),
+        }
+    }
+}
+
+impl std::error::Error for QuboError {}

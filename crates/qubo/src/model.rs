@@ -1,0 +1,438 @@
+//! Sparse symmetric QUBO models.
+//!
+//! A QUBO is `E(x) = offset + Σ_i l_i x_i + Σ_{i<j} w_ij x_i x_j` over
+//! `x ∈ {0,1}^n`. Models are stored as a linear vector plus per-variable
+//! adjacency lists of the *symmetric* coupling view (each `w_ij` appears in
+//! the lists of both `i` and `j`), which keeps energy evaluation and
+//! local-field updates proportional to the true coupling degree — essential
+//! for TSP QUBOs where `n` reaches `90² = 8100` variables but each variable
+//! couples with only `O(cities)` others.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::QuboError;
+
+/// Incremental builder for [`QuboModel`].
+///
+/// Repeated contributions to the same linear or quadratic coefficient are
+/// accumulated; `(i, j)` and `(j, i)` refer to the same coupling, and
+/// `(i, i)` folds into the linear term (since `x² = x` for binaries).
+///
+/// # Examples
+///
+/// ```
+/// use qubo::QuboBuilder;
+/// let mut b = QuboBuilder::new(2);
+/// b.add_quadratic(0, 1, 1.0);
+/// b.add_quadratic(1, 0, 2.0); // accumulates onto the same coupling
+/// let m = b.build();
+/// assert_eq!(m.energy(&[1, 1]), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuboBuilder {
+    num_vars: usize,
+    offset: f64,
+    linear: Vec<f64>,
+    quadratic: HashMap<(u32, u32), f64>,
+}
+
+impl QuboBuilder {
+    /// Creates a builder for `num_vars` binary variables.
+    pub fn new(num_vars: usize) -> Self {
+        QuboBuilder {
+            num_vars,
+            offset: 0.0,
+            linear: vec![0.0; num_vars],
+            quadratic: HashMap::new(),
+        }
+    }
+
+    /// Number of variables of the model under construction.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a constant to the energy offset.
+    pub fn add_offset(&mut self, value: f64) -> &mut Self {
+        self.offset += value;
+        self
+    }
+
+    /// Adds `value` to the linear coefficient of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn add_linear(&mut self, i: usize, value: f64) -> &mut Self {
+        assert!(i < self.num_vars, "variable {i} out of range");
+        self.linear[i] += value;
+        self
+    }
+
+    /// Adds `value` to the coupling between `i` and `j`.
+    ///
+    /// `i == j` folds into the linear term (binary idempotence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn add_quadratic(&mut self, i: usize, j: usize, value: f64) -> &mut Self {
+        assert!(i < self.num_vars, "variable {i} out of range");
+        assert!(j < self.num_vars, "variable {j} out of range");
+        if i == j {
+            self.linear[i] += value;
+        } else {
+            let key = if i < j {
+                (i as u32, j as u32)
+            } else {
+                (j as u32, i as u32)
+            };
+            *self.quadratic.entry(key).or_insert(0.0) += value;
+        }
+        self
+    }
+
+    /// Checked variant of [`QuboBuilder::add_quadratic`].
+    ///
+    /// # Errors
+    ///
+    /// * [`QuboError::VariableOutOfRange`] for an out-of-range index.
+    /// * [`QuboError::NonFiniteCoefficient`] for NaN/infinite `value`.
+    pub fn try_add_quadratic(&mut self, i: usize, j: usize, value: f64) -> Result<(), QuboError> {
+        if i >= self.num_vars {
+            return Err(QuboError::VariableOutOfRange {
+                index: i,
+                num_vars: self.num_vars,
+            });
+        }
+        if j >= self.num_vars {
+            return Err(QuboError::VariableOutOfRange {
+                index: j,
+                num_vars: self.num_vars,
+            });
+        }
+        if !value.is_finite() {
+            return Err(QuboError::NonFiniteCoefficient);
+        }
+        self.add_quadratic(i, j, value);
+        Ok(())
+    }
+
+    /// Finalises the model, dropping exact-zero couplings.
+    pub fn build(self) -> QuboModel {
+        let mut neighbors: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.num_vars];
+        let mut entries: Vec<((u32, u32), f64)> = self
+            .quadratic
+            .into_iter()
+            .filter(|&(_, w)| w != 0.0)
+            .collect();
+        // Deterministic ordering regardless of HashMap iteration order.
+        entries.sort_by_key(|&(k, _)| k);
+        for ((i, j), w) in &entries {
+            neighbors[*i as usize].push((*j, *w));
+            neighbors[*j as usize].push((*i, *w));
+        }
+        for list in &mut neighbors {
+            list.sort_by_key(|&(j, _)| j);
+        }
+        QuboModel {
+            offset: self.offset,
+            linear: self.linear,
+            neighbors,
+        }
+    }
+}
+
+/// An immutable sparse QUBO model.
+///
+/// See the [module documentation](self) for the storage layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuboModel {
+    offset: f64,
+    linear: Vec<f64>,
+    /// symmetric adjacency: `neighbors[i]` holds `(j, w_ij)` for every
+    /// coupled `j != i`
+    neighbors: Vec<Vec<(u32, f64)>>,
+}
+
+impl QuboModel {
+    /// Number of binary variables.
+    pub fn num_vars(&self) -> usize {
+        self.linear.len()
+    }
+
+    /// Constant energy offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Linear coefficient of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn linear(&self, i: usize) -> f64 {
+        self.linear[i]
+    }
+
+    /// Coupling between `i` and `j` (`0.0` when absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn quadratic(&self, i: usize, j: usize) -> f64 {
+        assert!(j < self.num_vars(), "variable {j} out of range");
+        if i == j {
+            return 0.0;
+        }
+        match self.neighbors[i].binary_search_by_key(&(j as u32), |&(k, _)| k) {
+            Ok(pos) => self.neighbors[i][pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The `(j, w_ij)` adjacency list of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: usize) -> &[(u32, f64)] {
+        &self.neighbors[i]
+    }
+
+    /// Number of distinct non-zero couplings.
+    pub fn num_couplings(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Largest absolute coefficient (linear or quadratic); `0.0` for an
+    /// all-zero model.
+    pub fn max_abs_coefficient(&self) -> f64 {
+        let lin = self.linear.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        let quad = self
+            .neighbors
+            .iter()
+            .flatten()
+            .fold(0.0_f64, |m, &(_, w)| m.max(w.abs()));
+        lin.max(quad)
+    }
+
+    /// Full energy `E(x)` of a binary assignment (entries must be 0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn energy(&self, x: &[u8]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "state length mismatch");
+        let mut e = self.offset;
+        for i in 0..x.len() {
+            if x[i] == 0 {
+                continue;
+            }
+            e += self.linear[i];
+            // Each coupling counted once via the i < j half.
+            for &(j, w) in &self.neighbors[i] {
+                let j = j as usize;
+                if j > i && x[j] != 0 {
+                    e += w;
+                }
+            }
+        }
+        e
+    }
+
+    /// Checked energy evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError::StateLengthMismatch`] when the slice length is
+    /// wrong.
+    pub fn try_energy(&self, x: &[u8]) -> Result<f64, QuboError> {
+        if x.len() != self.num_vars() {
+            return Err(QuboError::StateLengthMismatch {
+                expected: self.num_vars(),
+                found: x.len(),
+            });
+        }
+        Ok(self.energy(x))
+    }
+
+    /// Returns a new model with every coefficient (linear, quadratic and
+    /// offset) passed through `f`.
+    ///
+    /// This is how the precision/noise solver wrappers inject coefficient
+    /// quantisation and analog control error (paper appendix B) without the
+    /// solvers knowing about the degradation model.
+    pub fn map_coefficients<F: FnMut(f64) -> f64>(&self, mut f: F) -> QuboModel {
+        let linear = self.linear.iter().map(|&v| f(v)).collect();
+        // Transform each coupling exactly once (the i < j copy), then mirror.
+        let n = self.num_vars();
+        let mut neighbors: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for &(j, w) in &self.neighbors[i] {
+                if (j as usize) > i {
+                    let new_w = f(w);
+                    neighbors[i].push((j, new_w));
+                    neighbors[j as usize].push((i as u32, new_w));
+                }
+            }
+        }
+        for list in &mut neighbors {
+            list.sort_by_key(|&(j, _)| j);
+        }
+        QuboModel {
+            offset: f(self.offset),
+            linear,
+            neighbors,
+        }
+    }
+
+    /// Iterates over all couplings as `(i, j, w)` with `i < j`.
+    pub fn couplings(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.neighbors.iter().enumerate().flat_map(|(i, list)| {
+            list.iter().filter_map(move |&(j, w)| {
+                let j = j as usize;
+                if j > i {
+                    Some((i, j, w))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Display for QuboModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QuboModel({} vars, {} couplings, offset {:.3})",
+            self.num_vars(),
+            self.num_couplings(),
+            self.offset
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> QuboModel {
+        // E = 1 + x0 - 2 x1 + 3 x0 x1 - x1 x2
+        let mut b = QuboBuilder::new(3);
+        b.add_offset(1.0);
+        b.add_linear(0, 1.0);
+        b.add_linear(1, -2.0);
+        b.add_quadratic(0, 1, 3.0);
+        b.add_quadratic(2, 1, -1.0);
+        b.build()
+    }
+
+    #[test]
+    fn energy_enumeration() {
+        let m = toy();
+        let want = |x0: f64, x1: f64, x2: f64| 1.0 + x0 - 2.0 * x1 + 3.0 * x0 * x1 - x1 * x2;
+        for bits in 0..8u8 {
+            let x = [bits & 1, (bits >> 1) & 1, (bits >> 2) & 1];
+            let e = m.energy(&x);
+            let w = want(x[0] as f64, x[1] as f64, x[2] as f64);
+            assert!((e - w).abs() < 1e-12, "x={x:?}");
+        }
+    }
+
+    #[test]
+    fn diagonal_folds_to_linear() {
+        let mut b = QuboBuilder::new(1);
+        b.add_quadratic(0, 0, 5.0);
+        let m = b.build();
+        assert_eq!(m.linear(0), 5.0);
+        assert_eq!(m.energy(&[1]), 5.0);
+    }
+
+    #[test]
+    fn symmetric_accumulation() {
+        let mut b = QuboBuilder::new(2);
+        b.add_quadratic(0, 1, 1.5);
+        b.add_quadratic(1, 0, 0.5);
+        let m = b.build();
+        assert_eq!(m.quadratic(0, 1), 2.0);
+        assert_eq!(m.quadratic(1, 0), 2.0);
+        assert_eq!(m.num_couplings(), 1);
+    }
+
+    #[test]
+    fn zero_couplings_dropped() {
+        let mut b = QuboBuilder::new(2);
+        b.add_quadratic(0, 1, 1.0);
+        b.add_quadratic(0, 1, -1.0);
+        let m = b.build();
+        assert_eq!(m.num_couplings(), 0);
+        assert_eq!(m.quadratic(0, 1), 0.0);
+    }
+
+    #[test]
+    fn max_abs_coefficient() {
+        let m = toy();
+        assert_eq!(m.max_abs_coefficient(), 3.0);
+        let empty = QuboBuilder::new(2).build();
+        assert_eq!(empty.max_abs_coefficient(), 0.0);
+    }
+
+    #[test]
+    fn map_coefficients_scales_energy() {
+        let m = toy();
+        let doubled = m.map_coefficients(|w| 2.0 * w);
+        for bits in 0..8u8 {
+            let x = [bits & 1, (bits >> 1) & 1, (bits >> 2) & 1];
+            assert!((doubled.energy(&x) - 2.0 * m.energy(&x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn try_energy_length_check() {
+        let m = toy();
+        assert!(matches!(
+            m.try_energy(&[0, 1]),
+            Err(QuboError::StateLengthMismatch { .. })
+        ));
+        assert!(m.try_energy(&[0, 1, 0]).is_ok());
+    }
+
+    #[test]
+    fn try_add_quadratic_checks() {
+        let mut b = QuboBuilder::new(2);
+        assert!(matches!(
+            b.try_add_quadratic(0, 2, 1.0),
+            Err(QuboError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.try_add_quadratic(0, 1, f64::NAN),
+            Err(QuboError::NonFiniteCoefficient)
+        ));
+        assert!(b.try_add_quadratic(0, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn couplings_iterator_half_view() {
+        let m = toy();
+        let cs: Vec<(usize, usize, f64)> = m.couplings().collect();
+        assert_eq!(cs.len(), 2);
+        assert!(cs.contains(&(0, 1, 3.0)));
+        assert!(cs.contains(&(1, 2, -1.0)));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", toy()).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = toy();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: QuboModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

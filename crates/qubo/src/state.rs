@@ -1,0 +1,270 @@
+//! Incremental single-flip evaluation of QUBO states.
+//!
+//! Annealing-style solvers attempt millions of single-bit flips; recomputing
+//! the full energy per attempt would cost O(nnz) each. [`LocalFieldState`]
+//! caches the *local field* of every variable,
+//!
+//! `h_i(x) = l_i + Σ_{j≠i} w_ij x_j`,
+//!
+//! so the energy change of flipping bit `i` is `ΔE = (1 − 2 x_i) · h_i` in
+//! O(1), and committing a flip updates the coupled fields in O(degree).
+
+use rand::Rng;
+
+use crate::model::QuboModel;
+use crate::QuboError;
+
+/// A binary assignment with cached local fields and energy.
+///
+/// # Examples
+///
+/// ```
+/// use qubo::{QuboBuilder, LocalFieldState};
+/// let mut b = QuboBuilder::new(2);
+/// b.add_linear(0, 1.0);
+/// b.add_quadratic(0, 1, -3.0);
+/// let m = b.build();
+/// let mut s = LocalFieldState::new(&m, vec![0, 1]);
+/// assert_eq!(s.energy(), 0.0);
+/// let delta = s.flip_delta(0); // turning on x0: +1 (linear) -3 (coupling)
+/// assert_eq!(delta, -2.0);
+/// s.flip(0);
+/// assert_eq!(s.energy(), -2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalFieldState<'m> {
+    model: &'m QuboModel,
+    x: Vec<u8>,
+    fields: Vec<f64>,
+    energy: f64,
+}
+
+impl<'m> LocalFieldState<'m> {
+    /// Builds the cache for assignment `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != model.num_vars()` or any entry is not 0/1.
+    #[allow(clippy::needless_range_loop)] // i indexes fields, x and the model
+    pub fn new(model: &'m QuboModel, x: Vec<u8>) -> Self {
+        assert_eq!(x.len(), model.num_vars(), "state length mismatch");
+        assert!(x.iter().all(|&b| b <= 1), "state entries must be 0 or 1");
+        let mut fields = vec![0.0; x.len()];
+        for i in 0..x.len() {
+            let mut h = model.linear(i);
+            for &(j, w) in model.neighbors(i) {
+                if x[j as usize] != 0 {
+                    h += w;
+                }
+            }
+            fields[i] = h;
+        }
+        let energy = model.energy(&x);
+        LocalFieldState {
+            model,
+            x,
+            fields,
+            energy,
+        }
+    }
+
+    /// Checked constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError::StateLengthMismatch`] for a wrong-length
+    /// assignment.
+    pub fn try_new(model: &'m QuboModel, x: Vec<u8>) -> Result<Self, QuboError> {
+        if x.len() != model.num_vars() {
+            return Err(QuboError::StateLengthMismatch {
+                expected: model.num_vars(),
+                found: x.len(),
+            });
+        }
+        Ok(Self::new(model, x))
+    }
+
+    /// Builds a uniformly random assignment.
+    pub fn random<R: Rng + ?Sized>(model: &'m QuboModel, rng: &mut R) -> Self {
+        let x: Vec<u8> = (0..model.num_vars()).map(|_| rng.gen_range(0..2)).collect();
+        Self::new(model, x)
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &QuboModel {
+        self.model
+    }
+
+    /// Current assignment.
+    pub fn assignment(&self) -> &[u8] {
+        &self.x
+    }
+
+    /// Current cached energy.
+    pub fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    /// Current value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bit(&self, i: usize) -> u8 {
+        self.x[i]
+    }
+
+    /// Local field of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn field(&self, i: usize) -> f64 {
+        self.fields[i]
+    }
+
+    /// Energy change that flipping bit `i` *would* cause (O(1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn flip_delta(&self, i: usize) -> f64 {
+        let sign = 1.0 - 2.0 * self.x[i] as f64;
+        sign * self.fields[i]
+    }
+
+    /// Commits a flip of bit `i`, updating energy and coupled fields.
+    ///
+    /// Returns the applied energy delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn flip(&mut self, i: usize) -> f64 {
+        let delta = self.flip_delta(i);
+        let sign = 1.0 - 2.0 * self.x[i] as f64; // +1 when turning on
+        self.x[i] ^= 1;
+        self.energy += delta;
+        for &(j, w) in self.model.neighbors(i) {
+            self.fields[j as usize] += sign * w;
+        }
+        delta
+    }
+
+    /// Replaces the assignment wholesale and rebuilds the caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn reset(&mut self, x: Vec<u8>) {
+        *self = LocalFieldState::new(self.model, x);
+    }
+
+    /// Consumes the state and returns the assignment.
+    pub fn into_assignment(self) -> Vec<u8> {
+        self.x
+    }
+
+    /// Recomputes the energy from scratch (O(nnz)) — used by tests and
+    /// debug assertions to validate the incremental bookkeeping.
+    pub fn recompute_energy(&self) -> f64 {
+        self.model.energy(&self.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QuboBuilder;
+    use mathkit::rng::seeded_rng;
+    use rand::Rng;
+
+    fn random_model(n: usize, seed: u64) -> QuboModel {
+        let mut rng = seeded_rng(seed);
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_linear(i, rng.gen_range(-2.0..2.0));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen::<f64>() < 0.4 {
+                    b.add_quadratic(i, j, rng.gen_range(-1.5..1.5));
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fields_match_definition() {
+        let m = random_model(8, 3);
+        let mut rng = seeded_rng(11);
+        let s = LocalFieldState::random(&m, &mut rng);
+        for i in 0..8 {
+            let mut h = m.linear(i);
+            for j in 0..8 {
+                if j != i && s.bit(j) == 1 {
+                    h += m.quadratic(i, j);
+                }
+            }
+            assert!((s.field(i) - h).abs() < 1e-12, "field {i}");
+        }
+    }
+
+    #[test]
+    fn delta_matches_full_recompute() {
+        let m = random_model(10, 5);
+        let mut rng = seeded_rng(17);
+        let mut s = LocalFieldState::random(&m, &mut rng);
+        for step in 0..200 {
+            let i = rng.gen_range(0..10);
+            let predicted = s.flip_delta(i);
+            let before = s.recompute_energy();
+            s.flip(i);
+            let after = s.recompute_energy();
+            assert!(
+                (after - before - predicted).abs() < 1e-9,
+                "step {step}, var {i}"
+            );
+            assert!((s.energy() - after).abs() < 1e-9, "cached energy drift");
+        }
+    }
+
+    #[test]
+    fn flip_twice_restores() {
+        let m = random_model(6, 9);
+        let mut rng = seeded_rng(23);
+        let mut s = LocalFieldState::random(&m, &mut rng);
+        let e0 = s.energy();
+        let x0 = s.assignment().to_vec();
+        s.flip(2);
+        s.flip(2);
+        assert_eq!(s.assignment(), &x0[..]);
+        assert!((s.energy() - e0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_rebuilds() {
+        let m = random_model(5, 1);
+        let mut s = LocalFieldState::new(&m, vec![0; 5]);
+        s.flip(0);
+        s.reset(vec![1; 5]);
+        assert_eq!(s.assignment(), &[1, 1, 1, 1, 1]);
+        assert!((s.energy() - m.energy(&[1; 5])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_length_check() {
+        let m = random_model(4, 2);
+        assert!(LocalFieldState::try_new(&m, vec![0; 3]).is_err());
+        assert!(LocalFieldState::try_new(&m, vec![0; 4]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "0 or 1")]
+    fn rejects_non_binary() {
+        let m = random_model(2, 2);
+        let _ = LocalFieldState::new(&m, vec![0, 2]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Exact enumeration solver for small models.
+//!
+//! Enumerates all `2^n` assignments; the ground-truth oracle used by tests
+//! and by the tiny end-to-end experiment configurations. Refuses models
+//! beyond [`ExhaustiveSolver::MAX_VARS`] variables.
+
+use qubo::QuboModel;
+
+use crate::sample::{Sample, SampleSet};
+use crate::Solver;
+
+/// Exact brute-force solver (≤ 24 variables).
+///
+/// `sample` returns the `batch` *lowest-energy distinct assignments* in
+/// ascending order, so `best()` is the exact ground state and the "batch"
+/// mimics a perfectly-converged stochastic solver.
+///
+/// # Examples
+///
+/// ```
+/// use qubo::QuboBuilder;
+/// use solvers::{exhaustive::ExhaustiveSolver, Solver};
+/// let mut b = QuboBuilder::new(2);
+/// b.add_linear(0, -1.0);
+/// b.add_linear(1, 2.0);
+/// let model = b.build();
+/// let set = ExhaustiveSolver::new().sample(&model, 4, 0);
+/// assert_eq!(set.best().unwrap().energy, -1.0);
+/// assert_eq!(set.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveSolver;
+
+impl ExhaustiveSolver {
+    /// Largest model size the solver will enumerate.
+    pub const MAX_VARS: usize = 24;
+
+    /// Creates the solver.
+    pub fn new() -> Self {
+        ExhaustiveSolver
+    }
+
+    /// Exact ground state of `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model exceeds [`ExhaustiveSolver::MAX_VARS`] variables.
+    pub fn ground_state(&self, model: &QuboModel) -> Sample {
+        let n = model.num_vars();
+        assert!(
+            n <= Self::MAX_VARS,
+            "exhaustive enumeration limited to {} variables, got {n}",
+            Self::MAX_VARS
+        );
+        let mut best_bits = 0u32;
+        let mut best_e = f64::INFINITY;
+        for bits in 0..(1u64 << n) as u32 {
+            let x: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
+            let e = model.energy(&x);
+            if e < best_e {
+                best_e = e;
+                best_bits = bits;
+            }
+        }
+        Sample {
+            assignment: (0..n).map(|k| ((best_bits >> k) & 1) as u8).collect(),
+            energy: best_e,
+        }
+    }
+}
+
+impl Solver for ExhaustiveSolver {
+    fn name(&self) -> &str {
+        "exhaustive"
+    }
+
+    fn sample(&self, model: &QuboModel, batch: usize, _seed: u64) -> SampleSet {
+        let n = model.num_vars();
+        assert!(
+            n <= Self::MAX_VARS,
+            "exhaustive enumeration limited to {} variables, got {n}",
+            Self::MAX_VARS
+        );
+        if batch == 0 {
+            return SampleSet::new();
+        }
+        // Keep the `batch` lowest-energy assignments via a bounded
+        // worst-first comparison (n is tiny, so a simple Vec is fine).
+        let mut keep: Vec<(f64, u32)> = Vec::with_capacity(batch + 1);
+        for bits in 0..(1u64 << n) as u32 {
+            let x: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
+            let e = model.energy(&x);
+            if keep.len() < batch {
+                keep.push((e, bits));
+                keep.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            } else if e < keep[batch - 1].0 {
+                keep[batch - 1] = (e, bits);
+                keep.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            }
+        }
+        SampleSet::from_samples(
+            keep.into_iter()
+                .map(|(e, bits)| Sample {
+                    assignment: (0..n).map(|k| ((bits >> k) & 1) as u8).collect(),
+                    energy: e,
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubo::QuboBuilder;
+
+    #[test]
+    fn ground_state_known() {
+        // E = -x0 + x1 - 2 x0 x1 → min at [1,1] = -1 + 1 - 2 = -2
+        let mut b = QuboBuilder::new(2);
+        b.add_linear(0, -1.0);
+        b.add_linear(1, 1.0);
+        b.add_quadratic(0, 1, -2.0);
+        let m = b.build();
+        let g = ExhaustiveSolver::new().ground_state(&m);
+        assert_eq!(g.assignment, vec![1, 1]);
+        assert_eq!(g.energy, -2.0);
+    }
+
+    #[test]
+    fn batch_is_k_lowest() {
+        let mut b = QuboBuilder::new(3);
+        b.add_linear(0, 1.0);
+        b.add_linear(1, 2.0);
+        b.add_linear(2, 4.0);
+        let m = b.build();
+        let set = ExhaustiveSolver::new().sample(&m, 3, 0);
+        assert_eq!(set.energies(), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_larger_than_space() {
+        let m = QuboBuilder::new(1).build();
+        let set = ExhaustiveSolver::new().sample(&m, 10, 0);
+        assert_eq!(set.len(), 2); // only two assignments exist
+    }
+
+    #[test]
+    fn zero_batch() {
+        let m = QuboBuilder::new(2).build();
+        assert!(ExhaustiveSolver::new().sample(&m, 0, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn too_large_model_rejected() {
+        let m = QuboBuilder::new(25).build();
+        let _ = ExhaustiveSolver::new().ground_state(&m);
+    }
+}

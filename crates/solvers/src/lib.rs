@@ -1,0 +1,96 @@
+//! # solvers — QUBO solver substrates
+//!
+//! The paper evaluates QROSS against two production solvers — the Fujitsu
+//! Digital Annealer and D-Wave's Qbsolv (run in simulator mode) — plus plain
+//! Simulated Annealing on CPU. None of these is available as a Rust
+//! dependency, so this crate implements each from its published algorithm
+//! (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`sa`] — [`SimulatedAnnealer`]: Metropolis single-flip annealing with a
+//!   geometric β schedule auto-scaled to the model's coefficient range;
+//! * [`da`] — [`DigitalAnnealer`]: the parallel-trial, dynamic-escape-offset
+//!   Monte Carlo of Aramon et al. (2019);
+//! * [`tabu`] — [`TabuSearch`]: 1-flip tabu with aspiration, also the
+//!   qbsolv subsolver;
+//! * [`qbsolv`] — [`Qbsolv`]: the decomposition loop of Booth et al. (2017);
+//! * [`exhaustive`] — [`ExhaustiveSolver`]: exact enumeration for ≤ 24
+//!   variables, the ground-truth oracle in tests;
+//! * [`noise`] — solver wrappers injecting *analog control error* and
+//!   coefficient quantisation (paper appendix B);
+//! * [`sample`] — [`Sample`]/[`SampleSet`]: the batch-of-solutions result
+//!   format whose statistics (`Pf`, `Eavg`, `Estd`) the surrogate learns.
+//!
+//! Every solver implements the [`Solver`] trait: given a QUBO and a seed it
+//! returns a `SampleSet` of `batch` stochastic solutions, mirroring how the
+//! paper's solvers return 128 solutions per call.
+//!
+//! # Examples
+//!
+//! ```
+//! use qubo::QuboBuilder;
+//! use solvers::{sa::SimulatedAnnealer, Solver};
+//!
+//! let mut b = QuboBuilder::new(2);
+//! b.add_linear(0, -1.0);
+//! b.add_quadratic(0, 1, 2.0);
+//! let model = b.build();
+//! let solver = SimulatedAnnealer::default();
+//! let set = solver.sample(&model, 8, 42);
+//! assert_eq!(set.len(), 8);
+//! // ground state is x = [1, 0] with energy -1
+//! assert_eq!(set.best().unwrap().energy, -1.0);
+//! ```
+
+pub mod da;
+pub mod exhaustive;
+pub mod noise;
+pub mod parallel;
+pub mod qbsolv;
+pub mod sa;
+pub mod sample;
+pub mod schedule;
+pub mod tabu;
+
+pub use da::DigitalAnnealer;
+pub use exhaustive::ExhaustiveSolver;
+pub use noise::{AnalogNoise, Quantizer};
+pub use qbsolv::Qbsolv;
+pub use sa::SimulatedAnnealer;
+pub use sample::{Sample, SampleSet};
+pub use tabu::TabuSearch;
+
+use qubo::QuboModel;
+
+/// A stochastic QUBO solver: returns a batch of candidate solutions.
+///
+/// Implementations must be deterministic given `(model, batch, seed)` so
+/// that experiments are reproducible, and must report energies measured on
+/// the *input* model even if they internally perturb coefficients (see
+/// [`noise`]).
+pub trait Solver: Send + Sync {
+    /// Short stable identifier used in experiment reports (e.g. `"da"`).
+    fn name(&self) -> &str;
+
+    /// Draws `batch` solutions for `model` using the given seed.
+    fn sample(&self, model: &QuboModel, batch: usize, seed: u64) -> SampleSet;
+}
+
+impl<S: Solver + ?Sized> Solver for &S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn sample(&self, model: &QuboModel, batch: usize, seed: u64) -> SampleSet {
+        (**self).sample(model, batch, seed)
+    }
+}
+
+impl<S: Solver + ?Sized> Solver for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn sample(&self, model: &QuboModel, batch: usize, seed: u64) -> SampleSet {
+        (**self).sample(model, batch, seed)
+    }
+}

@@ -1,0 +1,107 @@
+//! Random search — the exhaustive-method representative in the paper's
+//! comparison (§5.1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use mathkit::rng::seeded_rng;
+
+use crate::{validate_observation, Observation, Tuner};
+
+/// Uniform random sampling over `[lo, hi]`.
+#[derive(Debug)]
+pub struct RandomSearch {
+    lo: f64,
+    hi: f64,
+    rng: StdRng,
+    observations: Vec<Observation>,
+}
+
+impl RandomSearch {
+    /// Creates a random-search tuner on `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid domain [{lo}, {hi}]"
+        );
+        RandomSearch {
+            lo,
+            hi,
+            rng: seeded_rng(seed ^ 0x5241_4E44),
+            observations: Vec::new(),
+        }
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn ask(&mut self) -> f64 {
+        self.rng.gen_range(self.lo..=self.hi)
+    }
+
+    fn tell(&mut self, x: f64, y: f64) {
+        validate_observation(self.lo, self.hi, x, y);
+        self.observations.push(Observation { x, y });
+    }
+
+    fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_domain() {
+        let mut t = RandomSearch::new(2.0, 7.0, 1);
+        for _ in 0..500 {
+            let x = t.ask();
+            assert!((2.0..=7.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_sequences() {
+        let xs: Vec<f64> = {
+            let mut t = RandomSearch::new(0.0, 1.0, 9);
+            (0..10).map(|_| t.ask()).collect()
+        };
+        let ys: Vec<f64> = {
+            let mut t = RandomSearch::new(0.0, 1.0, 9);
+            (0..10).map(|_| t.ask()).collect()
+        };
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn best_tracks_minimum() {
+        let mut t = RandomSearch::new(0.0, 10.0, 3);
+        t.tell(1.0, 5.0);
+        t.tell(2.0, -1.0);
+        t.tell(3.0, 2.0);
+        assert_eq!(t.best(), Some((2.0, -1.0)));
+        assert_eq!(t.observations().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_objective() {
+        let mut t = RandomSearch::new(0.0, 1.0, 1);
+        t.tell(0.5, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid domain")]
+    fn rejects_bad_domain() {
+        let _ = RandomSearch::new(1.0, 1.0, 0);
+    }
+}

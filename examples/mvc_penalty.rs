@@ -1,0 +1,77 @@
+//! Penalty-weight sensitivity on Minimum Vertex Cover (the paper's
+//! appendix-B experiment, Fig. 6): why "just set the penalty huge" fails
+//! on real hardware.
+//!
+//! Sweeps the MVC penalty weight over four orders of magnitude on a random
+//! `G(n, 0.5)` graph and reports the best cover weight found by
+//!
+//! * plain simulated annealing, and
+//! * the same solver behind an *analog control error* model (a quantum
+//!   annealer whose implemented Hamiltonian coefficients differ slightly
+//!   from the intended ones).
+//!
+//! ```text
+//! cargo run --release --example mvc_penalty
+//! ```
+
+use qross_repro::problems::{MvcInstance, RelaxableProblem};
+use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
+use qross_repro::solvers::{AnalogNoise, Solver};
+
+fn main() {
+    let n = 40;
+    let graph = MvcInstance::random_gnp("demo", n, 0.5, 99);
+    println!(
+        "weighted MVC on G({n}, 0.5): {} edges, greedy cover weight {:.3}",
+        graph.edges().len(),
+        graph.cover_weight(&graph.greedy_cover())
+    );
+
+    let sa = SimulatedAnnealer::new(SaConfig {
+        sweeps: 256,
+        ..Default::default()
+    });
+    let qa = AnalogNoise::new(
+        SimulatedAnnealer::new(SaConfig {
+            sweeps: 256,
+            ..Default::default()
+        }),
+        0.03, // 3% coefficient error, the hardware ballpark of appendix B
+    );
+
+    println!(
+        "\n{:>10} {:>14} {:>14}",
+        "penalty", "SA cover", "QA-sim cover"
+    );
+    let mut rows = Vec::new();
+    for k in 0..9 {
+        let sigma = 10f64.powf(4.0 * k as f64 / 8.0);
+        let mut line = vec![format!("{sigma:>10.1}")];
+        let mut values = Vec::new();
+        for solver in [&sa as &dyn Solver, &qa as &dyn Solver] {
+            let qubo = graph.to_qubo(sigma);
+            let set = solver.sample(&qubo, 16, 1234 + k as u64);
+            let best = set
+                .best_feasible(|x| graph.is_feasible(x))
+                .and_then(|s| graph.fitness(&s.assignment));
+            match best {
+                Some(w) => {
+                    line.push(format!("{w:>14.3}"));
+                    values.push(w);
+                }
+                None => {
+                    line.push(format!("{:>14}", "infeasible"));
+                    values.push(f64::NAN);
+                }
+            }
+        }
+        println!("{}", line.join(" "));
+        rows.push(values);
+    }
+    println!(
+        "\nBoth solvers degrade as the penalty dominates the Hamiltonian, and\n\
+         the analog-error model degrades faster — the appendix-B argument for\n\
+         *tuning* the relaxation parameter instead of setting it conservatively\n\
+         large. That tuning problem is exactly what QROSS automates."
+    );
+}

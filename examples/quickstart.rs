@@ -1,0 +1,99 @@
+//! Quickstart: train a solver surrogate on a small synthetic TSP family,
+//! then let QROSS propose relaxation parameters for an unseen instance —
+//! the full paper pipeline in one file.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qross_repro::problems::tsp::heuristics;
+use qross_repro::qross::collect::observe;
+use qross_repro::qross::pipeline::{Pipeline, PipelineConfig, A_DOMAIN};
+use qross_repro::qross::strategy::{ComposedStrategy, ProposalStrategy};
+use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
+
+fn main() {
+    // 1. A stochastic QUBO solver — the black box whose behaviour the
+    //    surrogate will learn. (Swap in DigitalAnnealer or Qbsolv freely.)
+    let solver = SimulatedAnnealer::new(SaConfig {
+        sweeps: 128,
+        ..Default::default()
+    });
+
+    // 2. Train the surrogate on a family of synthetic instances
+    //    (generation → solver-data collection → neural training).
+    println!("training surrogate on synthetic TSP instances…");
+    let trained = Pipeline::new(PipelineConfig::quick()).run(&solver);
+    println!(
+        "  dataset: {} rows from {} instances; final Pf-loss {:.4}",
+        trained.dataset_len,
+        trained.train_encodings.len(),
+        trained.report.pf.train_loss.last().unwrap()
+    );
+
+    // 3. Take an unseen instance and let QROSS propose parameters.
+    let encoding = &trained.test_encodings[0];
+    let features = trained.featurizer.extract(encoding.qubo_instance());
+    let batch = 24;
+    let mut strategy = ComposedStrategy::new(&trained.surrogate, features, A_DOMAIN, batch, 7);
+
+    let (_, reference) = heuristics::reference_tour(encoding.fitness_instance(), 8);
+    println!(
+        "\nunseen instance `{}` ({} cities), near-optimal tour length {:.3}",
+        encoding.fitness_instance().name(),
+        encoding.num_cities(),
+        reference
+    );
+    println!("trial |       A  |   Pf  | best fitness | gap");
+    let mut best = f64::INFINITY;
+    for trial in 0..8 {
+        let a = strategy.propose(trial);
+        let outcome = observe(encoding, &solver, a, batch, 1000 + trial as u64);
+        strategy.observe(a, &outcome);
+        if let Some(f) = outcome.best_fitness {
+            best = best.min(f);
+        }
+        let gap = if best.is_finite() {
+            format!("{:+.2}%", (best / reference - 1.0) * 100.0)
+        } else {
+            "  n/a".to_string()
+        };
+        let phase = match trial {
+            0 => "MFS",
+            1 | 2 => "PBS",
+            _ => "OFS",
+        };
+        println!(
+            "  {:>2}  | {:>7.4} | {:>5.2} | {:>12} | {:>7}  ({phase})",
+            trial + 1,
+            a,
+            outcome.pf,
+            outcome
+                .best_fitness
+                .map(|f| format!("{f:.3}"))
+                .unwrap_or_else(|| "infeasible".to_string()),
+            gap,
+        );
+    }
+    println!(
+        "\nThe first (MFS) proposal needed zero solver calls to choose its A —\n\
+         that is the point of QROSS: the surrogate already knows this instance family."
+    );
+
+    // 4. The surrogate can also sketch the whole landscape without any
+    //    solver call (paper §1: "predict the landscape of the objective
+    //    function ... without resorting to the expensive QUBO solving step").
+    let features = trained.featurizer.extract(encoding.qubo_instance());
+    let landscape = qross_repro::qross::landscape::PredictedLandscape::compute(
+        &trained.surrogate,
+        &features,
+        A_DOMAIN,
+        64,
+        batch,
+    );
+    println!("\npredicted landscape (no solver calls):");
+    print!("{}", landscape.render_ascii(64, 10));
+    if let Some((a, v)) = landscape.predicted_optimum() {
+        println!("predicted optimal A = {a:.3} (expected min fitness {v:.3})");
+    }
+}

@@ -1,0 +1,85 @@
+//! Out-of-distribution study: apply a surrogate trained on small synthetic
+//! instances to the structurally different benchmark set (the paper's
+//! Fig.-4 setting), and optionally to genuine TSPLIB files.
+//!
+//! ```text
+//! cargo run --release --example tsplib_study [path/to/instance.tsp ...]
+//! ```
+//!
+//! With file arguments, each file is parsed with the TSPLIB95 parser and
+//! pushed through the same study; without arguments the built-in
+//! out-of-distribution set is used.
+
+use qross_repro::problems::tsp::heuristics;
+use qross_repro::problems::{realworld, tsplib, TspEncoding};
+use qross_repro::qross::collect::observe;
+use qross_repro::qross::pipeline::{Pipeline, PipelineConfig, A_DOMAIN};
+use qross_repro::qross::strategy::{ComposedStrategy, ProposalStrategy};
+use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    let instances = if files.is_empty() {
+        println!(
+            "using the built-in out-of-distribution set (pass .tsp paths to use TSPLIB files)"
+        );
+        realworld::benchmark_subset(30)
+    } else {
+        files
+            .iter()
+            .map(|f| {
+                tsplib::load_tsplib_file(std::path::Path::new(f))
+                    .unwrap_or_else(|e| panic!("cannot load {f}: {e}"))
+            })
+            .collect()
+    };
+
+    let solver = SimulatedAnnealer::new(SaConfig {
+        sweeps: 128,
+        ..Default::default()
+    });
+    println!("training surrogate on the synthetic distribution (8–12 cities)…");
+    let trained = Pipeline::new(PipelineConfig::quick()).run(&solver);
+    let batch = 24;
+    let trials = 5;
+
+    println!(
+        "\n{:<14} {:>6} {:>10} {:>12} {:>9}",
+        "instance", "cities", "reference", "best found", "gap"
+    );
+    for instance in instances {
+        let encoding = TspEncoding::preprocessed(instance);
+        let features = trained.featurizer.extract(encoding.qubo_instance());
+        let (_, reference) = heuristics::reference_tour(encoding.fitness_instance(), 8);
+        let mut strategy = ComposedStrategy::new(&trained.surrogate, features, A_DOMAIN, batch, 3);
+        let mut best = f64::INFINITY;
+        for t in 0..trials {
+            let a = strategy.propose(t);
+            let outcome = observe(&encoding, &solver, a, batch, 700 + t as u64);
+            strategy.observe(a, &outcome);
+            if let Some(f) = outcome.best_fitness {
+                best = best.min(f);
+            }
+        }
+        let (best_str, gap_str) = if best.is_finite() {
+            (
+                format!("{best:.1}"),
+                format!("{:+.1}%", (best / reference - 1.0) * 100.0),
+            )
+        } else {
+            ("—".to_string(), "n/a".to_string())
+        };
+        println!(
+            "{:<14} {:>6} {:>10.1} {:>12} {:>9}",
+            encoding.fitness_instance().name(),
+            encoding.num_cities(),
+            reference,
+            best_str,
+            gap_str
+        );
+    }
+    println!(
+        "\n(sizes well outside the 8–12-city training range still get usable\n\
+         parameters — the out-of-distribution generalisation of paper §5.2)"
+    );
+}

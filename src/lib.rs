@@ -1,0 +1,21 @@
+//! # qross-repro — workspace umbrella
+//!
+//! Re-exports the workspace crates so the `examples/` and `tests/`
+//! directories can exercise the whole QROSS reproduction through one
+//! dependency. See the individual crates for documentation:
+//!
+//! * [`qross`] — the paper's contribution (surrogate + strategies);
+//! * [`qubo`] — QUBO models and penalty relaxation;
+//! * [`solvers`] — SA / Digital Annealer / tabu / qbsolv / noise models;
+//! * [`problems`] — TSP, MVC, QAP with generators and parsers;
+//! * [`neural`] — the from-scratch NN substrate;
+//! * [`tuners`] — Random / Bayesian-optimisation / TPE baselines;
+//! * [`mathkit`] — numerical routines.
+
+pub use mathkit;
+pub use neural;
+pub use problems;
+pub use qross;
+pub use qubo;
+pub use solvers;
+pub use tuners;

@@ -1,0 +1,164 @@
+//! Failure injection: the pipeline must degrade gracefully, not panic,
+//! when components are starved or fed degenerate inputs.
+
+use qross_repro::problems::{RelaxableProblem, TspEncoding, TspInstance};
+use qross_repro::qross::collect::{collect_profile, observe, CollectConfig};
+use qross_repro::qross::dataset::{DatasetRow, SurrogateDataset};
+use qross_repro::qross::strategy::ofs::OnlineFitting;
+use qross_repro::qross::strategy::{ProposalStrategy, TunerStrategy};
+use qross_repro::qross::surrogate::{Surrogate, SurrogateConfig};
+use qross_repro::qross::QrossError;
+use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
+use qross_repro::solvers::Solver;
+use qross_repro::tuners::{RandomSearch, Tuner};
+
+fn tiny() -> TspEncoding {
+    TspEncoding::preprocessed(TspInstance::from_coords(
+        "tiny",
+        &[(0.0, 0.0), (1.0, 0.2), (0.8, 1.1), (-0.2, 0.9)],
+    ))
+}
+
+/// A solver given zero optimisation budget still returns well-formed
+/// (random) samples, and the whole observation path tolerates it.
+#[test]
+fn zero_budget_solver_survives_pipeline_paths() {
+    let dead = SimulatedAnnealer::new(SaConfig {
+        sweeps: 0,
+        ..Default::default()
+    });
+    let enc = tiny();
+    let obs = observe(&enc, &dead, 1.0, 8, 1);
+    assert!((0.0..=1.0).contains(&obs.pf));
+    assert!(obs.e_std >= 0.0);
+    // Profile collection with a hopeless solver terminates (bounded probes).
+    let cfg = CollectConfig {
+        batch: 4,
+        sweep_points: 4,
+        ..Default::default()
+    };
+    let profile = collect_profile(&enc, &dead, &cfg, 2);
+    assert!(profile.len() >= 4);
+}
+
+/// An all-infeasible regime (absurdly low A bound) yields Pf = 0 rows;
+/// the surrogate still trains (it learns "always infeasible") and MFS
+/// correctly reports NoCandidate instead of proposing garbage.
+#[test]
+fn all_infeasible_regime_yields_no_candidate() {
+    let mut ds = SurrogateDataset::new(1);
+    for g in 0..6 {
+        for k in 0..8 {
+            ds.push(DatasetRow {
+                features: vec![g as f64],
+                a: 0.01 * (k + 1) as f64,
+                pf: 0.0,
+                e_avg: 1.0 + k as f64,
+                e_std: 0.3,
+            });
+        }
+    }
+    let cfg = SurrogateConfig {
+        hidden: 8,
+        epochs: 300,
+        val_fraction: 0.0,
+        ..Default::default()
+    };
+    let (sur, _) = Surrogate::train(&ds, &cfg).unwrap();
+    let result = qross_repro::qross::strategy::mfs::propose(&sur, &[2.0], (0.01, 0.08), 16);
+    assert!(
+        matches!(result, Err(QrossError::NoCandidate { .. })),
+        "MFS must refuse when Pf is zero everywhere, got {result:?}"
+    );
+}
+
+/// OFS fed only saturated observations (all Pf = 1) keeps proposing
+/// in-domain candidates and never panics.
+#[test]
+fn ofs_saturated_history_keeps_probing() {
+    let mut ofs = OnlineFitting::new((0.1, 50.0), 9);
+    for k in 0..6 {
+        ofs.observe(10.0 + k as f64, 1.0);
+    }
+    for _ in 0..20 {
+        let a = ofs.next_candidate();
+        assert!((0.1..=50.0).contains(&a));
+        // keep it saturated — the strategy must keep walking left
+        ofs.observe(a, 1.0);
+    }
+    // The bound probe must have pushed towards the left boundary.
+    assert!(ofs.history().iter().any(|&(a, _)| a < 1.0));
+}
+
+/// Tuner strategies encode infeasible outcomes as the finite fallback —
+/// a full run with a solver that never finds feasible solutions works.
+#[test]
+fn tuner_strategy_with_never_feasible_solver() {
+    let enc = tiny();
+    // A=0.0001-bounded search: essentially always infeasible.
+    let dead = SimulatedAnnealer::new(SaConfig {
+        sweeps: 16,
+        ..Default::default()
+    });
+    let mut strat = TunerStrategy::new(RandomSearch::new(1e-4, 1e-3, 3), 999.0);
+    for t in 0..6 {
+        let a = strat.propose(t);
+        let obs = observe(&enc, &dead, a, 8, 10 + t as u64);
+        strat.observe(a, &obs);
+    }
+    assert_eq!(strat.tuner().observations().len(), 6);
+    assert!(strat
+        .tuner()
+        .observations()
+        .iter()
+        .all(|o| o.y == 999.0 || o.y.is_finite()));
+}
+
+/// Degenerate instances: all-equal coordinates produce zero distances —
+/// the encoding still builds, and solvers return *feasible* tours (every
+/// permutation is optimal).
+#[test]
+fn degenerate_all_equal_instance() {
+    let inst = TspInstance::from_coords("dup", &[(1.0, 1.0); 4]);
+    let enc = TspEncoding::new(inst); // preprocessing would divide by 0 mean
+    let s = SimulatedAnnealer::new(SaConfig {
+        sweeps: 64,
+        ..Default::default()
+    });
+    let qubo = enc.to_qubo(1.0);
+    let set = s.sample(&qubo, 8, 4);
+    let best = set.best_feasible(|x| enc.is_feasible(x));
+    assert!(
+        best.is_some(),
+        "all-zero-distance instance must be solvable"
+    );
+    assert_eq!(enc.fitness(&best.unwrap().assignment), Some(0.0));
+}
+
+/// Surrogate training diverges cleanly (error, not NaN propagation) under
+/// an absurd learning rate.
+#[test]
+fn surrogate_divergence_is_an_error() {
+    let mut ds = SurrogateDataset::new(1);
+    for k in 0..30 {
+        ds.push(DatasetRow {
+            features: vec![k as f64 * 100.0],
+            a: 1.0 + k as f64,
+            pf: (k % 2) as f64,
+            e_avg: 1e6 * k as f64,
+            e_std: 1.0,
+        });
+    }
+    let cfg = SurrogateConfig {
+        hidden: 8,
+        epochs: 400,
+        learning_rate: 1e9,
+        val_fraction: 0.0,
+        ..Default::default()
+    };
+    match Surrogate::train(&ds, &cfg) {
+        Err(QrossError::TrainingDiverged) => {}
+        Ok(_) => {} // extreme clipping by Huber/BCE may keep it finite
+        Err(other) => panic!("unexpected error kind: {other}"),
+    }
+}

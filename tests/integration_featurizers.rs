@@ -1,0 +1,55 @@
+//! Featurizer ablation (DESIGN.md): both the statistical featurizer and
+//! the fixed-random-GCN featurizer must train working surrogates, and
+//! their qualitative predictions must agree.
+
+use qross_repro::qross::features::{FeatureExtractor, RandomGcnFeaturizer, StatisticalFeaturizer};
+use qross_repro::qross::pipeline::{Pipeline, PipelineConfig, A_DOMAIN};
+use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
+
+fn solver() -> SimulatedAnnealer {
+    SimulatedAnnealer::new(SaConfig {
+        sweeps: 64,
+        ..Default::default()
+    })
+}
+
+fn tiny_config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::micro();
+    cfg.train_instances = 10;
+    cfg.test_instances = 2;
+    cfg.surrogate.epochs = 120;
+    cfg
+}
+
+#[test]
+fn both_featurizers_train_sigmoid_surrogates() {
+    for featurizer in [
+        Box::new(StatisticalFeaturizer::new()) as Box<dyn FeatureExtractor>,
+        Box::new(RandomGcnFeaturizer::new(8, 42)) as Box<dyn FeatureExtractor>,
+    ] {
+        let name = featurizer.name().to_string();
+        let trained = Pipeline::new(tiny_config())
+            .with_featurizer(featurizer)
+            .run(&solver());
+        let enc = &trained.test_encodings[0];
+        let features = trained.featurizer.extract(enc.qubo_instance());
+        let low = trained.surrogate.predict(&features, A_DOMAIN.0);
+        let high = trained.surrogate.predict(&features, A_DOMAIN.1);
+        assert!(
+            high.pf > low.pf + 0.3,
+            "{name}: no sigmoid trend ({} vs {})",
+            low.pf,
+            high.pf
+        );
+    }
+}
+
+#[test]
+fn featurizers_have_stable_distinct_signatures() {
+    let stat = StatisticalFeaturizer::new();
+    let gcn = RandomGcnFeaturizer::new(8, 42);
+    assert_eq!(stat.name(), "stat");
+    assert_eq!(gcn.name(), "gcn");
+    assert_ne!(stat.dim(), 0);
+    assert_ne!(gcn.dim(), 0);
+}

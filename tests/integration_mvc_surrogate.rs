@@ -1,0 +1,103 @@
+//! Problem-generic pipeline: train a QROSS surrogate on a *MVC* family
+//! (not TSP) through `train_on_problems`, and verify the learned sigmoid
+//! plus strategy proposals work on a held-out graph.
+//!
+//! This exercises the claim implicit in the paper's framing — the method
+//! is generic over "instances of a problem", TSP being only the case
+//! study.
+
+use qross_repro::problems::MvcInstance;
+use qross_repro::qross::collect::{observe, CollectConfig};
+use qross_repro::qross::pipeline::train_on_problems;
+use qross_repro::qross::strategy::{mfs, pbs};
+use qross_repro::qross::surrogate::SurrogateConfig;
+use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
+
+fn mvc_features(g: &MvcInstance) -> Vec<f64> {
+    let n = g.num_vertices() as f64;
+    let m = g.edges().len() as f64;
+    let mean_w = g.weights().iter().sum::<f64>() / n;
+    vec![n, m, m / n, mean_w]
+}
+
+fn family(count: usize) -> Vec<MvcInstance> {
+    (0..count)
+        .map(|s| MvcInstance::random_gnp(&format!("g{s}"), 24, 0.35, 1000 + s as u64))
+        .collect()
+}
+
+fn solver() -> SimulatedAnnealer {
+    SimulatedAnnealer::new(SaConfig {
+        sweeps: 96,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn mvc_surrogate_learns_and_proposes() {
+    let graphs = family(14);
+    let s = solver();
+    let collect = CollectConfig {
+        batch: 16,
+        sweep_points: 9,
+        a_init: 0.5, // MVC weights are U[0,1): the slope sits near max(w)
+        ..Default::default()
+    };
+    let surrogate_cfg = SurrogateConfig {
+        hidden: 24,
+        epochs: 200,
+        val_fraction: 0.0,
+        ..Default::default()
+    };
+    let (surrogate, report) =
+        train_on_problems(&graphs, mvc_features, 4, &collect, &surrogate_cfg, &s, 5)
+            .expect("training succeeds");
+    assert!(report.train_rows >= 14 * 9);
+
+    // Held-out graph from the same family.
+    let test = MvcInstance::random_gnp("held-out", 24, 0.35, 42);
+    let features = mvc_features(&test);
+
+    // Sigmoid trend on the held-out instance.
+    let domain = (0.01, 50.0);
+    let low = surrogate.predict(&features, 0.02);
+    let high = surrogate.predict(&features, 20.0);
+    assert!(
+        high.pf > low.pf + 0.3,
+        "no learned sigmoid: Pf {} -> {}",
+        low.pf,
+        high.pf
+    );
+
+    // MFS proposal produces a feasible, competitive trial on the solver.
+    let m = mfs::propose(&surrogate, &features, domain, 16).expect("MFS proposes");
+    let obs = observe(&test, &s, m.x, 16, 9);
+    let fitness = obs
+        .best_fitness
+        .expect("MFS proposal should be feasible for MVC");
+    let greedy = test.cover_weight(&test.greedy_cover());
+    assert!(
+        fitness <= greedy * 1.05 + 1e-9,
+        "MFS trial ({fitness}) should not lose to greedy ({greedy})"
+    );
+
+    // PBS ladder is ordered on the held-out instance too.
+    let a_lo = pbs::propose(&surrogate, &features, domain, 0.25).expect("pbs 25%");
+    let a_hi = pbs::propose(&surrogate, &features, domain, 0.75).expect("pbs 75%");
+    assert!(a_hi > a_lo, "PBS ordering violated: {a_hi} <= {a_lo}");
+}
+
+#[test]
+fn empty_family_is_an_error() {
+    let s = solver();
+    let result = train_on_problems(
+        &[] as &[MvcInstance],
+        mvc_features,
+        4,
+        &CollectConfig::default(),
+        &SurrogateConfig::default(),
+        &s,
+        1,
+    );
+    assert!(result.is_err());
+}

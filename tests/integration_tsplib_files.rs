@@ -1,0 +1,80 @@
+//! TSPLIB file-loading round trip: write format-faithful `.tsp` files to a
+//! temporary directory, load them through the public API, and run them
+//! through the full encode/solve path.
+
+use std::io::Write;
+
+use qross_repro::problems::tsplib::load_tsplib_file;
+use qross_repro::problems::{RelaxableProblem, TspEncoding};
+use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
+use qross_repro::solvers::Solver;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("qross_tsplib_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create file");
+    f.write_all(contents.as_bytes()).expect("write file");
+    path
+}
+
+#[test]
+fn euc2d_file_loads_and_solves() {
+    let path = write_temp(
+        "square4.tsp",
+        "NAME: square4\nTYPE: TSP\nCOMMENT: unit square\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 0 10\n3 10 10\n4 10 0\nEOF\n",
+    );
+    let inst = load_tsplib_file(&path).expect("parse file");
+    assert_eq!(inst.name(), "square4");
+    assert_eq!(inst.num_cities(), 4);
+    assert_eq!(inst.tour_length(&[0, 1, 2, 3]), 40.0);
+
+    // End-to-end: encode and solve.
+    let enc = TspEncoding::preprocessed(inst);
+    let solver = SimulatedAnnealer::new(SaConfig {
+        sweeps: 128,
+        ..Default::default()
+    });
+    let set = solver.sample(&enc.to_qubo(3.0), 8, 1);
+    let best = set
+        .best_feasible(|x| enc.is_feasible(x))
+        .expect("feasible tour");
+    assert_eq!(enc.fitness(&best.assignment), Some(40.0));
+}
+
+#[test]
+fn explicit_matrix_file_loads() {
+    let path = write_temp(
+        "m3.tsp",
+        "NAME: m3\nTYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\nEDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n5 9\n7\nEOF\n",
+    );
+    let inst = load_tsplib_file(&path).expect("parse file");
+    assert_eq!(inst.distance(0, 1), 5.0);
+    assert_eq!(inst.distance(0, 2), 9.0);
+    assert_eq!(inst.distance(1, 2), 7.0);
+    // Only one tour up to symmetry on 3 cities.
+    assert_eq!(inst.tour_length(&[0, 1, 2]), 21.0);
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let err = load_tsplib_file(std::path::Path::new("/nonexistent/nowhere.tsp")).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("nowhere.tsp"),
+        "error should name the file: {msg}"
+    );
+}
+
+#[test]
+fn malformed_file_reports_line() {
+    let path = write_temp(
+        "broken.tsp",
+        "NAME: broken\nTYPE: TSP\nDIMENSION: two\nEDGE_WEIGHT_TYPE: EUC_2D\nEOF\n",
+    );
+    let err = load_tsplib_file(&path).unwrap_err();
+    assert!(
+        err.to_string().contains("line 3"),
+        "error should carry the line number: {err}"
+    );
+}

@@ -1,0 +1,159 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! instance/tour/assignment, spanning problems × qubo × solvers.
+
+use proptest::prelude::*;
+
+use qross_repro::problems::tsp::preprocess::Mvodm;
+use qross_repro::problems::{MvcInstance, RelaxableProblem, TspEncoding, TspInstance};
+
+/// Random planar instances with 4–8 cities.
+fn instance_strategy() -> impl Strategy<Value = TspInstance> {
+    proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 4..9).prop_filter_map(
+        "degenerate coords",
+        |coords| {
+            // Reject duplicate points (zero distances break strict checks).
+            for (i, a) in coords.iter().enumerate() {
+                for b in coords.iter().skip(i + 1) {
+                    if (a.0 - b.0).abs() < 1e-6 && (a.1 - b.1).abs() < 1e-6 {
+                        return None;
+                    }
+                }
+            }
+            Some(TspInstance::from_coords("prop", &coords))
+        },
+    )
+}
+
+/// A permutation of 0..n derived from a shuffle seed.
+fn tour_for(n: usize, shuffle_seed: u64) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let mut tour: Vec<usize> = (0..n).collect();
+    let mut rng = qross_repro::mathkit::rng::seeded_rng(shuffle_seed);
+    tour.shuffle(&mut rng);
+    tour
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// encode → decode is the identity on tours; encoded tours are feasible
+    /// with zero constraint penalty, and their QUBO energy at any A equals
+    /// the (preprocessed) tour length.
+    #[test]
+    fn tsp_encode_decode_roundtrip(
+        inst in instance_strategy(),
+        shuffle_seed in 0u64..1000,
+        a in 0.1..10.0f64,
+    ) {
+        let n = inst.num_cities();
+        let enc = TspEncoding::new(inst);
+        let tour = tour_for(n, shuffle_seed);
+        let x = enc.encode_tour(&tour);
+        prop_assert_eq!(enc.decode_tour(&x).unwrap(), tour.clone());
+        prop_assert!(enc.is_feasible(&x));
+        prop_assert!(enc.constraint_penalty(&x).abs() < 1e-9);
+        let q = enc.to_qubo(a);
+        let length = enc.fitness_instance().tour_length(&tour);
+        prop_assert!((q.energy(&x) - length).abs() < 1e-6);
+        prop_assert!((enc.fitness(&x).unwrap() - length).abs() < 1e-9);
+    }
+
+    /// Infeasible assignments always pay a positive penalty that grows
+    /// with A.
+    #[test]
+    fn tsp_infeasible_penalty_positive_and_monotone(
+        inst in instance_strategy(),
+        flip_bit in 0usize..16,
+        a in 0.1..10.0f64,
+        extra in 0.1..10.0f64,
+    ) {
+        let n = inst.num_cities();
+        let enc = TspEncoding::new(inst);
+        // Corrupt a valid tour by clearing one set bit.
+        let tour: Vec<usize> = (0..n).collect();
+        let mut x = enc.encode_tour(&tour);
+        let set_positions: Vec<usize> =
+            x.iter().enumerate().filter(|(_, &b)| b == 1).map(|(i, _)| i).collect();
+        let kill = set_positions[flip_bit % set_positions.len()];
+        x[kill] = 0;
+        prop_assert!(!enc.is_feasible(&x));
+        prop_assert!(enc.fitness(&x).is_none());
+        let p = enc.constraint_penalty(&x);
+        prop_assert!(p > 0.0);
+        let e1 = enc.to_qubo(a).energy(&x);
+        let e2 = enc.to_qubo(a + extra).energy(&x);
+        prop_assert!(e2 > e1);
+    }
+
+    /// Tour length is invariant under rotation and reversal of the tour —
+    /// and so are the encodings' fitness values.
+    #[test]
+    fn tour_symmetries(
+        inst in instance_strategy(),
+        shuffle_seed in 0u64..1000,
+        rot in 0usize..8,
+    ) {
+        let n = inst.num_cities();
+        let enc = TspEncoding::new(inst.clone());
+        let tour = tour_for(n, shuffle_seed);
+        let mut rotated = tour.clone();
+        rotated.rotate_left(rot % n);
+        let mut reversed = tour.clone();
+        reversed.reverse();
+        let l = inst.tour_length(&tour);
+        prop_assert!((inst.tour_length(&rotated) - l).abs() < 1e-9);
+        prop_assert!((inst.tour_length(&reversed) - l).abs() < 1e-9);
+        let f = enc.fitness(&enc.encode_tour(&tour)).unwrap();
+        let fr = enc.fitness(&enc.encode_tour(&rotated)).unwrap();
+        prop_assert!((f - fr).abs() < 1e-9);
+    }
+
+    /// MVODM shifts every tour by the same constant (Held–Karp invariance)
+    /// and never increases the off-diagonal variance.
+    #[test]
+    fn mvodm_invariances(
+        inst in instance_strategy(),
+        s1 in 0u64..1000,
+        s2 in 0u64..1000,
+    ) {
+        let mv = Mvodm::fit(&inst);
+        let flat = mv.transform(&inst);
+        let n = inst.num_cities();
+        let t1 = tour_for(n, s1);
+        let t2 = tour_for(n, s2);
+        let d1 = inst.tour_length(&t1) - flat.tour_length(&t1);
+        let d2 = inst.tour_length(&t2) - flat.tour_length(&t2);
+        prop_assert!((d1 - d2).abs() < 1e-6, "shifts differ: {} vs {}", d1, d2);
+        let var_before = qross_repro::problems::tsp::preprocess::off_diagonal_variance(&inst);
+        let var_after = qross_repro::problems::tsp::preprocess::off_diagonal_variance(&flat);
+        prop_assert!(var_after <= var_before + 1e-9);
+    }
+
+    /// MVC QUBO identity: energy == cover weight + σ × uncovered edges,
+    /// for arbitrary graphs and assignments.
+    #[test]
+    fn mvc_energy_identity(
+        n in 3usize..10,
+        edge_seed in 0u64..500,
+        assign_bits in 0u32..1024,
+        sigma in 0.5..50.0f64,
+    ) {
+        use rand::Rng;
+        let mut rng = qross_repro::mathkit::rng::seeded_rng(edge_seed);
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if rng.gen::<f64>() < 0.5 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let graph = MvcInstance::new("prop", weights, edges).unwrap();
+        let x: Vec<u8> = (0..n).map(|k| ((assign_bits >> k) & 1) as u8).collect();
+        let q = graph.to_qubo(sigma);
+        let want = graph.cover_weight(&x) + sigma * graph.uncovered_edges(&x) as f64;
+        prop_assert!((q.energy(&x) - want).abs() < 1e-9);
+        prop_assert_eq!(graph.is_feasible(&x), graph.uncovered_edges(&x) == 0);
+    }
+}

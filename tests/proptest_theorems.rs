@@ -1,0 +1,114 @@
+//! Property tests for the *theorems* the paper states or relies on.
+
+use proptest::prelude::*;
+
+use qross_repro::mathkit::special::{normal_cdf, normal_sf};
+use qross_repro::problems::tsplib::parse_tsplib;
+use qross_repro::problems::{MvcInstance, RelaxableProblem};
+use qross_repro::qross::strategy::mfs::expected_min_fitness;
+use qross_repro::solvers::ExhaustiveSolver;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Appendix B: "any σ > max(w_i) would ensure that a solver can find
+    /// feasible solutions to the weighted MVC problem" — i.e. the QUBO
+    /// *global optimum* is a feasible cover. Verified exhaustively on
+    /// random graphs up to 12 vertices.
+    #[test]
+    fn mvc_sigma_above_max_weight_makes_optimum_feasible(
+        n in 3usize..12,
+        seed in 0u64..300,
+        margin in 0.01..5.0f64,
+    ) {
+        use rand::Rng;
+        let mut rng = qross_repro::mathkit::rng::seeded_rng(seed);
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if rng.gen::<f64>() < 0.45 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let max_w = weights.iter().cloned().fold(0.0_f64, f64::max);
+        let graph = MvcInstance::new("thm", weights, edges).unwrap();
+        let sigma = max_w + margin;
+        let qubo = graph.to_qubo(sigma);
+        let ground = ExhaustiveSolver::new().ground_state(&qubo);
+        prop_assert!(
+            graph.is_feasible(&ground.assignment),
+            "σ = {} > max w = {} but the QUBO optimum is infeasible",
+            sigma,
+            max_w
+        );
+        // And the optimum's energy equals its cover weight (penalty = 0).
+        let fitness = graph.fitness(&ground.assignment).unwrap();
+        prop_assert!((ground.energy - fitness).abs() < 1e-9);
+    }
+
+    /// Appendix F consistency: the analytic expected-minimum is bounded by
+    /// the distribution mean (minimum of m ≥ 1 samples can't exceed the
+    /// mean in expectation) and decreases in m.
+    #[test]
+    fn expected_min_bounded_and_monotone(
+        mu in -50.0..50.0f64,
+        sigma in 0.01..10.0f64,
+        pf in 0.05..1.0f64,
+        batch in 1usize..256,
+    ) {
+        let m = pf * batch as f64;
+        prop_assume!(m >= 1.0);
+        let v = expected_min_fitness(pf, mu, sigma, batch);
+        prop_assert!(v.is_finite());
+        prop_assert!(v <= mu + 0.05 * sigma, "E[min] {} above mean {}", v, mu);
+        // Monotone in batch size (more samples → lower expected min).
+        let v2 = expected_min_fitness(pf, mu, sigma, batch * 2);
+        prop_assert!(v2 <= v + 1e-6);
+    }
+
+    /// Gaussian CDF/SF identities used by the MFS integral, over wide
+    /// parameter ranges.
+    #[test]
+    fn gaussian_identities(
+        x in -100.0..100.0f64,
+        mu in -50.0..50.0f64,
+        sigma in 0.001..20.0f64,
+    ) {
+        let c = normal_cdf(x, mu, sigma);
+        let s = normal_sf(x, mu, sigma);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!((c + s - 1.0).abs() < 1e-9);
+        // Symmetry: CDF(mu + d) + CDF(mu - d) = 1.
+        let d = x - mu;
+        let mirror = normal_cdf(mu - d, mu, sigma);
+        prop_assert!((c + mirror - 1.0).abs() < 1e-9);
+    }
+
+    /// TSPLIB writer/parser consistency: formatting arbitrary EUC_2D
+    /// instances and re-parsing reproduces the TSPLIB-rounded metric.
+    #[test]
+    fn tsplib_format_roundtrip(
+        coords in proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 3..12),
+    ) {
+        let mut text = String::from("NAME: prop\nTYPE: TSP\nDIMENSION: ");
+        text.push_str(&coords.len().to_string());
+        text.push_str("\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n");
+        for (i, (x, y)) in coords.iter().enumerate() {
+            text.push_str(&format!("{} {x} {y}\n", i + 1));
+        }
+        text.push_str("EOF\n");
+        let inst = parse_tsplib(&text).unwrap();
+        prop_assert_eq!(inst.num_cities(), coords.len());
+        for i in 0..coords.len() {
+            for j in (i + 1)..coords.len() {
+                let dx = coords[i].0 - coords[j].0;
+                let dy = coords[i].1 - coords[j].1;
+                let want = ((dx * dx + dy * dy).sqrt() + 0.5).floor();
+                prop_assert_eq!(inst.distance(i, j), want);
+                prop_assert_eq!(inst.distance(j, i), want);
+            }
+        }
+    }
+}
