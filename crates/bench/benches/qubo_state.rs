@@ -1,0 +1,93 @@
+//! Criterion bench for the incremental QUBO engine: full-energy
+//! evaluation, flip-delta reads, single flips and a 1k-flip sweep, on a
+//! dense and a sparse 256-variable model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use qubo::{QuboBuilder, QuboModel, QuboState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 256;
+
+/// Random model over `N` variables with the given coupling density.
+fn random_model(density: f64, seed: u64) -> QuboModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = QuboBuilder::new(N);
+    for i in 0..N {
+        b.add_linear(i, rng.gen_range(-2.0..2.0));
+    }
+    for i in 0..N {
+        for j in (i + 1)..N {
+            if rng.gen::<f64>() < density {
+                b.add_quadratic(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+    }
+    b.build()
+}
+
+fn random_assignment(seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N).map(|_| rng.gen_range(0..2)).collect()
+}
+
+fn bench_model(c: &mut Criterion, label: &str, density: f64) {
+    let model = random_model(density, 7);
+    let x = random_assignment(11);
+    let group_name = format!("qubo_state_{label}_{N}vars");
+    let mut group = c.benchmark_group(&group_name);
+
+    group.bench_function("full_energy", |b| b.iter(|| model.energy(&x)));
+
+    let state = QuboState::new(&model, x.clone());
+    group.bench_function("flip_delta_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..N {
+                acc += state.flip_delta(i);
+            }
+            acc
+        })
+    });
+
+    group.bench_function("sweep_1k_flips", |b| {
+        b.iter_batched(
+            || (QuboState::new(&model, x.clone()), StdRng::seed_from_u64(23)),
+            |(mut state, mut rng)| {
+                for _ in 0..1000 {
+                    state.flip(rng.gen_range(0..N));
+                }
+                state.energy()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("assign_all_reset", |b| {
+        b.iter_batched(
+            || QuboState::new(&model, vec![0; N]),
+            |mut state| {
+                state.assign_all(&x);
+                state.energy()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_dense(c: &mut Criterion) {
+    bench_model(c, "dense", 0.5);
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    bench_model(c, "sparse", 0.04);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_dense, bench_sparse
+}
+criterion_main!(benches);

@@ -12,8 +12,8 @@
 //! Pf is different from that of Eavg and Estd, we train these targets
 //! separately"); so does [`Surrogate::train`].
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use mathkit::Matrix;
 use neural::loss::Loss;
@@ -196,11 +196,11 @@ impl Surrogate {
     pub fn predict(&self, features: &[f64], a: f64) -> SurrogatePrediction {
         let input = Matrix::row(&self.scalers.input_row(features, a));
         let pf = {
-            let mut net = self.pf_net.lock();
+            let mut net = self.pf_net.lock().expect("surrogate net lock poisoned");
             net.forward(&input)[(0, 0)]
         };
         let (z_avg, z_std) = {
-            let mut net = self.e_net.lock();
+            let mut net = self.e_net.lock().expect("surrogate net lock poisoned");
             let out = net.forward(&input);
             (out[(0, 0)], out[(0, 1)])
         };
@@ -227,11 +227,11 @@ impl Surrogate {
                 .copy_from_slice(&self.scalers.input_row(features, a));
         }
         let pf_out = {
-            let mut net = self.pf_net.lock();
+            let mut net = self.pf_net.lock().expect("surrogate net lock poisoned");
             net.forward(&x)
         };
         let e_out = {
-            let mut net = self.e_net.lock();
+            let mut net = self.e_net.lock().expect("surrogate net lock poisoned");
             net.forward(&x)
         };
         (0..a_values.len())
@@ -266,8 +266,16 @@ impl Surrogate {
     /// Serialisable snapshot.
     pub fn to_state(&self) -> SurrogateState {
         SurrogateState {
-            pf_net: self.pf_net.lock().to_state(),
-            e_net: self.e_net.lock().to_state(),
+            pf_net: self
+                .pf_net
+                .lock()
+                .expect("surrogate net lock poisoned")
+                .to_state(),
+            e_net: self
+                .e_net
+                .lock()
+                .expect("surrogate net lock poisoned")
+                .to_state(),
             scalers: self.scalers.clone(),
         }
     }

@@ -5,11 +5,20 @@
 //! QUBO `min x'Qx + A·‖Cx − d‖²` (§1). This crate provides:
 //!
 //! * [`model`] — [`QuboModel`]: a sparse symmetric quadratic form over
-//!   binary variables, built through [`QuboBuilder`]; energy evaluation and
-//!   coefficient transforms (used by the noise/precision solver wrappers);
-//! * [`state`] — [`LocalFieldState`]: incremental single-flip evaluation
-//!   with O(1) energy deltas and O(deg) updates, the workhorse of every
-//!   annealing-style solver in the workspace;
+//!   binary variables stored as flat **CSR arrays** (`row_offsets` /
+//!   `col_indices` / `values`, plus a `mirror` permutation linking each
+//!   entry to its symmetric twin), built through [`QuboBuilder`]; energy
+//!   evaluation walks contiguous memory, and
+//!   [`QuboModel::map_coefficients`] transforms coefficients while
+//!   **reusing the CSR skeleton** instead of rebuilding adjacency (used by
+//!   the noise/precision solver wrappers);
+//! * [`state`] — [`QuboState`]: the single incremental flip engine shared
+//!   by every solver — cached total energy, a maintained flip-delta vector
+//!   (`flip_delta` is an O(1) read, `flip` an O(degree) update), and bulk
+//!   `assign_all`/`randomize` resets that rebuild both caches in one CSR
+//!   pass without reallocating. Incremental values agree with a full
+//!   recomputation to ≤ 1e-9 over arbitrary flip sequences
+//!   (property-tested);
 //! * [`program`] — [`ConstrainedBinaryProgram`]: linear-equality-constrained
 //!   binary programs and their penalty relaxation parameterised by `A`;
 //! * [`ising`] — conversion between QUBO and Ising forms.
@@ -36,7 +45,7 @@ pub mod state;
 pub use ising::IsingModel;
 pub use model::{QuboBuilder, QuboModel};
 pub use program::{ConstrainedBinaryProgram, LinearConstraint};
-pub use state::LocalFieldState;
+pub use state::{LocalFieldState, QuboState};
 
 /// Errors from QUBO construction and evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]

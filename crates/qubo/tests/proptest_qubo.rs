@@ -54,6 +54,44 @@ proptest! {
         }
     }
 
+    /// After an arbitrary flip sequence, the *entire* maintained
+    /// flip-delta vector agrees with brute-force `model.energy()`
+    /// differences to 1e-9, and `assign_all` reuse is indistinguishable
+    /// from a freshly constructed state.
+    #[test]
+    fn flip_delta_vector_and_assign_all_agree(
+        (n, linear, couplings) in qubo_strategy(),
+        flips in proptest::collection::vec(0usize..12, 1..40),
+        init_bits in proptest::collection::vec(0u8..2, 12),
+    ) {
+        let model = build_model(n, &linear, &couplings);
+        let x: Vec<u8> = init_bits.into_iter().take(n).collect();
+        prop_assume!(x.len() == n);
+        let mut state = qubo::QuboState::new(&model, x.clone());
+        for f in flips {
+            state.flip(f % n);
+        }
+        let full = model.energy(state.assignment());
+        prop_assert!((state.energy() - full).abs() < 1e-9);
+        for i in 0..n {
+            let mut flipped = state.assignment().to_vec();
+            flipped[i] ^= 1;
+            let want = model.energy(&flipped) - full;
+            prop_assert!(
+                (state.flip_delta(i) - want).abs() < 1e-9,
+                "delta {} drifted: {} vs {}", i, state.flip_delta(i), want
+            );
+        }
+        // Bulk reset back onto the original assignment must equal a fresh
+        // construction bit-for-bit (same energy and delta caches).
+        state.assign_all(&x);
+        let fresh = qubo::QuboState::new(&model, x);
+        prop_assert!((state.energy() - fresh.energy()).abs() < 1e-12);
+        for i in 0..n {
+            prop_assert!((state.flip_delta(i) - fresh.flip_delta(i)).abs() < 1e-12);
+        }
+    }
+
     /// QUBO energy is invariant to the insertion order of couplings.
     #[test]
     fn insertion_order_irrelevant(

@@ -22,9 +22,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use mathkit::rng::derive_rng;
-use qubo::{LocalFieldState, QuboModel};
+use qubo::{QuboModel, QuboState};
 
-use crate::parallel::parallel_map_indexed;
+use crate::parallel::parallel_map_with;
 use crate::sample::{Sample, SampleSet};
 use crate::schedule::BetaSchedule;
 use crate::Solver;
@@ -82,15 +82,27 @@ impl DigitalAnnealer {
         &self.config
     }
 
-    fn run_replica(&self, model: &QuboModel, schedule: &BetaSchedule, seed: u64) -> Sample {
+    /// Runs one replica in a reused scratch. The parallel-trial loop reads
+    /// the maintained flip-delta vector (O(1) per candidate); the one
+    /// committed flip is O(degree); incumbent tracking uses the cached
+    /// energy — no full `model.energy()` call inside the step loop.
+    fn run_replica(
+        &self,
+        state: &mut QuboState<'_>,
+        best_x: &mut Vec<u8>,
+        accepted: &mut Vec<usize>,
+        schedule: &BetaSchedule,
+        seed: u64,
+    ) -> Sample {
         let mut rng = derive_rng(seed, 0xDA);
+        let model = state.model();
         let n = model.num_vars();
-        let mut state = LocalFieldState::random(model, &mut rng);
-        let mut best_x = state.assignment().to_vec();
+        state.randomize(&mut rng);
+        best_x.clear();
+        best_x.extend_from_slice(state.assignment());
         let mut best_e = state.energy();
         let offset_step = self.config.offset_step_fraction * model.max_abs_coefficient().max(1e-12);
         let mut e_off = 0.0_f64;
-        let mut accepted: Vec<usize> = Vec::with_capacity(n);
         for beta in schedule.iter() {
             accepted.clear();
             // Parallel trial: every candidate flip is tested against the
@@ -121,7 +133,7 @@ impl DigitalAnnealer {
             }
         }
         Sample {
-            assignment: best_x,
+            assignment: best_x.clone(),
             energy: best_e,
         }
     }
@@ -147,13 +159,25 @@ impl Solver for DigitalAnnealer {
             Some((hot, cold)) => BetaSchedule::geometric(hot, cold, self.config.steps.max(1)),
             None => BetaSchedule::auto(model, self.config.steps.max(1)),
         };
-        let samples = parallel_map_indexed(batch, |replica| {
-            self.run_replica(
-                model,
-                &schedule,
-                mathkit::rng::derive_seed(seed, replica as u64),
-            )
-        });
+        let samples = parallel_map_with(
+            batch,
+            || {
+                (
+                    QuboState::new(model, vec![0; model.num_vars()]),
+                    Vec::new(),
+                    Vec::with_capacity(model.num_vars()),
+                )
+            },
+            |(state, best_x, accepted), replica| {
+                self.run_replica(
+                    state,
+                    best_x,
+                    accepted,
+                    &schedule,
+                    mathkit::rng::derive_seed(seed, replica as u64),
+                )
+            },
+        );
         SampleSet::from_samples(samples)
     }
 }

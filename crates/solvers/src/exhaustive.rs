@@ -4,10 +4,43 @@
 //! and by the tiny end-to-end experiment configurations. Refuses models
 //! beyond [`ExhaustiveSolver::MAX_VARS`] variables.
 
-use qubo::QuboModel;
+use qubo::{QuboModel, QuboState};
 
 use crate::sample::{Sample, SampleSet};
 use crate::Solver;
+
+/// Walks all `2^n` assignments in Gray-code order, calling `visit(bits, e)`
+/// with the plain-binary index of each assignment and its energy.
+///
+/// Consecutive Gray codes differ in one bit, so each step is one O(degree)
+/// incremental flip instead of an O(n + nnz) full evaluation — the
+/// enumeration shares the same [`QuboState`] engine as the annealers.
+fn enumerate_gray<F: FnMut(u32, f64)>(model: &QuboModel, mut visit: F) {
+    /// Resync cadence: every 2^16 steps the energy *and* delta caches are
+    /// rebuilt exactly, so rounding drift is bounded by what one 64k-flip
+    /// window can accumulate (the level the `qubo` property tests certify)
+    /// instead of growing over the whole 2^n walk. Costs at most 2^8 full
+    /// rebuilds.
+    const RESYNC_MASK: u64 = (1 << 16) - 1;
+    let n = model.num_vars();
+    let mut state = QuboState::new(model, vec![0; n]);
+    visit(0, state.energy());
+    let mut gray = 0u32;
+    for k in 1..(1u64 << n) {
+        let flip_bit = k.trailing_zeros() as usize;
+        gray ^= 1 << flip_bit;
+        state.flip(flip_bit);
+        if k & RESYNC_MASK == 0 {
+            state.resync();
+        }
+        visit(gray, state.energy());
+    }
+}
+
+/// Expands a plain-binary assignment index into a bit vector.
+fn bits_to_assignment(bits: u32, n: usize) -> Vec<u8> {
+    (0..n).map(|k| ((bits >> k) & 1) as u8).collect()
+}
 
 /// Exact brute-force solver (≤ 24 variables).
 ///
@@ -54,18 +87,17 @@ impl ExhaustiveSolver {
         );
         let mut best_bits = 0u32;
         let mut best_e = f64::INFINITY;
-        for bits in 0..(1u64 << n) as u32 {
-            let x: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
-            let e = model.energy(&x);
+        enumerate_gray(model, |bits, e| {
             if e < best_e {
                 best_e = e;
                 best_bits = bits;
             }
-        }
-        Sample {
-            assignment: (0..n).map(|k| ((best_bits >> k) & 1) as u8).collect(),
-            energy: best_e,
-        }
+        });
+        // Re-score the winner with a full evaluation so the reported
+        // energy is free of incremental rounding accumulated over the walk.
+        let assignment = bits_to_assignment(best_bits, n);
+        let energy = model.energy(&assignment);
+        Sample { assignment, energy }
     }
 }
 
@@ -87,9 +119,7 @@ impl Solver for ExhaustiveSolver {
         // Keep the `batch` lowest-energy assignments via a bounded
         // worst-first comparison (n is tiny, so a simple Vec is fine).
         let mut keep: Vec<(f64, u32)> = Vec::with_capacity(batch + 1);
-        for bits in 0..(1u64 << n) as u32 {
-            let x: Vec<u8> = (0..n).map(|k| ((bits >> k) & 1) as u8).collect();
-            let e = model.energy(&x);
+        enumerate_gray(model, |bits, e| {
             if keep.len() < batch {
                 keep.push((e, bits));
                 keep.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -97,15 +127,23 @@ impl Solver for ExhaustiveSolver {
                 keep[batch - 1] = (e, bits);
                 keep.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             }
-        }
-        SampleSet::from_samples(
-            keep.into_iter()
-                .map(|(e, bits)| Sample {
-                    assignment: (0..n).map(|k| ((bits >> k) & 1) as u8).collect(),
-                    energy: e,
-                })
-                .collect(),
-        )
+        });
+        // Exact re-scoring of the survivors (cheap: `batch` evaluations),
+        // then a final sort in case rounding reordered near-ties.
+        let mut samples: Vec<Sample> = keep
+            .into_iter()
+            .map(|(_, bits)| {
+                let assignment = bits_to_assignment(bits, n);
+                let energy = model.energy(&assignment);
+                Sample { assignment, energy }
+            })
+            .collect();
+        samples.sort_by(|a, b| {
+            a.energy
+                .partial_cmp(&b.energy)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        SampleSet::from_samples(samples)
     }
 }
 

@@ -24,6 +24,29 @@
 //! returns a `SampleSet` of `batch` stochastic solutions, mirroring how the
 //! paper's solvers return 128 solutions per call.
 //!
+//! # Shared incremental state
+//!
+//! All solvers drive the **same** flip engine, [`qubo::QuboState`], over
+//! the model's CSR layout (see the `qubo` crate docs): reading a candidate
+//! flip's energy delta is an O(1) array read, committing a flip is
+//! O(degree), and the cached energy/delta caches agree with a full
+//! recomputation to ≤ 1e-9 over arbitrary flip sequences. No solver calls
+//! the full O(n + couplings) `model.energy()` inside its sweep loop — full
+//! evaluations appear only at batch boundaries (e.g. the noise wrappers
+//! re-scoring solutions on the true Hamiltonian) and in test oracles. Even
+//! [`ExhaustiveSolver`] enumerates by Gray code, one incremental flip per
+//! assignment.
+//!
+//! # Replica parallelism and determinism
+//!
+//! Batches fan out through [`parallel::parallel_map_with`]: replicas are
+//! split into contiguous chunks, one worker thread per chunk, and each
+//! worker allocates its solver state **once** and bulk-resets it
+//! (`assign_all`/`randomize`) between replicas. Every replica derives its
+//! RNG stream from `(seed, replica_index)`, so output is bit-identical
+//! across thread counts, including the sequential fallback — sampling is a
+//! pure function of `(model, batch, seed)`.
+//!
 //! # Examples
 //!
 //! ```

@@ -2,8 +2,20 @@
 //!
 //! All solvers produce a batch of `B` independent replicas (the paper uses
 //! `B = 128` solutions per call). Replicas share nothing but the read-only
-//! model, so they parallelise embarrassingly across threads with
-//! `crossbeam::scope`.
+//! CSR model, so they parallelise embarrassingly across threads with
+//! `std::thread::scope`.
+//!
+//! # Determinism contract
+//!
+//! Both entry points guarantee **bit-identical output regardless of thread
+//! count** (including the sequential fallback): the replica closure must
+//! derive all randomness from the replica *index* (seed-derived RNG
+//! streams), never from shared mutable state, and results are written into
+//! their index slot. [`parallel_map_with`] additionally hands each worker
+//! thread a long-lived scratch value so per-replica allocations (solver
+//! states, RNGs, buffers) are paid once per *worker*, not once per
+//! *replica* — the closure must therefore fully reset the scratch from the
+//! index before use.
 
 /// Runs `f(replica_index)` for `count` replicas across the available
 /// cores and returns the results in replica order.
@@ -24,28 +36,64 @@ where
     T: Send,
     F: Fn(usize) -> T + Send + Sync,
 {
+    parallel_map_with(count, || (), move |(), i| f(i))
+}
+
+/// Chunked variant of [`parallel_map_indexed`] with per-worker scratch
+/// reuse.
+///
+/// Each worker thread calls `init()` once, then runs `f(&mut scratch, i)`
+/// for every replica index in its contiguous chunk. The scratch lets
+/// solvers keep one state/buffer set alive across a whole chunk instead of
+/// reallocating per replica. `f` must reset the scratch from the index —
+/// outputs stay bit-identical to the sequential path only if no state
+/// leaks between indices.
+///
+/// # Examples
+///
+/// ```
+/// use solvers::parallel::parallel_map_with;
+/// // Reuse one scratch buffer per worker.
+/// let xs = parallel_map_with(
+///     4,
+///     || Vec::with_capacity(16),
+///     |buf, i| {
+///         buf.clear();
+///         buf.extend(0..=i);
+///         buf.iter().sum::<usize>()
+///     },
+/// );
+/// assert_eq!(xs, vec![0, 1, 3, 6]);
+/// ```
+pub fn parallel_map_with<T, S, I, F>(count: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Send + Sync,
+    F: Fn(&mut S, usize) -> T + Send + Sync,
+{
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(count.max(1));
     if threads <= 1 || count <= 1 {
-        return (0..count).map(f).collect();
+        let mut scratch = init();
+        return (0..count).map(|i| f(&mut scratch, i)).collect();
     }
 
     let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
     let chunk = count.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
+            let (init, f) = (&init, &f);
+            scope.spawn(move || {
                 let base = t * chunk;
+                let mut scratch = init();
                 for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(base + off));
+                    *slot = Some(f(&mut scratch, base + off));
                 }
             });
         }
-    })
-    .expect("replica worker panicked");
+    });
     out.into_iter()
         .map(|x| x.expect("replica result missing"))
         .collect()
@@ -88,5 +136,42 @@ mod tests {
         let par = parallel_map_indexed(37, |i| (i as f64).sin());
         let seq: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn scratch_initialised_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let xs = parallel_map_with(
+            128,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |scratch, i| {
+                *scratch += 1;
+                i
+            },
+        );
+        assert_eq!(xs, (0..128).collect::<Vec<_>>());
+        // One scratch per worker, workers capped by cores and replica count.
+        assert!(inits.load(Ordering::SeqCst) <= threads.min(128));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_state_when_reset() {
+        // A closure that resets its scratch per index must match the
+        // stateless path bit-for-bit.
+        let with_scratch = parallel_map_with(50, Vec::new, |buf: &mut Vec<u64>, i| {
+            buf.clear();
+            buf.extend((0..i as u64).map(|k| k * k));
+            buf.iter().sum::<u64>()
+        });
+        let stateless: Vec<u64> = (0..50)
+            .map(|i| (0..i as u64).map(|k| k * k).sum())
+            .collect();
+        assert_eq!(with_scratch, stateless);
     }
 }

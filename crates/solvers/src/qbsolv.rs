@@ -13,13 +13,12 @@
 //! role.
 
 use rand::seq::SliceRandom;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use mathkit::rng::derive_rng;
-use qubo::{LocalFieldState, QuboBuilder, QuboModel};
+use qubo::{QuboBuilder, QuboModel, QuboState};
 
-use crate::parallel::parallel_map_indexed;
+use crate::parallel::parallel_map_with;
 use crate::sample::{Sample, SampleSet};
 use crate::tabu::{TabuConfig, TabuSearch};
 use crate::Solver;
@@ -90,43 +89,65 @@ impl Qbsolv {
     /// to its value in `state`. Clamped couplings fold into the sub-model's
     /// linear terms; the clamped-part energy goes into the offset so that
     /// sub-model energies equal full-model energies.
-    fn sub_qubo(model: &QuboModel, state: &LocalFieldState<'_>, vars: &[usize]) -> QuboModel {
-        let mut index_of = vec![usize::MAX; model.num_vars()];
+    ///
+    /// The offset — the full-model energy with every free variable zeroed —
+    /// is derived from the incremental state's cached energy and local
+    /// fields in O(Σ deg(vars)) instead of a full `model.energy()` pass:
+    /// subtracting the field of each switched-on free variable removes its
+    /// linear term and clamped couplings once, but removes free–free
+    /// couplings twice, so those are added back while the neighbour scan
+    /// runs anyway.
+    ///
+    /// `index_of` is caller-owned scratch of length `num_vars` with every
+    /// entry `usize::MAX`; it is restored to that state before returning,
+    /// so one allocation serves every chunk of every pass.
+    fn sub_qubo(
+        model: &QuboModel,
+        state: &QuboState<'_>,
+        vars: &[usize],
+        index_of: &mut [usize],
+    ) -> QuboModel {
+        debug_assert!(index_of.iter().all(|&s| s == usize::MAX));
         for (k, &v) in vars.iter().enumerate() {
             index_of[v] = k;
         }
         let mut b = QuboBuilder::new(vars.len());
-        // Offset: energy of the current state minus the free variables'
-        // own contributions (so that equal sub-assignment ⇒ equal energy).
-        // Simpler and exact: offset = E(state with all free vars set to 0).
-        let mut base = state.assignment().to_vec();
-        for &v in vars {
-            base[v] = 0;
-        }
-        b.add_offset(model.energy(&base));
+        let mut offset = state.energy();
         for (k, &i) in vars.iter().enumerate() {
+            let i_on = state.bit(i) != 0;
+            if i_on {
+                offset -= state.field(i);
+            }
             // Linear term: l_i plus couplings to clamped-on neighbours.
             let mut lin = model.linear(i);
-            for &(j, w) in model.neighbors(i) {
+            for (j, w) in model.neighbors(i) {
                 let j = j as usize;
-                if index_of[j] == usize::MAX {
-                    if base[j] != 0 {
+                let slot = index_of[j];
+                if slot == usize::MAX {
+                    if state.bit(j) != 0 {
                         lin += w;
                     }
-                } else if index_of[j] > k {
-                    b.add_quadratic(k, index_of[j], w);
+                } else if slot > k {
+                    b.add_quadratic(k, slot, w);
+                    if i_on && state.bit(j) != 0 {
+                        offset += w; // double-subtracted free–free coupling
+                    }
                 }
             }
             b.add_linear(k, lin);
         }
+        b.add_offset(offset);
+        for &v in vars {
+            index_of[v] = usize::MAX;
+        }
         b.build()
     }
 
-    fn run_replica(&self, model: &QuboModel, seed: u64) -> Sample {
+    fn run_replica(&self, state: &mut QuboState<'_>, index_of: &mut [usize], seed: u64) -> Sample {
+        let model = state.model();
         let n = model.num_vars();
         let mut rng = derive_rng(seed, 0x9B);
-        let start: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2)).collect();
-        let mut state = LocalFieldState::new(model, start);
+        state.randomize(&mut rng);
         let mut best_x = state.assignment().to_vec();
         let mut best_e = state.energy();
         let tabu = TabuSearch::new(self.config.tabu);
@@ -147,7 +168,7 @@ impl Qbsolv {
             let improved_before = best_e;
             for chunk in order.chunks(k) {
                 let vars: Vec<usize> = chunk.to_vec();
-                let sub = Self::sub_qubo(model, &state, &vars);
+                let sub = Self::sub_qubo(model, state, &vars, index_of);
                 let sub_start: Vec<u8> = vars.iter().map(|&v| state.bit(v)).collect();
                 let result = tabu.improve(
                     &sub,
@@ -210,9 +231,22 @@ impl Solver for Qbsolv {
                     .collect(),
             );
         }
-        let samples = parallel_map_indexed(batch, |replica| {
-            self.run_replica(model, mathkit::rng::derive_seed(seed, replica as u64))
-        });
+        let samples = parallel_map_with(
+            batch,
+            || {
+                (
+                    QuboState::new(model, vec![0; model.num_vars()]),
+                    vec![usize::MAX; model.num_vars()],
+                )
+            },
+            |(state, index_of), replica| {
+                self.run_replica(
+                    state,
+                    index_of,
+                    mathkit::rng::derive_seed(seed, replica as u64),
+                )
+            },
+        );
         SampleSet::from_samples(samples)
     }
 }
@@ -222,6 +256,7 @@ mod tests {
     use super::*;
     use mathkit::rng::seeded_rng;
     use qubo::QuboBuilder;
+    use rand::Rng;
 
     fn random_model(n: usize, seed: u64) -> QuboModel {
         let mut rng = seeded_rng(seed);
@@ -285,9 +320,12 @@ mod tests {
         let m = random_model(10, 4);
         let mut rng = seeded_rng(3);
         let x: Vec<u8> = (0..10).map(|_| rng.gen_range(0..2)).collect();
-        let state = LocalFieldState::new(&m, x.clone());
+        let state = QuboState::new(&m, x.clone());
         let vars = vec![1usize, 4, 7];
-        let sub = Qbsolv::sub_qubo(&m, &state, &vars);
+        let mut index_of = vec![usize::MAX; 10];
+        let sub = Qbsolv::sub_qubo(&m, &state, &vars, &mut index_of);
+        // Scratch restored for the next chunk.
+        assert!(index_of.iter().all(|&s| s == usize::MAX));
         for bits in 0..8u8 {
             let sub_x: Vec<u8> = (0..3).map(|k| (bits >> k) & 1).collect();
             let mut full_x = x.clone();

@@ -9,9 +9,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use mathkit::rng::derive_rng;
-use qubo::{LocalFieldState, QuboModel};
+use qubo::{QuboModel, QuboState};
 
-use crate::parallel::parallel_map_indexed;
+use crate::parallel::parallel_map_with;
 use crate::sample::{Sample, SampleSet};
 use crate::schedule::BetaSchedule;
 use crate::Solver;
@@ -71,12 +71,25 @@ impl SimulatedAnnealer {
         &self.config
     }
 
-    /// Anneals a single replica and returns `(assignment, energy)`.
-    fn run_replica(&self, model: &QuboModel, schedule: &BetaSchedule, seed: u64) -> Sample {
+    /// Anneals a single replica in a reused scratch state and returns
+    /// `(assignment, energy)`.
+    ///
+    /// The hot loop works purely on the incremental [`QuboState`]: the
+    /// acceptance test reads the maintained flip-delta (O(1)), a commit is
+    /// O(degree), and the incumbent is tracked from the cached energy — no
+    /// full `model.energy()` call anywhere in the sweep.
+    fn run_replica(
+        &self,
+        state: &mut QuboState<'_>,
+        best_x: &mut Vec<u8>,
+        schedule: &BetaSchedule,
+        seed: u64,
+    ) -> Sample {
         let mut rng = derive_rng(seed, 0x5A);
-        let n = model.num_vars();
-        let mut state = LocalFieldState::random(model, &mut rng);
-        let mut best_x = state.assignment().to_vec();
+        let n = state.model().num_vars();
+        state.randomize(&mut rng);
+        best_x.clear();
+        best_x.extend_from_slice(state.assignment());
         let mut best_e = state.energy();
         for beta in schedule.iter() {
             for _ in 0..n {
@@ -91,6 +104,8 @@ impl SimulatedAnnealer {
                 };
                 if accept {
                     state.flip(i);
+                    // Incumbent tracking off the cached energy; strict
+                    // improvement only, so equal-energy churn never copies.
                     if self.config.track_best && state.energy() < best_e {
                         best_e = state.energy();
                         best_x.copy_from_slice(state.assignment());
@@ -100,7 +115,7 @@ impl SimulatedAnnealer {
         }
         if self.config.track_best && best_e < state.energy() {
             Sample {
-                assignment: best_x,
+                assignment: best_x.clone(),
                 energy: best_e,
             }
         } else {
@@ -132,13 +147,18 @@ impl Solver for SimulatedAnnealer {
             Some((hot, cold)) => BetaSchedule::geometric(hot, cold, self.config.sweeps.max(1)),
             None => BetaSchedule::auto(model, self.config.sweeps.max(1)),
         };
-        let samples = parallel_map_indexed(batch, |replica| {
-            self.run_replica(
-                model,
-                &schedule,
-                mathkit::rng::derive_seed(seed, replica as u64),
-            )
-        });
+        let samples = parallel_map_with(
+            batch,
+            || (QuboState::new(model, vec![0; model.num_vars()]), Vec::new()),
+            |(state, best_x), replica| {
+                self.run_replica(
+                    state,
+                    best_x,
+                    &schedule,
+                    mathkit::rng::derive_seed(seed, replica as u64),
+                )
+            },
+        );
         SampleSet::from_samples(samples)
     }
 }

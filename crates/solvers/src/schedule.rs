@@ -63,7 +63,7 @@ impl BetaSchedule {
         let mut delta_max: f64 = 0.0;
         for i in 0..model.num_vars() {
             let mut reach = model.linear(i).abs();
-            for &(_, w) in model.neighbors(i) {
+            for &w in model.neighbor_weights(i) {
                 reach += w.abs();
             }
             delta_max = delta_max.max(reach);

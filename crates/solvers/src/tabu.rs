@@ -12,9 +12,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use mathkit::rng::derive_rng;
-use qubo::{LocalFieldState, QuboModel};
+use qubo::{QuboModel, QuboState};
 
-use crate::parallel::parallel_map_indexed;
+use crate::parallel::parallel_map_with;
 use crate::sample::{Sample, SampleSet};
 use crate::Solver;
 
@@ -75,34 +75,54 @@ impl TabuSearch {
     /// Runs tabu search from the given start state (used directly by
     /// qbsolv for sub-QUBO refinement). Returns the best assignment found
     /// and its energy.
-    #[allow(clippy::needless_range_loop)] // i indexes tabu_until and the state
     pub fn improve(&self, model: &QuboModel, start: Vec<u8>, seed: u64) -> Sample {
-        let n = model.num_vars();
-        if n == 0 {
+        if model.num_vars() == 0 {
             return Sample {
                 assignment: start,
                 energy: model.offset(),
             };
         }
+        let mut state = QuboState::new(model, start);
+        let mut best_x = Vec::new();
+        let mut tabu_until = Vec::new();
+        self.search(&mut state, &mut best_x, &mut tabu_until, seed)
+    }
+
+    /// Core loop on an already-initialised state (scratch-reuse entry
+    /// point). The iteration scans the maintained flip-delta vector (O(1)
+    /// per candidate), commits one O(degree) flip, and tracks the incumbent
+    /// from the cached energy — no full `model.energy()` inside the loop.
+    fn search(
+        &self,
+        state: &mut QuboState<'_>,
+        best_x: &mut Vec<u8>,
+        tabu_until: &mut Vec<usize>,
+        seed: u64,
+    ) -> Sample {
+        let n = state.model().num_vars();
         let mut rng = derive_rng(seed, 0x7AB);
         let tenure = self.tenure_for(n);
-        let mut state = LocalFieldState::new(model, start);
-        let mut best_x = state.assignment().to_vec();
+        best_x.clear();
+        best_x.extend_from_slice(state.assignment());
         let mut best_e = state.energy();
-        let mut tabu_until = vec![0usize; n];
+        tabu_until.clear();
+        tabu_until.resize(n, 0usize);
         let mut stall = 0usize;
         for iter in 1..=self.config.max_iters {
             // Best admissible flip: non-tabu, or tabu-but-aspiring.
             let mut chosen: Option<(usize, f64)> = None;
             let mut ties = 0u32;
-            for i in 0..n {
-                let delta = state.flip_delta(i);
-                let aspires = state.energy() + delta < best_e - 1e-12;
+            let current_e = state.energy();
+            for (i, &delta) in state.flip_deltas().iter().enumerate() {
+                let aspires = current_e + delta < best_e - 1e-12;
                 if tabu_until[i] > iter && !aspires {
                     continue;
                 }
                 match chosen {
-                    None => chosen = Some((i, delta)),
+                    None => {
+                        chosen = Some((i, delta));
+                        ties = 1;
+                    }
                     Some((_, cur)) => {
                         if delta < cur - 1e-15 {
                             chosen = Some((i, delta));
@@ -135,7 +155,7 @@ impl TabuSearch {
             }
         }
         Sample {
-            assignment: best_x,
+            assignment: best_x.clone(),
             energy: best_e,
         }
     }
@@ -148,12 +168,26 @@ impl Solver for TabuSearch {
 
     fn sample(&self, model: &QuboModel, batch: usize, seed: u64) -> SampleSet {
         let n = model.num_vars();
-        let samples = parallel_map_indexed(batch, |replica| {
-            let rs = mathkit::rng::derive_seed(seed, replica as u64);
-            let mut rng = derive_rng(rs, 0x57A27);
-            let start: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2)).collect();
-            self.improve(model, start, rs)
-        });
+        if n == 0 {
+            return SampleSet::from_samples(
+                (0..batch)
+                    .map(|_| Sample {
+                        assignment: Vec::new(),
+                        energy: model.offset(),
+                    })
+                    .collect(),
+            );
+        }
+        let samples = parallel_map_with(
+            batch,
+            || (QuboState::new(model, vec![0; n]), Vec::new(), Vec::new()),
+            |(state, best_x, tabu_until), replica| {
+                let rs = mathkit::rng::derive_seed(seed, replica as u64);
+                let mut rng = derive_rng(rs, 0x57A27);
+                state.randomize(&mut rng);
+                self.search(state, best_x, tabu_until, rs)
+            },
+        );
         SampleSet::from_samples(samples)
     }
 }

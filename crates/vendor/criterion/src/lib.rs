@@ -1,0 +1,284 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Supports the benchmark surface the workspace uses — `bench_function`,
+//! `benchmark_group`, `iter`, `iter_batched`, `criterion_group!`,
+//! `criterion_main!` — with a simple but honest measurement loop: warm-up,
+//! then `sample_size` timed samples whose per-iteration medians and means
+//! are printed as
+//!
+//! ```text
+//! bench_name              time: [median 12.3 µs  mean 12.5 µs]
+//! ```
+//!
+//! When invoked with `--test` (as `cargo test --benches` does for
+//! `harness = false` targets) every benchmark body runs exactly once so CI
+//! can smoke-test benches without paying measurement cost.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted for API
+/// compatibility; the offline subset re-runs setup per batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// small per-iteration inputs
+    SmallInput,
+    /// large per-iteration inputs
+    LargeInput,
+    /// one setup per measured iteration
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with `group/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Overrides the sample count for the remaining benchmarks in the
+    /// group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Ends the group (output is already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    samples: Vec<f64>, // seconds per iteration
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let iters = calibrate_iters(&mut routine);
+        // Warm-up sample, discarded.
+        time_batch(&mut routine, iters);
+        for _ in 0..self.sample_size {
+            self.samples.push(time_batch(&mut routine, iters));
+        }
+    }
+
+    /// Measures `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        // Warm-up, discarded.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let mut elapsed = start.elapsed();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed = start.elapsed();
+            self.samples.push(elapsed.as_secs_f64());
+        }
+        let _ = elapsed;
+    }
+
+    fn report(&self, name: &str) {
+        if self.test_mode {
+            println!("{name:<40} ok (test mode)");
+            return;
+        }
+        if self.samples.is_empty() {
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{name:<40} time: [median {}  mean {}]",
+            format_seconds(median),
+            format_seconds(mean)
+        );
+    }
+}
+
+/// Picks an iteration count so one sample takes ≳ 1 ms.
+fn calibrate_iters<O, R: FnMut() -> O>(routine: &mut R) -> usize {
+    let mut iters = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+            return iters;
+        }
+        iters *= 2;
+    }
+}
+
+/// Times `iters` runs, returning seconds per iteration.
+fn time_batch<O, R: FnMut() -> O>(routine: &mut R, iters: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(routine());
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.test_mode = true; // run bodies once, no timing loop
+        let mut runs = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("x", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn format_spans_units() {
+        assert!(format_seconds(2.0).ends_with('s'));
+        assert!(format_seconds(2e-3).contains("ms"));
+        assert!(format_seconds(2e-6).contains("µs"));
+        assert!(format_seconds(2e-9).contains("ns"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Implements the slice of the proptest API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `prop_filter_map`, range and tuple strategies, [`Just`],
+//! [`collection::vec`], and the [`proptest!`] macro with
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! case's seed so it can be replayed), and generation runs on the
+//! workspace's deterministic `rand` subset. Case count defaults to 64 and
+//! can be raised via the `PROPTEST_CASES` environment variable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Marker returned by `prop_assume!` when a generated case is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// A generator of random values.
+///
+/// `generate` returns `None` when a filter rejects the candidate; the
+/// runner retries with fresh randomness (bounded by the rejection budget).
+pub trait Strategy: Sized {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one candidate value.
+    fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then runs the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects candidates failing `f` (the reason string is unused here).
+    fn prop_filter<R, F: Fn(&Self::Value) -> bool>(self, _reason: R, f: F) -> Filter<Self, F> {
+        Filter { inner: self, f }
+    }
+
+    /// Combined filter + map: rejects candidates for which `f` is `None`.
+    fn prop_filter_map<R, U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        _reason: R,
+        f: F,
+    ) -> FilterMap<Self, F> {
+        FilterMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<U::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        assert!(size.lo < size.hi, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable API surface.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Rejected,
+        Strategy,
+    };
+}
+
+/// Number of cases per property (`PROPTEST_CASES` env override).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Per-block configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// cases generated per property
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: case_count() as u32,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs `body` against `cases` generated values of `strategy` (macro
+/// backend; not part of the public proptest API).
+///
+/// # Panics
+///
+/// Panics when the rejection budget is exhausted or `body` panics — the
+/// panic message of a failing case includes the replay seed.
+pub fn run_cases<S: Strategy>(
+    name: &str,
+    strategy: &S,
+    body: impl FnMut(S::Value) -> Result<(), Rejected>,
+) {
+    run_cases_n(name, case_count(), strategy, body);
+}
+
+/// [`run_cases`] with an explicit case count (macro backend for
+/// `#![proptest_config(..)]` blocks).
+///
+/// # Panics
+///
+/// See [`run_cases`].
+pub fn run_cases_n<S: Strategy>(
+    name: &str,
+    cases: usize,
+    strategy: &S,
+    mut body: impl FnMut(S::Value) -> Result<(), Rejected>,
+) {
+    // Deterministic per-test seed: FNV-1a over the test name.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rejections = 0usize;
+    let budget = cases * 256;
+    let mut case = 0usize;
+    let mut attempt = 0u64;
+    while case < cases {
+        let case_seed = seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempt += 1;
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let rejected = match strategy.generate(&mut rng) {
+            None => true,
+            Some(value) => body(value).is_err(),
+        };
+        if rejected {
+            rejections += 1;
+            assert!(
+                rejections <= budget,
+                "property `{name}`: too many rejected cases ({rejections})"
+            );
+        } else {
+            case += 1;
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)*);
+                $crate::run_cases_n(
+                    stringify!($name),
+                    config.cases as usize,
+                    &strategy,
+                    |values| -> ::std::result::Result<(), $crate::Rejected> {
+                        let ($($pat,)*) = values;
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),*) $body)*
+        }
+    };
+}
+
+/// Asserts inside a property body (panics like `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0usize..10, y in -1.0..1.0f64) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_links_sizes(
+            (n, xs) in (1usize..8).prop_flat_map(|n| {
+                (Just(n), crate::collection::vec(0u8..2, n))
+            }),
+        ) {
+            prop_assert_eq!(xs.len(), n);
+            prop_assert!(xs.iter().all(|&b| b < 2));
+        }
+
+        #[test]
+        fn filters_reject(pair in (0usize..5, 0usize..5).prop_filter("distinct", |(a, b)| a != b)) {
+            prop_assert!(pair.0 != pair.1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn vec_fixed_size() {
+        let strat = crate::collection::vec(0u8..2, 12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let v = strat.generate(&mut rng).unwrap();
+        assert_eq!(v.len(), 12);
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        let mut first = Vec::new();
+        super::run_cases("det", &(0u64..1000), |v| {
+            first.push(v);
+            Ok(())
+        });
+        let mut second = Vec::new();
+        super::run_cases("det", &(0u64..1000), |v| {
+            second.push(v);
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,302 @@
+//! Derive macros for the offline `serde` subset.
+//!
+//! `syn`/`quote` are unavailable offline, so the derive input is parsed
+//! directly from `proc_macro::TokenStream`. Supported shapes — exactly what
+//! the workspace uses:
+//!
+//! * named-field structs (`struct S { a: T, .. }`);
+//! * unit structs (`struct S;`), serialised as `null`;
+//! * enums whose variants are unit (`V`) or named-field (`V { a: T }`),
+//!   serialised as `"V"` / `{"V": {..}}` (serde's externally-tagged
+//!   default).
+//!
+//! Tuple structs, tuple variants, generics and `#[serde(...)]` attributes
+//! are rejected with a compile-time panic rather than silently
+//! mis-serialised.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    UnitStruct,
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>, // None = unit variant
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (value-tree subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let name = &parsed.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {} }}\n\
+         }}",
+        parsed.name, body
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(value, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut code = String::new();
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => return ::std::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            if !unit_arms.is_empty() {
+                code.push_str(&format!(
+                    "if let ::serde::Value::Str(s) = value {{\n\
+                     match s.as_str() {{ {} _ => {{}} }}\n\
+                     }}\n",
+                    unit_arms.join(" ")
+                ));
+            }
+            for v in variants.iter() {
+                if let Some(fields) = &v.fields {
+                    let vname = &v.name;
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(inner, \"{f}\")?"))
+                        .collect();
+                    code.push_str(&format!(
+                        "if let ::std::option::Option::Some(inner) = value.get(\"{vname}\") {{\n\
+                         return ::std::result::Result::Ok({name}::{vname} {{ {} }});\n\
+                         }}\n",
+                        inits.join(", ")
+                    ));
+                }
+            }
+            code.push_str(&format!(
+                "::std::result::Result::Err(::serde::DeError::new(\
+                 \"no matching variant of `{name}`\"))"
+            ));
+            code
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" => "enum",
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported by the offline subset");
+        }
+    }
+    let shape = if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple structs are not supported by the offline subset")
+            }
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        }
+    };
+    Input { name, shape }
+}
+
+/// Advances past outer attributes (`#[..]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(field)) = tokens.get(pos) else {
+            break;
+        };
+        fields.push(field.to_string());
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde derive: expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Parses enum variants (unit or named-field).
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(vname)) = tokens.get(pos) else {
+            break;
+        };
+        let name = vname.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple enum variants are not supported by the offline subset")
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+    }
+    variants
+}
