@@ -1,0 +1,110 @@
+//! Scaling bench for the parallel collection & evaluation engine.
+//!
+//! Measures the two fan-out layers introduced for the pipeline:
+//!
+//! * `collect_w{N}` — the pipeline's solver-data collection stage
+//!   ([`qross::pipeline::collect_dataset`]) over a quick-scale instance
+//!   set at an explicit worker count. `w1` is the fully sequential
+//!   baseline (nested solver fan-out included); on a machine with ≥ 4
+//!   cores `w4` should come in at least ~2× faster.
+//! * `eval_grid_w{N}` — the `(strategy × instance)` evaluation grid
+//!   ([`qross::eval::run_strategy_grid`]) at the same worker counts.
+//!
+//! Before timing anything, the harness asserts the determinism contract:
+//! 1-worker and 4-worker runs must produce byte-identical datasets and
+//! strategy runs — the speedup is scheduling-only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::experiments::micro_encoding;
+use problems::TspEncoding;
+use qross::collect::CollectConfig;
+use qross::eval::run_strategy_grid;
+use qross::pipeline::collect_dataset;
+use qross::strategy::{ProposalStrategy, TunerStrategy};
+use solvers::sa::{SaConfig, SimulatedAnnealer};
+use tuners::RandomSearch;
+
+const WORKER_COUNTS: [usize; 2] = [1, 4];
+
+fn instances() -> Vec<TspEncoding> {
+    (0..8).map(|k| micro_encoding(9, 100 + k)).collect()
+}
+
+fn solver() -> SimulatedAnnealer {
+    SimulatedAnnealer::new(SaConfig {
+        sweeps: 64,
+        ..Default::default()
+    })
+}
+
+fn featurize(enc: &TspEncoding) -> Vec<f64> {
+    vec![
+        enc.num_cities() as f64,
+        enc.qubo_instance().num_cities() as f64,
+    ]
+}
+
+fn collect_cfg() -> CollectConfig {
+    CollectConfig {
+        batch: 16,
+        sweep_points: 8,
+        ..Default::default()
+    }
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let encodings = instances();
+    let s = solver();
+    let cfg = collect_cfg();
+
+    // Determinism gate: identical datasets at every worker count.
+    let reference = collect_dataset(&encodings, featurize, 2, &cfg, &s, 7, 1);
+    for workers in WORKER_COUNTS {
+        let ds = collect_dataset(&encodings, featurize, 2, &cfg, &s, 7, workers);
+        assert_eq!(ds, reference, "collection diverged at {workers} workers");
+    }
+
+    let mut group = c.benchmark_group("pipeline_scaling");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        group.bench_function(&format!("collect_w{workers}"), |b| {
+            b.iter(|| collect_dataset(&encodings, featurize, 2, &cfg, &s, 7, workers))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_grid(c: &mut Criterion) {
+    let encodings = instances();
+    let s = solver();
+    let make = |strat: usize, _idx: usize, iseed: u64| -> Box<dyn ProposalStrategy> {
+        Box::new(TunerStrategy::new(
+            RandomSearch::new(0.05, 20.0, iseed.wrapping_add(strat as u64)),
+            1e6,
+        ))
+    };
+    let run = |workers: usize| run_strategy_grid(&encodings, &s, 3, make, 6, 16, 11, workers);
+
+    // Determinism gate: identical strategy runs at every worker count.
+    let reference = run(1);
+    for workers in WORKER_COUNTS {
+        assert_eq!(
+            run(workers),
+            reference,
+            "eval grid diverged at {workers} workers"
+        );
+    }
+
+    let mut group = c.benchmark_group("pipeline_scaling");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        group.bench_function(&format!("eval_grid_w{workers}"), |b| {
+            b.iter(|| run(workers))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collect, bench_eval_grid);
+criterion_main!(benches);

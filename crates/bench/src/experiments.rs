@@ -7,7 +7,7 @@ use problems::tsp::generator::{generate_instance, GeneratorConfig};
 use problems::tsp::heuristics;
 use problems::{MvcInstance, TspEncoding, TspInstance};
 use qross::collect::{collect_profile, observe, CollectConfig};
-use qross::eval::{aggregate_gap_curves, gap_curve, run_strategy, MethodCurve};
+use qross::eval::{aggregate_gap_curves, gap_curve, run_strategy_grid, MethodCurve};
 use qross::pipeline::{Pipeline, PipelineConfig, TrainedQross, A_DOMAIN};
 use qross::strategy::{ComposedStrategy, ProposalStrategy, TunerStrategy};
 use solvers::da::{DaConfig, DigitalAnnealer};
@@ -198,7 +198,11 @@ pub const METHODS: [&str; 4] = ["qross", "tpe", "bo", "random"];
 /// Runs the four-method comparison of Figs. 3–4 on the given encodings.
 ///
 /// `trained` supplies the surrogate for the QROSS composed strategy; the
-/// baselines get the same trial budget and solver.
+/// baselines get the same trial budget, solver and per-instance seed.
+///
+/// The `(method × instance)` grid fans out across one worker per core via
+/// [`run_strategy_grid`]; per-instance seeds are derived from the instance
+/// index alone, so the result is bit-identical to a sequential run.
 #[allow(clippy::too_many_arguments)] // experiment descriptor, not an API
 pub fn compare_methods<S: Solver + ?Sized>(
     trained: &TrainedQross,
@@ -210,47 +214,73 @@ pub fn compare_methods<S: Solver + ?Sized>(
     trials: usize,
     seed: u64,
 ) -> ComparisonResult {
-    let mut per_method_curves: Vec<Vec<Vec<f64>>> = vec![Vec::new(); METHODS.len()];
-    for (idx, enc) in encodings.iter().enumerate() {
-        // Reference (near-optimal) and fallback (weak feasible) fitness.
-        let inst = enc.fitness_instance();
-        let (_, reference) = heuristics::reference_tour(inst, 8);
-        let nn = inst.tour_length(&heuristics::nearest_neighbor(inst, 0));
-        let fallback = nn.max(reference) * 1.5;
-        let features = trained.featurizer.extract(enc.qubo_instance());
-        let iseed = mathkit::rng::derive_seed(seed, 9000 + idx as u64);
+    // Per-instance reference (near-optimal) / fallback (weak feasible)
+    // fitness and features, computed once up front — they are shared by
+    // all four methods and are cheap next to the solver calls.
+    let references: Vec<f64> = encodings
+        .iter()
+        .map(|enc| heuristics::reference_tour(enc.fitness_instance(), 8).1)
+        .collect();
+    let fallbacks: Vec<f64> = encodings
+        .iter()
+        .zip(&references)
+        .map(|(enc, &reference)| {
+            let inst = enc.fitness_instance();
+            let nn = inst.tour_length(&heuristics::nearest_neighbor(inst, 0));
+            nn.max(reference) * 1.5
+        })
+        .collect();
+    let features: Vec<Vec<f64>> = encodings
+        .iter()
+        .map(|enc| trained.featurizer.extract(enc.qubo_instance()))
+        .collect();
 
-        for (m, &method) in METHODS.iter().enumerate() {
-            let mut strategy: Box<dyn ProposalStrategy> = match method {
-                "qross" => Box::new(ComposedStrategy::new(
-                    &trained.surrogate,
-                    features.clone(),
-                    A_DOMAIN,
-                    batch,
-                    iseed,
-                )),
-                "tpe" => Box::new(TunerStrategy::new(
-                    Tpe::new(A_DOMAIN.0, A_DOMAIN.1, iseed),
-                    fallback,
-                )),
-                "bo" => Box::new(TunerStrategy::new(
-                    BayesOpt::new(A_DOMAIN.0, A_DOMAIN.1, iseed),
-                    fallback,
-                )),
-                "random" => Box::new(TunerStrategy::new(
-                    RandomSearch::new(A_DOMAIN.0, A_DOMAIN.1, iseed),
-                    fallback,
-                )),
-                other => unreachable!("unknown method {other}"),
-            };
-            let run = run_strategy(enc, solver, strategy.as_mut(), trials, batch, iseed);
-            per_method_curves[m].push(gap_curve(&run, reference, fallback));
+    let make_strategy = |m: usize, idx: usize, iseed: u64| -> Box<dyn ProposalStrategy + '_> {
+        let fallback = fallbacks[idx];
+        match METHODS[m] {
+            "qross" => Box::new(ComposedStrategy::new(
+                &trained.surrogate,
+                features[idx].clone(),
+                A_DOMAIN,
+                batch,
+                iseed,
+            )),
+            "tpe" => Box::new(TunerStrategy::new(
+                Tpe::new(A_DOMAIN.0, A_DOMAIN.1, iseed),
+                fallback,
+            )),
+            "bo" => Box::new(TunerStrategy::new(
+                BayesOpt::new(A_DOMAIN.0, A_DOMAIN.1, iseed),
+                fallback,
+            )),
+            "random" => Box::new(TunerStrategy::new(
+                RandomSearch::new(A_DOMAIN.0, A_DOMAIN.1, iseed),
+                fallback,
+            )),
+            other => unreachable!("unknown method {other}"),
         }
-    }
+    };
+    let grid = run_strategy_grid(
+        encodings,
+        solver,
+        METHODS.len(),
+        make_strategy,
+        trials,
+        batch,
+        seed,
+        0,
+    );
     let curves = METHODS
         .iter()
-        .zip(per_method_curves.iter())
-        .map(|(name, curves)| MethodCurve::from_cis(name, &aggregate_gap_curves(curves)))
+        .zip(&grid)
+        .map(|(name, runs)| {
+            let curves: Vec<Vec<f64>> = runs
+                .iter()
+                .enumerate()
+                .map(|(idx, run)| gap_curve(run, references[idx], fallbacks[idx]))
+                .collect();
+            MethodCurve::from_cis(name, &aggregate_gap_curves(&curves))
+        })
         .collect();
     ComparisonResult {
         dataset: dataset_label.to_string(),

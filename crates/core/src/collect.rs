@@ -18,6 +18,8 @@ use problems::RelaxableProblem;
 use serde::{Deserialize, Serialize};
 use solvers::Solver;
 
+use crate::QrossError;
+
 /// One solver call's summary at a given relaxation parameter — exactly the
 /// targets the surrogate learns.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,7 +68,48 @@ impl Default for CollectConfig {
     }
 }
 
+/// Evaluates one `(instance, A)` pair on the solver, rejecting empty
+/// sample sets.
+///
+/// # Errors
+///
+/// Returns [`QrossError::EmptyBatch`] when the solver returns zero
+/// samples — batch statistics are undefined there, and recording them as
+/// NaN would poison downstream dataset normalisation.
+pub fn try_observe<P: RelaxableProblem + ?Sized, S: Solver + ?Sized>(
+    problem: &P,
+    solver: &S,
+    a: f64,
+    batch: usize,
+    seed: u64,
+) -> Result<SolverObservation, QrossError> {
+    let qubo = problem.to_qubo(a);
+    let set = solver.sample(&qubo, batch, seed);
+    let Some(best) = set.best() else {
+        return Err(QrossError::EmptyBatch { a });
+    };
+    let min_energy = best.energy;
+    let pf = set.feasibility_fraction(|x| problem.is_feasible(x));
+    let best_fitness = set
+        .best_feasible(|x| problem.is_feasible(x))
+        .and_then(|s| problem.fitness(&s.assignment));
+    Ok(SolverObservation {
+        a,
+        pf,
+        e_avg: set.mean_energy(),
+        e_std: set.std_energy(),
+        best_fitness,
+        min_energy,
+    })
+}
+
 /// Evaluates one `(instance, A)` pair on the solver.
+///
+/// Infallible variant of [`try_observe`] for callers that must always
+/// record a trial (the evaluation harness charges one trial per solver
+/// call whatever happens): an empty sample set degrades to a neutral
+/// all-infeasible observation (`pf = 0`, zeroed finite statistics, no
+/// fitness) instead of propagating NaN.
 pub fn observe<P: RelaxableProblem + ?Sized, S: Solver + ?Sized>(
     problem: &P,
     solver: &S,
@@ -74,20 +117,14 @@ pub fn observe<P: RelaxableProblem + ?Sized, S: Solver + ?Sized>(
     batch: usize,
     seed: u64,
 ) -> SolverObservation {
-    let qubo = problem.to_qubo(a);
-    let set = solver.sample(&qubo, batch, seed);
-    let pf = set.feasibility_fraction(|x| problem.is_feasible(x));
-    let best_fitness = set
-        .best_feasible(|x| problem.is_feasible(x))
-        .and_then(|s| problem.fitness(&s.assignment));
-    SolverObservation {
+    try_observe(problem, solver, a, batch, seed).unwrap_or(SolverObservation {
         a,
-        pf,
-        e_avg: set.mean_energy(),
-        e_std: set.std_energy(),
-        best_fitness,
-        min_energy: set.best().map(|s| s.energy).unwrap_or(f64::NAN),
-    }
+        pf: 0.0,
+        e_avg: 0.0,
+        e_std: 0.0,
+        best_fitness: None,
+        min_energy: 0.0,
+    })
 }
 
 /// Collects a full A-profile of one instance: exponential slope location
@@ -117,18 +154,28 @@ pub fn collect_profile<P: RelaxableProblem + ?Sized, S: Solver + ?Sized>(
     let (lo_bound, hi_bound) = config.a_bounds;
     let mut observations: Vec<SolverObservation> = Vec::new();
     let mut stream = 0u64;
+    // Empty solver batches are skipped (not recorded): their statistics
+    // are undefined and would otherwise flow NaN into the training
+    // dataset. The seed stream still advances, so well-behaved solvers
+    // see exactly the seeds they always did, and the probe loop treats
+    // the point as infeasible (pf = 0), which the bounded A-range walk
+    // terminates on regardless.
     let mut probe = |a: f64, observations: &mut Vec<SolverObservation>| -> f64 {
         stream += 1;
-        let obs = observe(
+        match try_observe(
             problem,
             solver,
             a,
             config.batch,
             mathkit::rng::derive_seed(seed, stream),
-        );
-        let pf = obs.pf;
-        observations.push(obs);
-        pf
+        ) {
+            Ok(obs) => {
+                let pf = obs.pf;
+                observations.push(obs);
+                pf
+            }
+            Err(_) => 0.0,
+        }
     };
 
     // Locate A_right: smallest probed A with Pf = 1.
@@ -267,6 +314,54 @@ mod tests {
         let a = collect_profile(&p, &s, &cfg, 11);
         let b = collect_profile(&p, &s, &cfg, 11);
         assert_eq!(a, b);
+    }
+
+    /// A broken solver that returns zero samples regardless of the batch
+    /// request.
+    struct EmptySolver;
+
+    impl Solver for EmptySolver {
+        fn name(&self) -> &str {
+            "empty"
+        }
+
+        fn sample(
+            &self,
+            _model: &qubo::QuboModel,
+            _batch: usize,
+            _seed: u64,
+        ) -> solvers::SampleSet {
+            solvers::SampleSet::new()
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_rejected_not_nan() {
+        let p = small_problem();
+        let err = try_observe(&p, &EmptySolver, 1.0, 16, 3);
+        assert!(matches!(err, Err(crate::QrossError::EmptyBatch { .. })));
+        // The infallible path degrades to a neutral, finite observation.
+        let obs = observe(&p, &EmptySolver, 1.0, 16, 3);
+        assert_eq!(obs.pf, 0.0);
+        assert!(obs.e_avg.is_finite() && obs.e_std.is_finite() && obs.min_energy.is_finite());
+        assert!(obs.best_fitness.is_none());
+    }
+
+    #[test]
+    fn profile_skips_empty_batches_and_terminates() {
+        let p = small_problem();
+        let cfg = CollectConfig {
+            batch: 8,
+            sweep_points: 6,
+            ..Default::default()
+        };
+        let profile = collect_profile(&p, &EmptySolver, &cfg, 5);
+        assert!(profile.is_empty(), "no observation should be recorded");
+        // Nothing NaN can reach the dataset: pushing the (empty) profile
+        // is a no-op rather than a poisoned row.
+        let mut ds = crate::dataset::SurrogateDataset::new(1);
+        ds.push_profile(&[1.0], &profile);
+        assert!(ds.is_empty());
     }
 
     #[test]

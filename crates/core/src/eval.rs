@@ -11,11 +11,34 @@
 //! in EXPERIMENTS.md; the paper does not specify its convention, and this
 //! choice penalises infeasible-only prefixes without destroying the
 //! curve's scale).
+//!
+//! # The parallel experiment engine
+//!
+//! An experiment figure costs `strategies × instances × trials` solver
+//! calls. The trials of one `(strategy, instance)` cell are inherently
+//! sequential — each proposal conditions on the previous observation — but
+//! the cells themselves are independent, so [`run_strategy_grid`] fans the
+//! whole grid across a worker pool while [`run_strategy`] stays the
+//! sequential per-cell loop it always was.
+//!
+//! **Seed-derivation contract**: cell `(s, i)` always runs with seed
+//! `derive_seed(seed, 9000 + i)` (shared by every strategy on instance
+//! `i`, mirroring the benchmark harness), and each trial `t` inside a cell
+//! with `derive_seed(cell_seed, 7000 + t)`. Nothing about the schedule
+//! feeds the RNG streams.
+//!
+//! **Thread-count invariance**: because every cell is a pure function of
+//! `(problem, solver, strategy factory, cell seed)` and results land in
+//! their grid slot, the returned `StrategyRun`s are bit-identical for any
+//! worker count — 1, 2, 8 or one-per-core ([`solvers::parallel`] holds the
+//! same contract one level down for solver batches; nested fan-out inside
+//! a busy worker automatically runs inline).
 
 use serde::{Deserialize, Serialize};
 
 use mathkit::stats::{mean_ci95, MeanCi};
 use problems::RelaxableProblem;
+use solvers::parallel::parallel_map_with_workers;
 use solvers::Solver;
 
 use crate::collect::{observe, SolverObservation};
@@ -33,8 +56,13 @@ pub struct StrategyRun {
 }
 
 impl StrategyRun {
-    /// Best feasible fitness over the first `t+1` trials (0-based `t`).
+    /// Best feasible fitness over the first `t+1` trials (0-based `t`,
+    /// clamped to the recorded length). Returns `None` for an empty run or
+    /// when no trial in the window found a feasible solution.
     pub fn best_fitness_through(&self, t: usize) -> Option<f64> {
+        if self.trials.is_empty() {
+            return None;
+        }
         self.trials[..=t.min(self.trials.len() - 1)]
             .iter()
             .filter_map(|o| o.best_fitness)
@@ -81,6 +109,63 @@ where
     }
 }
 
+/// Runs a whole `(strategy × instance)` experiment grid concurrently.
+///
+/// `make_strategy(s, i, cell_seed)` builds a fresh strategy for cell
+/// `(s, i)`; the cell then runs the ordinary sequential [`run_strategy`]
+/// loop with `cell_seed = derive_seed(seed, 9000 + i)` (the same seed for
+/// every strategy on one instance, so methods compete on identical solver
+/// randomness). Results are returned as `out[s][i]`.
+///
+/// `workers` follows [`parallel_map_with_workers`]: `0` means one worker
+/// per core, any other value is an exact worker count. The output is
+/// **bit-identical for every worker count** — see the module docs for the
+/// contract that guarantees it.
+#[allow(clippy::too_many_arguments)] // experiment descriptor, not an API
+pub fn run_strategy_grid<'s, P, S, F>(
+    problems: &[P],
+    solver: &S,
+    strategies: usize,
+    make_strategy: F,
+    trials: usize,
+    batch: usize,
+    seed: u64,
+    workers: usize,
+) -> Vec<Vec<StrategyRun>>
+where
+    P: RelaxableProblem + Sync,
+    S: Solver + ?Sized,
+    F: Fn(usize, usize, u64) -> Box<dyn ProposalStrategy + 's> + Send + Sync,
+{
+    let n = problems.len();
+    if n == 0 || strategies == 0 {
+        return vec![Vec::new(); strategies];
+    }
+    let cells = parallel_map_with_workers(
+        strategies * n,
+        workers,
+        || (),
+        |(), cell| {
+            let (s, i) = (cell / n, cell % n);
+            let cell_seed = mathkit::rng::derive_seed(seed, 9000 + i as u64);
+            let mut strategy = make_strategy(s, i, cell_seed);
+            run_strategy(
+                &problems[i],
+                solver,
+                strategy.as_mut(),
+                trials,
+                batch,
+                cell_seed,
+            )
+        },
+    );
+    let mut grid: Vec<Vec<StrategyRun>> = vec![Vec::with_capacity(n); strategies];
+    for (cell, run) in cells.into_iter().enumerate() {
+        grid[cell / n].push(run);
+    }
+    grid
+}
+
 /// Converts a run into a best-so-far normalised-gap curve.
 ///
 /// # Panics
@@ -115,11 +200,16 @@ pub fn gap_curve(run: &StrategyRun, reference: f64, fallback_fitness: f64) -> Ve
 /// Mean ± 95% CI per trial across instance gap curves (the aggregation in
 /// Figs. 3–5).
 ///
+/// No curves, or all-empty curves (a strategy whose every run recorded
+/// zero trials), aggregate to an *empty* curve — never a NaN-filled one.
+///
 /// # Panics
 ///
-/// Panics if curves have differing lengths or none are given.
+/// Panics if curves have differing lengths.
 pub fn aggregate_gap_curves(curves: &[Vec<f64>]) -> Vec<MeanCi> {
-    assert!(!curves.is_empty(), "no curves to aggregate");
+    if curves.is_empty() {
+        return Vec::new();
+    }
     let len = curves[0].len();
     assert!(
         curves.iter().all(|c| c.len() == len),
@@ -156,8 +246,12 @@ impl MethodCurve {
     }
 
     /// Gap at a 1-based trial number (the paper's Table 1 reports #3 and
-    /// #20), clamped to the available length.
+    /// #20), clamped to the available length. Returns NaN for an empty
+    /// curve (an all-empty strategy run) instead of panicking.
     pub fn gap_at_trial(&self, trial_1based: usize) -> f64 {
+        if self.mean.is_empty() {
+            return f64::NAN;
+        }
         let idx = trial_1based.saturating_sub(1).min(self.mean.len() - 1);
         self.mean[idx]
     }
@@ -318,5 +412,60 @@ mod tests {
     #[should_panic(expected = "share a length")]
     fn aggregation_rejects_ragged() {
         let _ = aggregate_gap_curves(&[vec![0.1], vec![0.1, 0.2]]);
+    }
+
+    #[test]
+    fn empty_runs_do_not_panic_or_nan() {
+        // Regression: an empty trials vec used to underflow
+        // `trials.len() - 1` and panic.
+        let empty = StrategyRun {
+            strategy: "x".to_string(),
+            instance: "i".to_string(),
+            trials: Vec::new(),
+        };
+        assert_eq!(empty.best_fitness_through(0), None);
+        assert_eq!(empty.best_fitness_through(17), None);
+        assert!(gap_curve(&empty, 10.0, 30.0).is_empty());
+        // All-empty strategy runs aggregate to an empty curve, not NaN.
+        let cis = aggregate_gap_curves(&[Vec::new(), Vec::new()]);
+        assert!(cis.is_empty());
+        assert!(aggregate_gap_curves(&[]).is_empty());
+        let mc = MethodCurve::from_cis("x", &cis);
+        assert!(mc.mean.is_empty());
+        assert!(mc.gap_at_trial(3).is_nan());
+    }
+
+    #[test]
+    fn grid_matches_sequential_loop() {
+        let p1 = tiny_problem();
+        let p2 = TspEncoding::preprocessed(TspInstance::from_coords(
+            "t5b",
+            &[(0.0, 0.1), (1.8, 0.0), (2.9, 2.2), (1.1, 3.1), (-0.9, 1.4)],
+        ));
+        let problems = [p1, p2];
+        let s = fast_solver();
+        let make = |strat: usize, _inst: usize, cell_seed: u64| -> Box<dyn ProposalStrategy> {
+            let salt = if strat == 0 { 3u64 } else { 7u64 };
+            Box::new(TunerStrategy::new(
+                RandomSearch::new(0.05, 20.0, cell_seed.wrapping_add(salt)),
+                1e6,
+            ))
+        };
+        let grid = run_strategy_grid(&problems, &s, 2, make, 4, 8, 42, 0);
+        assert_eq!(grid.len(), 2);
+        // Every cell equals its standalone sequential run.
+        for (si, row) in grid.iter().enumerate() {
+            assert_eq!(row.len(), 2);
+            for (pi, run) in row.iter().enumerate() {
+                let cell_seed = mathkit::rng::derive_seed(42, 9000 + pi as u64);
+                let mut strat = make(si, pi, cell_seed);
+                let want = run_strategy(&problems[pi], &s, strat.as_mut(), 4, 8, cell_seed);
+                assert_eq!(run, &want, "cell ({si}, {pi}) diverged");
+            }
+        }
+        // Empty grids are well-formed.
+        let empty: Vec<Vec<StrategyRun>> =
+            run_strategy_grid(&[] as &[TspEncoding], &s, 2, make, 4, 8, 1, 0);
+        assert_eq!(empty, vec![Vec::new(), Vec::new()]);
     }
 }

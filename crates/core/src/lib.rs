@@ -71,6 +71,14 @@ pub enum QrossError {
         /// explanation
         message: String,
     },
+    /// A solver returned an empty sample set for a positive batch request
+    /// — its statistics (`Pf`, `Eavg`, `Estd`, `min_energy`) are
+    /// undefined, so the observation must be rejected rather than recorded
+    /// as NaN.
+    EmptyBatch {
+        /// the relaxation parameter that was being evaluated
+        a: f64,
+    },
 }
 
 impl std::fmt::Display for QrossError {
@@ -80,6 +88,9 @@ impl std::fmt::Display for QrossError {
             QrossError::TrainingDiverged => write!(f, "surrogate training diverged"),
             QrossError::Persistence { message } => write!(f, "persistence: {message}"),
             QrossError::NoCandidate { message } => write!(f, "no candidate: {message}"),
+            QrossError::EmptyBatch { a } => {
+                write!(f, "solver returned an empty sample set at A = {a}")
+            }
         }
     }
 }

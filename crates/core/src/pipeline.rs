@@ -12,10 +12,32 @@
 //!   baselines ordering) at a fraction of the compute.
 //! * [`PipelineConfig::paper`] — the paper's settings: 300 instances of
 //!   20–30 cities (270/30 split), B = 128.
+//!
+//! # Parallel collection
+//!
+//! Solver-data collection dominates the pipeline's cost: every training
+//! instance needs a full A-profile, i.e. dozens of solver batches. The
+//! instances are independent, so [`collect_dataset`] fans
+//! [`collect_profile`] out across a chunked worker pool
+//! ([`solvers::parallel::parallel_map_with_workers`]) and assembles the
+//! profiles into the [`SurrogateDataset`] *in instance order* afterwards.
+//!
+//! **Seed-derivation contract**: instance `idx` is always collected with
+//! `derive_seed(seed, 100 + idx)` — never with anything derived from the
+//! worker or chunk that happened to run it.
+//!
+//! **Thread-count invariance**: together with the order-preserving
+//! assembly, that contract makes the dataset (and hence the trained
+//! surrogate) **bit-identical for any worker count**, including fully
+//! sequential. [`PipelineConfig::workers`] is therefore purely a
+//! throughput knob: `0` (the default) uses one worker per core, `1` runs
+//! the whole collection — including the solvers' own replica fan-out — on
+//! the calling thread, and any other value pins the exact pool size.
 
 use problems::tsp::generator::{GeneratorConfig, SyntheticDataset};
 use problems::{TspEncoding, TspInstance};
 use serde::{Deserialize, Serialize};
+use solvers::parallel::parallel_map_with_workers;
 use solvers::Solver;
 
 use crate::collect::{collect_profile, CollectConfig};
@@ -39,6 +61,11 @@ pub struct PipelineConfig {
     pub surrogate: SurrogateConfig,
     /// root seed
     pub seed: u64,
+    /// collection worker-pool size: `0` = one worker per core, `1` =
+    /// fully sequential (nested solver fan-out included), `n` = exactly
+    /// `n` workers. Output is bit-identical for every value (see the
+    /// module docs).
+    pub workers: usize,
 }
 
 impl PipelineConfig {
@@ -63,6 +90,7 @@ impl PipelineConfig {
                 ..Default::default()
             },
             seed: 2021,
+            workers: 0,
         }
     }
 
@@ -84,6 +112,7 @@ impl PipelineConfig {
                 ..Default::default()
             },
             seed: 2021,
+            workers: 0,
         }
     }
 
@@ -111,6 +140,7 @@ impl PipelineConfig {
                 ..Default::default()
             },
             seed: 7,
+            workers: 0,
         }
     }
 }
@@ -195,17 +225,16 @@ impl Pipeline {
         let train_encodings: Vec<TspEncoding> = data.train().iter().map(encode).collect();
         let test_encodings: Vec<TspEncoding> = data.test().iter().map(encode).collect();
 
-        let mut dataset = SurrogateDataset::new(self.featurizer.dim());
-        for (idx, enc) in train_encodings.iter().enumerate() {
-            let features = self.featurizer.extract(enc.qubo_instance());
-            let profile = collect_profile(
-                enc,
-                solver,
-                &cfg.collect,
-                mathkit::rng::derive_seed(cfg.seed, 100 + idx as u64),
-            );
-            dataset.push_profile(&features, &profile);
-        }
+        let featurizer = &self.featurizer;
+        let dataset = collect_dataset(
+            &train_encodings,
+            |enc| featurizer.extract(enc.qubo_instance()),
+            featurizer.dim(),
+            &cfg.collect,
+            solver,
+            cfg.seed,
+            cfg.workers,
+        );
         let (surrogate, report) = Surrogate::train(&dataset, &cfg.surrogate)?;
         Ok(TrainedQross {
             surrogate,
@@ -224,7 +253,10 @@ impl Pipeline {
 /// TSP-specific generation, preprocessing and featurisation).
 ///
 /// `featurize` must produce `feat_dim`-wide vectors; the same function
-/// must be used at inference time.
+/// must be used at inference time. Collection fans out across one worker
+/// per core via [`collect_dataset`] (bit-identical to a sequential run);
+/// pass an explicit worker count through [`collect_dataset`] directly if
+/// you need to pin it.
 ///
 /// # Errors
 ///
@@ -269,7 +301,7 @@ pub fn train_on_problems<P, S, F>(
     seed: u64,
 ) -> Result<(Surrogate, TrainReport), QrossError>
 where
-    P: problems::RelaxableProblem,
+    P: problems::RelaxableProblem + Sync,
     S: Solver + ?Sized,
     F: Fn(&P) -> Vec<f64>,
 {
@@ -278,18 +310,56 @@ where
             message: "no problems to train on".to_string(),
         });
     }
-    let mut dataset = SurrogateDataset::new(feat_dim);
-    for (idx, problem) in problems.iter().enumerate() {
-        let features = featurize(problem);
-        let profile = collect_profile(
-            problem,
-            solver,
-            collect,
-            mathkit::rng::derive_seed(seed, 100 + idx as u64),
-        );
-        dataset.push_profile(&features, &profile);
-    }
+    let dataset = collect_dataset(problems, featurize, feat_dim, collect, solver, seed, 0);
     Surrogate::train(&dataset, surrogate_config)
+}
+
+/// The pipeline's collection stage: fans [`collect_profile`] out across
+/// `workers` threads (one task per problem instance) and assembles the
+/// profiles into a [`SurrogateDataset`] in instance order.
+///
+/// Instance `idx` is collected with seed `derive_seed(seed, 100 + idx)`,
+/// so the result is **bit-identical for every worker count** (`0` = one
+/// worker per core, `1` = fully sequential including nested solver
+/// fan-out, `n` = exactly `n` workers) — the property the
+/// `integration_parallel_determinism` suite asserts at 1/2/8 workers.
+///
+/// Featurisation runs sequentially during assembly: it is orders of
+/// magnitude cheaper than the solver batches, and keeping it on one
+/// thread spares `featurize` a `Sync` bound.
+pub fn collect_dataset<P, S, F>(
+    problems: &[P],
+    featurize: F,
+    feat_dim: usize,
+    collect: &CollectConfig,
+    solver: &S,
+    seed: u64,
+    workers: usize,
+) -> SurrogateDataset
+where
+    P: problems::RelaxableProblem + Sync,
+    S: Solver + ?Sized,
+    F: Fn(&P) -> Vec<f64>,
+{
+    let profiles = parallel_map_with_workers(
+        problems.len(),
+        workers,
+        || (),
+        |(), idx| {
+            collect_profile(
+                &problems[idx],
+                solver,
+                collect,
+                mathkit::rng::derive_seed(seed, 100 + idx as u64),
+            )
+        },
+    );
+    let mut dataset = SurrogateDataset::new(feat_dim);
+    for (problem, profile) in problems.iter().zip(&profiles) {
+        let features = featurize(problem);
+        dataset.push_profile(&features, profile);
+    }
+    dataset
 }
 
 /// The relaxation-parameter search domain used across the experiments.
@@ -320,9 +390,10 @@ mod tests {
         assert_eq!(trained.test_encodings.len(), 4);
         assert!(trained.dataset_len >= 20 * 10);
         assert!(!trained.report.pf.train_loss.is_empty());
-        // Pf loss should have decreased during training.
-        let first = trained.report.pf.train_loss.first().unwrap();
-        let last = trained.report.pf.train_loss.last().unwrap();
+        // Pf loss should have decreased during training. The Option
+        // accessors stay safe even for epochs == 0 histories.
+        let first = trained.report.pf.initial_train_loss().expect("epochs > 0");
+        let last = trained.report.pf.final_train_loss().expect("epochs > 0");
         assert!(last < first, "Pf loss did not improve: {first} -> {last}");
     }
 

@@ -19,7 +19,7 @@
 //! identity rather than an approximation.
 
 use mathkit::integrate::gauss_legendre_composite;
-use mathkit::optimize::{minimize_global_1d, Minimum};
+use mathkit::optimize::Minimum;
 use mathkit::special::normal_sf;
 
 use crate::surrogate::{Surrogate, SurrogatePrediction};
@@ -113,13 +113,12 @@ pub fn propose(
     );
     let (lo, hi) = clamp_to_trained(surrogate, domain);
 
-    // Locate the predicted sigmoid slope with a coarse sweep.
+    // Locate the predicted sigmoid slope with a coarse sweep (one
+    // batched forward).
     const GRID: usize = 96;
-    let ln_grid: Vec<f64> = (0..GRID)
-        .map(|k| lo.ln() + (hi.ln() - lo.ln()) * k as f64 / (GRID - 1) as f64)
-        .collect();
+    let ln_grid = crate::strategy::even_grid(lo.ln(), hi.ln(), GRID);
     let a_grid: Vec<f64> = ln_grid.iter().map(|l| l.exp()).collect();
-    let preds = surrogate.predict_sweep(features, &a_grid);
+    let preds = surrogate.predict_grid(features, &a_grid);
     let slope: Vec<usize> = (0..GRID)
         .filter(|&k| preds[k].pf >= 0.2 && preds[k].pf <= 0.98)
         .collect();
@@ -135,14 +134,14 @@ pub fn propose(
         (first, last.min(hi.ln()))
     };
 
-    let objective = |ln_a: f64| -> f64 {
-        let p = surrogate.predict(features, ln_a.exp());
-        expected_min_of(&p, batch)
-    };
-    let m = minimize_global_1d(&objective, wlo, whi, 64, 4, 1e-6).map_err(|e| {
-        QrossError::NoCandidate {
-            message: format!("MFS optimisation failed: {e}"),
-        }
+    // Dense objective grid in ONE batched forward per head; only the
+    // golden-section refinement around the best basins pays scalar
+    // predicts (see strategy::minimize_on_log_grid).
+    let m = crate::strategy::minimize_on_log_grid(surrogate, features, (wlo, whi), 64, |p| {
+        expected_min_of(p, batch)
+    })
+    .map_err(|e| QrossError::NoCandidate {
+        message: format!("MFS optimisation failed: {e}"),
     })?;
     if !m.value.is_finite() {
         return Err(QrossError::NoCandidate {

@@ -21,6 +21,50 @@ pub use composed::ComposedStrategy;
 pub use ofs::OnlineFitting;
 
 use crate::collect::SolverObservation;
+use crate::surrogate::{Surrogate, SurrogatePrediction};
+
+/// `n` evenly spaced points over `[lo, hi]` (inclusive) — the log-domain
+/// candidate grids of the offline strategies.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub(crate) fn even_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "grid needs at least two points");
+    (0..n)
+        .map(|k| lo + (hi - lo) * k as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Minimises `objective(prediction)` over `ln A ∈ [wlo, whi]`: evaluates a
+/// `grid`-point dense grid with ONE batched [`Surrogate::predict_grid`]
+/// forward per head (the inner loop of every MFS/PBS proposal), then
+/// golden-sections the best basins with scalar predicts via
+/// [`mathkit::optimize::refine_grid_minimum`].
+///
+/// Both stages share the same `objective` closure by construction, so the
+/// refined function can never drift from the grid that seeded it. The
+/// returned [`mathkit::optimize::Minimum`] is in `ln A`.
+pub(crate) fn minimize_on_log_grid<O>(
+    surrogate: &Surrogate,
+    features: &[f64],
+    (wlo, whi): (f64, f64),
+    grid: usize,
+    objective: O,
+) -> mathkit::Result<mathkit::optimize::Minimum>
+where
+    O: Fn(&SurrogatePrediction) -> f64,
+{
+    let ln_grid = even_grid(wlo, whi, grid);
+    let a_grid: Vec<f64> = ln_grid.iter().map(|l| l.exp()).collect();
+    let values: Vec<f64> = surrogate
+        .predict_grid(features, &a_grid)
+        .iter()
+        .map(&objective)
+        .collect();
+    let scalar = |ln_a: f64| objective(&surrogate.predict(features, ln_a.exp()));
+    mathkit::optimize::refine_grid_minimum(&scalar, &ln_grid, &values, 4, 1e-6)
+}
 
 /// A sequential parameter-proposal strategy.
 ///

@@ -153,9 +153,16 @@ impl OnlineFitting {
         if let Some(probe) = self.bound_probe() {
             return probe;
         }
-        // Degenerate fallback: log-uniform over the domain.
+        // Degenerate fallback: log-uniform over the domain. The domain is
+        // strictly ordered, but its *log* can still collapse to a single
+        // float (adjacent huge values), and `gen_range` panics on an empty
+        // range — fall back to the geometric centre there.
         let (lo, hi) = (self.domain.0.ln(), self.domain.1.ln());
-        (self.rng.gen_range(lo..hi)).exp()
+        if lo < hi {
+            (self.rng.gen_range(lo..hi)).exp()
+        } else {
+            (0.5 * (lo + hi)).exp()
+        }
     }
 
     /// Returns the best observed `A` by a caller-maintained criterion —
@@ -267,6 +274,26 @@ mod tests {
         for _ in 0..30 {
             let a = ofs.next_candidate();
             assert!((0.5..=2.0).contains(&a), "escaped domain: {a}");
+        }
+    }
+
+    #[test]
+    fn collapsed_log_domain_never_panics() {
+        // Valid (strictly ordered) domain whose logs round to the same
+        // f64: ln(1e308) and ln(next representable) collapse because the
+        // relative gap (~2e-16) is far below the ULP of 709.2.
+        let lo: f64 = 1.0e308;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        assert!(lo < hi);
+        assert_eq!(lo.ln(), hi.ln());
+        let mut ofs = OnlineFitting::new((lo, hi), 11);
+        // Saturate both bounds so bound_probe returns None and the
+        // degenerate log-uniform fallback is reached.
+        ofs.observe(lo, 0.0);
+        ofs.observe(hi, 1.0);
+        for _ in 0..20 {
+            let a = ofs.next_candidate();
+            assert!(a.is_finite() && a > 0.0, "bad candidate {a}");
         }
     }
 

@@ -8,8 +8,6 @@
 //!
 //! Purely offline: only the surrogate is consulted.
 
-use mathkit::optimize::minimize_global_1d;
-
 use crate::surrogate::Surrogate;
 use crate::QrossError;
 
@@ -42,15 +40,15 @@ pub fn propose(
     );
     // Same trained-support clamp as MFS (see strategy::mfs).
     let (lo, hi) = crate::strategy::mfs::clamp_to_trained(surrogate, domain);
-    let objective = |ln_a: f64| -> f64 {
-        let p = surrogate.predict(features, ln_a.exp());
-        (p.pf - target_pf).abs()
-    };
-    let m = minimize_global_1d(&objective, lo.ln(), hi.ln(), 96, 4, 1e-6).map_err(|e| {
-        QrossError::NoCandidate {
+    // Dense |Pf − p| grid in one batched forward; scalar predicts only
+    // pay for the golden-section refinement.
+    let m =
+        crate::strategy::minimize_on_log_grid(surrogate, features, (lo.ln(), hi.ln()), 96, |p| {
+            (p.pf - target_pf).abs()
+        })
+        .map_err(|e| QrossError::NoCandidate {
             message: format!("PBS optimisation failed: {e}"),
-        }
-    })?;
+        })?;
     if m.value > 0.45 {
         return Err(QrossError::NoCandidate {
             message: format!(

@@ -13,7 +13,6 @@
 //! separately"); so does [`Surrogate::train`].
 
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
 
 use mathkit::Matrix;
 use neural::loss::Loss;
@@ -80,12 +79,15 @@ pub struct TrainReport {
 
 /// The trained solver surrogate.
 ///
-/// Thread-safe: prediction takes `&self` (forward caches live behind
-/// internal locks), so strategies can share a surrogate immutably.
+/// Thread-safe *without locks*: prediction runs the networks' immutable
+/// inference path ([`neural::network::Mlp::infer`], which writes no
+/// activation caches), so `&Surrogate` is `Sync` and any number of
+/// strategy workers can query one surrogate concurrently — the predict
+/// hot path acquires no mutex.
 #[derive(Debug)]
 pub struct Surrogate {
-    pf_net: Mutex<Mlp>,
-    e_net: Mutex<Mlp>,
+    pf_net: Mlp,
+    e_net: Mlp,
     scalers: Scalers,
 }
 
@@ -180,8 +182,8 @@ impl Surrogate {
         };
         Ok((
             Surrogate {
-                pf_net: Mutex::new(pf_net),
-                e_net: Mutex::new(e_net),
+                pf_net,
+                e_net,
                 scalers,
             },
             report,
@@ -190,33 +192,36 @@ impl Surrogate {
 
     /// Predicts `(Pf, Eavg, Estd)` for one query.
     ///
+    /// Lock-free: runs the immutable inference path, so concurrent calls
+    /// from many threads never contend.
+    ///
     /// # Panics
     ///
     /// Panics if the feature width differs from training or `a <= 0`.
     pub fn predict(&self, features: &[f64], a: f64) -> SurrogatePrediction {
         let input = Matrix::row(&self.scalers.input_row(features, a));
-        let pf = {
-            let mut net = self.pf_net.lock().expect("surrogate net lock poisoned");
-            net.forward(&input)[(0, 0)]
-        };
-        let (z_avg, z_std) = {
-            let mut net = self.e_net.lock().expect("surrogate net lock poisoned");
-            let out = net.forward(&input);
-            (out[(0, 0)], out[(0, 1)])
-        };
+        let pf = self.pf_net.infer(&input)[(0, 0)];
+        let e_out = self.e_net.infer(&input);
         SurrogatePrediction {
             pf: pf.clamp(0.0, 1.0),
-            e_avg: self.scalers.e_avg.inverse(z_avg),
-            e_std: self.scalers.e_std.inverse(z_std).max(1e-9),
+            e_avg: self.scalers.e_avg.inverse(e_out[(0, 0)]),
+            e_std: self.scalers.e_std.inverse(e_out[(0, 1)]).max(1e-9),
         }
     }
 
-    /// Predicts a whole `A` sweep for one instance (single forward pass).
+    /// Predicts a whole candidate-`A` grid for one instance in a single
+    /// batched matrix forward per head — the vectorised form of
+    /// [`Surrogate::predict`] used by the MFS/PBS grid scans, where it
+    /// replaces `a_values.len()` scalar forwards with one.
+    ///
+    /// Row `r` of the result equals `predict(features, a_values[r])`
+    /// exactly (each matrix row is accumulated independently in the same
+    /// order as a 1-row forward).
     ///
     /// # Panics
     ///
     /// Panics on feature-width mismatch or a non-positive `a`.
-    pub fn predict_sweep(&self, features: &[f64], a_values: &[f64]) -> Vec<SurrogatePrediction> {
+    pub fn predict_grid(&self, features: &[f64], a_values: &[f64]) -> Vec<SurrogatePrediction> {
         if a_values.is_empty() {
             return Vec::new();
         }
@@ -226,14 +231,8 @@ impl Surrogate {
             x.row_slice_mut(r)
                 .copy_from_slice(&self.scalers.input_row(features, a));
         }
-        let pf_out = {
-            let mut net = self.pf_net.lock().expect("surrogate net lock poisoned");
-            net.forward(&x)
-        };
-        let e_out = {
-            let mut net = self.e_net.lock().expect("surrogate net lock poisoned");
-            net.forward(&x)
-        };
+        let pf_out = self.pf_net.infer(&x);
+        let e_out = self.e_net.infer(&x);
         (0..a_values.len())
             .map(|r| SurrogatePrediction {
                 pf: pf_out[(r, 0)].clamp(0.0, 1.0),
@@ -241,6 +240,18 @@ impl Surrogate {
                 e_std: self.scalers.e_std.inverse(e_out[(r, 1)]).max(1e-9),
             })
             .collect()
+    }
+
+    /// Predicts a whole `A` sweep for one instance (single forward pass).
+    ///
+    /// Alias of [`Surrogate::predict_grid`], kept for callers written
+    /// against the original name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-width mismatch or a non-positive `a`.
+    pub fn predict_sweep(&self, features: &[f64], a_values: &[f64]) -> Vec<SurrogatePrediction> {
+        self.predict_grid(features, a_values)
     }
 
     /// The fitted normalisation parameters.
@@ -266,16 +277,8 @@ impl Surrogate {
     /// Serialisable snapshot.
     pub fn to_state(&self) -> SurrogateState {
         SurrogateState {
-            pf_net: self
-                .pf_net
-                .lock()
-                .expect("surrogate net lock poisoned")
-                .to_state(),
-            e_net: self
-                .e_net
-                .lock()
-                .expect("surrogate net lock poisoned")
-                .to_state(),
+            pf_net: self.pf_net.to_state(),
+            e_net: self.e_net.to_state(),
             scalers: self.scalers.clone(),
         }
     }
@@ -293,8 +296,8 @@ impl Surrogate {
             message: format!("energy net: {e}"),
         })?;
         Ok(Surrogate {
-            pf_net: Mutex::new(pf_net),
-            e_net: Mutex::new(e_net),
+            pf_net,
+            e_net,
             scalers: state.scalers,
         })
     }
@@ -402,18 +405,56 @@ mod tests {
     }
 
     #[test]
-    fn sweep_matches_pointwise() {
+    fn grid_matches_pointwise() {
         let ds = synthetic_dataset(8, 10);
         let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
         let f = [0.3];
         let a_values = [0.1, 0.5, 1.0, 5.0];
-        let sweep = sur.predict_sweep(&f, &a_values);
+        let grid = sur.predict_grid(&f, &a_values);
         for (k, &a) in a_values.iter().enumerate() {
             let single = sur.predict(&f, a);
-            assert!((sweep[k].pf - single.pf).abs() < 1e-12);
-            assert!((sweep[k].e_avg - single.e_avg).abs() < 1e-9);
+            assert!((grid[k].pf - single.pf).abs() < 1e-12);
+            assert!((grid[k].e_avg - single.e_avg).abs() < 1e-12);
+            assert!((grid[k].e_std - single.e_std).abs() < 1e-12);
         }
-        assert!(sur.predict_sweep(&f, &[]).is_empty());
+        assert!(sur.predict_grid(&f, &[]).is_empty());
+        // The alias stays in lock-step.
+        assert_eq!(sur.predict_sweep(&f, &a_values), grid);
+    }
+
+    #[test]
+    fn concurrent_prediction_is_consistent() {
+        let ds = synthetic_dataset(8, 10);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let f = [0.4];
+        let want = sur.predict(&f, 1.3);
+        let sur = &sur;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(sur.predict(&f, 1.3), want);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn zero_epochs_trains_without_panic() {
+        // epochs == 0 must produce an (untrained) surrogate and an empty
+        // loss history, never a panic on first()/last() accesses.
+        let ds = synthetic_dataset(6, 8);
+        let cfg = SurrogateConfig {
+            epochs: 0,
+            ..quick_config()
+        };
+        let (sur, report) = Surrogate::train(&ds, &cfg).unwrap();
+        assert!(report.pf.train_loss.is_empty());
+        assert_eq!(report.pf.initial_train_loss(), None);
+        assert_eq!(report.pf.final_train_loss(), None);
+        let p = sur.predict(&[0.5], 1.0);
+        assert!(p.pf.is_finite() && p.e_avg.is_finite() && p.e_std.is_finite());
     }
 
     #[test]

@@ -190,21 +190,49 @@ pub fn minimize_global_1d<F: Fn(f64) -> f64>(
         });
     }
     let step = (hi - lo) / (grid_points - 1) as f64;
-    let mut evals: Vec<Minimum> = (0..grid_points)
-        .map(|i| {
-            let x = lo + i as f64 * step;
-            Minimum { x, value: f(x) }
-        })
-        .collect();
-    evals.sort_by(|a, b| {
-        a.value
-            .partial_cmp(&b.value)
+    let xs: Vec<f64> = (0..grid_points).map(|i| lo + i as f64 * step).collect();
+    let values: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+    refine_grid_minimum(&f, &xs, &values, refine_top, tol)
+}
+
+/// The refinement stage of [`minimize_global_1d`] over a *precomputed*
+/// grid: given ascending sample points `xs` and their objective values,
+/// golden-sections the neighbourhoods of the `refine_top` best cells.
+///
+/// Separating grid evaluation from refinement lets callers batch the grid
+/// through a vectorised objective (e.g. one neural-network forward pass
+/// over all candidates) and pay the scalar closure only for the handful of
+/// refinement evaluations.
+///
+/// # Errors
+///
+/// Returns [`MathError::Domain`] when `xs` and `values` differ in length
+/// or fewer than two points are given.
+pub fn refine_grid_minimum<F: Fn(f64) -> f64>(
+    f: &F,
+    xs: &[f64],
+    values: &[f64],
+    refine_top: usize,
+    tol: f64,
+) -> Result<Minimum> {
+    if xs.len() != values.len() || xs.len() < 2 {
+        return Err(MathError::Domain {
+            message: "refine_grid_minimum requires >= 2 points with matching values".to_string(),
+        });
+    }
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let mut best = evals[0];
-    for seed in evals.iter().take(refine_top.max(1)) {
-        let wlo = (seed.x - step).max(lo);
-        let whi = (seed.x + step).min(hi);
+    let mut best = Minimum {
+        x: xs[order[0]],
+        value: values[order[0]],
+    };
+    for &i in order.iter().take(refine_top.max(1)) {
+        let wlo = xs[i.saturating_sub(1)];
+        let whi = xs[(i + 1).min(xs.len() - 1)];
         if whi <= wlo {
             continue;
         }

@@ -32,9 +32,19 @@ pub enum LayerSpec {
 }
 
 /// A differentiable network layer.
-pub trait Layer: Send {
+///
+/// `Send + Sync` so trained networks can be shared immutably across
+/// threads; the only interior state is the activation cache written by
+/// `forward`, which [`Layer::infer`] bypasses.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a batch.
     fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Computes the layer output without caching activations — the
+    /// inference path. Numerically identical to [`Layer::forward`] (same
+    /// operations in the same order), but takes `&self` so a trained
+    /// network can serve predictions from many threads with no locking.
+    fn infer(&self, input: &Matrix) -> Matrix;
 
     /// Backpropagates: consumes `dL/d(output)`, accumulates parameter
     /// gradients, returns `dL/d(input)`.
@@ -120,6 +130,17 @@ impl Layer for Dense {
         input.matmul(&self.weights).add_row_broadcast(&self.bias)
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.weights.rows(),
+            "dense layer fed {} features, expected {}",
+            input.cols(),
+            self.weights.rows()
+        );
+        input.matmul(&self.weights).add_row_broadcast(&self.bias)
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let input = self
             .cache_input
@@ -170,6 +191,10 @@ impl Layer for Relu {
         input.map(|x| x.max(0.0))
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(|x| x.max(0.0))
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let input = self
             .cache_input
@@ -207,6 +232,10 @@ impl Layer for Sigmoid {
         out
     }
 
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(mathkit::special::sigmoid)
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let out = self
             .cache_output
@@ -242,6 +271,10 @@ impl Layer for Tanh {
         let out = input.map(f64::tanh);
         self.cache_output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(f64::tanh)
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -411,6 +444,23 @@ mod tests {
                 });
                 assert!((gi[(r, c)] - want).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward_per_layer() {
+        let mut rng = seeded_rng(17);
+        let x = Matrix::from_rows(&[&[0.4, -1.2, 0.0], &[2.5, 0.1, -0.7]]);
+        let mut layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Dense::new(3, 3, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Sigmoid::new()),
+            Box::new(Tanh::new()),
+        ];
+        for layer in &mut layers {
+            let inferred = layer.infer(&x);
+            let forwarded = layer.forward(&x);
+            assert_eq!(inferred, forwarded);
         }
     }
 

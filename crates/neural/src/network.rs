@@ -80,6 +80,30 @@ impl Mlp {
         x
     }
 
+    /// Inference pass over a batch: numerically identical to
+    /// [`Mlp::forward`] but immutable — no activation caches are written,
+    /// so a trained network can be shared across threads (`&Mlp` is
+    /// `Sync`) and queried concurrently with no locking. Cannot be
+    /// followed by [`Mlp::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from [`Mlp::input_dim`].
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_dim,
+            "input width {} does not match network input {}",
+            input.cols(),
+            self.input_dim
+        );
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
     /// Checked forward pass.
     ///
     /// # Errors
@@ -369,6 +393,28 @@ mod tests {
             flat_idx += 1;
         }
         assert!(max_err < 1e-5, "max gradient error {max_err}");
+    }
+
+    #[test]
+    fn infer_matches_forward_and_is_shareable() {
+        let mut net = MlpBuilder::new(3)
+            .dense(8)
+            .relu()
+            .dense(4)
+            .tanh()
+            .dense(2)
+            .sigmoid()
+            .build(13);
+        let x = Matrix::from_rows(&[&[0.2, -0.4, 0.7], &[-0.1, 0.9, 0.3]]);
+        let want = net.forward(&x);
+        assert_eq!(net.infer(&x), want);
+        // Concurrent immutable inference from several threads.
+        let (net, x, want) = (&net, &x, &want);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || assert_eq!(&net.infer(x), want));
+            }
+        });
     }
 
     #[test]

@@ -51,6 +51,19 @@ pub struct TrainHistory {
     pub diverged: bool,
 }
 
+impl TrainHistory {
+    /// Training loss of the first epoch, or `None` when no epoch ran
+    /// (`epochs == 0`) — safer than `train_loss.first().unwrap()`.
+    pub fn initial_train_loss(&self) -> Option<f64> {
+        self.train_loss.first().copied()
+    }
+
+    /// Training loss of the last epoch, or `None` when no epoch ran.
+    pub fn final_train_loss(&self) -> Option<f64> {
+        self.train_loss.last().copied()
+    }
+}
+
 /// Trains `net` on `(x, y)`.
 ///
 /// # Panics
@@ -237,6 +250,21 @@ mod tests {
         };
         let h = train(&mut net, &x, &y, &Loss::Mse, &cfg);
         assert_eq!(h.train_loss.len(), 5);
+    }
+
+    #[test]
+    fn zero_epochs_yields_empty_history() {
+        let (x, y) = linear_data(8);
+        let mut net = MlpBuilder::new(2).dense(1).build(5);
+        let cfg = TrainConfig {
+            epochs: 0,
+            ..Default::default()
+        };
+        let h = train(&mut net, &x, &y, &Loss::Mse, &cfg);
+        assert!(h.train_loss.is_empty());
+        assert!(!h.diverged);
+        assert_eq!(h.initial_train_loss(), None);
+        assert_eq!(h.final_train_loss(), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn main() {
         "  dataset: {} rows from {} instances; final Pf-loss {:.4}",
         trained.dataset_len,
         trained.train_encodings.len(),
-        trained.report.pf.train_loss.last().unwrap()
+        trained.report.pf.final_train_loss().unwrap_or(f64::NAN)
     );
 
     // 3. Take an unseen instance and let QROSS propose parameters.

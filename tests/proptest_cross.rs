@@ -156,4 +156,56 @@ proptest! {
         prop_assert!((q.energy(&x) - want).abs() < 1e-9);
         prop_assert_eq!(graph.is_feasible(&x), graph.uncovered_edges(&x) == 0);
     }
+
+    /// The batched surrogate grid equals the scalar predict pointwise to
+    /// ≤ 1e-12, for arbitrary features and candidate-A grids (each matrix
+    /// row is accumulated independently, so batching must not change a
+    /// single bit of the maths).
+    #[test]
+    fn surrogate_grid_matches_pointwise(
+        feature in 0.0..1.0f64,
+        a_values in proptest::collection::vec(0.02..20.0f64, 1..32),
+    ) {
+        let sur = shared_surrogate();
+        let grid = sur.predict_grid(&[feature], &a_values);
+        prop_assert_eq!(grid.len(), a_values.len());
+        for (k, &a) in a_values.iter().enumerate() {
+            let single = sur.predict(&[feature], a);
+            prop_assert!((grid[k].pf - single.pf).abs() <= 1e-12);
+            prop_assert!((grid[k].e_avg - single.e_avg).abs() <= 1e-12);
+            prop_assert!((grid[k].e_std - single.e_std).abs() <= 1e-12);
+        }
+    }
+}
+
+/// One surrogate trained once for the whole property-test binary, on a
+/// clean synthetic sigmoid world.
+fn shared_surrogate() -> &'static qross_repro::qross::Surrogate {
+    use qross_repro::qross::dataset::{DatasetRow, SurrogateDataset};
+    use qross_repro::qross::surrogate::SurrogateConfig;
+    use std::sync::OnceLock;
+    static SURROGATE: OnceLock<qross_repro::qross::Surrogate> = OnceLock::new();
+    SURROGATE.get_or_init(|| {
+        let mut ds = SurrogateDataset::new(1);
+        for g in 0..8 {
+            let feature = g as f64 / 8.0;
+            for k in 0..12 {
+                let ln_a = -3.5 + 7.0 * k as f64 / 11.0;
+                ds.push(DatasetRow {
+                    features: vec![feature],
+                    a: ln_a.exp(),
+                    pf: qross_repro::mathkit::special::sigmoid(3.0 * (ln_a - feature)),
+                    e_avg: 5.0 + (ln_a - feature).tanh(),
+                    e_std: 0.8,
+                });
+            }
+        }
+        let cfg = SurrogateConfig {
+            hidden: 16,
+            epochs: 120,
+            val_fraction: 0.0,
+            ..Default::default()
+        };
+        qross_repro::qross::Surrogate::train(&ds, &cfg).unwrap().0
+    })
 }
