@@ -1,0 +1,128 @@
+//! Criterion bench for the artifact store: encode/decode of a surrogate
+//! dataset and a trained-surrogate snapshot, binary `.qross` codec vs the
+//! `serde_json` fallback — documenting the binary speedup and guarding
+//! against codec regressions.
+//!
+//! The setup also asserts both formats round-trip to equal structs before
+//! any timing runs, so a silent codec regression fails the bench smoke
+//! step rather than producing meaningless numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use neural::network::MlpBuilder;
+use qross::dataset::{DatasetRow, Scalers, SurrogateDataset};
+use qross::surrogate::SurrogateState;
+use qross_store::Artifact;
+
+/// A dataset shaped like a quick-scale collection run: 36 instances ×
+/// 14 sweep points with 24 features.
+fn sample_dataset() -> SurrogateDataset {
+    let feat_dim = 24;
+    let mut ds = SurrogateDataset::new(feat_dim);
+    for g in 0..36 {
+        let features: Vec<f64> = (0..feat_dim)
+            .map(|c| ((g * 31 + c * 17) % 97) as f64 / 97.0)
+            .collect();
+        for k in 0..14 {
+            let ln_a = -3.0 + 6.0 * k as f64 / 13.0;
+            ds.push(DatasetRow {
+                features: features.clone(),
+                a: ln_a.exp(),
+                pf: (k as f64 / 13.0).clamp(0.0, 1.0),
+                e_avg: 10.0 + (g as f64) * 0.1 - k as f64 * 0.2,
+                e_std: 1.0 + 0.05 * k as f64,
+            });
+        }
+    }
+    ds
+}
+
+/// A surrogate snapshot at the paper's architecture (25 inputs, two
+/// 64-wide hidden layers per head).
+fn sample_surrogate_state() -> SurrogateState {
+    let zscore = |m: f64, s: f64| mathkit::stats::ZScore { mean: m, std: s };
+    SurrogateState {
+        pf_net: MlpBuilder::new(25)
+            .dense(64)
+            .relu()
+            .dense(64)
+            .relu()
+            .dense(1)
+            .sigmoid()
+            .build(7)
+            .to_state(),
+        e_net: MlpBuilder::new(25)
+            .dense(64)
+            .relu()
+            .dense(64)
+            .relu()
+            .dense(2)
+            .build(8)
+            .to_state(),
+        scalers: Scalers {
+            features: (0..24).map(|c| zscore(c as f64, 1.0 + c as f64)).collect(),
+            log_a: zscore(0.0, 1.5),
+            e_avg: zscore(10.0, 2.0),
+            e_std: zscore(1.0, 0.25),
+        },
+    }
+}
+
+fn bench_dataset(c: &mut Criterion) {
+    let ds = sample_dataset();
+    let binary = ds.to_store_bytes();
+    let json = serde_json::to_string(&ds).expect("dataset serialises");
+    // Round-trip gates before timing.
+    assert_eq!(SurrogateDataset::from_store_bytes(&binary).unwrap(), ds);
+    let from_json: SurrogateDataset = serde_json::from_str(&json).unwrap();
+    assert_eq!(from_json, ds);
+    println!(
+        "dataset payload: binary {} bytes, json {} bytes",
+        binary.len(),
+        json.len()
+    );
+
+    let mut group = c.benchmark_group("artifact_codec_dataset");
+    group.bench_function("encode_binary", |b| b.iter(|| ds.to_store_bytes()));
+    group.bench_function("encode_json", |b| {
+        b.iter(|| serde_json::to_string(&ds).unwrap())
+    });
+    group.bench_function("decode_binary", |b| {
+        b.iter(|| SurrogateDataset::from_store_bytes(&binary).unwrap())
+    });
+    group.bench_function("decode_json", |b| {
+        b.iter(|| serde_json::from_str::<SurrogateDataset>(&json).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_surrogate(c: &mut Criterion) {
+    let state = sample_surrogate_state();
+    let binary = state.to_store_bytes();
+    let json = serde_json::to_string(&state).expect("state serialises");
+    let back = SurrogateState::from_store_bytes(&binary).unwrap();
+    assert_eq!(back.pf_net, state.pf_net);
+    assert_eq!(back.e_net, state.e_net);
+    assert_eq!(back.scalers, state.scalers);
+    println!(
+        "surrogate payload: binary {} bytes, json {} bytes",
+        binary.len(),
+        json.len()
+    );
+
+    let mut group = c.benchmark_group("artifact_codec_surrogate");
+    group.bench_function("encode_binary", |b| b.iter(|| state.to_store_bytes()));
+    group.bench_function("encode_json", |b| {
+        b.iter(|| serde_json::to_string(&state).unwrap())
+    });
+    group.bench_function("decode_binary", |b| {
+        b.iter(|| SurrogateState::from_store_bytes(&binary).unwrap())
+    });
+    group.bench_function("decode_json", |b| {
+        b.iter(|| serde_json::from_str::<SurrogateState>(&json).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset, bench_surrogate);
+criterion_main!(benches);

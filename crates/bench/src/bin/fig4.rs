@@ -3,47 +3,14 @@
 //! only on the synthetic distribution.
 
 use bench::experiments::fig4;
-use bench::{row, write_json, Cli};
+use bench::{render_comparison, run_experiment};
 
 fn main() {
-    let cli = Cli::from_args();
-    let result = fig4(cli.scale, cli.seed);
-    println!(
-        "Fig. 4 — optimality gap vs trials, out-of-distribution ({} instances, solver {})",
-        result.instances, result.solver
-    );
-    let widths = [6, 18, 18, 18, 18];
-    let header: Vec<String> = std::iter::once("trial".to_string())
-        .chain(result.curves.iter().map(|c| c.method.clone()))
-        .collect();
-    println!("{}", row(&header, &widths));
-    let trials = result.curves[0].mean.len();
-    for t in 0..trials {
-        let cells: Vec<String> = std::iter::once(format!("{}", t + 1))
-            .chain(
-                result
-                    .curves
-                    .iter()
-                    .map(|c| format!("{:.4} ±{:.4}", c.mean[t], c.ci95[t])),
-            )
-            .collect();
-        println!("{}", row(&cells, &widths));
-    }
-    for trial in [1, 3, 20] {
-        let mut at: Vec<(String, f64)> = result
-            .curves
-            .iter()
-            .map(|c| (c.method.clone(), c.gap_at_trial(trial)))
-            .collect();
-        at.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    run_experiment("fig4", fig4, |result| {
         println!(
-            "trial #{trial}: best = {} ({:.4}); worst = {} ({:.4})",
-            at[0].0,
-            at[0].1,
-            at.last().unwrap().0,
-            at.last().unwrap().1
+            "Fig. 4 — optimality gap vs trials, out-of-distribution ({} instances, solver {})",
+            result.instances, result.solver
         );
-    }
-    let path = write_json("fig4", &result).expect("write results");
-    println!("wrote {}", path.display());
+        render_comparison(result);
+    });
 }

@@ -3,81 +3,79 @@
 //! evidence that the learned knowledge is solver-specific.
 
 use bench::experiments::fig5;
-use bench::{row, write_json, Cli};
+use bench::{row, run_experiment};
 
 fn main() {
-    let cli = Cli::from_args();
-    let result = fig5(cli.scale, cli.seed);
-    println!("Fig. 5 — cross-solver ablation (QROSS trained on DA data)");
-    let widths = [6, 14, 14, 14, 14, 14, 14];
-    println!(
-        "{}",
-        row(
-            &[
-                "trial".into(),
-                "qross@da".into(),
-                "qross@qbsolv".into(),
-                "tpe@da".into(),
-                "tpe@qbsolv".into(),
-                "qross@weak".into(),
-                "tpe@weak".into(),
-            ],
-            &widths
-        )
-    );
-    let trials = result.qross_on_da.mean.len();
-    for t in 0..trials {
+    run_experiment("fig5", fig5, |result| {
+        println!("Fig. 5 — cross-solver ablation (QROSS trained on DA data)");
+        let widths = [6, 14, 14, 14, 14, 14, 14];
         println!(
             "{}",
             row(
                 &[
-                    format!("{}", t + 1),
-                    format!("{:.4}", result.qross_on_da.mean[t]),
-                    format!("{:.4}", result.qross_on_qbsolv.mean[t]),
-                    format!("{:.4}", result.tpe_on_da.mean[t]),
-                    format!("{:.4}", result.tpe_on_qbsolv.mean[t]),
-                    format!("{:.4}", result.qross_on_mismatched.mean[t]),
-                    format!("{:.4}", result.tpe_on_mismatched.mean[t]),
+                    "trial".into(),
+                    "qross@da".into(),
+                    "qross@qbsolv".into(),
+                    "tpe@da".into(),
+                    "tpe@qbsolv".into(),
+                    "qross@weak".into(),
+                    "tpe@weak".into(),
                 ],
                 &widths
             )
         );
-    }
-    // The paper's expected ablation outcome.
-    let q_da = result.qross_on_da.gap_at_trial(3);
-    let q_qb = result.qross_on_qbsolv.gap_at_trial(3);
-    println!(
-        "\nat trial #3: qross@da = {:.4}, qross@qbsolv = {:.4} ({})",
-        q_da,
-        q_qb,
-        if q_qb > q_da {
-            "degradation as expected — DA knowledge does not transfer"
-        } else {
-            "no degradation: the DA and Qbsolv simulators share Pf characteristics at this scale"
+        let trials = result.qross_on_da.mean.len();
+        for t in 0..trials {
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{}", t + 1),
+                        format!("{:.4}", result.qross_on_da.mean[t]),
+                        format!("{:.4}", result.qross_on_qbsolv.mean[t]),
+                        format!("{:.4}", result.tpe_on_da.mean[t]),
+                        format!("{:.4}", result.tpe_on_qbsolv.mean[t]),
+                        format!("{:.4}", result.qross_on_mismatched.mean[t]),
+                        format!("{:.4}", result.tpe_on_mismatched.mean[t]),
+                    ],
+                    &widths
+                )
+            );
         }
-    );
-    // The mechanism demonstration with a genuinely mismatched solver.
-    let q_weak = result.qross_on_mismatched.gap_at_trial(3);
-    let t_weak = result.tpe_on_mismatched.gap_at_trial(3);
-    let t_da = result.tpe_on_da.gap_at_trial(3);
-    println!(
-        "mismatched solver at trial #3: qross = {:.4} (vs {:.4} on DA), tpe = {:.4} (vs {:.4} on DA)",
-        q_weak, q_da, t_weak, t_da
-    );
-    println!(
-        "qross absolute degradation under mismatch: {:.1}x ({})",
-        q_weak / q_da.max(1e-9),
-        if q_weak > 2.0 * q_da {
-            "solver-specific knowledge does not transfer — the ablation mechanism"
-        } else {
-            "little absolute degradation at this scale"
-        }
-    );
-    println!(
-        "qross advantage over tpe: {:+.4} on DA, {:+.4} on the mismatched solver",
-        t_da - q_da,
-        t_weak - q_weak,
-    );
-    let path = write_json("fig5", &result).expect("write results");
-    println!("wrote {}", path.display());
+        // The paper's expected ablation outcome.
+        let q_da = result.qross_on_da.gap_at_trial(3);
+        let q_qb = result.qross_on_qbsolv.gap_at_trial(3);
+        println!(
+            "\nat trial #3: qross@da = {:.4}, qross@qbsolv = {:.4} ({})",
+            q_da,
+            q_qb,
+            if q_qb > q_da {
+                "degradation as expected — DA knowledge does not transfer"
+            } else {
+                "no degradation: the DA and Qbsolv simulators share Pf characteristics at this scale"
+            }
+        );
+        // The mechanism demonstration with a genuinely mismatched solver.
+        let q_weak = result.qross_on_mismatched.gap_at_trial(3);
+        let t_weak = result.tpe_on_mismatched.gap_at_trial(3);
+        let t_da = result.tpe_on_da.gap_at_trial(3);
+        println!(
+            "mismatched solver at trial #3: qross = {:.4} (vs {:.4} on DA), tpe = {:.4} (vs {:.4} on DA)",
+            q_weak, q_da, t_weak, t_da
+        );
+        println!(
+            "qross absolute degradation under mismatch: {:.1}x ({})",
+            q_weak / q_da.max(1e-9),
+            if q_weak > 2.0 * q_da {
+                "solver-specific knowledge does not transfer — the ablation mechanism"
+            } else {
+                "little absolute degradation at this scale"
+            }
+        );
+        println!(
+            "qross advantage over tpe: {:+.4} on DA, {:+.4} on the mismatched solver",
+            t_da - q_da,
+            t_weak - q_weak,
+        );
+    });
 }

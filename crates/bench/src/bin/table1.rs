@@ -3,66 +3,64 @@
 //! Random}.
 
 use bench::experiments::table1;
-use bench::{row, write_json, Cli};
+use bench::{row, run_experiment};
 
 fn main() {
-    let cli = Cli::from_args();
-    let result = table1(cli.scale, cli.seed);
-    println!("Table 1 — optimality gap, normalised");
-    let widths = [8, 8, 10, 10, 10, 10];
-    println!(
-        "{}",
-        row(
-            &[
-                "solver".into(),
-                "method".into(),
-                "syn #3".into(),
-                "syn #20".into(),
-                "real #3".into(),
-                "real #20".into(),
-            ],
-            &widths
-        )
-    );
-    for r in &result.rows {
+    run_experiment("table1", table1, |result| {
+        println!("Table 1 — optimality gap, normalised");
+        let widths = [8, 8, 10, 10, 10, 10];
         println!(
             "{}",
             row(
                 &[
-                    r.solver.clone(),
-                    r.method.clone(),
-                    format!("{:.1}%", r.synthetic_3 * 100.0),
-                    format!("{:.1}%", r.synthetic_20 * 100.0),
-                    format!("{:.1}%", r.realworld_3 * 100.0),
-                    format!("{:.1}%", r.realworld_20 * 100.0),
+                    "solver".into(),
+                    "method".into(),
+                    "syn #3".into(),
+                    "syn #20".into(),
+                    "real #3".into(),
+                    "real #20".into(),
                 ],
                 &widths
             )
         );
-    }
-    // Shape check mirrored from the paper: QROSS leads each block.
-    for solver in ["da", "qbsolv"] {
-        let block: Vec<_> = result.rows.iter().filter(|r| r.solver == solver).collect();
-        let qross = block
-            .iter()
-            .find(|r| r.method == "qross")
-            .expect("qross row");
-        let best_baseline = block
-            .iter()
-            .filter(|r| r.method != "qross")
-            .map(|r| r.synthetic_3)
-            .fold(f64::INFINITY, f64::min);
-        println!(
-            "{solver}: qross syn#3 = {:.3} vs best baseline {:.3} ({})",
-            qross.synthetic_3,
-            best_baseline,
-            if qross.synthetic_3 <= best_baseline {
-                "qross leads"
-            } else {
-                "baseline leads at this scale"
-            }
-        );
-    }
-    let path = write_json("table1", &result).expect("write results");
-    println!("wrote {}", path.display());
+        for r in &result.rows {
+            println!(
+                "{}",
+                row(
+                    &[
+                        r.solver.clone(),
+                        r.method.clone(),
+                        format!("{:.1}%", r.synthetic_3 * 100.0),
+                        format!("{:.1}%", r.synthetic_20 * 100.0),
+                        format!("{:.1}%", r.realworld_3 * 100.0),
+                        format!("{:.1}%", r.realworld_20 * 100.0),
+                    ],
+                    &widths
+                )
+            );
+        }
+        // Shape check mirrored from the paper: QROSS leads each block.
+        for solver in ["da", "qbsolv"] {
+            let block: Vec<_> = result.rows.iter().filter(|r| r.solver == solver).collect();
+            let qross = block
+                .iter()
+                .find(|r| r.method == "qross")
+                .expect("qross row");
+            let best_baseline = block
+                .iter()
+                .filter(|r| r.method != "qross")
+                .map(|r| r.synthetic_3)
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "{solver}: qross syn#3 = {:.3} vs best baseline {:.3} ({})",
+                qross.synthetic_3,
+                best_baseline,
+                if qross.synthetic_3 <= best_baseline {
+                    "qross leads"
+                } else {
+                    "baseline leads at this scale"
+                }
+            );
+        }
+    });
 }

@@ -34,6 +34,26 @@ impl Solvers {
     /// Builds the roster at the given scale.
     pub fn at(scale: Scale) -> Solvers {
         match scale {
+            Scale::Micro => Solvers {
+                da: DigitalAnnealer::new(DaConfig {
+                    steps: 600,
+                    ..Default::default()
+                }),
+                sa: SimulatedAnnealer::new(SaConfig {
+                    sweeps: 64,
+                    ..Default::default()
+                }),
+                qbsolv: Qbsolv::new(QbsolvConfig {
+                    subproblem_size: 24,
+                    max_passes: 4,
+                    tabu: TabuConfig {
+                        max_iters: 120,
+                        stall_limit: 40,
+                        tenure: None,
+                    },
+                    ..Default::default()
+                }),
+            },
             Scale::Quick => Solvers {
                 da: DigitalAnnealer::new(DaConfig {
                     steps: 1200,
@@ -66,6 +86,7 @@ impl Solvers {
 /// Batch size (solutions per solver call) per scale — the paper uses 128.
 pub fn batch_for(scale: Scale) -> usize {
     match scale {
+        Scale::Micro => 12,
         Scale::Quick => 24,
         Scale::Paper => 128,
     }
@@ -77,6 +98,7 @@ pub const TRIALS: usize = 20;
 /// Pipeline configuration per scale.
 pub fn pipeline_config(scale: Scale, seed: u64) -> PipelineConfig {
     let mut cfg = match scale {
+        Scale::Micro => PipelineConfig::micro(),
         Scale::Quick => PipelineConfig::quick(),
         Scale::Paper => PipelineConfig::paper(),
     };
@@ -116,6 +138,11 @@ pub struct Fig1Result {
 /// Digital Annealer and Simulated Annealing on one instance.
 pub fn fig1(scale: Scale, seed: u64) -> Fig1Result {
     let gen_cfg = match scale {
+        Scale::Micro => GeneratorConfig {
+            min_cities: 9,
+            max_cities: 9,
+            ..Default::default()
+        },
         Scale::Quick => GeneratorConfig {
             min_cities: 10,
             max_cities: 10,
@@ -126,6 +153,7 @@ pub fn fig1(scale: Scale, seed: u64) -> Fig1Result {
     let instance = generate_instance(&gen_cfg, seed, 0);
     let encoding = TspEncoding::preprocessed(instance);
     let batch = match scale {
+        Scale::Micro => 16,
         Scale::Quick => 32,
         Scale::Paper => 128,
     };
@@ -299,6 +327,7 @@ pub fn train_qross<S: Solver + ?Sized>(scale: Scale, seed: u64, solver: &S) -> T
 /// of the stand-in "real-world" instances, size-capped at quick scale.
 pub fn realworld_encodings(scale: Scale) -> Vec<TspEncoding> {
     let instances = match scale {
+        Scale::Micro => problems::realworld::benchmark_subset(12),
         Scale::Quick => problems::realworld::benchmark_subset(35),
         Scale::Paper => problems::realworld::benchmark_set(),
     };
@@ -525,6 +554,7 @@ pub struct Fig6Result {
 pub fn fig6(scale: Scale, seed: u64) -> Fig6Result {
     let n = 65; // chimera-embeddable size used by the paper
     let (num_seeds, sweep_points, batch) = match scale {
+        Scale::Micro => (2, 5, 8),
         Scale::Quick => (4, 9, 16),
         Scale::Paper => (4, 17, 64),
     };

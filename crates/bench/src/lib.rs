@@ -11,18 +11,32 @@
 //! | `fig6`   | Fig. 6         | MVC penalty sweep, analog-noise QA-sim vs SA |
 //! | `table1` | Table 1        | gap at trials #3/#20, 2 solvers × 2 datasets × 4 methods |
 //!
-//! Every binary accepts `--scale quick|paper` (default `quick`) and
-//! `--seed N`, prints a text rendition of the artefact, and writes JSON to
-//! `results/`.
+//! Every experiment binary accepts `--scale micro|quick|paper` (default
+//! `quick`) and `--seed N`, prints a text rendition of the artefact
+//! through [`run_experiment`], and writes JSON to `results/` via the
+//! artifact store's JSON writer.
+//!
+//! Two further binaries exercise the **train-once / serve-many** split
+//! end to end (see `ARTIFACTS.md`):
+//!
+//! | binary          | content |
+//! |-----------------|---------|
+//! | `qross-train`   | collect + train on a generated TSP/MVC/QAP corpus, write a `.qross` model and a predictions manifest |
+//! | `qross-predict` | reload the model in a fresh process, recompute the manifest for a byte-exact diff |
 
 pub mod experiments;
+pub mod serve;
 
+use experiments::ComparisonResult;
 use serde::Serialize;
 
 /// Experiment scale: `quick` preserves the paper's qualitative shape at
-/// laptop cost; `paper` uses the publication settings.
+/// laptop cost; `paper` uses the publication settings; `micro` is the
+/// CI/test scale (seconds end to end).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// seconds-scale configuration used by tests and CI smoke steps
+    Micro,
     /// minutes-scale reproduction (default)
     Quick,
     /// the paper's full settings
@@ -30,9 +44,10 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `quick` / `paper` (case-insensitive).
+    /// Parses `micro` / `quick` / `paper` (case-insensitive).
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {
+            "micro" => Some(Scale::Micro),
             "quick" => Some(Scale::Quick),
             "paper" => Some(Scale::Paper),
             _ => None,
@@ -93,21 +108,49 @@ impl Cli {
 }
 
 fn usage_exit(message: &str) -> ! {
-    if !message.is_empty() {
-        eprintln!("error: {message}");
-    }
-    eprintln!("usage: <experiment> [--scale quick|paper] [--seed N]");
-    std::process::exit(if message.is_empty() { 0 } else { 2 });
+    serve::usage_exit(
+        "<experiment> [--scale micro|quick|paper] [--seed N]",
+        message,
+    )
 }
 
-/// Writes a JSON artefact under `results/`, creating the directory on
-/// demand. Returns the path written.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("result serialises");
-    std::fs::write(&path, json)?;
+/// The shared experiment-runner skeleton every figure binary follows:
+/// parse the common CLI, compute the result, render it as text, persist
+/// it as JSON under `results/` through the artifact store's JSON writer,
+/// and report the path written.
+///
+/// Exits with a non-zero status when the result cannot be written.
+pub fn run_experiment<T: Serialize>(
+    name: &str,
+    compute: impl FnOnce(Scale, u64) -> T,
+    render: impl FnOnce(&T),
+) {
+    let cli = Cli::from_args();
+    let result = compute(cli.scale, cli.seed);
+    render(&result);
+    match write_json(name, &result) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: failed to write results: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Writes a JSON artefact under `results/` through the artifact store's
+/// JSON writer, creating the directory on demand. Returns the path
+/// written.
+///
+/// # Errors
+///
+/// Propagates [`qross_store::StoreError`] for filesystem or
+/// serialisation failures.
+pub fn write_json<T: Serialize>(
+    name: &str,
+    value: &T,
+) -> Result<std::path::PathBuf, qross_store::StoreError> {
+    let path = std::path::Path::new("results").join(format!("{name}.json"));
+    qross_store::json::write_json_file(&path, value)?;
     Ok(path)
 }
 
@@ -121,6 +164,53 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
         .join("  ")
 }
 
+/// Renders the shared Fig. 3/4 text artefact: the per-trial gap table for
+/// every method plus best/worst extremes at trials #1, #3 and #20.
+pub fn render_comparison(result: &ComparisonResult) {
+    let widths = [6, 18, 18, 18, 18];
+    let header: Vec<String> = std::iter::once("trial".to_string())
+        .chain(result.curves.iter().map(|c| c.method.clone()))
+        .collect();
+    println!("{}", row(&header, &widths));
+    // Curves can legitimately differ in length (an all-empty strategy run
+    // aggregates to an *empty* curve), so index defensively.
+    let trials = result
+        .curves
+        .iter()
+        .map(|c| c.mean.len())
+        .max()
+        .unwrap_or(0);
+    for t in 0..trials {
+        let cells: Vec<String> = std::iter::once(format!("{}", t + 1))
+            .chain(
+                result
+                    .curves
+                    .iter()
+                    .map(|c| match (c.mean.get(t), c.ci95.get(t)) {
+                        (Some(m), Some(h)) => format!("{m:.4} ±{h:.4}"),
+                        _ => "—".to_string(),
+                    }),
+            )
+            .collect();
+        println!("{}", row(&cells, &widths));
+    }
+    for trial in [1, 3, 20] {
+        let mut at: Vec<(String, f64)> = result
+            .curves
+            .iter()
+            .map(|c| (c.method.clone(), c.gap_at_trial(trial)))
+            .collect();
+        at.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (Some(best), Some(worst)) = (at.first(), at.last()) else {
+            continue;
+        };
+        println!(
+            "trial #{trial}: best = {} ({:.4}); worst = {} ({:.4})",
+            best.0, best.1, worst.0, worst.1
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +219,7 @@ mod tests {
     fn scale_parsing() {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("Micro"), Some(Scale::Micro));
         assert_eq!(Scale::parse("huge"), None);
     }
 

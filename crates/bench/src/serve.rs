@@ -1,0 +1,441 @@
+//! Shared machinery of the `qross-train` / `qross-predict` binaries —
+//! the train-once / serve-many loop over generated TSP, MVC and QAP
+//! corpora.
+//!
+//! The contract the pair demonstrates (and CI enforces byte-for-byte):
+//! a model trained and saved by `qross-train` in one process, reloaded by
+//! `qross-predict` in a *fresh* process, reproduces the training
+//! process's surrogate predictions and offline strategy proposals
+//! **bit-identically**. To make that diffable, the [`PredictionManifest`]
+//! stores every `f64` as its exact IEEE-754 bit pattern (`u64`): two
+//! manifests are equal iff every prediction matches to the last bit.
+
+use serde::{Deserialize, Serialize};
+
+use problems::{MvcInstance, QapInstance, RelaxableProblem};
+use qross::pipeline::{train_on_problems, TrainedQross, A_DOMAIN};
+use qross::strategy::ProposalStrategy;
+use qross::surrogate::{Surrogate, TrainReport};
+use solvers::Solver;
+
+use crate::experiments::pipeline_config;
+use crate::Scale;
+
+/// Problem family a model is trained on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemKind {
+    /// synthetic TSP via the full pipeline (the paper's primary workload)
+    Tsp,
+    /// weighted minimum vertex cover on `G(n, p)` graphs
+    Mvc,
+    /// quadratic assignment problem instances
+    Qap,
+}
+
+impl ProblemKind {
+    /// Parses `tsp` / `mvc` / `qap` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ProblemKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "tsp" => Some(ProblemKind::Tsp),
+            "mvc" => Some(ProblemKind::Mvc),
+            "qap" => Some(ProblemKind::Qap),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProblemKind::Tsp => "tsp",
+            ProblemKind::Mvc => "mvc",
+            ProblemKind::Qap => "qap",
+        }
+    }
+}
+
+/// Deterministic MVC training corpus for a scale and seed.
+pub fn mvc_corpus(scale: Scale, seed: u64) -> Vec<MvcInstance> {
+    let (count, n, p) = match scale {
+        Scale::Micro => (10, 12, 0.4),
+        Scale::Quick => (20, 20, 0.4),
+        Scale::Paper => (60, 30, 0.5),
+    };
+    (0..count)
+        .map(|i| {
+            MvcInstance::random_gnp(
+                &format!("mvc{n}_{i}"),
+                n,
+                p,
+                mathkit::rng::derive_seed(seed, 40_000 + i as u64),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic QAP training corpus for a scale and seed.
+pub fn qap_corpus(scale: Scale, seed: u64) -> Vec<QapInstance> {
+    let (count, n) = match scale {
+        Scale::Micro => (8, 5),
+        Scale::Quick => (14, 6),
+        Scale::Paper => (30, 8),
+    };
+    (0..count)
+        .map(|i| {
+            QapInstance::random(
+                &format!("qap{n}_{i}"),
+                n,
+                mathkit::rng::derive_seed(seed, 50_000 + i as u64),
+            )
+        })
+        .collect()
+}
+
+/// Graph-level MVC features (size, density, weight and degree moments).
+pub fn mvc_features(g: &MvcInstance) -> Vec<f64> {
+    let n = g.num_vertices();
+    let m = g.edges().len();
+    let possible = (n * (n - 1) / 2).max(1);
+    let mut degree = vec![0.0f64; n];
+    for &(u, v) in g.edges() {
+        degree[u as usize] += 1.0;
+        degree[v as usize] += 1.0;
+    }
+    vec![
+        n as f64,
+        m as f64,
+        m as f64 / possible as f64,
+        mathkit::stats::mean(g.weights()),
+        mathkit::stats::std_population(g.weights()),
+        mathkit::stats::mean(&degree),
+        mathkit::stats::std_population(&degree),
+    ]
+}
+
+/// QAP features (size plus flow/distance matrix moments).
+pub fn qap_features(q: &QapInstance) -> Vec<f64> {
+    let flow = q.flow().as_slice();
+    let dist = q.dist().as_slice();
+    vec![
+        q.size() as f64,
+        mathkit::stats::mean(flow),
+        mathkit::stats::std_population(flow),
+        mathkit::stats::mean(dist),
+        mathkit::stats::std_population(dist),
+    ]
+}
+
+/// Trains the generic (non-TSP) surrogate for a problem family.
+///
+/// # Errors
+///
+/// Propagates [`qross::QrossError`] from collection or training.
+///
+/// # Panics
+///
+/// Panics if called with [`ProblemKind::Tsp`] — the TSP path goes
+/// through the staged [`qross::pipeline::Pipeline`].
+pub fn train_generic<S: Solver + ?Sized>(
+    kind: ProblemKind,
+    scale: Scale,
+    seed: u64,
+    solver: &S,
+) -> Result<(Surrogate, TrainReport), qross::QrossError> {
+    let cfg = pipeline_config(scale, seed);
+    match kind {
+        ProblemKind::Tsp => panic!("TSP trains through the staged pipeline"),
+        ProblemKind::Mvc => {
+            let corpus = mvc_corpus(scale, seed);
+            train_on_problems(
+                &corpus,
+                mvc_features,
+                7,
+                &cfg.collect,
+                &cfg.surrogate,
+                solver,
+                seed,
+            )
+        }
+        ProblemKind::Qap => {
+            let corpus = qap_corpus(scale, seed);
+            train_on_problems(
+                &corpus,
+                qap_features,
+                5,
+                &cfg.collect,
+                &cfg.surrogate,
+                solver,
+                seed,
+            )
+        }
+    }
+}
+
+/// The log-spaced relaxation-parameter grid every manifest evaluates.
+pub fn manifest_a_grid() -> Vec<f64> {
+    let points = 9;
+    let (lo, hi) = A_DOMAIN;
+    (0..points)
+        .map(|k| (lo.ln() + (hi.ln() - lo.ln()) * k as f64 / (points - 1) as f64).exp())
+        .collect()
+}
+
+/// One instance's predictions, bit-patterned for exact diffs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstancePredictions {
+    /// instance identifier
+    pub instance: String,
+    /// `Pf` over the manifest grid, as `f64::to_bits`
+    pub pf_bits: Vec<u64>,
+    /// `Eavg` over the grid, as bits
+    pub e_avg_bits: Vec<u64>,
+    /// `Estd` over the grid, as bits
+    pub e_std_bits: Vec<u64>,
+    /// planned offline strategy proposals (MFS, PBS₈₀, PBS₂₀) as bits —
+    /// empty for problem families served without the composed strategy
+    pub proposal_bits: Vec<u64>,
+}
+
+/// The diffable serve-side output: every prediction the model makes on
+/// its evaluation set, as exact bit patterns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionManifest {
+    /// problem family (`tsp` / `mvc` / `qap`)
+    pub problem: String,
+    /// root seed the corpus and model derive from
+    pub seed: u64,
+    /// relaxation-parameter grid, as bits
+    pub a_grid_bits: Vec<u64>,
+    /// per-instance predictions
+    pub entries: Vec<InstancePredictions>,
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Builds the manifest for a TSP bundle: surrogate grid predictions plus
+/// the composed strategy's planned offline proposals on every held-out
+/// test instance.
+///
+/// The strategy seed and batch size come from the bundle's own stored
+/// [`qross::pipeline::PipelineConfig`], so the serve side needs *only*
+/// the bundle — no command-line flags have to match the training run
+/// for the manifests to agree.
+pub fn tsp_manifest(trained: &TrainedQross) -> PredictionManifest {
+    let seed = trained.config.seed;
+    let batch = trained.config.collect.batch;
+    let grid = manifest_a_grid();
+    let entries = trained
+        .test_encodings
+        .iter()
+        .map(|enc| {
+            let features = trained.features_for(enc);
+            let preds = trained.surrogate.predict_grid(&features, &grid);
+            let strategy = trained.strategy_for(enc, batch, mathkit::rng::derive_seed(seed, 777));
+            InstancePredictions {
+                instance: enc.fitness_instance().name().to_string(),
+                pf_bits: bits(&preds.iter().map(|p| p.pf).collect::<Vec<_>>()),
+                e_avg_bits: bits(&preds.iter().map(|p| p.e_avg).collect::<Vec<_>>()),
+                e_std_bits: bits(&preds.iter().map(|p| p.e_std).collect::<Vec<_>>()),
+                proposal_bits: bits(strategy.planned_offline()),
+            }
+        })
+        .collect();
+    PredictionManifest {
+        problem: "tsp".to_string(),
+        seed,
+        a_grid_bits: bits(&grid),
+        entries,
+    }
+}
+
+/// Builds the manifest for a generic (MVC/QAP) surrogate: grid
+/// predictions over the regenerated corpus.
+pub fn generic_manifest(
+    kind: ProblemKind,
+    surrogate: &Surrogate,
+    scale: Scale,
+    seed: u64,
+) -> PredictionManifest {
+    let grid = manifest_a_grid();
+    let named_features: Vec<(String, Vec<f64>)> = match kind {
+        ProblemKind::Tsp => panic!("TSP manifests come from tsp_manifest"),
+        ProblemKind::Mvc => mvc_corpus(scale, seed)
+            .iter()
+            .map(|g| (g.name().to_string(), mvc_features(g)))
+            .collect(),
+        ProblemKind::Qap => qap_corpus(scale, seed)
+            .iter()
+            .map(|q| (q.name().to_string(), qap_features(q)))
+            .collect(),
+    };
+    let entries = named_features
+        .into_iter()
+        .map(|(instance, features)| {
+            let preds = surrogate.predict_grid(&features, &grid);
+            InstancePredictions {
+                instance,
+                pf_bits: bits(&preds.iter().map(|p| p.pf).collect::<Vec<_>>()),
+                e_avg_bits: bits(&preds.iter().map(|p| p.e_avg).collect::<Vec<_>>()),
+                e_std_bits: bits(&preds.iter().map(|p| p.e_std).collect::<Vec<_>>()),
+                proposal_bits: Vec::new(),
+            }
+        })
+        .collect();
+    PredictionManifest {
+        problem: kind.name().to_string(),
+        seed,
+        a_grid_bits: bits(&grid),
+        entries,
+    }
+}
+
+/// Parsed command line shared by `qross-train` and `qross-predict`.
+#[derive(Debug, Clone)]
+pub struct ServeCli {
+    /// problem family to train/serve
+    pub problem: ProblemKind,
+    /// corpus scale (MVC/QAP serve side regenerates the corpus from it)
+    pub scale: Scale,
+    /// root seed
+    pub seed: u64,
+    /// model path (empty = binary-specific default)
+    pub model: String,
+    /// manifest path (empty = binary-specific default)
+    pub manifest: String,
+    /// write the model through the JSON fallback instead of the binary
+    /// container (`--format json`, `qross-train` only)
+    pub json_model: bool,
+}
+
+/// Prints `usage` (prefixed by `message` when non-empty) and exits —
+/// code 0 for an explicit `--help`, 2 for a malformed command line.
+pub fn usage_exit(usage: &str, message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: {usage}");
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}
+
+/// Parses the serve-side flags shared by both binaries. Every flag
+/// requires a value — a trailing `--model` with nothing after it is an
+/// error, not a silent fall-through to the default path. `with_format`
+/// additionally accepts `--format binary|json` (the train side).
+pub fn parse_serve_cli(usage: &str, with_format: bool) -> ServeCli {
+    let mut cli = ServeCli {
+        problem: ProblemKind::Tsp,
+        scale: Scale::Quick,
+        seed: 2021,
+        model: String::new(),
+        manifest: String::new(),
+        json_model: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--help" | "-h" => usage_exit(usage, ""),
+            "--problem" | "--scale" | "--seed" | "--model" | "--manifest" => {}
+            "--format" if with_format => {}
+            other => usage_exit(usage, &format!("unknown argument `{other}`")),
+        }
+        i += 1;
+        // A following `--flag` token is not a value — reject it so
+        // `--model --seed` errors instead of writing a file named
+        // `./--seed`.
+        let Some(value) = argv
+            .get(i)
+            .filter(|v| !v.is_empty() && !v.starts_with("--"))
+        else {
+            usage_exit(usage, &format!("flag `{flag}` needs a value"));
+        };
+        match flag.as_str() {
+            "--problem" => match ProblemKind::parse(value) {
+                Some(p) => cli.problem = p,
+                None => usage_exit(usage, &format!("bad --problem value `{value}`")),
+            },
+            "--scale" => match Scale::parse(value) {
+                Some(s) => cli.scale = s,
+                None => usage_exit(usage, &format!("bad --scale value `{value}`")),
+            },
+            "--seed" => match value.parse::<u64>() {
+                Ok(s) => cli.seed = s,
+                Err(_) => usage_exit(usage, &format!("bad --seed value `{value}`")),
+            },
+            "--model" => cli.model = value.clone(),
+            "--manifest" => cli.manifest = value.clone(),
+            "--format" => match value.as_str() {
+                "binary" => cli.json_model = false,
+                "json" => cli.json_model = true,
+                other => usage_exit(usage, &format!("bad --format value `{other}`")),
+            },
+            _ => unreachable!("flag already screened"),
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Drives a freshly built strategy through `trials` proposals against a
+/// synthetic observation loop (no solver), recording each proposal's bit
+/// pattern — used by tests to check a reloaded bundle reproduces the
+/// in-memory strategy's *full* proposal sequence, OFS refinement
+/// included.
+pub fn proposal_trace(strategy: &mut dyn ProposalStrategy, trials: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let a = strategy.propose(t);
+        out.push(a.to_bits());
+        // Deterministic synthetic feedback: a sigmoid world in ln A.
+        let pf = mathkit::special::sigmoid(2.0 * a.ln());
+        strategy.observe(
+            a,
+            &qross::collect::SolverObservation {
+                a,
+                pf,
+                e_avg: 1.0 + a.ln().abs(),
+                e_std: 0.25,
+                best_fitness: if pf > 0.5 { Some(1.0 + a) } else { None },
+                min_energy: 0.5,
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_deterministic() {
+        let a = mvc_corpus(Scale::Micro, 7);
+        let b = mvc_corpus(Scale::Micro, 7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].edges(), b[0].edges());
+        let qa = qap_corpus(Scale::Micro, 7);
+        let qb = qap_corpus(Scale::Micro, 7);
+        assert_eq!(qa[0].flow().as_slice(), qb[0].flow().as_slice());
+    }
+
+    #[test]
+    fn features_have_declared_width() {
+        let g = &mvc_corpus(Scale::Micro, 3)[0];
+        assert_eq!(mvc_features(g).len(), 7);
+        assert!(mvc_features(g).iter().all(|v| v.is_finite()));
+        let q = &qap_corpus(Scale::Micro, 3)[0];
+        assert_eq!(qap_features(q).len(), 5);
+        assert!(qap_features(q).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn problem_kind_parses() {
+        assert_eq!(ProblemKind::parse("TSP"), Some(ProblemKind::Tsp));
+        assert_eq!(ProblemKind::parse("mvc"), Some(ProblemKind::Mvc));
+        assert_eq!(ProblemKind::parse("qap"), Some(ProblemKind::Qap));
+        assert_eq!(ProblemKind::parse("sat"), None);
+        assert_eq!(ProblemKind::Qap.name(), "qap");
+    }
+}

@@ -87,6 +87,41 @@ impl SurrogateDataset {
         self.rows.push(row);
     }
 
+    /// Builds a dataset from pre-assembled rows, validating every entry.
+    ///
+    /// The fallible sibling of repeated [`SurrogateDataset::push`] calls,
+    /// used by decoders that must reject malformed input with a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrossError::BadDataset`] for a feature-width mismatch or
+    /// any non-finite value (or non-positive `a`).
+    pub fn try_from_rows(feat_dim: usize, rows: Vec<DatasetRow>) -> Result<Self, QrossError> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.features.len() != feat_dim {
+                return Err(QrossError::BadDataset {
+                    message: format!(
+                        "row {i}: {} features, expected {feat_dim}",
+                        row.features.len()
+                    ),
+                });
+            }
+            let finite = row.features.iter().all(|v| v.is_finite())
+                && row.a.is_finite()
+                && row.a > 0.0
+                && row.pf.is_finite()
+                && row.e_avg.is_finite()
+                && row.e_std.is_finite();
+            if !finite {
+                return Err(QrossError::BadDataset {
+                    message: format!("row {i}: non-finite or non-positive entry"),
+                });
+            }
+        }
+        Ok(SurrogateDataset { rows, feat_dim })
+    }
+
     /// Adds a whole instance profile (shared features, many observations).
     pub fn push_profile(&mut self, features: &[f64], profile: &[SolverObservation]) {
         for obs in profile {

@@ -35,6 +35,60 @@ pub trait FeatureExtractor: Send + Sync {
 
     /// Short identifier for experiment manifests.
     fn name(&self) -> &str;
+
+    /// Serialisable reconstruction recipe, when one exists.
+    ///
+    /// Built-in featurizers return a [`FeaturizerSpec`] that rebuilds an
+    /// *identical* extractor (same outputs, bit for bit) in another
+    /// process — the hook the artifact store uses to persist a trained
+    /// pipeline. Custom extractors may return `None`; pipelines using
+    /// them train and serve normally but cannot be saved as bundles.
+    fn spec(&self) -> Option<FeaturizerSpec> {
+        None
+    }
+}
+
+/// Serialisable recipe rebuilding a built-in [`FeatureExtractor`].
+///
+/// The spec is what travels inside `.qross` bundles: featurizers are pure
+/// deterministic functions of their spec, so persisting the recipe (a few
+/// bytes) instead of any derived state keeps bundles small and guarantees
+/// the reloaded extractor matches the trained one exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FeaturizerSpec {
+    /// [`StatisticalFeaturizer`] (no parameters).
+    Statistical,
+    /// [`RandomGcnFeaturizer`] with its construction parameters.
+    RandomGcn {
+        /// hidden channel count
+        hidden: usize,
+        /// frozen-weight seed
+        seed: u64,
+    },
+}
+
+impl FeaturizerSpec {
+    /// Builds the featurizer this spec describes.
+    pub fn build(&self) -> Box<dyn FeatureExtractor> {
+        match *self {
+            FeaturizerSpec::Statistical => Box::new(StatisticalFeaturizer::new()),
+            FeaturizerSpec::RandomGcn { hidden, seed } => {
+                Box::new(RandomGcnFeaturizer::new(hidden, seed))
+            }
+        }
+    }
+
+    /// Feature width the described extractor produces — without
+    /// constructing it (decoders use this to cross-check a persisted
+    /// spec against the surrogate's scalers before building anything).
+    pub fn dim(&self) -> usize {
+        match *self {
+            FeaturizerSpec::Statistical => StatisticalFeaturizer::new().dim(),
+            // Mean-pool + max-pool over `hidden` channels, plus n and the
+            // mean distance — must match `RandomGcnFeaturizer::dim`.
+            FeaturizerSpec::RandomGcn { hidden, .. } => 2 * hidden + 2,
+        }
+    }
 }
 
 /// Deterministic statistical featurizer (24 features).
@@ -133,6 +187,10 @@ impl FeatureExtractor for StatisticalFeaturizer {
     fn name(&self) -> &str {
         "stat"
     }
+
+    fn spec(&self) -> Option<FeaturizerSpec> {
+        Some(FeaturizerSpec::Statistical)
+    }
 }
 
 fn central_moment(xs: &[f64], mean: f64, k: i32) -> f64 {
@@ -186,6 +244,7 @@ fn mst_weight(instance: &TspInstance) -> f64 {
 #[derive(Debug, Clone)]
 pub struct RandomGcnFeaturizer {
     hidden: usize,
+    seed: u64,
     w1: Matrix,
     w2: Matrix,
 }
@@ -214,6 +273,7 @@ impl RandomGcnFeaturizer {
         };
         RandomGcnFeaturizer {
             hidden,
+            seed,
             w1: init(NODE_FEATURES, hidden),
             w2: init(hidden, hidden),
         }
@@ -291,6 +351,13 @@ impl FeatureExtractor for RandomGcnFeaturizer {
 
     fn name(&self) -> &str {
         "gcn"
+    }
+
+    fn spec(&self) -> Option<FeaturizerSpec> {
+        Some(FeaturizerSpec::RandomGcn {
+            hidden: self.hidden,
+            seed: self.seed,
+        })
     }
 }
 
@@ -377,6 +444,27 @@ mod tests {
             .collect();
         let b = f.extract(&TspInstance::from_coords("ring", &ring));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn specs_rebuild_identical_featurizers() {
+        let stat = StatisticalFeaturizer::new();
+        let rebuilt = stat.spec().expect("built-in has a spec").build();
+        assert_eq!(rebuilt.extract(&inst(1.0)), stat.extract(&inst(1.0)));
+        assert_eq!(rebuilt.name(), stat.name());
+
+        let gcn = RandomGcnFeaturizer::new(6, 99);
+        let spec = gcn.spec().expect("built-in has a spec");
+        assert_eq!(
+            spec,
+            FeaturizerSpec::RandomGcn {
+                hidden: 6,
+                seed: 99
+            }
+        );
+        let rebuilt = spec.build();
+        assert_eq!(rebuilt.extract(&inst(2.0)), gcn.extract(&inst(2.0)));
+        assert_eq!(rebuilt.dim(), gcn.dim());
     }
 
     #[test]

@@ -44,10 +44,12 @@ pub mod eval;
 pub mod features;
 pub mod landscape;
 pub mod pipeline;
+pub mod store;
 pub mod strategy;
 pub mod surrogate;
 
-pub use features::{FeatureExtractor, RandomGcnFeaturizer, StatisticalFeaturizer};
+pub use features::{FeatureExtractor, FeaturizerSpec, RandomGcnFeaturizer, StatisticalFeaturizer};
+pub use pipeline::{CollectedCorpus, QrossBundle};
 pub use surrogate::{Surrogate, SurrogatePrediction};
 
 /// Errors from the QROSS pipeline.

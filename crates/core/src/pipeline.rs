@@ -4,6 +4,28 @@
 //! over the A-schedule (§3.3), featurises instances, and trains the
 //! surrogate (§3.2). Every stage is seeded from one root seed.
 //!
+//! # Train once, serve many
+//!
+//! The pipeline is split into three explicit stages that communicate
+//! through persistable artifacts (`qross-store`):
+//!
+//! 1. **collect** — [`Pipeline::collect_corpus`] runs generation +
+//!    solver-data collection and returns a [`CollectedCorpus`] (the
+//!    dataset plus everything needed to retrain: config, featurizer
+//!    recipe, instances). Collection dominates the pipeline's cost, so
+//!    persisting the corpus lets training hyper-parameters be iterated
+//!    without re-running a single solver batch.
+//! 2. **train** — [`TrainedQross::train_on_corpus`] fits the surrogate on
+//!    a corpus (freshly collected or reloaded from disk).
+//! 3. **serve** — [`TrainedQross::save`] writes a [`QrossBundle`]
+//!    (`.qross` container) that [`TrainedQross::load`] restores in any
+//!    later process; the reloaded surrogate's predictions and the
+//!    strategies built from it ([`TrainedQross::strategy_for`]) are
+//!    *bit-identical* to the training process's.
+//!
+//! [`Pipeline::run`] / [`Pipeline::try_run`] still execute collect +
+//! train in one call for callers that do not need the split.
+//!
 //! Two built-in scales:
 //!
 //! * [`PipelineConfig::quick`] — laptop scale: smaller instances, fewer
@@ -36,14 +58,16 @@
 
 use problems::tsp::generator::{GeneratorConfig, SyntheticDataset};
 use problems::{TspEncoding, TspInstance};
+use qross_store::Artifact;
 use serde::{Deserialize, Serialize};
 use solvers::parallel::parallel_map_with_workers;
 use solvers::Solver;
 
 use crate::collect::{collect_profile, CollectConfig};
 use crate::dataset::SurrogateDataset;
-use crate::features::{FeatureExtractor, StatisticalFeaturizer};
-use crate::surrogate::{Surrogate, SurrogateConfig, TrainReport};
+use crate::features::{FeatureExtractor, FeaturizerSpec, StatisticalFeaturizer};
+use crate::strategy::ComposedStrategy;
+use crate::surrogate::{Surrogate, SurrogateConfig, SurrogateState, TrainReport};
 use crate::QrossError;
 
 /// Full pipeline configuration.
@@ -176,6 +200,111 @@ impl std::fmt::Debug for TrainedQross {
     }
 }
 
+impl TrainedQross {
+    /// The **train** stage: fits a surrogate on a collected corpus.
+    ///
+    /// Bit-identical to [`Pipeline::try_run`] under the corpus's
+    /// configuration — the corpus already contains the collected dataset,
+    /// so no solver is needed here (that is the point of the split).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QrossError`] from surrogate training.
+    pub fn train_on_corpus(corpus: &CollectedCorpus) -> Result<TrainedQross, QrossError> {
+        let (surrogate, report) = Surrogate::train(&corpus.dataset, &corpus.config.surrogate)?;
+        Ok(TrainedQross {
+            surrogate,
+            featurizer: corpus.featurizer.build(),
+            train_encodings: corpus.train_encodings(),
+            test_encodings: corpus.test_encodings(),
+            dataset_len: corpus.dataset.len(),
+            report,
+            config: corpus.config,
+        })
+    }
+
+    /// Snapshots the model as a serialisable [`QrossBundle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrossError::Persistence`] when the featurizer has no
+    /// serialisable recipe ([`FeatureExtractor::spec`] returned `None`).
+    pub fn to_bundle(&self) -> Result<QrossBundle, QrossError> {
+        let featurizer = self
+            .featurizer
+            .spec()
+            .ok_or_else(|| QrossError::Persistence {
+                message: format!(
+                    "featurizer `{}` has no serialisable spec",
+                    self.featurizer.name()
+                ),
+            })?;
+        Ok(QrossBundle {
+            config: self.config,
+            featurizer,
+            surrogate: self.surrogate.to_state(),
+            train_instances: self
+                .train_encodings
+                .iter()
+                .map(|e| e.fitness_instance().clone())
+                .collect(),
+            test_instances: self
+                .test_encodings
+                .iter()
+                .map(|e| e.fitness_instance().clone())
+                .collect(),
+            dataset_len: self.dataset_len,
+            report: self.report.clone(),
+        })
+    }
+
+    /// Writes the model as a binary `.qross` bundle at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`QrossError::Persistence`] for an unserialisable featurizer or a
+    /// filesystem failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), QrossError> {
+        self.to_bundle()?.save(path).map_err(QrossError::from)
+    }
+
+    /// Restores a model saved by [`TrainedQross::save`] — the **serve**
+    /// stage's entry point. Accepts both the binary container and the
+    /// JSON fallback (sniffed by magic bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`QrossError::Persistence`] for unreadable, corrupt or
+    /// incompatible bundles.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<TrainedQross, QrossError> {
+        QrossBundle::load_auto(path)?.into_trained()
+    }
+
+    /// Extracts the feature vector the surrogate expects for `encoding`.
+    pub fn features_for(&self, encoding: &TspEncoding) -> Vec<f64> {
+        self.featurizer.extract(encoding.qubo_instance())
+    }
+
+    /// Builds the composed QROSS proposal strategy (MFS → PBS → OFS) for
+    /// one instance — the serve-stage counterpart of the benchmark
+    /// harness's strategy construction. `batch` is the solver batch size
+    /// entering the MFS integral; `seed` drives the OFS refinement.
+    pub fn strategy_for(
+        &self,
+        encoding: &TspEncoding,
+        batch: usize,
+        seed: u64,
+    ) -> ComposedStrategy<'_> {
+        ComposedStrategy::new(
+            &self.surrogate,
+            self.features_for(encoding),
+            A_DOMAIN,
+            batch,
+            seed,
+        )
+    }
+}
+
 /// The training pipeline.
 pub struct Pipeline {
     config: PipelineConfig,
@@ -214,6 +343,70 @@ impl Pipeline {
     ///
     /// Propagates [`QrossError`] from dataset assembly or training.
     pub fn try_run<S: Solver + ?Sized>(self, solver: &S) -> Result<TrainedQross, QrossError> {
+        let (train_encodings, test_encodings, dataset) = self.collect_encoded(solver);
+        let cfg = &self.config;
+        let (surrogate, report) = Surrogate::train(&dataset, &cfg.surrogate)?;
+        Ok(TrainedQross {
+            surrogate,
+            featurizer: self.featurizer,
+            train_encodings,
+            test_encodings,
+            dataset_len: dataset.len(),
+            report,
+            config: self.config,
+        })
+    }
+
+    /// The **collect** stage: generation + solver-data collection,
+    /// packaged as a persistable [`CollectedCorpus`].
+    ///
+    /// The corpus carries the original (un-preprocessed) instances, the
+    /// featurizer recipe and the collected dataset — everything the
+    /// **train** stage needs, in any process, at any later time. Running
+    /// [`TrainedQross::train_on_corpus`] on the result is bit-identical
+    /// to [`Pipeline::try_run`] with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrossError::Persistence`] when the pipeline's featurizer
+    /// has no serialisable recipe ([`FeatureExtractor::spec`] returned
+    /// `None`) — such pipelines can still train in-process via
+    /// [`Pipeline::try_run`], they just cannot produce portable corpora.
+    pub fn collect_corpus<S: Solver + ?Sized>(
+        &self,
+        solver: &S,
+    ) -> Result<CollectedCorpus, QrossError> {
+        let featurizer = self
+            .featurizer
+            .spec()
+            .ok_or_else(|| QrossError::Persistence {
+                message: format!(
+                    "featurizer `{}` has no serialisable spec",
+                    self.featurizer.name()
+                ),
+            })?;
+        let (train_encodings, test_encodings, dataset) = self.collect_encoded(solver);
+        Ok(CollectedCorpus {
+            config: self.config,
+            featurizer,
+            train_instances: train_encodings
+                .iter()
+                .map(|e| e.fitness_instance().clone())
+                .collect(),
+            test_instances: test_encodings
+                .iter()
+                .map(|e| e.fitness_instance().clone())
+                .collect(),
+            dataset,
+        })
+    }
+
+    /// Shared generation + collection body of [`Pipeline::try_run`] and
+    /// [`Pipeline::collect_corpus`].
+    fn collect_encoded<S: Solver + ?Sized>(
+        &self,
+        solver: &S,
+    ) -> (Vec<TspEncoding>, Vec<TspEncoding>, SurrogateDataset) {
         let cfg = &self.config;
         let data = SyntheticDataset::generate(
             &cfg.generator,
@@ -224,7 +417,6 @@ impl Pipeline {
         let encode = |inst: &TspInstance| TspEncoding::preprocessed(inst.clone());
         let train_encodings: Vec<TspEncoding> = data.train().iter().map(encode).collect();
         let test_encodings: Vec<TspEncoding> = data.test().iter().map(encode).collect();
-
         let featurizer = &self.featurizer;
         let dataset = collect_dataset(
             &train_encodings,
@@ -235,14 +427,95 @@ impl Pipeline {
             cfg.seed,
             cfg.workers,
         );
-        let (surrogate, report) = Surrogate::train(&dataset, &cfg.surrogate)?;
+        (train_encodings, test_encodings, dataset)
+    }
+}
+
+/// Output of the **collect** stage: the training dataset plus everything
+/// the **train** stage needs to run in another process.
+///
+/// Persistable through `qross_store::Artifact` (kind tag `CORP`) in both
+/// the binary `.qross` format and JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectedCorpus {
+    /// the full pipeline configuration the corpus was collected under
+    pub config: PipelineConfig,
+    /// recipe rebuilding the featurizer that produced the feature columns
+    pub featurizer: FeaturizerSpec,
+    /// original (un-preprocessed) training instances
+    pub train_instances: Vec<TspInstance>,
+    /// original held-out test instances
+    pub test_instances: Vec<TspInstance>,
+    /// the collected `(features, A) → (Pf, Eavg, Estd)` dataset
+    pub dataset: SurrogateDataset,
+}
+
+impl CollectedCorpus {
+    /// Preprocessed encodings of the training instances (deterministic,
+    /// so rebuilding them here is bit-identical to the collect process).
+    pub fn train_encodings(&self) -> Vec<TspEncoding> {
+        self.train_instances
+            .iter()
+            .map(|i| TspEncoding::preprocessed(i.clone()))
+            .collect()
+    }
+
+    /// Preprocessed encodings of the held-out test instances.
+    pub fn test_encodings(&self) -> Vec<TspEncoding> {
+        self.test_instances
+            .iter()
+            .map(|i| TspEncoding::preprocessed(i.clone()))
+            .collect()
+    }
+}
+
+/// Serialisable snapshot of a full [`TrainedQross`] — the `.qross`
+/// bundle exchanged between the train and serve stages (artifact kind
+/// `BNDL`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QrossBundle {
+    /// configuration the model was trained under
+    pub config: PipelineConfig,
+    /// recipe rebuilding the featurizer (must be reused at inference)
+    pub featurizer: FeaturizerSpec,
+    /// trained surrogate snapshot
+    pub surrogate: SurrogateState,
+    /// original training instances
+    pub train_instances: Vec<TspInstance>,
+    /// original held-out test instances
+    pub test_instances: Vec<TspInstance>,
+    /// dataset rows the surrogate was trained on
+    pub dataset_len: usize,
+    /// training diagnostics
+    pub report: TrainReport,
+}
+
+impl QrossBundle {
+    /// Rebuilds the in-memory [`TrainedQross`] this bundle snapshots.
+    ///
+    /// The restored model is functionally *bit-identical* to the one that
+    /// was saved: surrogate weights are restored from exact bit patterns,
+    /// the featurizer is rebuilt from its deterministic recipe, and the
+    /// preprocessed encodings are recomputed by the same deterministic
+    /// preprocessing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrossError::Persistence`] for inconsistent network
+    /// shapes in the surrogate snapshot.
+    pub fn into_trained(self) -> Result<TrainedQross, QrossError> {
+        let surrogate = Surrogate::from_state(self.surrogate)?;
+        let featurizer = self.featurizer.build();
+        let encode = |insts: Vec<TspInstance>| -> Vec<TspEncoding> {
+            insts.into_iter().map(TspEncoding::preprocessed).collect()
+        };
         Ok(TrainedQross {
             surrogate,
-            featurizer: self.featurizer,
-            train_encodings,
-            test_encodings,
-            dataset_len: dataset.len(),
-            report,
+            featurizer,
+            train_encodings: encode(self.train_instances),
+            test_encodings: encode(self.test_instances),
+            dataset_len: self.dataset_len,
+            report: self.report,
             config: self.config,
         })
     }

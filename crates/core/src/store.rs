@@ -1,0 +1,834 @@
+//! Artifact-store bindings: binary `.qross` encodings for every pipeline
+//! artifact.
+//!
+//! The wire format (container header, section table, CRC per section) is
+//! owned by the `qross-store` crate and specified in `ARTIFACTS.md`; this
+//! module supplies the per-type payload layouts — how a
+//! [`SurrogateDataset`], a [`SurrogateState`], a [`PipelineConfig`], a
+//! trained [`QrossBundle`] and the evaluation outputs
+//! ([`MethodCurve`] / [`StrategyRun`]) map onto sections of codec
+//! primitives. Every `f64` travels as its raw bit pattern, so a decode is
+//! bit-identical to what was encoded; decoders validate shapes and
+//! finiteness where the in-memory invariants demand it and return typed
+//! [`StoreError`]s — never panics — on malformed input.
+//!
+//! Artifact kind tags:
+//!
+//! | type                 | kind tag | sections |
+//! |----------------------|----------|----------|
+//! | [`SurrogateDataset`] | `DSET`   | `DATA` |
+//! | [`Scalers`]          | `SCLR`   | `DATA` |
+//! | [`SurrogateState`]   | `SURR`   | `SURR` |
+//! | [`PipelineConfig`]   | `PCFG`   | `DATA` |
+//! | [`CollectedCorpus`]  | `CORP`   | `PCFG`, `FEAT`, `INST`, `DSET` |
+//! | [`QrossBundle`]      | `BNDL`   | `PCFG`, `FEAT`, `SURR`, `INST`, `RPRT` |
+//! | [`MethodCurve`]      | `MCRV`   | `DATA` |
+//! | [`StrategyRun`]      | `SRUN`   | `DATA` |
+
+use mathkit::stats::ZScore;
+use mathkit::Matrix;
+use neural::trainer::TrainHistory;
+use problems::TspInstance;
+use qross_store::codec::{ByteReader, ByteWriter};
+use qross_store::{get_mlp_state, put_mlp_state, Artifact, SectionReader, SectionWriter};
+use qross_store::{StoreError, FORMAT_VERSION};
+
+use crate::collect::{CollectConfig, SolverObservation};
+use crate::dataset::{DatasetRow, Scalers, SurrogateDataset};
+use crate::eval::{MethodCurve, StrategyRun};
+use crate::features::FeaturizerSpec;
+use crate::pipeline::{CollectedCorpus, PipelineConfig, QrossBundle};
+use crate::surrogate::{SurrogateConfig, SurrogateState, TrainReport};
+use crate::QrossError;
+
+impl From<StoreError> for QrossError {
+    fn from(e: StoreError) -> Self {
+        QrossError::Persistence {
+            message: e.to_string(),
+        }
+    }
+}
+
+fn corrupt(message: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// field-level helpers (shared by several artifacts)
+// ---------------------------------------------------------------------------
+
+fn put_zscore(w: &mut ByteWriter, z: &ZScore) {
+    w.put_f64(z.mean);
+    w.put_f64(z.std);
+}
+
+fn get_zscore(r: &mut ByteReader<'_>) -> Result<ZScore, StoreError> {
+    Ok(ZScore {
+        mean: r.get_f64()?,
+        std: r.get_f64()?,
+    })
+}
+
+pub(crate) fn put_scalers(w: &mut ByteWriter, s: &Scalers) {
+    w.put_usize(s.features.len());
+    for z in &s.features {
+        put_zscore(w, z);
+    }
+    put_zscore(w, &s.log_a);
+    put_zscore(w, &s.e_avg);
+    put_zscore(w, &s.e_std);
+}
+
+pub(crate) fn get_scalers(r: &mut ByteReader<'_>) -> Result<Scalers, StoreError> {
+    let n = r.get_len(16)?;
+    let mut features = Vec::with_capacity(n);
+    for _ in 0..n {
+        features.push(get_zscore(r)?);
+    }
+    Ok(Scalers {
+        features,
+        log_a: get_zscore(r)?,
+        e_avg: get_zscore(r)?,
+        e_std: get_zscore(r)?,
+    })
+}
+
+/// Flat surrogate-snapshot payload (both heads + scalers) — the single
+/// layout shared by the standalone `SURR` artifact and the bundle's
+/// `SURR` section, so the two can never drift apart.
+fn put_surrogate_state(w: &mut ByteWriter, s: &SurrogateState) {
+    put_mlp_state(w, &s.pf_net);
+    put_mlp_state(w, &s.e_net);
+    put_scalers(w, &s.scalers);
+}
+
+/// Decodes [`put_surrogate_state`] output, enforcing the cross-component
+/// invariants (head input widths vs scalers, head output widths) that
+/// prediction relies on — a snapshot whose sections are individually
+/// well-formed but mutually inconsistent is rejected here, not at
+/// predict time.
+fn get_surrogate_state(r: &mut ByteReader<'_>) -> Result<SurrogateState, StoreError> {
+    let state = SurrogateState {
+        pf_net: get_mlp_state(r)?,
+        e_net: get_mlp_state(r)?,
+        scalers: get_scalers(r)?,
+    };
+    state.validate().map_err(|e| corrupt(e.to_string()))?;
+    Ok(state)
+}
+
+fn put_instance(w: &mut ByteWriter, inst: &TspInstance) {
+    let n = inst.num_cities();
+    w.put_str(inst.name());
+    w.put_usize(n);
+    // Full row-major distance matrix: simple, and `from_matrix` re-checks
+    // symmetry and the zero diagonal on decode.
+    for i in 0..n {
+        for j in 0..n {
+            w.put_f64(inst.distance(i, j));
+        }
+    }
+}
+
+fn get_instance(r: &mut ByteReader<'_>) -> Result<TspInstance, StoreError> {
+    let name = r.get_str()?;
+    let n = r.get_usize()?;
+    let cells = n
+        .checked_mul(n)
+        .ok_or_else(|| corrupt("city count overflows"))?;
+    // Bounds-check the declared matrix against the remaining bytes before
+    // allocating (8 bytes per f64 cell).
+    if cells
+        .checked_mul(8)
+        .map(|bytes| bytes > r.remaining())
+        .unwrap_or(true)
+    {
+        return Err(corrupt(format!(
+            "instance `{name}`: {n}x{n} distance matrix outruns the input"
+        )));
+    }
+    let mut data = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        data.push(r.get_f64()?);
+    }
+    TspInstance::from_matrix(&name, Matrix::from_vec(n, n, data))
+        .map_err(|e| corrupt(format!("instance `{name}`: {e}")))
+}
+
+fn put_instances(w: &mut ByteWriter, instances: &[TspInstance]) {
+    w.put_usize(instances.len());
+    for inst in instances {
+        put_instance(w, inst);
+    }
+}
+
+fn get_instances(r: &mut ByteReader<'_>) -> Result<Vec<TspInstance>, StoreError> {
+    // Each instance costs ≥ 16 bytes (name length + city count) even when
+    // empty, which bounds the count before allocation.
+    let n = r.get_len(16)?;
+    (0..n).map(|_| get_instance(r)).collect()
+}
+
+fn put_dataset(w: &mut ByteWriter, ds: &SurrogateDataset) {
+    w.put_usize(ds.feat_dim());
+    w.put_usize(ds.len());
+    for row in ds.rows() {
+        w.put_f64_slice(&row.features);
+        w.put_f64(row.a);
+        w.put_f64(row.pf);
+        w.put_f64(row.e_avg);
+        w.put_f64(row.e_std);
+    }
+}
+
+fn get_dataset(r: &mut ByteReader<'_>) -> Result<SurrogateDataset, StoreError> {
+    let feat_dim = r.get_usize()?;
+    // A row is at least 40 bytes (feature length prefix + 4 scalars).
+    let n = r.get_len(40)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(DatasetRow {
+            features: r.get_f64_vec()?,
+            a: r.get_f64()?,
+            pf: r.get_f64()?,
+            e_avg: r.get_f64()?,
+            e_std: r.get_f64()?,
+        });
+    }
+    SurrogateDataset::try_from_rows(feat_dim, rows).map_err(|e| corrupt(e.to_string()))
+}
+
+fn put_history(w: &mut ByteWriter, h: &TrainHistory) {
+    w.put_f64_slice(&h.train_loss);
+    w.put_f64_slice(&h.val_loss);
+    w.put_bool(h.diverged);
+}
+
+fn get_history(r: &mut ByteReader<'_>) -> Result<TrainHistory, StoreError> {
+    Ok(TrainHistory {
+        train_loss: r.get_f64_vec()?,
+        val_loss: r.get_f64_vec()?,
+        diverged: r.get_bool()?,
+    })
+}
+
+fn put_report(w: &mut ByteWriter, report: &TrainReport) {
+    put_history(w, &report.pf);
+    put_history(w, &report.energy);
+    w.put_usize(report.train_rows);
+    w.put_usize(report.val_rows);
+}
+
+fn get_report(r: &mut ByteReader<'_>) -> Result<TrainReport, StoreError> {
+    Ok(TrainReport {
+        pf: get_history(r)?,
+        energy: get_history(r)?,
+        train_rows: r.get_usize()?,
+        val_rows: r.get_usize()?,
+    })
+}
+
+const FEAT_STATISTICAL: u8 = 0;
+const FEAT_RANDOM_GCN: u8 = 1;
+
+fn put_featurizer_spec(w: &mut ByteWriter, spec: &FeaturizerSpec) {
+    match *spec {
+        FeaturizerSpec::Statistical => w.put_u8(FEAT_STATISTICAL),
+        FeaturizerSpec::RandomGcn { hidden, seed } => {
+            w.put_u8(FEAT_RANDOM_GCN);
+            w.put_usize(hidden);
+            w.put_u64(seed);
+        }
+    }
+}
+
+fn get_featurizer_spec(r: &mut ByteReader<'_>) -> Result<FeaturizerSpec, StoreError> {
+    match r.get_u8()? {
+        FEAT_STATISTICAL => Ok(FeaturizerSpec::Statistical),
+        FEAT_RANDOM_GCN => Ok(FeaturizerSpec::RandomGcn {
+            hidden: r.get_usize()?,
+            seed: r.get_u64()?,
+        }),
+        other => Err(corrupt(format!("unknown featurizer tag {other:#04x}"))),
+    }
+}
+
+fn put_pipeline_config(w: &mut ByteWriter, cfg: &PipelineConfig) {
+    w.put_usize(cfg.generator.min_cities);
+    w.put_usize(cfg.generator.max_cities);
+    w.put_f64(cfg.generator.uniform_side);
+    w.put_f64(cfg.generator.exp_rate_range.0);
+    w.put_f64(cfg.generator.exp_rate_range.1);
+    w.put_usize(cfg.train_instances);
+    w.put_usize(cfg.test_instances);
+    w.put_f64(cfg.collect.a_init);
+    w.put_f64(cfg.collect.probe_factor);
+    w.put_f64(cfg.collect.a_bounds.0);
+    w.put_f64(cfg.collect.a_bounds.1);
+    w.put_usize(cfg.collect.sweep_points);
+    w.put_f64(cfg.collect.plateau_margin);
+    w.put_usize(cfg.collect.batch);
+    w.put_usize(cfg.surrogate.hidden);
+    w.put_usize(cfg.surrogate.epochs);
+    w.put_f64(cfg.surrogate.learning_rate);
+    w.put_usize(cfg.surrogate.batch_size);
+    w.put_f64(cfg.surrogate.val_fraction);
+    w.put_u64(cfg.surrogate.seed);
+    w.put_u64(cfg.seed);
+    w.put_usize(cfg.workers);
+}
+
+fn get_pipeline_config(r: &mut ByteReader<'_>) -> Result<PipelineConfig, StoreError> {
+    Ok(PipelineConfig {
+        generator: problems::tsp::generator::GeneratorConfig {
+            min_cities: r.get_usize()?,
+            max_cities: r.get_usize()?,
+            uniform_side: r.get_f64()?,
+            exp_rate_range: (r.get_f64()?, r.get_f64()?),
+        },
+        train_instances: r.get_usize()?,
+        test_instances: r.get_usize()?,
+        collect: CollectConfig {
+            a_init: r.get_f64()?,
+            probe_factor: r.get_f64()?,
+            a_bounds: (r.get_f64()?, r.get_f64()?),
+            sweep_points: r.get_usize()?,
+            plateau_margin: r.get_f64()?,
+            batch: r.get_usize()?,
+        },
+        surrogate: SurrogateConfig {
+            hidden: r.get_usize()?,
+            epochs: r.get_usize()?,
+            learning_rate: r.get_f64()?,
+            batch_size: r.get_usize()?,
+            val_fraction: r.get_f64()?,
+            seed: r.get_u64()?,
+        },
+        seed: r.get_u64()?,
+        workers: r.get_usize()?,
+    })
+}
+
+fn put_observation(w: &mut ByteWriter, obs: &SolverObservation) {
+    w.put_f64(obs.a);
+    w.put_f64(obs.pf);
+    w.put_f64(obs.e_avg);
+    w.put_f64(obs.e_std);
+    w.put_opt_f64(obs.best_fitness);
+    w.put_f64(obs.min_energy);
+}
+
+fn get_observation(r: &mut ByteReader<'_>) -> Result<SolverObservation, StoreError> {
+    Ok(SolverObservation {
+        a: r.get_f64()?,
+        pf: r.get_f64()?,
+        e_avg: r.get_f64()?,
+        e_std: r.get_f64()?,
+        best_fitness: r.get_opt_f64()?,
+        min_energy: r.get_f64()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Artifact implementations
+// ---------------------------------------------------------------------------
+
+impl Artifact for SurrogateDataset {
+    const KIND: [u8; 4] = *b"DSET";
+
+    fn write_sections(&self, out: &mut SectionWriter) {
+        out.section(*b"DATA", |w| put_dataset(w, self));
+    }
+
+    fn read_sections(reader: &SectionReader<'_>) -> Result<Self, StoreError> {
+        let mut r = reader.section(*b"DATA")?;
+        let ds = get_dataset(&mut r)?;
+        r.finish()?;
+        Ok(ds)
+    }
+}
+
+impl Artifact for Scalers {
+    const KIND: [u8; 4] = *b"SCLR";
+
+    fn write_sections(&self, out: &mut SectionWriter) {
+        out.section(*b"DATA", |w| put_scalers(w, self));
+    }
+
+    fn read_sections(reader: &SectionReader<'_>) -> Result<Self, StoreError> {
+        let mut r = reader.section(*b"DATA")?;
+        let s = get_scalers(&mut r)?;
+        r.finish()?;
+        Ok(s)
+    }
+}
+
+impl Artifact for SurrogateState {
+    const KIND: [u8; 4] = *b"SURR";
+
+    fn write_sections(&self, out: &mut SectionWriter) {
+        out.section(*b"SURR", |w| put_surrogate_state(w, self));
+    }
+
+    fn read_sections(reader: &SectionReader<'_>) -> Result<Self, StoreError> {
+        let mut r = reader.section(*b"SURR")?;
+        let state = get_surrogate_state(&mut r)?;
+        r.finish()?;
+        Ok(state)
+    }
+}
+
+impl Artifact for PipelineConfig {
+    const KIND: [u8; 4] = *b"PCFG";
+
+    fn write_sections(&self, out: &mut SectionWriter) {
+        out.section(*b"DATA", |w| put_pipeline_config(w, self));
+    }
+
+    fn read_sections(reader: &SectionReader<'_>) -> Result<Self, StoreError> {
+        let mut r = reader.section(*b"DATA")?;
+        let cfg = get_pipeline_config(&mut r)?;
+        r.finish()?;
+        Ok(cfg)
+    }
+}
+
+impl Artifact for CollectedCorpus {
+    const KIND: [u8; 4] = *b"CORP";
+
+    fn write_sections(&self, out: &mut SectionWriter) {
+        out.section(*b"PCFG", |w| put_pipeline_config(w, &self.config));
+        out.section(*b"FEAT", |w| put_featurizer_spec(w, &self.featurizer));
+        out.section(*b"INST", |w| {
+            put_instances(w, &self.train_instances);
+            put_instances(w, &self.test_instances);
+        });
+        out.section(*b"DSET", |w| put_dataset(w, &self.dataset));
+    }
+
+    fn read_sections(reader: &SectionReader<'_>) -> Result<Self, StoreError> {
+        let mut cfg = reader.section(*b"PCFG")?;
+        let config = get_pipeline_config(&mut cfg)?;
+        cfg.finish()?;
+        let mut feat = reader.section(*b"FEAT")?;
+        let featurizer = get_featurizer_spec(&mut feat)?;
+        feat.finish()?;
+        let mut inst = reader.section(*b"INST")?;
+        let train_instances = get_instances(&mut inst)?;
+        let test_instances = get_instances(&mut inst)?;
+        inst.finish()?;
+        let mut ds = reader.section(*b"DSET")?;
+        let dataset = get_dataset(&mut ds)?;
+        ds.finish()?;
+        // Cross-section invariant: the featurizer recipe must produce
+        // the dataset's feature width, or the serve stage would panic on
+        // width mismatch after an expensive training run.
+        if featurizer.dim() != dataset.feat_dim() {
+            return Err(corrupt(format!(
+                "featurizer produces {} features but the dataset holds {}",
+                featurizer.dim(),
+                dataset.feat_dim()
+            )));
+        }
+        Ok(CollectedCorpus {
+            config,
+            featurizer,
+            train_instances,
+            test_instances,
+            dataset,
+        })
+    }
+}
+
+impl Artifact for QrossBundle {
+    const KIND: [u8; 4] = *b"BNDL";
+
+    fn write_sections(&self, out: &mut SectionWriter) {
+        out.section(*b"PCFG", |w| put_pipeline_config(w, &self.config));
+        out.section(*b"FEAT", |w| put_featurizer_spec(w, &self.featurizer));
+        out.section(*b"SURR", |w| put_surrogate_state(w, &self.surrogate));
+        out.section(*b"INST", |w| {
+            put_instances(w, &self.train_instances);
+            put_instances(w, &self.test_instances);
+        });
+        out.section(*b"RPRT", |w| {
+            w.put_usize(self.dataset_len);
+            put_report(w, &self.report);
+        });
+    }
+
+    fn read_sections(reader: &SectionReader<'_>) -> Result<Self, StoreError> {
+        let mut cfg = reader.section(*b"PCFG")?;
+        let config = get_pipeline_config(&mut cfg)?;
+        cfg.finish()?;
+        let mut feat = reader.section(*b"FEAT")?;
+        let featurizer = get_featurizer_spec(&mut feat)?;
+        feat.finish()?;
+        let mut sur = reader.section(*b"SURR")?;
+        let surrogate = get_surrogate_state(&mut sur)?;
+        sur.finish()?;
+        let mut inst = reader.section(*b"INST")?;
+        let train_instances = get_instances(&mut inst)?;
+        let test_instances = get_instances(&mut inst)?;
+        inst.finish()?;
+        let mut rp = reader.section(*b"RPRT")?;
+        let dataset_len = rp.get_usize()?;
+        let report = get_report(&mut rp)?;
+        rp.finish()?;
+        // Cross-section invariant beyond the snapshot's own checks: the
+        // featurizer's output width (plus the ln-A column) must match
+        // what the surrogate was trained on.
+        if featurizer.dim() + 1 != surrogate.scalers.input_dim() {
+            return Err(corrupt(format!(
+                "featurizer produces {} features but the surrogate expects {}",
+                featurizer.dim(),
+                surrogate.scalers.input_dim() - 1
+            )));
+        }
+        Ok(QrossBundle {
+            config,
+            featurizer,
+            surrogate,
+            train_instances,
+            test_instances,
+            dataset_len,
+            report,
+        })
+    }
+}
+
+impl Artifact for MethodCurve {
+    const KIND: [u8; 4] = *b"MCRV";
+
+    fn write_sections(&self, out: &mut SectionWriter) {
+        out.section(*b"DATA", |w| {
+            w.put_str(&self.method);
+            w.put_f64_slice(&self.mean);
+            w.put_f64_slice(&self.ci95);
+        });
+    }
+
+    fn read_sections(reader: &SectionReader<'_>) -> Result<Self, StoreError> {
+        let mut r = reader.section(*b"DATA")?;
+        let curve = MethodCurve {
+            method: r.get_str()?,
+            mean: r.get_f64_vec()?,
+            ci95: r.get_f64_vec()?,
+        };
+        r.finish()?;
+        if curve.mean.len() != curve.ci95.len() {
+            return Err(corrupt(format!(
+                "curve `{}`: {} means vs {} CI half-widths",
+                curve.method,
+                curve.mean.len(),
+                curve.ci95.len()
+            )));
+        }
+        Ok(curve)
+    }
+}
+
+impl Artifact for StrategyRun {
+    const KIND: [u8; 4] = *b"SRUN";
+
+    fn write_sections(&self, out: &mut SectionWriter) {
+        out.section(*b"DATA", |w| {
+            w.put_str(&self.strategy);
+            w.put_str(&self.instance);
+            w.put_usize(self.trials.len());
+            for obs in &self.trials {
+                put_observation(w, obs);
+            }
+        });
+    }
+
+    fn read_sections(reader: &SectionReader<'_>) -> Result<Self, StoreError> {
+        let mut r = reader.section(*b"DATA")?;
+        let strategy = r.get_str()?;
+        let instance = r.get_str()?;
+        // An observation is 41 bytes minimum (5 f64 + option tag).
+        let n = r.get_len(41)?;
+        let mut trials = Vec::with_capacity(n);
+        for _ in 0..n {
+            trials.push(get_observation(&mut r)?);
+        }
+        r.finish()?;
+        Ok(StrategyRun {
+            strategy,
+            instance,
+            trials,
+        })
+    }
+}
+
+/// Compile-time guard: the module is written against container format 1;
+/// bumping `qross-store`'s `FORMAT_VERSION` must be a conscious decision
+/// revisiting every payload layout here.
+const _: () = assert!(FORMAT_VERSION == 1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scalers() -> Scalers {
+        Scalers {
+            features: vec![
+                ZScore {
+                    mean: 0.5,
+                    std: 2.0,
+                },
+                ZScore {
+                    mean: -3.25,
+                    std: 0.125,
+                },
+            ],
+            log_a: ZScore {
+                mean: 0.0,
+                std: 1.5,
+            },
+            e_avg: ZScore {
+                mean: 100.0,
+                std: 12.5,
+            },
+            e_std: ZScore {
+                mean: 4.0,
+                std: 0.5,
+            },
+        }
+    }
+
+    fn sample_dataset() -> SurrogateDataset {
+        let mut ds = SurrogateDataset::new(2);
+        for i in 0..7 {
+            ds.push(DatasetRow {
+                features: vec![i as f64, -0.5 * i as f64],
+                a: 0.25 + i as f64,
+                pf: i as f64 / 7.0,
+                e_avg: 10.0 - i as f64,
+                e_std: 1.0 + 0.1 * i as f64,
+            });
+        }
+        ds
+    }
+
+    #[test]
+    fn dataset_roundtrips_bit_exact() {
+        let ds = sample_dataset();
+        let back = SurrogateDataset::from_store_bytes(&ds.to_store_bytes()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn scalers_roundtrip() {
+        let s = sample_scalers();
+        let back = Scalers::from_store_bytes(&s.to_store_bytes()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pipeline_config_roundtrip() {
+        for cfg in [
+            PipelineConfig::micro(),
+            PipelineConfig::quick(),
+            PipelineConfig::paper(),
+        ] {
+            let back = PipelineConfig::from_store_bytes(&cfg.to_store_bytes()).unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn method_curve_and_run_roundtrip() {
+        let curve = MethodCurve {
+            method: "qross".to_string(),
+            mean: vec![0.5, 0.25, 0.1],
+            ci95: vec![0.05, 0.04, 0.02],
+        };
+        let back = MethodCurve::from_store_bytes(&curve.to_store_bytes()).unwrap();
+        assert_eq!(back, curve);
+
+        let run = StrategyRun {
+            strategy: "tpe".to_string(),
+            instance: "t9".to_string(),
+            trials: vec![
+                SolverObservation {
+                    a: 1.5,
+                    pf: 0.5,
+                    e_avg: 3.0,
+                    e_std: 0.25,
+                    best_fitness: Some(12.0),
+                    min_energy: 2.5,
+                },
+                SolverObservation {
+                    a: 0.5,
+                    pf: 0.0,
+                    e_avg: 1.0,
+                    e_std: 0.5,
+                    best_fitness: None,
+                    min_energy: 0.75,
+                },
+            ],
+        };
+        let back = StrategyRun::from_store_bytes(&run.to_store_bytes()).unwrap();
+        assert_eq!(back, run);
+    }
+
+    #[test]
+    fn curve_length_mismatch_rejected() {
+        let curve = MethodCurve {
+            method: "x".to_string(),
+            mean: vec![0.1, 0.2],
+            ci95: vec![0.01],
+        };
+        // Encoding is possible; decoding must reject the inconsistency.
+        let bytes = curve.to_store_bytes();
+        assert!(matches!(
+            MethodCurve::from_store_bytes(&bytes),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_dataset_row_is_typed_error_not_panic() {
+        let ds = sample_dataset();
+        let bytes = ds.to_store_bytes();
+        // Overwrite the `a` field of the first row with NaN *and* refresh
+        // nothing else: the CRC must reject it. (A hostile writer could
+        // also refresh the CRC — then `try_from_rows` validation catches
+        // the non-finite value; both paths are errors, not panics.)
+        let mut evil = bytes.clone();
+        let len = evil.len();
+        for byte in &mut evil[len - 64..] {
+            *byte ^= 0xFF;
+        }
+        assert!(SurrogateDataset::from_store_bytes(&evil).is_err());
+    }
+
+    #[test]
+    fn json_load_enforces_binary_invariants() {
+        // The JSON format silently degrades non-finite values to `null`
+        // (→ NaN on decode); `load_json`/`load_auto` must catch that via
+        // revalidation instead of returning an invariant-violating
+        // dataset that poisons downstream scaler fits.
+        let ds = sample_dataset();
+        let json = serde_json::to_string_pretty(&ds).unwrap();
+        let evil = json.replacen("\"pf\":", "\"pf\": null, \"ignored\":", 1);
+        assert_ne!(evil, json, "test setup failed to corrupt the JSON");
+        let dir = std::env::temp_dir().join("qross_core_store_json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evil.json");
+        std::fs::write(&path, &evil).unwrap();
+        assert!(matches!(
+            SurrogateDataset::load_json(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            SurrogateDataset::load_auto(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // The untampered JSON still loads fine through both paths.
+        std::fs::write(&path, &json).unwrap();
+        assert_eq!(SurrogateDataset::load_json(&path).unwrap(), ds);
+        assert_eq!(SurrogateDataset::load_auto(&path).unwrap(), ds);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn instances_roundtrip_via_corpus() {
+        let inst = TspInstance::from_coords(
+            "tri",
+            &[(0.0, 0.0), (3.0, 0.0), (0.0, 4.0), (1.0, 1.0), (2.5, 2.5)],
+        );
+        // RandomGcn with 4 hidden channels produces 2*4+2 = 10 features;
+        // the dataset's width must agree or decoding rejects the corpus.
+        let mut dataset = SurrogateDataset::new(10);
+        for i in 0..5 {
+            dataset.push(DatasetRow {
+                features: (0..10).map(|c| (i * 10 + c) as f64 / 7.0).collect(),
+                a: 0.5 + i as f64,
+                pf: i as f64 / 5.0,
+                e_avg: 3.0 - i as f64,
+                e_std: 0.5,
+            });
+        }
+        let corpus = CollectedCorpus {
+            config: PipelineConfig::micro(),
+            featurizer: FeaturizerSpec::RandomGcn { hidden: 4, seed: 9 },
+            train_instances: vec![inst.clone()],
+            test_instances: vec![inst.clone(), inst],
+            dataset,
+        };
+        let back = CollectedCorpus::from_store_bytes(&corpus.to_store_bytes()).unwrap();
+        assert_eq!(back.config, corpus.config);
+        assert_eq!(back.featurizer, corpus.featurizer);
+        assert_eq!(back.train_instances, corpus.train_instances);
+        assert_eq!(back.test_instances, corpus.test_instances);
+        assert_eq!(back.dataset, corpus.dataset);
+    }
+
+    #[test]
+    fn corpus_featurizer_width_mismatch_rejected() {
+        // feat_dim 2 dataset with a 10-wide featurizer recipe: encodes,
+        // but decoding must reject the cross-section inconsistency.
+        let corpus = CollectedCorpus {
+            config: PipelineConfig::micro(),
+            featurizer: FeaturizerSpec::RandomGcn { hidden: 4, seed: 9 },
+            train_instances: Vec::new(),
+            test_instances: Vec::new(),
+            dataset: sample_dataset(),
+        };
+        assert!(matches!(
+            CollectedCorpus::from_store_bytes(&corpus.to_store_bytes()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn surrogate_state_cross_section_mismatch_rejected() {
+        use neural::network::MlpBuilder;
+        // Heads consuming 25 inputs, scalers producing 3: every section
+        // is individually valid (CRCs pass), but the snapshot as a whole
+        // would panic at predict time — decode must refuse it.
+        let state = SurrogateState {
+            pf_net: MlpBuilder::new(25)
+                .dense(4)
+                .relu()
+                .dense(1)
+                .build(1)
+                .to_state(),
+            e_net: MlpBuilder::new(25)
+                .dense(4)
+                .relu()
+                .dense(2)
+                .build(2)
+                .to_state(),
+            scalers: sample_scalers(),
+        };
+        assert!(matches!(
+            SurrogateState::from_store_bytes(&state.to_store_bytes()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Wrong head output widths are rejected too (Pf must emit 1).
+        let state = SurrogateState {
+            pf_net: MlpBuilder::new(3)
+                .dense(4)
+                .relu()
+                .dense(2)
+                .build(1)
+                .to_state(),
+            e_net: MlpBuilder::new(3)
+                .dense(4)
+                .relu()
+                .dense(2)
+                .build(2)
+                .to_state(),
+            scalers: sample_scalers(),
+        };
+        assert!(matches!(
+            SurrogateState::from_store_bytes(&state.to_store_bytes()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

@@ -102,6 +102,58 @@ pub struct SurrogateState {
     pub scalers: Scalers,
 }
 
+/// Output width of a network snapshot: the last dense layer's width
+/// (activations preserve width), or `None` for a dense-free stack.
+fn state_output_dim(state: &MlpState) -> Option<usize> {
+    state.layers.iter().rev().find_map(|l| match l {
+        neural::layers::LayerSpec::Dense { output, .. } => Some(*output),
+        _ => None,
+    })
+}
+
+impl SurrogateState {
+    /// Checks the *cross-component* invariants [`Surrogate::predict`]
+    /// relies on: both heads consume exactly the scalers' input width,
+    /// the Pf head emits 1 output and the energy head 2. (Per-network
+    /// internal consistency is checked by [`Mlp::from_state`].)
+    ///
+    /// Decoders run this so a crafted snapshot with mismatched sections
+    /// surfaces as a typed error instead of a panic at predict time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrossError::Persistence`] describing the mismatch.
+    pub fn validate(&self) -> Result<(), QrossError> {
+        let expect = self.scalers.input_dim();
+        let err = |message: String| Err(QrossError::Persistence { message });
+        if self.pf_net.input_dim != expect {
+            return err(format!(
+                "pf net consumes {} inputs but the scalers produce {expect}",
+                self.pf_net.input_dim
+            ));
+        }
+        if self.e_net.input_dim != expect {
+            return err(format!(
+                "energy net consumes {} inputs but the scalers produce {expect}",
+                self.e_net.input_dim
+            ));
+        }
+        if state_output_dim(&self.pf_net) != Some(1) {
+            return err(format!(
+                "pf net emits {:?} outputs, expected 1",
+                state_output_dim(&self.pf_net)
+            ));
+        }
+        if state_output_dim(&self.e_net) != Some(2) {
+            return err(format!(
+                "energy net emits {:?} outputs, expected 2 (Eavg, Estd)",
+                state_output_dim(&self.e_net)
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl Surrogate {
     /// Trains a surrogate on `dataset`.
     ///
@@ -287,8 +339,11 @@ impl Surrogate {
     ///
     /// # Errors
     ///
-    /// Returns [`QrossError::Persistence`] for inconsistent network shapes.
+    /// Returns [`QrossError::Persistence`] for inconsistent network
+    /// shapes, within a head ([`Mlp::from_state`]) or across the
+    /// snapshot's components ([`SurrogateState::validate`]).
     pub fn from_state(state: SurrogateState) -> Result<Self, QrossError> {
+        state.validate()?;
         let pf_net = Mlp::from_state(&state.pf_net).map_err(|e| QrossError::Persistence {
             message: format!("pf net: {e}"),
         })?;
@@ -303,8 +358,19 @@ impl Surrogate {
     }
 
     /// Serialises to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(&self.to_state()).expect("surrogate state serialises")
+    ///
+    /// Prefer the artifact store for persistence — [`SurrogateState`]
+    /// implements `qross_store::Artifact`, giving checksummed bit-exact
+    /// binary `save`/`load` plus this JSON form as a debugging fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrossError::Persistence`] when serialisation fails
+    /// (this used to be an `expect` panic path).
+    pub fn to_json(&self) -> Result<String, QrossError> {
+        serde_json::to_string(&self.to_state()).map_err(|e| QrossError::Persistence {
+            message: format!("json: {e}"),
+        })
     }
 
     /// Restores from [`Surrogate::to_json`] output.
@@ -461,7 +527,7 @@ mod tests {
     fn json_roundtrip() {
         let ds = synthetic_dataset(6, 8);
         let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
-        let json = sur.to_json();
+        let json = sur.to_json().unwrap();
         let back = Surrogate::from_json(&json).unwrap();
         let p1 = sur.predict(&[0.2], 0.7);
         let p2 = back.predict(&[0.2], 0.7);

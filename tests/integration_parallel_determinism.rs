@@ -99,7 +99,11 @@ fn trained_surrogate_is_worker_count_invariant() {
     let json_at = |workers: usize| {
         let mut c = cfg;
         c.workers = workers;
-        Pipeline::new(c).run(&s).surrogate.to_json()
+        Pipeline::new(c)
+            .run(&s)
+            .surrogate
+            .to_json()
+            .expect("serialises")
     };
     let reference = json_at(1);
     for workers in [2, 8, 0] {

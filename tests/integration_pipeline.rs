@@ -155,7 +155,7 @@ fn persisted_surrogate_reproduces_proposals() {
     let a_before = mfs::propose(&trained.surrogate, &features, A_DOMAIN, 12)
         .unwrap()
         .x;
-    let json = trained.surrogate.to_json();
+    let json = trained.surrogate.to_json().expect("serialises");
     let reloaded = qross_repro::qross::Surrogate::from_json(&json).unwrap();
     let a_after = mfs::propose(&reloaded, &features, A_DOMAIN, 12).unwrap().x;
     assert!((a_before - a_after).abs() < 1e-12);

@@ -1,0 +1,246 @@
+//! Property-based tests for the artifact store: arbitrary datasets and
+//! network snapshots must round-trip through the binary `.qross` codec
+//! **bit-exactly** (NaN payloads included), truncated or corrupted input
+//! must yield typed errors (never panics), and the JSON fallback must
+//! decode to the same structs as the binary format.
+
+use proptest::prelude::*;
+
+use qross_repro::neural::layers::LayerSpec;
+use qross_repro::neural::network::MlpState;
+use qross_repro::qross::dataset::{DatasetRow, Scalers, SurrogateDataset};
+use qross_repro::qross::surrogate::SurrogateState;
+use qross_store::{Artifact, StoreError};
+
+/// Arbitrary `f64` *bit patterns* — covers NaNs with payloads, signed
+/// zeros, infinities and subnormals, not just sampled finite reals.
+fn f64_bits_strategy() -> impl Strategy<Value = f64> {
+    (0u32..=u32::MAX, 0u32..=u32::MAX)
+        .prop_map(|(hi, lo)| f64::from_bits(((hi as u64) << 32) | lo as u64))
+}
+
+/// Arbitrary dataset rows (finite, as the dataset invariants demand).
+fn dataset_strategy() -> impl Strategy<Value = SurrogateDataset> {
+    (1usize..5).prop_flat_map(|feat_dim| {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(-1e9..1e9f64, feat_dim),
+                1e-6..1e6f64,
+                0.0..1.0f64,
+                -1e9..1e9f64,
+                0.0..1e9f64,
+            ),
+            0..12,
+        )
+        .prop_map(move |rows| {
+            let mut ds = SurrogateDataset::new(feat_dim);
+            for (features, a, pf, e_avg, e_std) in rows {
+                ds.push(DatasetRow {
+                    features,
+                    a,
+                    pf,
+                    e_avg,
+                    e_std,
+                });
+            }
+            ds
+        })
+    })
+}
+
+/// Arbitrary MLP snapshots with *arbitrary-bit* weights: shapes are
+/// consistent (the decoder validates them) but the values include NaNs
+/// and infinities, exercising the bit-exactness claim where it matters.
+fn mlp_state_strategy() -> impl Strategy<Value = MlpState> {
+    (1usize..4, 1usize..4).prop_flat_map(|(input, output)| mlp_state_with(input, output))
+}
+
+/// Like [`mlp_state_strategy`] but with pinned input/output widths —
+/// surrogate snapshots must satisfy the cross-head shape invariants the
+/// decoder now enforces (heads share the scalers' input width; Pf emits
+/// 1 value, the energy head 2).
+fn mlp_state_with(input: usize, output: usize) -> impl Strategy<Value = MlpState> {
+    (1usize..4, 0u8..3).prop_flat_map(move |(hidden, act)| {
+        (
+            proptest::collection::vec(f64_bits_strategy(), input * hidden),
+            proptest::collection::vec(f64_bits_strategy(), hidden),
+            proptest::collection::vec(f64_bits_strategy(), hidden * output),
+            proptest::collection::vec(f64_bits_strategy(), output),
+        )
+            .prop_map(move |(w1, b1, w2, b2)| {
+                let activation = match act {
+                    0 => LayerSpec::Relu,
+                    1 => LayerSpec::Sigmoid,
+                    _ => LayerSpec::Tanh,
+                };
+                MlpState {
+                    input_dim: input,
+                    layers: vec![
+                        LayerSpec::Dense {
+                            input,
+                            output: hidden,
+                            weights: w1,
+                            bias: b1,
+                        },
+                        activation,
+                        LayerSpec::Dense {
+                            input: hidden,
+                            output,
+                            weights: w2,
+                            bias: b2,
+                        },
+                    ],
+                }
+            })
+    })
+}
+
+/// Bit-level equality for states (`==` on f64 treats NaN ≠ NaN, so the
+/// derived `PartialEq` cannot certify NaN round-trips).
+fn states_bit_equal(a: &MlpState, b: &MlpState) -> bool {
+    if a.input_dim != b.input_dim || a.layers.len() != b.layers.len() {
+        return false;
+    }
+    a.layers
+        .iter()
+        .zip(&b.layers)
+        .all(|(la, lb)| match (la, lb) {
+            (
+                LayerSpec::Dense {
+                    input: ia,
+                    output: oa,
+                    weights: wa,
+                    bias: ba,
+                },
+                LayerSpec::Dense {
+                    input: ib,
+                    output: ob,
+                    weights: wb,
+                    bias: bb,
+                },
+            ) => {
+                ia == ib
+                    && oa == ob
+                    && wa.len() == wb.len()
+                    && ba.len() == bb.len()
+                    && wa.iter().zip(wb).all(|(x, y)| x.to_bits() == y.to_bits())
+                    && ba.iter().zip(bb).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (LayerSpec::Relu, LayerSpec::Relu) => true,
+            (LayerSpec::Sigmoid, LayerSpec::Sigmoid) => true,
+            (LayerSpec::Tanh, LayerSpec::Tanh) => true,
+            _ => false,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Binary round-trip of arbitrary datasets is bit-exact, and the JSON
+    /// fallback decodes to an equal struct (cross-format agreement).
+    #[test]
+    fn dataset_roundtrips_binary_and_json(ds in dataset_strategy()) {
+        let bytes = ds.to_store_bytes();
+        let back = SurrogateDataset::from_store_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &ds);
+        for (ra, rb) in ds.rows().iter().zip(back.rows()) {
+            prop_assert_eq!(ra.a.to_bits(), rb.a.to_bits());
+            prop_assert_eq!(ra.pf.to_bits(), rb.pf.to_bits());
+            for (x, y) in ra.features.iter().zip(&rb.features) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Cross-format: binary and JSON decode to equal structs.
+        let json = serde_json::to_string(&ds).unwrap();
+        let from_json: SurrogateDataset = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&from_json, &back);
+    }
+
+    /// Binary round-trip of arbitrary network snapshots is bit-exact,
+    /// NaN payloads included.
+    #[test]
+    fn mlp_state_roundtrips_bit_exact(state in mlp_state_strategy()) {
+        let bytes = state.to_store_bytes();
+        let back = MlpState::from_store_bytes(&bytes).unwrap();
+        prop_assert!(states_bit_equal(&state, &back));
+    }
+
+    /// Surrogate snapshots (two nets + scalers) round-trip bit-exactly.
+    /// One scaler feature → heads consume 2 inputs; Pf emits 1 value and
+    /// the energy head 2 (the decoder's cross-section invariants).
+    #[test]
+    fn surrogate_state_roundtrips(
+        pf_net in mlp_state_with(2, 1),
+        e_net in mlp_state_with(2, 2),
+        scaler_bits in proptest::collection::vec(f64_bits_strategy(), 8),
+    ) {
+        let z = |m: f64, s: f64| qross_repro::mathkit::stats::ZScore { mean: m, std: s };
+        let state = SurrogateState {
+            pf_net,
+            e_net,
+            scalers: Scalers {
+                features: vec![z(scaler_bits[0], scaler_bits[1])],
+                log_a: z(scaler_bits[2], scaler_bits[3]),
+                e_avg: z(scaler_bits[4], scaler_bits[5]),
+                e_std: z(scaler_bits[6], scaler_bits[7]),
+            },
+        };
+        let back = SurrogateState::from_store_bytes(&state.to_store_bytes()).unwrap();
+        prop_assert!(states_bit_equal(&state.pf_net, &back.pf_net));
+        prop_assert!(states_bit_equal(&state.e_net, &back.e_net));
+        prop_assert_eq!(
+            state.scalers.log_a.mean.to_bits(),
+            back.scalers.log_a.mean.to_bits()
+        );
+        prop_assert_eq!(
+            state.scalers.e_std.std.to_bits(),
+            back.scalers.e_std.std.to_bits()
+        );
+    }
+
+    /// Every possible truncation of a valid container is rejected with a
+    /// typed error — no panic, no partial decode.
+    #[test]
+    fn truncation_never_panics(ds in dataset_strategy(), frac in 0.0..1.0f64) {
+        let bytes = ds.to_store_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let result = SurrogateDataset::from_store_bytes(&bytes[..cut.min(bytes.len() - 1)]);
+        prop_assert!(result.is_err());
+    }
+
+    /// Flipping any single payload byte is caught (CRC or structural
+    /// validation) with a typed error — no panic, no silent acceptance.
+    #[test]
+    fn corruption_never_panics(
+        ds in dataset_strategy().prop_filter("need payload", |d| !d.is_empty()),
+        byte_frac in 0.0..1.0f64,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = ds.to_store_bytes();
+        let idx = ((bytes.len() as f64) * byte_frac) as usize % bytes.len();
+        bytes[idx] ^= flip;
+        match SurrogateDataset::from_store_bytes(&bytes) {
+            // Either the corruption is caught...
+            Err(
+                StoreError::BadMagic
+                | StoreError::UnsupportedVersion { .. }
+                | StoreError::WrongKind { .. }
+                | StoreError::MissingSection { .. }
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::Truncated { .. }
+                | StoreError::Corrupt { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            // ...or the flip hit a table byte whose reinterpretation is
+            // still self-consistent (e.g. swapping two section-table
+            // entries' order fields); then the decode must at least have
+            // produced a *valid* dataset under the type's invariants.
+            Ok(decoded) => {
+                prop_assert!(decoded
+                    .rows()
+                    .iter()
+                    .all(|r| r.a > 0.0 && r.a.is_finite()));
+            }
+        }
+    }
+}
