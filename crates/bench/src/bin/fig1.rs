@@ -6,50 +6,54 @@ use bench::experiments::fig1;
 use bench::{row, run_experiment};
 
 fn main() {
-    run_experiment("fig1", fig1, |result| {
-        println!(
-            "Fig. 1 — Pf and energy envelope vs relaxation parameter ({})",
-            result.instance
-        );
-        for series in &result.series {
-            println!("\nsolver: {}", series.solver);
-            let widths = [10, 8, 12, 12];
+    run_experiment(
+        "fig1",
+        |s, seed| Ok(fig1(s, seed)),
+        |result| {
             println!(
-                "{}",
-                row(
-                    &["A".into(), "Pf".into(), "minEnergy".into(), "Eavg".into()],
-                    &widths
-                )
+                "Fig. 1 — Pf and energy envelope vs relaxation parameter ({})",
+                result.instance
             );
-            for k in 0..series.a.len() {
+            for series in &result.series {
+                println!("\nsolver: {}", series.solver);
+                let widths = [10, 8, 12, 12];
                 println!(
                     "{}",
                     row(
-                        &[
-                            format!("{:.4}", series.a[k]),
-                            format!("{:.3}", series.pf[k]),
-                            format!("{:.3}", series.min_energy[k]),
-                            format!("{:.3}", series.e_avg[k]),
-                        ],
+                        &["A".into(), "Pf".into(), "minEnergy".into(), "Eavg".into()],
                         &widths
                     )
                 );
+                for k in 0..series.a.len() {
+                    println!(
+                        "{}",
+                        row(
+                            &[
+                                format!("{:.4}", series.a[k]),
+                                format!("{:.3}", series.pf[k]),
+                                format!("{:.3}", series.min_energy[k]),
+                                format!("{:.3}", series.e_avg[k]),
+                            ],
+                            &widths
+                        )
+                    );
+                }
+                // The paper's red star: the A whose batch contained the best
+                // feasible energy, which must sit on the sigmoid slope.
+                let best = series
+                    .min_energy
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| series.pf[*k] > 0.0)
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal));
+                if let Some((k, e)) = best {
+                    println!(
+                        "optimal parameter ~ A = {:.4} (min energy {:.3}, Pf {:.2})",
+                        series.a[k], e, series.pf[k]
+                    );
+                }
             }
-            // The paper's red star: the A whose batch contained the best
-            // feasible energy, which must sit on the sigmoid slope.
-            let best = series
-                .min_energy
-                .iter()
-                .enumerate()
-                .filter(|(k, _)| series.pf[*k] > 0.0)
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal));
-            if let Some((k, e)) = best {
-                println!(
-                    "optimal parameter ~ A = {:.4} (min energy {:.3}, Pf {:.2})",
-                    series.a[k], e, series.pf[k]
-                );
-            }
-        }
-        println!();
-    });
+            println!();
+        },
+    );
 }

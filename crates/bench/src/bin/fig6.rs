@@ -7,48 +7,54 @@ use bench::experiments::fig6;
 use bench::{row, run_experiment};
 
 fn main() {
-    run_experiment("fig6", fig6, |result| {
-        println!(
+    run_experiment(
+        "fig6",
+        |s, seed| Ok(fig6(s, seed)),
+        |result| {
+            println!(
             "Fig. 6 — MVC penalty weight vs normalised energy (G({}, 0.5), U[0,1) weights, 4 seeds)",
             result.vertices
         );
-        let widths = [12, 14, 14];
-        println!(
-            "{}",
-            row(&["penalty".into(), "sa".into(), "qa".into()], &widths)
-        );
-        let sa = &result.series[0];
-        let qa = &result.series[1];
-        for k in 0..sa.penalty.len() {
+            let widths = [12, 14, 14];
             println!(
                 "{}",
-                row(
-                    &[
-                        format!("{:.1}", sa.penalty[k]),
-                        format!("{:.4}", sa.energy_normalized[k]),
-                        format!("{:.4}", qa.energy_normalized[k]),
-                    ],
-                    &widths
-                )
+                row(&["penalty".into(), "sa".into(), "qa".into()], &widths)
             );
-        }
-        let sa_rise = sa.energy_normalized.last().unwrap() - sa.energy_normalized.first().unwrap();
-        let qa_rise = qa.energy_normalized.last().unwrap() - qa.energy_normalized.first().unwrap();
-        println!("\nenergy rise across the sweep: sa {sa_rise:+.4}, qa {qa_rise:+.4}");
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        let sa_mean = mean(&sa.energy_normalized);
-        let qa_mean = mean(&qa.energy_normalized);
-        println!(
-            "mean normalised energy: sa {:.4}, qa {:.4} ({})",
-            sa_mean,
-            qa_mean,
-            if qa_mean > sa_mean && sa_rise > 0.0 && qa_rise > 0.0 {
-                "both degrade with penalty weight and the analog-error model sits higher — the paper's shape"
-            } else if sa_rise > 0.0 && qa_rise > 0.0 {
-                "both degrade with penalty weight (orderings within noise at this scale)"
-            } else {
-                "unexpected shape at this scale"
+            let sa = &result.series[0];
+            let qa = &result.series[1];
+            for k in 0..sa.penalty.len() {
+                println!(
+                    "{}",
+                    row(
+                        &[
+                            format!("{:.1}", sa.penalty[k]),
+                            format!("{:.4}", sa.energy_normalized[k]),
+                            format!("{:.4}", qa.energy_normalized[k]),
+                        ],
+                        &widths
+                    )
+                );
             }
-        );
-    });
+            let sa_rise =
+                sa.energy_normalized.last().unwrap() - sa.energy_normalized.first().unwrap();
+            let qa_rise =
+                qa.energy_normalized.last().unwrap() - qa.energy_normalized.first().unwrap();
+            println!("\nenergy rise across the sweep: sa {sa_rise:+.4}, qa {qa_rise:+.4}");
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let sa_mean = mean(&sa.energy_normalized);
+            let qa_mean = mean(&qa.energy_normalized);
+            println!(
+                "mean normalised energy: sa {:.4}, qa {:.4} ({})",
+                sa_mean,
+                qa_mean,
+                if qa_mean > sa_mean && sa_rise > 0.0 && qa_rise > 0.0 {
+                    "both degrade with penalty weight and the analog-error model sits higher — the paper's shape"
+                } else if sa_rise > 0.0 && qa_rise > 0.0 {
+                    "both degrade with penalty weight (orderings within noise at this scale)"
+                } else {
+                    "unexpected shape at this scale"
+                }
+            );
+        },
+    );
 }

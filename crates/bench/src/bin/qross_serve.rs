@@ -1,0 +1,186 @@
+//! `qross-serve` — the serving daemon of the train-once / serve-many
+//! loop: load a model once, answer NDJSON prediction requests forever.
+//!
+//! Two transports, one protocol (`bench::protocol`):
+//!
+//! * **stdio** (default): requests on stdin, responses on stdout, exit at
+//!   EOF. Composable — `qross-serve --model m.qross < requests.ndjson`.
+//! * **TCP** (`--listen ADDR`): accept connections, one NDJSON session
+//!   per connection, each on its own thread over the *same* shared
+//!   engine — concurrent clients' requests micro-batch together.
+//!
+//! The model may be a full `.qross` bundle (TSP: enables the `tsp`
+//! upload op) or a bare surrogate snapshot (MVC/QAP: `predict` only),
+//! binary or JSON, sniffed by magic bytes.
+//!
+//! All diagnostics go to stderr; stdout carries protocol lines only.
+
+use std::sync::Arc;
+
+use bench::protocol::{serve_connection, serve_connection_aborting};
+use bench::serve::usage_exit;
+use qross::pipeline::TrainedQross;
+use qross::serve::{ServeConfig, ServeEngine, ServeModel};
+use qross::surrogate::{Surrogate, SurrogateState};
+use qross_store::Artifact;
+
+const USAGE: &str = "qross-serve --model PATH [--listen ADDR] [--workers N] \
+                     [--batch ROWS] [--queue ROWS] [--cache ENTRIES]";
+
+struct ServeCli {
+    model: String,
+    listen: Option<String>,
+    config: ServeConfig,
+}
+
+fn parse_cli() -> ServeCli {
+    let mut cli = ServeCli {
+        model: String::new(),
+        listen: None,
+        config: ServeConfig::default(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        if flag == "--help" || flag == "-h" {
+            usage_exit(USAGE, "");
+        }
+        if !matches!(
+            flag.as_str(),
+            "--model" | "--listen" | "--workers" | "--batch" | "--queue" | "--cache"
+        ) {
+            usage_exit(USAGE, &format!("unknown argument `{flag}`"));
+        }
+        i += 1;
+        let Some(value) = argv
+            .get(i)
+            .filter(|v| !v.is_empty() && !v.starts_with("--"))
+        else {
+            usage_exit(USAGE, &format!("flag `{flag}` needs a value"));
+        };
+        let parse_count = |what: &str, v: &str| -> usize {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| usage_exit(USAGE, &format!("bad {what} value `{v}`")))
+        };
+        match flag.as_str() {
+            "--model" => cli.model = value.clone(),
+            "--listen" => cli.listen = Some(value.clone()),
+            "--workers" => cli.config.workers = parse_count("--workers", value),
+            "--batch" => {
+                cli.config.max_batch_rows = parse_count("--batch", value).max(1);
+            }
+            "--queue" => cli.config.queue_capacity = parse_count("--queue", value).max(1),
+            "--cache" => cli.config.cache_capacity = parse_count("--cache", value),
+            _ => unreachable!("flag already screened"),
+        }
+        i += 1;
+    }
+    if cli.model.is_empty() {
+        usage_exit(USAGE, "--model is required");
+    }
+    cli
+}
+
+/// Loads a bundle if the artifact is one, otherwise a bare surrogate
+/// snapshot — mirroring what `qross-predict` accepts.
+fn load_model(path: &str) -> Result<ServeModel, String> {
+    match TrainedQross::load(path) {
+        Ok(trained) => Ok(ServeModel::Bundle(Arc::new(trained))),
+        Err(bundle_err) => {
+            if let Ok(state) = SurrogateState::load_auto(path) {
+                let surrogate = Surrogate::from_state(state)
+                    .map_err(|e| format!("restoring surrogate failed: {e}"))?;
+                return Ok(ServeModel::Surrogate(Arc::new(surrogate)));
+            }
+            Err(format!("loading model failed: {bundle_err}"))
+        }
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let model = load_model(&cli.model).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let kind = if model.trained().is_some() {
+        "bundle"
+    } else {
+        "surrogate"
+    };
+    let feature_dim = model.feature_dim();
+    let engine = ServeEngine::new(model, cli.config);
+    eprintln!(
+        "qross-serve: loaded {kind} from {} ({feature_dim} features); {engine:?}",
+        cli.model
+    );
+
+    match cli.listen {
+        None => {
+            // StdinLock is !Send and the staging thread owns the reader,
+            // so buffer the Send-able handle instead of locking.
+            let stdin = std::io::BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout();
+            if let Err(e) = serve_connection(&engine, stdin, stdout.lock()) {
+                eprintln!("error: stdio session failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
+                eprintln!("error: cannot listen on {addr}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("qross-serve: listening on {addr}");
+            std::thread::scope(|scope| {
+                for stream in listener.incoming() {
+                    let stream = match stream {
+                        Ok(stream) => stream,
+                        Err(e) => {
+                            eprintln!("warning: accept failed: {e}");
+                            continue;
+                        }
+                    };
+                    let peer = stream
+                        .peer_addr()
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|_| "<unknown>".to_string());
+                    let engine = &engine;
+                    scope.spawn(move || {
+                        eprintln!("qross-serve: {peer} connected");
+                        let reader = match stream.try_clone() {
+                            Ok(clone) => std::io::BufReader::new(clone),
+                            Err(e) => {
+                                eprintln!("warning: {peer}: clone failed: {e}");
+                                return;
+                            }
+                        };
+                        // If the client stops reading responses, the write
+                        // side errors first — shut the socket down so the
+                        // blocked reader exits too instead of leaking this
+                        // thread until the client's next line.
+                        let abort = {
+                            let stream = stream.try_clone();
+                            move || {
+                                if let Ok(s) = &stream {
+                                    let _ = s.shutdown(std::net::Shutdown::Both);
+                                }
+                            }
+                        };
+                        let writer = std::io::BufWriter::new(stream);
+                        match serve_connection_aborting(engine, reader, writer, abort) {
+                            Ok(()) => eprintln!("qross-serve: {peer} done"),
+                            Err(e) => eprintln!("warning: {peer}: session failed: {e}"),
+                        }
+                    });
+                }
+            });
+        }
+    }
+    let stats = engine.stats();
+    eprintln!(
+        "qross-serve: {} requests ({} rows, {} cache hits, {} batches, {} rejected)",
+        stats.requests, stats.rows, stats.cache_hits, stats.batches, stats.rejected
+    );
+}

@@ -319,8 +319,17 @@ pub fn compare_methods<S: Solver + ?Sized>(
 }
 
 /// Trains the QROSS pipeline on the experiment solver at the given scale.
-pub fn train_qross<S: Solver + ?Sized>(scale: Scale, seed: u64, solver: &S) -> TrainedQross {
-    Pipeline::new(pipeline_config(scale, seed)).run(solver)
+///
+/// # Errors
+///
+/// Propagates [`qross::QrossError`] from collection or training (this
+/// used to abort through the now-deleted panicking `Pipeline::run`).
+pub fn train_qross<S: Solver + ?Sized>(
+    scale: Scale,
+    seed: u64,
+    solver: &S,
+) -> Result<TrainedQross, qross::QrossError> {
+    Pipeline::new(pipeline_config(scale, seed)).try_run(solver)
 }
 
 /// The out-of-distribution evaluation set (Fig. 4): preprocessed encodings
@@ -338,10 +347,14 @@ pub fn realworld_encodings(scale: Scale) -> Vec<TspEncoding> {
 }
 
 /// Fig. 3: synthetic test-set comparison on the Digital Annealer.
-pub fn fig3(scale: Scale, seed: u64) -> ComparisonResult {
+///
+/// # Errors
+///
+/// Propagates [`qross::QrossError`] from pipeline training.
+pub fn fig3(scale: Scale, seed: u64) -> Result<ComparisonResult, qross::QrossError> {
     let solvers = Solvers::at(scale);
-    let trained = train_qross(scale, seed, &solvers.da);
-    compare_methods(
+    let trained = train_qross(scale, seed, &solvers.da)?;
+    Ok(compare_methods(
         &trained,
         &trained.test_encodings,
         &solvers.da,
@@ -350,15 +363,19 @@ pub fn fig3(scale: Scale, seed: u64) -> ComparisonResult {
         batch_for(scale),
         TRIALS,
         seed,
-    )
+    ))
 }
 
 /// Fig. 4: out-of-distribution comparison on the Digital Annealer.
-pub fn fig4(scale: Scale, seed: u64) -> ComparisonResult {
+///
+/// # Errors
+///
+/// Propagates [`qross::QrossError`] from pipeline training.
+pub fn fig4(scale: Scale, seed: u64) -> Result<ComparisonResult, qross::QrossError> {
     let solvers = Solvers::at(scale);
-    let trained = train_qross(scale, seed, &solvers.da);
+    let trained = train_qross(scale, seed, &solvers.da)?;
     let encodings = realworld_encodings(scale);
-    compare_methods(
+    Ok(compare_methods(
         &trained,
         &encodings,
         &solvers.da,
@@ -367,7 +384,7 @@ pub fn fig4(scale: Scale, seed: u64) -> ComparisonResult {
         batch_for(scale),
         TRIALS,
         seed,
-    )
+    ))
 }
 
 /// Fig. 5 result: the ablation curves.
@@ -405,9 +422,13 @@ pub fn mismatched_solver() -> SimulatedAnnealer {
 
 /// Fig. 5 (appendix A ablation): train QROSS on DA data, evaluate on
 /// Qbsolv — the mismatch should erase QROSS's advantage over TPE.
-pub fn fig5(scale: Scale, seed: u64) -> Fig5Result {
+///
+/// # Errors
+///
+/// Propagates [`qross::QrossError`] from pipeline training.
+pub fn fig5(scale: Scale, seed: u64) -> Result<Fig5Result, qross::QrossError> {
     let solvers = Solvers::at(scale);
-    let trained = train_qross(scale, seed, &solvers.da);
+    let trained = train_qross(scale, seed, &solvers.da)?;
     let batch = batch_for(scale);
     let on_da = compare_methods(
         &trained,
@@ -440,14 +461,14 @@ pub fn fig5(scale: Scale, seed: u64) -> Fig5Result {
         TRIALS,
         seed,
     );
-    Fig5Result {
+    Ok(Fig5Result {
         qross_on_da: on_da.method("qross").expect("qross curve").clone(),
         qross_on_qbsolv: on_qb.method("qross").expect("qross curve").clone(),
         tpe_on_da: on_da.method("tpe").expect("tpe curve").clone(),
         tpe_on_qbsolv: on_qb.method("tpe").expect("tpe curve").clone(),
         qross_on_mismatched: on_weak.method("qross").expect("qross curve").clone(),
         tpe_on_mismatched: on_weak.method("tpe").expect("tpe curve").clone(),
-    }
+    })
 }
 
 /// Table 1: gap at trials #3 and #20 for every (solver, dataset, method).
@@ -477,7 +498,11 @@ pub struct Table1Result {
 /// Regenerates Table 1. The surrogate is retrained per solver (the paper
 /// constructs a separate training dataset from each solver's solutions,
 /// §5.3).
-pub fn table1(scale: Scale, seed: u64) -> Table1Result {
+///
+/// # Errors
+///
+/// Propagates [`qross::QrossError`] from pipeline training.
+pub fn table1(scale: Scale, seed: u64) -> Result<Table1Result, qross::QrossError> {
     let solvers = Solvers::at(scale);
     let batch = batch_for(scale);
     let rw = realworld_encodings(scale);
@@ -486,7 +511,7 @@ pub fn table1(scale: Scale, seed: u64) -> Table1Result {
         ("da", &solvers.da as &dyn Solver),
         ("qbsolv", &solvers.qbsolv as &dyn Solver),
     ] {
-        let trained = train_qross(scale, seed, solver);
+        let trained = train_qross(scale, seed, solver)?;
         let synth = compare_methods(
             &trained,
             &trained.test_encodings,
@@ -520,7 +545,7 @@ pub fn table1(scale: Scale, seed: u64) -> Table1Result {
             });
         }
     }
-    Table1Result { rows }
+    Ok(Table1Result { rows })
 }
 
 // ---------------------------------------------------------------------------

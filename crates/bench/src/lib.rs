@@ -23,8 +23,10 @@
 //! |-----------------|---------|
 //! | `qross-train`   | collect + train on a generated TSP/MVC/QAP corpus, write a `.qross` model and a predictions manifest |
 //! | `qross-predict` | reload the model in a fresh process, recompute the manifest for a byte-exact diff |
+//! | `qross-serve`   | load a model once, serve NDJSON prediction/upload requests over stdio or TCP ([`protocol`]) |
 
 pub mod experiments;
+pub mod protocol;
 pub mod serve;
 
 use experiments::ComparisonResult;
@@ -119,14 +121,23 @@ fn usage_exit(message: &str) -> ! {
 /// it as JSON under `results/` through the artifact store's JSON writer,
 /// and report the path written.
 ///
-/// Exits with a non-zero status when the result cannot be written.
+/// `compute` is fallible: a pipeline error (e.g. surrogate training
+/// diverged) exits with a message instead of aborting through a panic.
+/// Exits with a non-zero status when the result cannot be computed or
+/// written.
 pub fn run_experiment<T: Serialize>(
     name: &str,
-    compute: impl FnOnce(Scale, u64) -> T,
+    compute: impl FnOnce(Scale, u64) -> Result<T, qross::QrossError>,
     render: impl FnOnce(&T),
 ) {
     let cli = Cli::from_args();
-    let result = compute(cli.scale, cli.seed);
+    let result = match compute(cli.scale, cli.seed) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {name} failed: {e}");
+            std::process::exit(1);
+        }
+    };
     render(&result);
     match write_json(name, &result) {
         Ok(path) => println!("wrote {}", path.display()),

@@ -1,0 +1,439 @@
+//! NDJSON serving protocol — the wire layer over
+//! [`qross::serve::ServeEngine`].
+//!
+//! One request per line, one response per line, **in request order**
+//! (responses never reorder, whatever the engine's worker count). The
+//! same protocol runs over stdin/stdout and TCP (`qross-serve`).
+//!
+//! # Requests
+//!
+//! Every request is a JSON object with an `op` and an optional client
+//! `id` (echoed back verbatim):
+//!
+//! ```json
+//! {"id": 1, "op": "predict", "features": [...], "a": 1.0}
+//! {"id": 2, "op": "predict", "features": [...], "a_values": [0.5, 1.0, 2.0]}
+//! {"id": 3, "op": "tsp", "tsplib": "NAME: up...EOF\n", "a_values": [1.0]}
+//! {"id": 4, "op": "info"}
+//! ```
+//!
+//! * `predict` — evaluate the surrogate at `features` for one `a` or a
+//!   grid of `a_values`. Served through the engine (micro-batched with
+//!   concurrent requests, cached, backpressured).
+//! * `tsp` — upload a TSPLIB95 instance. The bundle's own featurizer
+//!   extracts the feature vector, the composed QROSS strategy plans its
+//!   offline proposals (MFS, PBS₈₀, PBS₂₀), and any requested
+//!   `a`/`a_values` are answered like `predict`. Requires a full bundle
+//!   (`ServeModel::Bundle`); bare surrogate models reject this op.
+//! * `info` — model metadata.
+//!
+//! # Responses
+//!
+//! `{"id": ..., "ok": true, ...}` or `{"id": ..., "ok": false, "error":
+//! "..."}`. Predictions carry both decimal f64s and their exact IEEE-754
+//! bit patterns (`*_bits`), so `diff` on two response streams proves
+//! bit-identity — the CI smoke step diffs a batched 4-worker run against
+//! a sequential unbatched one.
+//!
+//! Malformed input (unparseable JSON, unknown op, wrong feature width,
+//! non-finite values, truncated TSPLIB uploads) yields an `ok: false`
+//! response on the offending line; the connection — and the process —
+//! keep serving. A serving process must survive hostile uploads.
+
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+use problems::tsplib::parse_tsplib;
+use problems::TspEncoding;
+use qross::serve::{PendingPrediction, ServeEngine};
+use qross::surrogate::SurrogatePrediction;
+use serde::{Deserialize, Serialize};
+
+/// How many staged (submitted but unwritten) responses a connection may
+/// hold. Bounds per-connection memory against a client that floods
+/// requests without reading responses; also the pipelining window that
+/// gives the engine concurrent jobs to micro-batch.
+pub const PIPELINE_DEPTH: usize = 256;
+
+/// One parsed request line. Unknown ops and missing fields are rejected
+/// at dispatch with an `ok: false` response, not a parse failure.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// client-chosen correlation id, echoed into the response
+    pub id: Option<u64>,
+    /// `predict` | `tsp` | `info`
+    pub op: Option<String>,
+    /// feature vector (`predict`)
+    pub features: Option<Vec<f64>>,
+    /// single relaxation parameter (`predict`/`tsp`)
+    pub a: Option<f64>,
+    /// relaxation-parameter grid (`predict`/`tsp`); takes precedence
+    /// over `a` when both are present
+    pub a_values: Option<Vec<f64>>,
+    /// TSPLIB95 file content (`tsp`)
+    pub tsplib: Option<String>,
+}
+
+/// One prediction in a response: decimal values for humans, exact bit
+/// patterns for diffs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionOut {
+    /// the relaxation parameter evaluated
+    pub a: f64,
+    /// predicted probability of feasibility
+    pub pf: f64,
+    /// predicted mean energy
+    pub e_avg: f64,
+    /// predicted energy standard deviation
+    pub e_std: f64,
+    /// `pf` as `f64::to_bits`
+    pub pf_bits: u64,
+    /// `e_avg` as bits
+    pub e_avg_bits: u64,
+    /// `e_std` as bits
+    pub e_std_bits: u64,
+}
+
+impl PredictionOut {
+    fn new(a: f64, p: SurrogatePrediction) -> Self {
+        PredictionOut {
+            a,
+            pf: p.pf,
+            e_avg: p.e_avg,
+            e_std: p.e_std,
+            pf_bits: p.pf.to_bits(),
+            e_avg_bits: p.e_avg.to_bits(),
+            e_std_bits: p.e_std.to_bits(),
+        }
+    }
+}
+
+/// Model metadata (`info` op).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// `bundle` (full pipeline) or `surrogate` (bare snapshot)
+    pub kind: String,
+    /// feature width every request must supply
+    pub feature_dim: usize,
+    /// dataset rows the model was trained on (bundles only)
+    pub dataset_len: Option<u64>,
+    /// training instances (bundles only)
+    pub train_instances: Option<u64>,
+}
+
+/// One response line.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Response {
+    /// the request's `id`, echoed
+    pub id: Option<u64>,
+    /// whether the request was served
+    pub ok: bool,
+    /// error description when `ok` is false
+    pub error: Option<String>,
+    /// parsed instance name (`tsp`)
+    pub instance: Option<String>,
+    /// predictions, in `a_values` order
+    pub predictions: Option<Vec<PredictionOut>>,
+    /// planned offline proposals — MFS, PBS₈₀, PBS₂₀ (`tsp`)
+    pub proposals: Option<Vec<f64>>,
+    /// proposals as exact bit patterns
+    pub proposal_bits: Option<Vec<u64>>,
+    /// model metadata (`info`)
+    pub info: Option<ModelInfo>,
+}
+
+impl Response {
+    fn err(id: Option<u64>, message: impl std::fmt::Display) -> Response {
+        Response {
+            id,
+            ok: false,
+            error: Some(message.to_string()),
+            ..Default::default()
+        }
+    }
+}
+
+/// A request that has been validated and (when it needs the engine)
+/// submitted, but whose response may not be computed yet. Staging is
+/// cheap; the expensive part rides on the engine's worker pool, so a
+/// connection can keep many requests in flight — which is exactly what
+/// gives the workers batches to stack.
+#[derive(Debug)]
+pub enum Staged {
+    /// response already complete (errors, `info`)
+    Ready(Box<Response>),
+    /// engine-served predictions still in flight
+    Pending {
+        /// response skeleton: everything but `predictions`
+        head: Box<Response>,
+        /// the `a` value of each submitted row, for `PredictionOut`
+        a_values: Vec<f64>,
+        /// the engine's response handle
+        pending: PendingPrediction,
+    },
+}
+
+/// Parses, validates and dispatches one request line. Returns `None` for
+/// blank lines.
+pub fn stage(engine: &ServeEngine, line: &str) -> Option<Staged> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let request: Request = match serde_json::from_str(line) {
+        Ok(request) => request,
+        Err(e) => {
+            return Some(Staged::Ready(Box::new(Response::err(
+                None,
+                format!("unparseable request: {e}"),
+            ))))
+        }
+    };
+    let id = request.id;
+    let staged = match request.op.as_deref() {
+        Some("info") => {
+            let model = engine.model();
+            let trained = model.trained();
+            Staged::Ready(Box::new(Response {
+                id,
+                ok: true,
+                info: Some(ModelInfo {
+                    kind: if trained.is_some() {
+                        "bundle"
+                    } else {
+                        "surrogate"
+                    }
+                    .to_string(),
+                    feature_dim: model.feature_dim(),
+                    dataset_len: trained.map(|t| t.dataset_len as u64),
+                    train_instances: trained.map(|t| t.train_encodings.len() as u64),
+                }),
+                ..Default::default()
+            }))
+        }
+        Some("predict") => {
+            let Some(features) = request.features else {
+                return Some(Staged::Ready(Box::new(Response::err(
+                    id,
+                    "predict needs `features`",
+                ))));
+            };
+            let a_values = match (request.a_values, request.a) {
+                (Some(grid), _) => grid,
+                (None, Some(a)) => vec![a],
+                (None, None) => {
+                    return Some(Staged::Ready(Box::new(Response::err(
+                        id,
+                        "predict needs `a` or `a_values`",
+                    ))))
+                }
+            };
+            submit(engine, id, Response::default(), features, a_values)
+        }
+        Some("tsp") => stage_tsp(engine, id, request.tsplib, request.a, request.a_values),
+        Some(other) => Staged::Ready(Box::new(Response::err(
+            id,
+            format!("unknown op `{other}` (expected predict | tsp | info)"),
+        ))),
+        None => Staged::Ready(Box::new(Response::err(id, "missing `op`"))),
+    };
+    Some(staged)
+}
+
+/// The `tsp` op: parse the upload, featurise with the bundle's featurizer,
+/// plan the offline proposals, and submit any requested grid.
+fn stage_tsp(
+    engine: &ServeEngine,
+    id: Option<u64>,
+    tsplib: Option<String>,
+    a: Option<f64>,
+    a_values: Option<Vec<f64>>,
+) -> Staged {
+    let Some(trained) = engine.model().trained() else {
+        return Staged::Ready(Box::new(Response::err(
+            id,
+            "this model is a bare surrogate: `tsp` needs a full bundle (train with --problem tsp)",
+        )));
+    };
+    let Some(text) = tsplib else {
+        return Staged::Ready(Box::new(Response::err(id, "tsp needs `tsplib`")));
+    };
+    let instance = match parse_tsplib(&text) {
+        Ok(instance) => instance,
+        Err(e) => return Staged::Ready(Box::new(Response::err(id, e))),
+    };
+    let encoding = TspEncoding::preprocessed(instance);
+    let features = trained.features_for(&encoding);
+    // Offline plan only: MFS + PBS come straight from the surrogate, no
+    // solver in the loop — the serve-side half of the paper's strategies.
+    let strategy = trained.strategy_for(
+        &encoding,
+        trained.config.collect.batch,
+        mathkit::rng::derive_seed(trained.config.seed, 777),
+    );
+    let proposals = strategy.planned_offline().to_vec();
+    let head = Response {
+        instance: Some(encoding.fitness_instance().name().to_string()),
+        proposal_bits: Some(proposals.iter().map(|p| p.to_bits()).collect()),
+        proposals: Some(proposals),
+        ..Default::default()
+    };
+    let a_values = match (a_values, a) {
+        (Some(grid), _) => grid,
+        (None, Some(a)) => vec![a],
+        (None, None) => Vec::new(),
+    };
+    submit(engine, id, head, features, a_values)
+}
+
+/// Pushes validated work into the engine; engine-side rejections
+/// (width/finiteness checks, backpressure) become `ok: false` responses.
+fn submit(
+    engine: &ServeEngine,
+    id: Option<u64>,
+    mut head: Response,
+    features: Vec<f64>,
+    a_values: Vec<f64>,
+) -> Staged {
+    match engine.submit(features, a_values.clone()) {
+        Ok(pending) => {
+            head.id = id;
+            Staged::Pending {
+                head: Box::new(head),
+                a_values,
+                pending,
+            }
+        }
+        Err(e) => {
+            let mut response = Response::err(id, e);
+            // Keep whatever instance context was already computed.
+            response.instance = head.instance;
+            Staged::Ready(Box::new(response))
+        }
+    }
+}
+
+/// Waits for a staged request's predictions and completes the response.
+pub fn resolve(staged: Staged) -> Response {
+    match staged {
+        Staged::Ready(response) => *response,
+        Staged::Pending {
+            head,
+            a_values,
+            pending,
+        } => {
+            let mut response = *head;
+            match pending.wait() {
+                Ok(predictions) => {
+                    response.ok = true;
+                    response.predictions = Some(
+                        a_values
+                            .into_iter()
+                            .zip(predictions)
+                            .map(|(a, p)| PredictionOut::new(a, p))
+                            .collect(),
+                    );
+                }
+                Err(e) => {
+                    response.ok = false;
+                    response.error = Some(e.to_string());
+                }
+            }
+            response
+        }
+    }
+}
+
+/// Serves one NDJSON connection to completion: reads request lines from
+/// `reader`, writes one response line per request to `writer`, in order.
+///
+/// A staging thread parses/validates/submits while this thread resolves
+/// and writes, so up to [`PIPELINE_DEPTH`] requests are in flight — the
+/// concurrency the engine's micro-batching feeds on. Returns when the
+/// reader reaches EOF (or the client disconnects).
+///
+/// If the *write* side fails while the reader is still open (a client
+/// that stops reading responses but keeps the connection up), the reader
+/// may sit in a blocking read that the dropped channel alone cannot
+/// interrupt — pass an `abort_input` hook through
+/// [`serve_connection_aborting`] that forcibly unblocks it (e.g.
+/// `TcpStream::shutdown`); this plain variant uses a no-op hook, which is
+/// fine for in-memory readers and the stdio pipeline (where a dead
+/// stdout means the driving process is tearing us down anyway).
+///
+/// # Errors
+///
+/// Propagates I/O errors from either side of the connection.
+pub fn serve_connection<R, W>(engine: &ServeEngine, reader: R, writer: W) -> std::io::Result<()>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    serve_connection_aborting(engine, reader, writer, || {})
+}
+
+/// [`serve_connection`] with an `abort_input` hook invoked when the write
+/// side dies first: it must unblock any in-flight blocking read so the
+/// staging thread can exit (for TCP, shut the socket down). Without it a
+/// client that stops reading responses while holding the connection open
+/// would leak this session's thread until its next request line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from either side; a write-side error wins over
+/// the read-side error the abort provokes.
+pub fn serve_connection_aborting<R, W, F>(
+    engine: &ServeEngine,
+    reader: R,
+    mut writer: W,
+    abort_input: F,
+) -> std::io::Result<()>
+where
+    R: BufRead + Send,
+    W: Write,
+    F: FnOnce(),
+{
+    let (tx, rx) = mpsc::sync_channel::<Staged>(PIPELINE_DEPTH);
+    std::thread::scope(|scope| {
+        let stager = scope.spawn(move || -> std::io::Result<()> {
+            for line in reader.lines() {
+                let line = line?;
+                if let Some(staged) = stage(engine, &line) {
+                    if tx.send(staged).is_err() {
+                        break; // writer side gone
+                    }
+                }
+            }
+            Ok(())
+        });
+        let mut write_line = |staged: Staged| -> std::io::Result<()> {
+            let response = resolve(staged);
+            let json = serde_json::to_string(&response)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            writeln!(writer, "{json}")?;
+            writer.flush()
+        };
+        let mut write_result = Ok(());
+        while let Ok(staged) = rx.recv() {
+            if let Err(e) = write_line(staged) {
+                write_result = Err(e);
+                break;
+            }
+        }
+        if write_result.is_err() {
+            // Unblock a reader parked in a blocking read, then close our
+            // side of the channel so its next send fails fast.
+            abort_input();
+            drop(rx);
+        }
+        let staged_result = stager
+            .join()
+            .map_err(|_| std::io::Error::other("staging thread panicked"))?;
+        match write_result {
+            // The write failure is the root cause; the abort-provoked
+            // read error (if any) is a consequence.
+            Err(e) => Err(e),
+            Ok(()) => staged_result,
+        }
+    })
+}

@@ -121,13 +121,25 @@ impl FeatureExtractor for StatisticalFeaturizer {
 
     fn extract(&self, instance: &TspInstance) -> Vec<f64> {
         let n = instance.num_cities();
+        if n < 2 {
+            // Degenerate instance: no pairwise distances exist. Produce a
+            // well-defined all-zero vector (size features filled in) so a
+            // serving process never panics on a hostile upload.
+            let mut v = vec![0.0; self.dim()];
+            v[0] = n as f64;
+            v[1] = (n.max(1) as f64).ln();
+            return v;
+        }
         let mut off_diag: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
                 off_diag.push(instance.distance(i, j));
             }
         }
-        off_diag.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        // total_cmp, not partial_cmp: a NaN distance (e.g. `NaN`
+        // coordinates in an uploaded file) must degrade to NaN features,
+        // never take the featurizer — and the serving process — down.
+        off_diag.sort_by(f64::total_cmp);
         let q = |p: f64| stats::quantile_sorted(&off_diag, p);
         let mean = stats::mean(&off_diag);
         let std = stats::std_population(&off_diag);
@@ -141,7 +153,7 @@ impl FeatureExtractor for StatisticalFeaturizer {
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
-        nn.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        nn.sort_by(f64::total_cmp);
         // Farthest-neighbour (eccentricity) per city.
         let ecc: Vec<f64> = (0..n)
             .map(|i| {
@@ -223,6 +235,15 @@ fn mst_weight(instance: &TspInstance) -> f64 {
                 pick = j;
             }
         }
+        if pick == usize::MAX {
+            // Every remaining frontier distance is NaN (or +inf): no
+            // comparison succeeded. Absorb the first remaining vertex at
+            // its (non-finite) cost instead of indexing with the
+            // sentinel — the weight degrades to NaN, extraction stays
+            // total.
+            pick = (0..n).find(|&j| !in_tree[j]).expect("vertices remain");
+            pick_d = best[pick];
+        }
         total += pick_d;
         in_tree[pick] = true;
         for j in 0..n {
@@ -287,7 +308,11 @@ impl RandomGcnFeaturizer {
                 .filter(|&j| j != i)
                 .map(|j| instance.distance(i, j))
                 .collect();
-            row.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+            if row.is_empty() {
+                // Single-city instance: leave the all-zero node features.
+                continue;
+            }
+            row.sort_by(f64::total_cmp);
             let mean = stats::mean(&row);
             x[(i, 0)] = row.first().copied().unwrap_or(0.0); // nearest
             x[(i, 1)] = stats::quantile_sorted(&row, 0.25);
@@ -330,6 +355,10 @@ impl FeatureExtractor for RandomGcnFeaturizer {
 
     fn extract(&self, instance: &TspInstance) -> Vec<f64> {
         let n = instance.num_cities();
+        if n == 0 {
+            // No nodes to pool over: a well-defined all-zero embedding.
+            return vec![0.0; self.dim()];
+        }
         let x = Self::node_features(instance);
         let a = Self::adjacency(instance);
         // H1 = tanh(Â X W1); H2 = tanh(Â H1 W2)
@@ -410,6 +439,42 @@ mod tests {
         let fl = f.extract(&TspInstance::from_coords("line", &line));
         let diff: f64 = fr.iter().zip(fl.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1.0, "feature vectors indistinguishable");
+    }
+
+    #[test]
+    fn nan_distances_never_panic() {
+        // `from_coords` performs no validation, so NaN coordinates (which
+        // TSPLIB's f64 parser happily produces from a literal `NaN` token)
+        // reach the featurizers. Sorting with `total_cmp` keeps extraction
+        // total: features are produced — possibly NaN — never a panic.
+        let inst = TspInstance::from_coords(
+            "nan",
+            &[(0.0, 0.0), (f64::NAN, 0.0), (1.0, 1.0), (2.0, 0.5)],
+        );
+        let stat = StatisticalFeaturizer::new();
+        let v = stat.extract(&inst);
+        assert_eq!(v.len(), stat.dim());
+        let gcn = RandomGcnFeaturizer::new(4, 3);
+        let g = gcn.extract(&inst);
+        assert_eq!(g.len(), gcn.dim());
+    }
+
+    #[test]
+    fn degenerate_instances_never_panic() {
+        // 0-, 1- and 2-city instances flow through a serving process via
+        // hostile uploads; extraction must stay total and finite.
+        let stat = StatisticalFeaturizer::new();
+        let gcn = RandomGcnFeaturizer::new(4, 3);
+        for coords in [vec![], vec![(0.0, 0.0)], vec![(0.0, 0.0), (3.0, 4.0)]] {
+            let inst = TspInstance::from_coords("tiny", &coords);
+            let v = stat.extract(&inst);
+            assert_eq!(v.len(), stat.dim());
+            assert!(v.iter().all(|x| x.is_finite()), "{coords:?}: {v:?}");
+            assert_eq!(v[0], coords.len() as f64);
+            let g = gcn.extract(&inst);
+            assert_eq!(g.len(), gcn.dim());
+            assert!(g.iter().all(|x| x.is_finite()), "{coords:?}: {g:?}");
+        }
     }
 
     #[test]

@@ -34,8 +34,9 @@
 //!
 //! let config = PipelineConfig::quick();
 //! let solver = SimulatedAnnealer::default();
-//! let trained = Pipeline::new(config).run(&solver);
+//! let trained = Pipeline::new(config).try_run(&solver)?;
 //! println!("surrogate trained on {} samples", trained.dataset_len);
+//! # Ok::<(), qross::QrossError>(())
 //! ```
 
 pub mod collect;
@@ -44,12 +45,14 @@ pub mod eval;
 pub mod features;
 pub mod landscape;
 pub mod pipeline;
+pub mod serve;
 pub mod store;
 pub mod strategy;
 pub mod surrogate;
 
 pub use features::{FeatureExtractor, FeaturizerSpec, RandomGcnFeaturizer, StatisticalFeaturizer};
 pub use pipeline::{CollectedCorpus, QrossBundle};
+pub use serve::{ServeConfig, ServeEngine, ServeModel, ServeStats};
 pub use surrogate::{Surrogate, SurrogatePrediction};
 
 /// Errors from the QROSS pipeline.
@@ -81,6 +84,26 @@ pub enum QrossError {
         /// the relaxation parameter that was being evaluated
         a: f64,
     },
+    /// A serving request was malformed (wrong feature width, non-finite
+    /// values, non-positive relaxation parameter, unparseable payload…).
+    /// Client error: the request is rejected, the engine keeps serving.
+    BadRequest {
+        /// explanation
+        message: String,
+    },
+    /// The serving queue is at capacity. Backpressure error: the request
+    /// is rejected immediately instead of growing the queue without bound
+    /// — the caller should retry later or shed load upstream.
+    Overloaded {
+        /// the configured queue capacity (in pending prediction rows)
+        capacity: usize,
+    },
+    /// An internal serving-engine fault (e.g. a worker thread died while
+    /// holding a request). Should not happen in normal operation.
+    Serve {
+        /// explanation
+        message: String,
+    },
 }
 
 impl std::fmt::Display for QrossError {
@@ -93,6 +116,11 @@ impl std::fmt::Display for QrossError {
             QrossError::EmptyBatch { a } => {
                 write!(f, "solver returned an empty sample set at A = {a}")
             }
+            QrossError::BadRequest { message } => write!(f, "bad request: {message}"),
+            QrossError::Overloaded { capacity } => {
+                write!(f, "serving queue full ({capacity} rows): request rejected")
+            }
+            QrossError::Serve { message } => write!(f, "serving engine: {message}"),
         }
     }
 }

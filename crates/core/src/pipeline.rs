@@ -23,8 +23,8 @@
 //!    strategies built from it ([`TrainedQross::strategy_for`]) are
 //!    *bit-identical* to the training process's.
 //!
-//! [`Pipeline::run`] / [`Pipeline::try_run`] still execute collect +
-//! train in one call for callers that do not need the split.
+//! [`Pipeline::try_run`] still executes collect + train in one call for
+//! callers that do not need the split.
 //!
 //! Two built-in scales:
 //!
@@ -329,15 +329,9 @@ impl Pipeline {
 
     /// Runs generation → collection → training against `solver`.
     ///
-    /// # Panics
-    ///
-    /// Panics if surrogate training fails on the collected data (see
-    /// [`Pipeline::try_run`] for the fallible variant).
-    pub fn run<S: Solver + ?Sized>(self, solver: &S) -> TrainedQross {
-        self.try_run(solver).expect("pipeline failed")
-    }
-
-    /// Fallible variant of [`Pipeline::run`].
+    /// (This used to have a panicking `run` twin that converted every
+    /// recoverable [`QrossError`] into an abort; it is gone — callers
+    /// decide how to surface the error.)
     ///
     /// # Errors
     ///
@@ -658,7 +652,9 @@ mod tests {
 
     #[test]
     fn micro_pipeline_trains() {
-        let trained = Pipeline::new(PipelineConfig::micro()).run(&micro_solver());
+        let trained = Pipeline::new(PipelineConfig::micro())
+            .try_run(&micro_solver())
+            .expect("micro pipeline trains");
         assert_eq!(trained.train_encodings.len(), 20);
         assert_eq!(trained.test_encodings.len(), 4);
         assert!(trained.dataset_len >= 20 * 10);
@@ -672,7 +668,9 @@ mod tests {
 
     #[test]
     fn trained_surrogate_shows_sigmoid_trend() {
-        let trained = Pipeline::new(PipelineConfig::micro()).run(&micro_solver());
+        let trained = Pipeline::new(PipelineConfig::micro())
+            .try_run(&micro_solver())
+            .expect("micro pipeline trains");
         let enc = &trained.test_encodings[0];
         let features = trained.featurizer.extract(enc.qubo_instance());
         let low = trained.surrogate.predict(&features, A_DOMAIN.0);
@@ -689,8 +687,12 @@ mod tests {
 
     #[test]
     fn pipeline_is_deterministic() {
-        let a = Pipeline::new(PipelineConfig::micro()).run(&micro_solver());
-        let b = Pipeline::new(PipelineConfig::micro()).run(&micro_solver());
+        let a = Pipeline::new(PipelineConfig::micro())
+            .try_run(&micro_solver())
+            .expect("micro pipeline trains");
+        let b = Pipeline::new(PipelineConfig::micro())
+            .try_run(&micro_solver())
+            .expect("micro pipeline trains");
         let enc = &a.test_encodings[1];
         let features = a.featurizer.extract(enc.qubo_instance());
         let pa = a.surrogate.predict(&features, 1.0);

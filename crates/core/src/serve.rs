@@ -1,0 +1,924 @@
+//! Concurrent batched serving engine — the serve-many half of the
+//! train-once / serve-many split, as an embeddable subsystem.
+//!
+//! QROSS's value proposition is amortising one trained surrogate over many
+//! unseen instances (paper §4: the offline strategies propose penalty
+//! parameters from a single cross-instance model). [`ServeEngine`] turns a
+//! trained model into a long-lived service component:
+//!
+//! * **Lock-free hot path** — the immutable model ([`ServeModel`], usually
+//!   an `Arc<TrainedQross>`) is shared across worker threads; inference
+//!   runs [`neural::network::Mlp::infer`], which takes `&self` and writes
+//!   no caches, so prediction itself acquires no lock. The only locks are
+//!   around the *queue* and the *cache*, both held for pointer shuffling,
+//!   never across a forward pass.
+//! * **Micro-batching** — concurrent requests queue as jobs; a worker
+//!   drains several jobs at once, stacks their feature rows into one
+//!   matrix and answers them with a **single forward pass per head**
+//!   ([`crate::Surrogate::predict_many`]). Because every matrix row is
+//!   accumulated independently in the same operation order as a 1-row
+//!   forward, batching is **bit-invisible**: responses are exactly the
+//!   f64s a sequential per-request `predict` would produce, whatever the
+//!   batch boundaries happen to be.
+//! * **Bounded everything** — the job queue rejects with
+//!   [`QrossError::Overloaded`] once `queue_capacity` prediction rows are
+//!   pending (never unbounded growth, never OOM), and the prediction
+//!   cache is a fixed-capacity LRU keyed on the exact *bit patterns* of
+//!   `(features, A)` (two queries hit the same entry iff they are
+//!   bit-identical, so a cache hit can never change an answer).
+//!
+//! The NDJSON wire protocol (stdin/stdout and TCP) lives in the `bench`
+//! crate (`bench::protocol`, the `qross-serve` binary); this module is the
+//! transport-agnostic core.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use qross::pipeline::TrainedQross;
+//! use qross::serve::{ServeConfig, ServeEngine, ServeModel};
+//!
+//! let trained = TrainedQross::load("results/model-tsp.qross")?;
+//! let engine = ServeEngine::new(
+//!     ServeModel::Bundle(Arc::new(trained)),
+//!     ServeConfig::default(),
+//! );
+//! let features = vec![0.0; engine.feature_dim()];
+//! let p = engine.predict(&features, 1.0)?;
+//! println!("Pf = {}", p.pf);
+//! # Ok::<(), qross::QrossError>(())
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crate::pipeline::TrainedQross;
+use crate::surrogate::{Surrogate, SurrogatePrediction};
+use crate::QrossError;
+
+/// The immutable model a [`ServeEngine`] serves.
+///
+/// Both variants are shared via `Arc`: the engine's worker threads and any
+/// number of protocol front-ends read the same allocation, and nothing in
+/// the serving path ever needs `&mut` access to it.
+#[derive(Debug, Clone)]
+pub enum ServeModel {
+    /// A full `.qross` bundle — surrogate plus featurizer plus pipeline
+    /// config. Required for instance-level requests (featurise a TSP
+    /// upload, build proposal strategies).
+    Bundle(Arc<TrainedQross>),
+    /// A bare surrogate (e.g. an MVC/QAP snapshot). Serves raw
+    /// feature-vector queries only.
+    Surrogate(Arc<Surrogate>),
+}
+
+impl ServeModel {
+    /// The surrogate predictions are served from.
+    pub fn surrogate(&self) -> &Surrogate {
+        match self {
+            ServeModel::Bundle(t) => &t.surrogate,
+            ServeModel::Surrogate(s) => s,
+        }
+    }
+
+    /// The full bundle, when this model has one.
+    pub fn trained(&self) -> Option<&Arc<TrainedQross>> {
+        match self {
+            ServeModel::Bundle(t) => Some(t),
+            ServeModel::Surrogate(_) => None,
+        }
+    }
+
+    /// Feature width every request must supply (the surrogate's input
+    /// width minus the relaxation-parameter column).
+    pub fn feature_dim(&self) -> usize {
+        self.surrogate().scalers().input_dim() - 1
+    }
+}
+
+/// Serving-engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// worker threads: `0` = one per core, `n` = exactly `n`
+    pub workers: usize,
+    /// soft cap on prediction rows stacked into one forward pass — a
+    /// worker stops draining the queue once a batch reaches this many
+    /// rows (a single over-large job still runs whole)
+    pub max_batch_rows: usize,
+    /// bound on *pending* prediction rows across all queued jobs; beyond
+    /// it, [`ServeEngine::submit`] rejects with [`QrossError::Overloaded`]
+    pub queue_capacity: usize,
+    /// LRU prediction-cache capacity in entries; `0` disables caching
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            max_batch_rows: 64,
+            queue_capacity: 4096,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Monotonic serving counters (a snapshot of [`ServeEngine::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// requests accepted (including fully-cached fast-path responses)
+    pub requests: usize,
+    /// prediction rows answered
+    pub rows: usize,
+    /// rows answered from the cache
+    pub cache_hits: usize,
+    /// forward-pass batches executed by workers
+    pub batches: usize,
+    /// requests rejected with [`QrossError::Overloaded`]
+    pub rejected: usize,
+}
+
+#[derive(Debug, Default)]
+struct StatCounters {
+    requests: AtomicU64,
+    rows: AtomicU64,
+    cache_hits: AtomicU64,
+    batches: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl StatCounters {
+    fn snapshot(&self) -> ServeStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed) as usize;
+        ServeStats {
+            requests: get(&self.requests),
+            rows: get(&self.rows),
+            cache_hits: get(&self.cache_hits),
+            batches: get(&self.batches),
+            rejected: get(&self.rejected),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LRU prediction cache
+// ---------------------------------------------------------------------------
+
+/// Cache key: the exact IEEE-754 bit patterns of the feature vector
+/// followed by the relaxation parameter. Bit-pattern keying makes the
+/// cache safe for a bit-exactness contract — `0.1 + 0.2` and `0.3` are
+/// *different* keys, and NaN payloads (which compare unequal as f64) still
+/// key consistently.
+type CacheKey = Box<[u64]>;
+
+fn cache_key(features: &[f64], a: f64) -> CacheKey {
+    features
+        .iter()
+        .map(|v| v.to_bits())
+        .chain(std::iter::once(a.to_bits()))
+        .collect()
+}
+
+const NIL: usize = usize::MAX;
+
+struct CacheEntry {
+    key: CacheKey,
+    value: SurrogatePrediction,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU map: O(1) get/insert via a slab-backed doubly linked
+/// recency list. Capacity 0 disables it (get misses, insert drops).
+struct LruCache {
+    capacity: usize,
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<CacheEntry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Unlinks `idx` from the recency list (leaves slab slot intact).
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    /// Links `idx` at the most-recently-used end.
+    fn link_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slab[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn get(&mut self, key: &[u64]) -> Option<SurrogatePrediction> {
+        let idx = *self.map.get(key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.link_front(idx);
+        }
+        Some(self.slab[idx].value)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: SurrogatePrediction) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            // Concurrent workers may compute the same key; the values are
+            // bit-identical by the batching contract, so just refresh.
+            self.slab[idx].value = value;
+            if idx != self.head {
+                self.unlink(idx);
+                self.link_front(idx);
+            }
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = std::mem::take(&mut self.slab[victim].key);
+            self.map.remove(&old_key);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = CacheEntry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(CacheEntry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.link_front(idx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------------
+
+/// One queued request: a feature vector evaluated at one or more `A`
+/// values. `results[k]` is pre-filled for cache hits; workers compute the
+/// `None` slots.
+struct Job {
+    features: Arc<Vec<f64>>,
+    a_values: Vec<f64>,
+    results: Vec<Option<SurrogatePrediction>>,
+    tx: mpsc::Sender<Result<Vec<SurrogatePrediction>, QrossError>>,
+}
+
+impl Job {
+    fn pending_rows(&self) -> usize {
+        self.results.iter().filter(|r| r.is_none()).count()
+    }
+
+    fn finish(self) {
+        let out: Vec<SurrogatePrediction> = self
+            .results
+            .into_iter()
+            .map(|r| r.expect("all slots computed"))
+            .collect();
+        // A dropped receiver just means the client went away; ignore.
+        let _ = self.tx.send(Ok(out));
+    }
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    pending_rows: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    model: ServeModel,
+    config: ServeConfig,
+    queue: Mutex<Queue>,
+    work_ready: Condvar,
+    cache: Mutex<LruCache>,
+    stats: StatCounters,
+}
+
+/// Locks a mutex, recovering from poisoning: a panicking thread must not
+/// take the whole serving engine down with it (the protected state is
+/// only ever mutated in small, invariant-preserving steps).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Shared {
+    /// Validates and enqueues one request; returns the response channel.
+    ///
+    /// Fully-cached requests are answered inline without touching the
+    /// queue (the fast path a warm serving process mostly runs).
+    fn submit(
+        self: &Arc<Self>,
+        features: Vec<f64>,
+        a_values: Vec<f64>,
+    ) -> Result<PendingPrediction, QrossError> {
+        let expect = self.model.feature_dim();
+        if features.len() != expect {
+            return Err(QrossError::BadRequest {
+                message: format!("expected {expect} features, got {}", features.len()),
+            });
+        }
+        if let Some(bad) = features.iter().find(|v| !v.is_finite()) {
+            return Err(QrossError::BadRequest {
+                message: format!("non-finite feature value {bad}"),
+            });
+        }
+        if let Some(&bad) = a_values.iter().find(|a| !a.is_finite() || **a <= 0.0) {
+            return Err(QrossError::BadRequest {
+                message: format!("relaxation parameter must be finite and positive, got {bad}"),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        // Accepted-work counters are bumped only once a request is
+        // actually admitted (inline or enqueued): a rejected request must
+        // show up in `rejected`, never in `requests`/`rows`.
+        let total_rows = a_values.len() as u64;
+        let accept = |hits: u64| {
+            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            self.stats.rows.fetch_add(total_rows, Ordering::Relaxed);
+            if hits > 0 {
+                self.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
+            }
+        };
+        if a_values.is_empty() {
+            accept(0);
+            let _ = tx.send(Ok(Vec::new()));
+            return Ok(PendingPrediction { rx });
+        }
+
+        // Cache probe under one short lock.
+        let mut results: Vec<Option<SurrogatePrediction>> = vec![None; a_values.len()];
+        let mut hits = 0u64;
+        if self.config.cache_capacity > 0 {
+            let mut cache = lock(&self.cache);
+            for (slot, &a) in a_values.iter().enumerate() {
+                if let Some(hit) = cache.get(&cache_key(&features, a)) {
+                    results[slot] = Some(hit);
+                    hits += 1;
+                }
+            }
+        }
+
+        let job = Job {
+            features: Arc::new(features),
+            a_values,
+            results,
+            tx,
+        };
+        let pending = job.pending_rows();
+        if pending == 0 {
+            accept(hits);
+            job.finish();
+            return Ok(PendingPrediction { rx });
+        }
+        if pending > self.config.queue_capacity {
+            // Could never fit even in an empty queue: this is a malformed
+            // request (grid larger than the engine's bound), not transient
+            // load — retrying would loop forever on Overloaded.
+            return Err(QrossError::BadRequest {
+                message: format!(
+                    "{pending} uncached rows exceed the queue capacity {} — split the grid",
+                    self.config.queue_capacity
+                ),
+            });
+        }
+        {
+            let mut q = lock(&self.queue);
+            if q.pending_rows + pending > self.config.queue_capacity {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(QrossError::Overloaded {
+                    capacity: self.config.queue_capacity,
+                });
+            }
+            q.pending_rows += pending;
+            q.jobs.push_back(job);
+        }
+        accept(hits);
+        self.work_ready.notify_one();
+        Ok(PendingPrediction { rx })
+    }
+
+    /// Worker body: drain a batch of jobs, answer them with one forward
+    /// pass per head, repeat until shutdown *and* the queue is empty
+    /// (queued work is always drained, never dropped).
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let batch: Vec<Job> = {
+                let mut q = lock(&self.queue);
+                loop {
+                    if !q.jobs.is_empty() {
+                        break;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = match self.work_ready.wait(q) {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+                let mut batch = Vec::new();
+                let mut rows = 0usize;
+                while let Some(job) = q.jobs.front() {
+                    let pending = job.pending_rows();
+                    if !batch.is_empty() && rows + pending > self.config.max_batch_rows {
+                        break;
+                    }
+                    rows += pending;
+                    q.pending_rows -= pending;
+                    batch.push(q.jobs.pop_front().expect("front checked"));
+                    if rows >= self.config.max_batch_rows {
+                        break;
+                    }
+                }
+                batch
+            };
+            self.process_batch(batch);
+        }
+    }
+
+    /// One stacked forward pass over every un-cached row of `batch`, then
+    /// scatter, cache, and respond.
+    fn process_batch(self: &Arc<Self>, mut batch: Vec<Job>) {
+        // (job index, slot index) for every row that needs computing, in
+        // deterministic job/slot order.
+        let mut index: Vec<(usize, usize)> = Vec::new();
+        for (j, job) in batch.iter().enumerate() {
+            for (slot, r) in job.results.iter().enumerate() {
+                if r.is_none() {
+                    index.push((j, slot));
+                }
+            }
+        }
+        if !index.is_empty() {
+            let queries: Vec<(&[f64], f64)> = index
+                .iter()
+                .map(|&(j, slot)| (batch[j].features.as_slice(), batch[j].a_values[slot]))
+                .collect();
+            let predictions = self.model.surrogate().predict_many(&queries);
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            if self.config.cache_capacity > 0 {
+                let mut cache = lock(&self.cache);
+                for (&(j, slot), &p) in index.iter().zip(&predictions) {
+                    cache.insert(cache_key(&batch[j].features, batch[j].a_values[slot]), p);
+                }
+            }
+            for (&(j, slot), &p) in index.iter().zip(&predictions) {
+                batch[j].results[slot] = Some(p);
+            }
+        }
+        for job in batch {
+            job.finish();
+        }
+    }
+}
+
+/// A response handle returned by [`ServeEngine::submit`].
+#[derive(Debug)]
+pub struct PendingPrediction {
+    rx: mpsc::Receiver<Result<Vec<SurrogatePrediction>, QrossError>>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the engine answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's error for this request, or
+    /// [`QrossError::Serve`] if the worker holding it died.
+    pub fn wait(self) -> Result<Vec<SurrogatePrediction>, QrossError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(QrossError::Serve {
+                message: "worker disconnected before answering".to_string(),
+            })
+        })
+    }
+}
+
+/// The concurrent batched serving engine. See the module docs.
+///
+/// Dropping the engine shuts it down gracefully: queued jobs are drained
+/// and answered, then the workers join.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ServeEngine({} workers, feature_dim {})",
+            self.workers.len(),
+            self.feature_dim()
+        )
+    }
+}
+
+impl ServeEngine {
+    /// Starts the engine: spawns the worker pool and begins serving.
+    pub fn new(model: ServeModel, config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            model,
+            config,
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                pending_rows: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            stats: StatCounters::default(),
+        });
+        let workers = (0..resolve_workers(config.workers))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shared.worker_loop())
+            })
+            .collect();
+        ServeEngine { shared, workers }
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &ServeModel {
+        &self.shared.model
+    }
+
+    /// Feature width every request must supply.
+    pub fn feature_dim(&self) -> usize {
+        self.shared.model.feature_dim()
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Enqueues one request (a feature vector at one or more `A` values)
+    /// and returns a handle to wait on. This is the non-blocking entry
+    /// point protocol front-ends use to keep many requests in flight —
+    /// which is what gives workers batches to stack.
+    ///
+    /// # Errors
+    ///
+    /// * [`QrossError::BadRequest`] — wrong feature width, non-finite
+    ///   features, or a non-finite/non-positive `A`.
+    /// * [`QrossError::Overloaded`] — the queue is at capacity; the
+    ///   request is rejected immediately (backpressure, not buffering).
+    pub fn submit(
+        &self,
+        features: Vec<f64>,
+        a_values: Vec<f64>,
+    ) -> Result<PendingPrediction, QrossError> {
+        self.shared.submit(features, a_values)
+    }
+
+    /// Blocking single prediction — `submit` + `wait`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit`].
+    pub fn predict(&self, features: &[f64], a: f64) -> Result<SurrogatePrediction, QrossError> {
+        let mut out = self.submit(features.to_vec(), vec![a])?.wait()?;
+        Ok(out.remove(0))
+    }
+
+    /// Blocking grid prediction — `submit` + `wait`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit`].
+    pub fn predict_grid(
+        &self,
+        features: &[f64],
+        a_values: &[f64],
+    ) -> Result<Vec<SurrogatePrediction>, QrossError> {
+        self.submit(features.to_vec(), a_values.to_vec())?.wait()
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        {
+            let mut q = lock(&self.shared.queue);
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn resolve_workers(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Scalers;
+    use crate::surrogate::SurrogateState;
+    use mathkit::stats::ZScore;
+    use neural::layers::LayerSpec;
+    use neural::network::MlpState;
+
+    /// Deterministic rational-weight surrogate (no training, no libm in
+    /// the weights): 2 features + ln A -> 3 inputs.
+    fn tiny_surrogate() -> Surrogate {
+        let val = |k: usize| (((k * 29 + 7) % 32) as f64 - 16.0) / 8.0;
+        let dense = |input: usize, output: usize, salt: usize| LayerSpec::Dense {
+            input,
+            output,
+            weights: (0..input * output).map(|k| val(k + salt)).collect(),
+            bias: (0..output).map(|k| val(k + salt + 61)).collect(),
+        };
+        let net = |salt: usize, out: usize| MlpState {
+            input_dim: 3,
+            layers: vec![dense(3, 6, salt), LayerSpec::Relu, dense(6, out, salt + 17)],
+        };
+        let z = |m: f64, s: f64| ZScore { mean: m, std: s };
+        Surrogate::from_state(SurrogateState {
+            pf_net: net(0, 1),
+            e_net: net(131, 2),
+            scalers: Scalers {
+                features: vec![z(0.0, 1.0), z(0.5, 2.0)],
+                log_a: z(0.0, 1.0),
+                e_avg: z(4.0, 2.0),
+                e_std: z(1.0, 0.5),
+            },
+        })
+        .expect("consistent state")
+    }
+
+    fn engine(config: ServeConfig) -> ServeEngine {
+        ServeEngine::new(ServeModel::Surrogate(Arc::new(tiny_surrogate())), config)
+    }
+
+    #[test]
+    fn serves_bit_identical_to_direct_predict() {
+        let sur = tiny_surrogate();
+        let eng = engine(ServeConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        for k in 0..20 {
+            let f = [k as f64 / 10.0, -(k as f64) / 7.0];
+            let a = 0.25 + k as f64 * 0.3;
+            let served = eng.predict(&f, a).expect("serve");
+            let direct = sur.predict(&f, a);
+            assert_eq!(served.pf.to_bits(), direct.pf.to_bits());
+            assert_eq!(served.e_avg.to_bits(), direct.e_avg.to_bits());
+            assert_eq!(served.e_std.to_bits(), direct.e_std.to_bits());
+        }
+    }
+
+    #[test]
+    fn grid_requests_match_predict_grid() {
+        let sur = tiny_surrogate();
+        let eng = engine(ServeConfig::default());
+        let f = [0.3, 1.1];
+        let grid = [0.1, 0.5, 1.0, 2.0, 8.0];
+        let served = eng.predict_grid(&f, &grid).expect("serve");
+        let direct = sur.predict_grid(&f, &grid);
+        assert_eq!(served, direct);
+        assert!(eng.predict_grid(&f, &[]).expect("empty").is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let eng = engine(ServeConfig::default());
+        // wrong width
+        assert!(matches!(
+            eng.predict(&[1.0], 1.0),
+            Err(QrossError::BadRequest { .. })
+        ));
+        // non-finite feature
+        assert!(matches!(
+            eng.predict(&[f64::NAN, 0.0], 1.0),
+            Err(QrossError::BadRequest { .. })
+        ));
+        // non-positive A
+        assert!(matches!(
+            eng.predict(&[0.0, 0.0], 0.0),
+            Err(QrossError::BadRequest { .. })
+        ));
+        // non-finite A
+        assert!(matches!(
+            eng.predict(&[0.0, 0.0], f64::INFINITY),
+            Err(QrossError::BadRequest { .. })
+        ));
+        // sane requests still served afterwards
+        assert!(eng.predict(&[0.0, 0.0], 1.0).is_ok());
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_and_counted() {
+        let eng = engine(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let f = [0.7, -0.2];
+        let first = eng.predict(&f, 1.5).expect("first");
+        let before = eng.stats();
+        let second = eng.predict(&f, 1.5).expect("second");
+        let after = eng.stats();
+        assert_eq!(first, second);
+        assert!(
+            after.cache_hits > before.cache_hits,
+            "repeat query did not hit the cache: {after:?}"
+        );
+    }
+
+    #[test]
+    fn cache_disabled_still_serves() {
+        let eng = engine(ServeConfig {
+            cache_capacity: 0,
+            ..Default::default()
+        });
+        let f = [0.1, 0.2];
+        let a = eng.predict(&f, 1.0).expect("one");
+        let b = eng.predict(&f, 1.0).expect("two");
+        assert_eq!(a, b);
+        assert_eq!(eng.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_full() {
+        // No workers running: build the shared state directly so the
+        // queue can only fill.
+        let shared = Arc::new(Shared {
+            model: ServeModel::Surrogate(Arc::new(tiny_surrogate())),
+            config: ServeConfig {
+                workers: 1,
+                max_batch_rows: 8,
+                queue_capacity: 3,
+                cache_capacity: 0,
+            },
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                pending_rows: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            cache: Mutex::new(LruCache::new(0)),
+            stats: StatCounters::default(),
+        });
+        assert!(shared.submit(vec![0.0, 0.0], vec![1.0, 2.0]).is_ok());
+        assert!(shared.submit(vec![0.0, 0.0], vec![1.0]).is_ok());
+        // 3 rows pending == capacity: the next row must bounce.
+        let err = shared.submit(vec![0.0, 0.0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, QrossError::Overloaded { capacity: 3 }));
+        // A single request larger than the queue could never be admitted:
+        // that is a client error, not transient load (retrying an
+        // Overloaded would loop forever).
+        let err = shared
+            .submit(vec![0.0, 0.0], vec![1.0, 2.0, 3.0, 4.0])
+            .unwrap_err();
+        assert!(matches!(err, QrossError::BadRequest { .. }));
+        // Rejections never count as accepted work.
+        let stats = shared.stats.snapshot();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.rows, 3);
+        // Rejection is not sticky: drain one job and submit again.
+        {
+            let mut q = lock(&shared.queue);
+            let job = q.jobs.pop_front().expect("queued job");
+            q.pending_rows -= job.pending_rows();
+        }
+        assert!(shared.submit(vec![0.0, 0.0], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn concurrent_hammering_is_bit_identical() {
+        let sur = tiny_surrogate();
+        let eng = engine(ServeConfig {
+            workers: 4,
+            max_batch_rows: 16,
+            ..Default::default()
+        });
+        let eng = &eng;
+        let sur = &sur;
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                scope.spawn(move || {
+                    for k in 0..120usize {
+                        // Overlapping key space across threads exercises
+                        // both fresh computes and cache hits.
+                        let i = (t * 31 + k) % 40;
+                        let f = [i as f64 / 13.0, (i as f64) / 5.0 - 1.0];
+                        let a = 0.2 + (i % 7) as f64;
+                        let served = eng.predict(&f, a).expect("serve");
+                        let direct = sur.predict(&f, a);
+                        assert_eq!(served.pf.to_bits(), direct.pf.to_bits());
+                        assert_eq!(served.e_avg.to_bits(), direct.e_avg.to_bits());
+                        assert_eq!(served.e_std.to_bits(), direct.e_std.to_bits());
+                    }
+                });
+            }
+        });
+        let stats = eng.stats();
+        assert_eq!(stats.requests, 8 * 120);
+        assert!(stats.cache_hits > 0, "no cache hits under repetition");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        let p = |x: f64| SurrogatePrediction {
+            pf: x,
+            e_avg: x,
+            e_std: x,
+        };
+        cache.insert(cache_key(&[1.0], 1.0), p(1.0));
+        cache.insert(cache_key(&[2.0], 1.0), p(2.0));
+        // Touch key 1 so key 2 is the LRU victim.
+        assert_eq!(cache.get(&cache_key(&[1.0], 1.0)), Some(p(1.0)));
+        cache.insert(cache_key(&[3.0], 1.0), p(3.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&cache_key(&[2.0], 1.0)), None);
+        assert_eq!(cache.get(&cache_key(&[1.0], 1.0)), Some(p(1.0)));
+        assert_eq!(cache.get(&cache_key(&[3.0], 1.0)), Some(p(3.0)));
+        // Re-inserting an existing key refreshes, never grows.
+        cache.insert(cache_key(&[3.0], 1.0), p(3.5));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&cache_key(&[3.0], 1.0)), Some(p(3.5)));
+    }
+
+    #[test]
+    fn queued_work_is_drained_on_drop() {
+        // Submit a burst, drop the engine immediately: every pending
+        // response must still arrive (graceful shutdown, no lost jobs).
+        let eng = engine(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let pending: Vec<PendingPrediction> = (0..32)
+            .map(|k| {
+                eng.submit(vec![k as f64, 0.0], vec![1.0, 2.0])
+                    .expect("submit")
+            })
+            .collect();
+        drop(eng);
+        for p in pending {
+            let out = p.wait().expect("answered during shutdown");
+            assert_eq!(out.len(), 2);
+        }
+    }
+}

@@ -294,6 +294,46 @@ impl Surrogate {
             .collect()
     }
 
+    /// Predicts many independent `(features, A)` queries in a single
+    /// batched matrix forward per head — the serving engine's micro-batch
+    /// primitive. Where [`Surrogate::predict_grid`] batches one instance
+    /// over many `A` values, this batches arbitrary queries from
+    /// *different* instances (and different `A`s) into one forward pass.
+    ///
+    /// **Bit-exactness contract**: entry `k` of the result equals
+    /// `predict(queries[k].0, queries[k].1)` with exact `f64` equality.
+    /// Every row of a matrix forward is accumulated independently, in the
+    /// same operation order as a 1-row forward ([`mathkit::Matrix::matmul`]
+    /// streams each output row on its own), so stacking rows cannot change
+    /// any bit of any row — the property that lets the serving engine
+    /// batch concurrent requests without changing their answers. The
+    /// `proptest_serve` suite asserts this with exact equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-width mismatch or a non-positive `a` (callers
+    /// that face untrusted input — the serving engine — validate first).
+    pub fn predict_many(&self, queries: &[(&[f64], f64)]) -> Vec<SurrogatePrediction> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let d = self.scalers.input_dim();
+        let mut x = Matrix::zeros(queries.len(), d);
+        for (r, (features, a)) in queries.iter().enumerate() {
+            x.row_slice_mut(r)
+                .copy_from_slice(&self.scalers.input_row(features, *a));
+        }
+        let pf_out = self.pf_net.infer(&x);
+        let e_out = self.e_net.infer(&x);
+        (0..queries.len())
+            .map(|r| SurrogatePrediction {
+                pf: pf_out[(r, 0)].clamp(0.0, 1.0),
+                e_avg: self.scalers.e_avg.inverse(e_out[(r, 0)]),
+                e_std: self.scalers.e_std.inverse(e_out[(r, 1)]).max(1e-9),
+            })
+            .collect()
+    }
+
     /// Predicts a whole `A` sweep for one instance (single forward pass).
     ///
     /// Alias of [`Surrogate::predict_grid`], kept for callers written
@@ -486,6 +526,27 @@ mod tests {
         assert!(sur.predict_grid(&f, &[]).is_empty());
         // The alias stays in lock-step.
         assert_eq!(sur.predict_sweep(&f, &a_values), grid);
+    }
+
+    #[test]
+    fn predict_many_is_bit_identical_to_per_row_predict() {
+        let ds = synthetic_dataset(8, 10);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let feats: Vec<Vec<f64>> = (0..7).map(|k| vec![k as f64 / 7.0]).collect();
+        let queries: Vec<(&[f64], f64)> = feats
+            .iter()
+            .enumerate()
+            .map(|(k, f)| (f.as_slice(), 0.1 + 0.7 * k as f64))
+            .collect();
+        let batched = sur.predict_many(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (k, &(f, a)) in queries.iter().enumerate() {
+            let single = sur.predict(f, a);
+            assert_eq!(batched[k].pf.to_bits(), single.pf.to_bits());
+            assert_eq!(batched[k].e_avg.to_bits(), single.e_avg.to_bits());
+            assert_eq!(batched[k].e_std.to_bits(), single.e_std.to_bits());
+        }
+        assert!(sur.predict_many(&[]).is_empty());
     }
 
     #[test]

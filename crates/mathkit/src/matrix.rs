@@ -375,6 +375,25 @@ impl Matrix {
         out
     }
 
+    /// In-place [`Matrix::add_row_broadcast`]: adds `row` to every row of
+    /// `self` without allocating the output copy. Bit-identical to the
+    /// allocating form (same additions in the same order) — the serving
+    /// inference path uses it to cut per-batch allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.rows() != 1` or the column counts differ.
+    pub fn add_row_broadcast_inplace(&mut self, row: &Matrix) {
+        assert_eq!(row.rows(), 1, "broadcast operand must have exactly 1 row");
+        assert_eq!(self.cols, row.cols(), "broadcast: column mismatch");
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, s) in dst.iter_mut().zip(row.data.iter()) {
+                *d += s;
+            }
+        }
+    }
+
     /// Sums over rows, producing a `1 x cols` matrix (column totals).
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);

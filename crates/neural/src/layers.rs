@@ -138,7 +138,13 @@ impl Layer for Dense {
             input.cols(),
             self.weights.rows()
         );
-        input.matmul(&self.weights).add_row_broadcast(&self.bias)
+        // Same operations in the same order as `forward` (matmul, then
+        // bias adds), but the bias lands in place: one fewer full-batch
+        // allocation per layer, which is what keeps large serving batches
+        // cheaper than per-row calls.
+        let mut out = input.matmul(&self.weights);
+        out.add_row_broadcast_inplace(&self.bias);
+        out
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {

@@ -86,6 +86,14 @@ impl Mlp {
     /// `Sync`) and queried concurrently with no locking. Cannot be
     /// followed by [`Mlp::backward`].
     ///
+    /// **Multi-row bit-identity**: row `r` of the output is *bit-identical*
+    /// to inferring row `r` alone. Dense layers stream each output row
+    /// independently in a fixed accumulation order
+    /// ([`mathkit::Matrix::matmul`] is ikj per row) and activations are
+    /// element-wise, so stacking rows cannot change any bit of any row —
+    /// the guarantee the serving engine's micro-batching relies on to keep
+    /// batched responses exactly equal to per-request ones.
+    ///
     /// # Panics
     ///
     /// Panics if the input width differs from [`Mlp::input_dim`].
@@ -97,8 +105,14 @@ impl Mlp {
             input.cols(),
             self.input_dim
         );
-        let mut x = input.clone();
-        for layer in &self.layers {
+        // First layer reads the caller's matrix directly — no defensive
+        // clone of the (possibly large) input batch.
+        let mut layers = self.layers.iter();
+        let mut x = match layers.next() {
+            Some(first) => first.infer(input),
+            None => input.clone(),
+        };
+        for layer in layers {
             x = layer.infer(&x);
         }
         x
@@ -415,6 +429,52 @@ mod tests {
                 scope.spawn(move || assert_eq!(&net.infer(x), want));
             }
         });
+    }
+
+    #[test]
+    fn multi_row_infer_is_bit_identical_per_row() {
+        // The serving engine stacks concurrent requests into one matrix;
+        // each row of a batched infer must equal the 1-row infer of that
+        // row with *exact* f64 equality, for any batch size or ordering.
+        let net = MlpBuilder::new(5)
+            .dense(16)
+            .relu()
+            .dense(8)
+            .tanh()
+            .dense(3)
+            .sigmoid()
+            .build(77);
+        let rows: Vec<Vec<f64>> = (0..13)
+            .map(|r| {
+                (0..5)
+                    .map(|c| ((r * 7 + c * 3) % 11) as f64 / 3.0 - 1.5)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let batched = net.infer(&Matrix::from_rows(&refs));
+        for (r, row) in rows.iter().enumerate() {
+            let single = net.infer(&Matrix::row(row));
+            for c in 0..3 {
+                assert_eq!(
+                    batched[(r, c)].to_bits(),
+                    single[(0, c)].to_bits(),
+                    "row {r} col {c} changed bits when batched"
+                );
+            }
+        }
+        // Row order must not matter either: reversed stacking, same bits.
+        let mut rev = refs.clone();
+        rev.reverse();
+        let reversed = net.infer(&Matrix::from_rows(&rev));
+        for r in 0..rows.len() {
+            for c in 0..3 {
+                assert_eq!(
+                    reversed[(rows.len() - 1 - r, c)].to_bits(),
+                    batched[(r, c)].to_bits()
+                );
+            }
+        }
     }
 
     #[test]

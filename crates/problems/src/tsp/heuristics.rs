@@ -45,6 +45,13 @@ pub fn nearest_neighbor(instance: &TspInstance, start: usize) -> Vec<usize> {
                 }
             }
         }
+        if best == usize::MAX {
+            // Every remaining distance is NaN or +inf, so no comparison
+            // succeeded. Take the first unvisited city instead of
+            // indexing with the sentinel — construction stays total on
+            // hostile (NaN-bearing) instances.
+            best = (0..n).find(|&c| !visited[c]).expect("cities remain");
+        }
         current = best;
         tour.push(current);
         visited[current] = true;
@@ -156,18 +163,28 @@ pub fn or_opt(instance: &TspInstance, tour: &mut Vec<usize>) -> usize {
     moves
 }
 
-/// A reference (near-optimal) tour: best of `starts` nearest-neighbour
+/// The trivial tour of a degenerate (`n < 3`) instance: the identity
+/// order, which for 0, 1 or 2 cities is the *only* tour up to symmetry.
+fn trivial_tour(instance: &TspInstance) -> (Vec<usize>, f64) {
+    let tour: Vec<usize> = (0..instance.num_cities()).collect();
+    let len = instance.tour_length(&tour);
+    (tour, len)
+}
+
+/// Fallible multi-start reference tour: best of `starts` nearest-neighbour
 /// constructions, each polished with 2-opt then Or-opt then 2-opt again.
 ///
-/// Returns `(tour, length)`.
-///
-/// # Panics
-///
-/// Panics if the instance has fewer than 3 cities.
-pub fn reference_tour(instance: &TspInstance, starts: usize) -> (Vec<usize>, f64) {
+/// Returns `None` only when `starts == 0` on a non-degenerate instance —
+/// no construction was attempted, so there is no "best" to return.
+/// Degenerate instances (`n < 3`) yield the trivial tour: these used to
+/// panic, which is unacceptable once instances arrive from untrusted
+/// uploads (a serving process must survive a 2-city TSPLIB file).
+pub fn try_reference_tour(instance: &TspInstance, starts: usize) -> Option<(Vec<usize>, f64)> {
     let n = instance.num_cities();
-    assert!(n >= 3, "reference tour needs at least 3 cities");
-    let starts = starts.clamp(1, n);
+    if n < 3 {
+        return Some(trivial_tour(instance));
+    }
+    let starts = starts.min(n);
     let mut best: Option<(Vec<usize>, f64)> = None;
     // Deterministic spread of start cities.
     for s in 0..starts {
@@ -181,21 +198,30 @@ pub fn reference_tour(instance: &TspInstance, starts: usize) -> (Vec<usize>, f64
             best = Some((tour, len));
         }
     }
-    best.expect("at least one start")
+    best
+}
+
+/// A reference (near-optimal) tour: best of `starts` nearest-neighbour
+/// constructions, each polished with 2-opt then Or-opt then 2-opt again.
+///
+/// Returns `(tour, length)`. Total for every instance: degenerate
+/// instances (`n < 3`) get the trivial tour, and `starts` is raised to at
+/// least 1 — see [`try_reference_tour`] for the variant that reports an
+/// empty multi-start as `None` instead.
+pub fn reference_tour(instance: &TspInstance, starts: usize) -> (Vec<usize>, f64) {
+    try_reference_tour(instance, starts.max(1)).expect("starts >= 1 always constructs a tour")
 }
 
 /// A cheap tour estimate — single nearest-neighbour construction plus one
 /// 2-opt polish — used where only a length *feature* is needed (the
 /// instance featurizer) rather than a high-quality reference.
 ///
-/// Returns `(tour, length)`.
-///
-/// # Panics
-///
-/// Panics if the instance has fewer than 3 cities.
+/// Returns `(tour, length)`. Total for every instance (degenerate ones
+/// get the trivial tour).
 pub fn reference_tour_shallow(instance: &TspInstance) -> (Vec<usize>, f64) {
-    let n = instance.num_cities();
-    assert!(n >= 3, "tour estimate needs at least 3 cities");
+    if instance.num_cities() < 3 {
+        return trivial_tour(instance);
+    }
     let mut tour = nearest_neighbor(instance, 0);
     two_opt(instance, &mut tour);
     let len = instance.tour_length(&tour);
@@ -307,6 +333,49 @@ mod tests {
         assert_eq!(or_opt(&inst, &mut tour_v), 0);
         let (t, _) = reference_tour(&inst, 10);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn degenerate_instances_get_trivial_tours() {
+        // These used to panic (`assert!(n >= 3)` and, for n = 0, a
+        // clamp(1, 0) inside); a serving process must survive them.
+        let empty = TspInstance::from_coords("empty", &[]);
+        assert_eq!(reference_tour(&empty, 4), (vec![], 0.0));
+        assert_eq!(reference_tour_shallow(&empty), (vec![], 0.0));
+
+        let one = TspInstance::from_coords("one", &[(1.0, 2.0)]);
+        assert_eq!(reference_tour(&one, 4), (vec![0], 0.0));
+
+        let two = TspInstance::from_coords("two", &[(0.0, 0.0), (3.0, 4.0)]);
+        let (tour, len) = reference_tour(&two, 4);
+        assert_eq!(tour, vec![0, 1]);
+        assert!((len - 10.0).abs() < 1e-12); // out and back
+        assert_eq!(reference_tour_shallow(&two).0, vec![0, 1]);
+    }
+
+    #[test]
+    fn try_reference_tour_contract() {
+        let inst = circle_instance(6);
+        // starts == 0 on a real instance: nothing constructed.
+        assert_eq!(try_reference_tour(&inst, 0), None);
+        assert_eq!(try_reference_tour(&inst, 3), Some(reference_tour(&inst, 3)));
+        // Degenerate instances always yield the trivial tour.
+        let two = TspInstance::from_coords("two", &[(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(try_reference_tour(&two, 0), Some((vec![0, 1], 2.0)));
+    }
+
+    #[test]
+    fn nan_distances_never_panic_nn() {
+        // A NaN row makes every comparison fail; construction must still
+        // produce a permutation instead of indexing with a sentinel.
+        let inst = TspInstance::from_coords(
+            "nan",
+            &[(0.0, 0.0), (f64::NAN, 0.0), (1.0, 0.0), (2.0, 0.0)],
+        );
+        let tour = nearest_neighbor(&inst, 0);
+        assert!(super::super::is_permutation(&tour, 4));
+        let (tour, _) = reference_tour_shallow(&inst);
+        assert!(super::super::is_permutation(&tour, 4));
     }
 
     #[test]

@@ -330,11 +330,21 @@ fn explicit_matrix(
     }
     let mut m = Matrix::zeros(n, n);
     let mut it = weights.iter().copied();
+    // Fallible pull: exhaustion reports a truncated section as a typed
+    // error. The count pre-check above makes this unreachable *today*,
+    // but a serving process feeding hostile uploads through this parser
+    // must never be one refactor away from a panic — these five sites
+    // used to be `expect("length checked")`.
+    let next = |it: &mut dyn Iterator<Item = f64>| -> Result<f64, ProblemError> {
+        it.next().ok_or_else(|| ProblemError::InvalidInstance {
+            message: format!("truncated EDGE_WEIGHT_SECTION: expected {expected} weights"),
+        })
+    };
     match fmt {
         EdgeWeightFormat::FullMatrix => {
             for i in 0..n {
                 for j in 0..n {
-                    let w = it.next().expect("length checked");
+                    let w = next(&mut it)?;
                     if i != j {
                         m[(i, j)] = w;
                     }
@@ -353,7 +363,7 @@ fn explicit_matrix(
         EdgeWeightFormat::UpperRow => {
             for i in 0..n {
                 for j in (i + 1)..n {
-                    let w = it.next().expect("length checked");
+                    let w = next(&mut it)?;
                     m[(i, j)] = w;
                     m[(j, i)] = w;
                 }
@@ -362,7 +372,7 @@ fn explicit_matrix(
         EdgeWeightFormat::LowerRow => {
             for i in 1..n {
                 for j in 0..i {
-                    let w = it.next().expect("length checked");
+                    let w = next(&mut it)?;
                     m[(i, j)] = w;
                     m[(j, i)] = w;
                 }
@@ -371,7 +381,7 @@ fn explicit_matrix(
         EdgeWeightFormat::UpperDiagRow => {
             for i in 0..n {
                 for j in i..n {
-                    let w = it.next().expect("length checked");
+                    let w = next(&mut it)?;
                     if i != j {
                         m[(i, j)] = w;
                         m[(j, i)] = w;
@@ -382,7 +392,7 @@ fn explicit_matrix(
         EdgeWeightFormat::LowerDiagRow => {
             for i in 0..n {
                 for j in 0..=i {
-                    let w = it.next().expect("length checked");
+                    let w = next(&mut it)?;
                     if i != j {
                         m[(i, j)] = w;
                         m[(j, i)] = w;
@@ -480,6 +490,48 @@ mod tests {
         assert!(matches!(
             parse_tsplib("TYPE: ATSP\n"),
             Err(ProblemError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_edge_weight_section_is_an_error() {
+        // Every EXPLICIT layout, truncated mid-section: a serving process
+        // must get a typed parse error, never a panic.
+        let cases = [
+            ("FULL_MATRIX", "0 1 2\n1 0 3\n"),        // 6 of 9
+            ("UPPER_ROW", "1 2\n"),                   // 2 of 6
+            ("LOWER_ROW", "1\n2\n"),                  // 2 of 6
+            ("UPPER_DIAG_ROW", "0 1 2 3\n0 4\n"),     // 6 of 10
+            ("LOWER_DIAG_ROW", "0\n1 0\n2 4 0\n3\n"), // 7 of 10
+        ];
+        for (fmt, body) in cases {
+            let text = format!(
+                "NAME: t\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EXPLICIT\n\
+                 EDGE_WEIGHT_FORMAT: {fmt}\nEDGE_WEIGHT_SECTION\n{body}EOF\n"
+            );
+            let result = std::panic::catch_unwind(|| parse_tsplib(&text));
+            let parsed = result.unwrap_or_else(|_| panic!("{fmt}: parser panicked"));
+            assert!(
+                matches!(parsed, Err(ProblemError::InvalidInstance { .. })),
+                "{fmt}: expected InvalidInstance, got {parsed:?}"
+            );
+        }
+        // An over-long section is rejected too (count mismatch).
+        let extra = "NAME: t\nTYPE: TSP\nDIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n\
+                     EDGE_WEIGHT_FORMAT: UPPER_ROW\nEDGE_WEIGHT_SECTION\n1 2 3 4\nEOF\n";
+        assert!(parse_tsplib(extra).is_err());
+    }
+
+    #[test]
+    fn nan_coordinates_rejected_cleanly() {
+        // Rust's f64 parser accepts a literal `NaN`; the resulting
+        // non-finite distances must surface as a clean error from
+        // instance validation, not crash downstream consumers.
+        let text = "NAME: t\nTYPE: TSP\nDIMENSION: 2\nEDGE_WEIGHT_TYPE: EUC_2D\n\
+                    NODE_COORD_SECTION\n1 NaN 0\n2 1 1\nEOF\n";
+        assert!(matches!(
+            parse_tsplib(text),
+            Err(ProblemError::InvalidInstance { .. })
         ));
     }
 

@@ -38,13 +38,13 @@ fn daily_instance(day: u64) -> TspInstance {
     TspInstance::from_coords(&format!("day{day}"), &coords)
 }
 
-fn main() {
+fn main() -> Result<(), qross_repro::qross::QrossError> {
     let solver = SimulatedAnnealer::new(SaConfig {
         sweeps: 128,
         ..Default::default()
     });
     println!("training the surrogate once, on history…");
-    let trained = Pipeline::new(PipelineConfig::quick()).run(&solver);
+    let trained = Pipeline::new(PipelineConfig::quick()).try_run(&solver)?;
     let batch = 24;
 
     println!("\nsimulating one week of daily routing problems:");
@@ -94,4 +94,5 @@ fn main() {
         "\nQROSS first-call feasibility {}/7, random {}/7; QROSS at least as good on {}/7 days",
         qross_feasible, random_feasible, qross_wins
     );
+    Ok(())
 }

@@ -12,7 +12,7 @@ use qross_repro::qross::pipeline::{Pipeline, PipelineConfig, A_DOMAIN};
 use qross_repro::qross::strategy::{ComposedStrategy, ProposalStrategy};
 use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
 
-fn main() {
+fn main() -> Result<(), qross_repro::qross::QrossError> {
     // 1. A stochastic QUBO solver — the black box whose behaviour the
     //    surrogate will learn. (Swap in DigitalAnnealer or Qbsolv freely.)
     let solver = SimulatedAnnealer::new(SaConfig {
@@ -23,7 +23,7 @@ fn main() {
     // 2. Train the surrogate on a family of synthetic instances
     //    (generation → solver-data collection → neural training).
     println!("training surrogate on synthetic TSP instances…");
-    let trained = Pipeline::new(PipelineConfig::quick()).run(&solver);
+    let trained = Pipeline::new(PipelineConfig::quick()).try_run(&solver)?;
     println!(
         "  dataset: {} rows from {} instances; final Pf-loss {:.4}",
         trained.dataset_len,
@@ -96,4 +96,5 @@ fn main() {
     if let Some((a, v)) = landscape.predicted_optimum() {
         println!("predicted optimal A = {a:.3} (expected min fitness {v:.3})");
     }
+    Ok(())
 }

@@ -17,7 +17,7 @@ use qross_repro::qross::pipeline::{Pipeline, PipelineConfig, A_DOMAIN};
 use qross_repro::qross::strategy::{ComposedStrategy, ProposalStrategy};
 use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
 
-fn main() {
+fn main() -> Result<(), qross_repro::qross::QrossError> {
     let files: Vec<String> = std::env::args().skip(1).collect();
     let instances = if files.is_empty() {
         println!(
@@ -39,7 +39,7 @@ fn main() {
         ..Default::default()
     });
     println!("training surrogate on the synthetic distribution (8–12 cities)…");
-    let trained = Pipeline::new(PipelineConfig::quick()).run(&solver);
+    let trained = Pipeline::new(PipelineConfig::quick()).try_run(&solver)?;
     let batch = 24;
     let trials = 5;
 
@@ -82,4 +82,5 @@ fn main() {
         "\n(sizes well outside the 8–12-city training range still get usable\n\
          parameters — the out-of-distribution generalisation of paper §5.2)"
     );
+    Ok(())
 }

@@ -50,7 +50,9 @@ fn temp_path(name: &str) -> std::path::PathBuf {
 
 /// Train → save → load → compare, at the given worker count.
 fn assert_serve_matches_train(workers: usize) {
-    let trained = Pipeline::new(micro_config(workers)).run(&solver());
+    let trained = Pipeline::new(micro_config(workers))
+        .try_run(&solver())
+        .expect("micro pipeline trains");
     let path = temp_path(&format!("bundle_w{workers}.qross"));
     trained.save(&path).expect("save bundle");
     let reloaded = TrainedQross::load(&path).expect("load bundle");
@@ -108,7 +110,9 @@ fn reloaded_bundle_is_bit_identical_parallel() {
 #[test]
 fn staged_pipeline_matches_one_shot_run_through_disk() {
     let s = solver();
-    let one_shot = Pipeline::new(micro_config(1)).run(&s);
+    let one_shot = Pipeline::new(micro_config(1))
+        .try_run(&s)
+        .expect("micro pipeline trains");
 
     // collect → (disk) → train must reproduce the one-shot run exactly.
     let corpus = Pipeline::new(micro_config(1))
@@ -143,7 +147,8 @@ fn bundle_bytes_are_worker_count_invariant() {
     // serialized bundles must be byte-equal.
     let bundle_at = |workers: usize| {
         let mut bundle = Pipeline::new(micro_config(workers))
-            .run(&solver())
+            .try_run(&solver())
+            .expect("micro pipeline trains")
             .to_bundle()
             .expect("bundle");
         bundle.config.workers = 0;

@@ -30,7 +30,8 @@ fn both_featurizers_train_sigmoid_surrogates() {
         let name = featurizer.name().to_string();
         let trained = Pipeline::new(tiny_config())
             .with_featurizer(featurizer)
-            .run(&solver());
+            .try_run(&solver())
+            .expect("micro pipeline trains");
         let enc = &trained.test_encodings[0];
         let features = trained.featurizer.extract(enc.qubo_instance());
         let low = trained.surrogate.predict(&features, A_DOMAIN.0);

@@ -100,7 +100,8 @@ fn trained_surrogate_is_worker_count_invariant() {
         let mut c = cfg;
         c.workers = workers;
         Pipeline::new(c)
-            .run(&s)
+            .try_run(&s)
+            .expect("micro pipeline trains")
             .surrogate
             .to_json()
             .expect("serialises")

@@ -21,7 +21,11 @@ fn solver() -> SimulatedAnnealer {
 fn trained() -> &'static qross_repro::qross::pipeline::TrainedQross {
     use std::sync::OnceLock;
     static TRAINED: OnceLock<qross_repro::qross::pipeline::TrainedQross> = OnceLock::new();
-    TRAINED.get_or_init(|| Pipeline::new(PipelineConfig::micro()).run(&solver()))
+    TRAINED.get_or_init(|| {
+        Pipeline::new(PipelineConfig::micro())
+            .try_run(&solver())
+            .expect("micro pipeline trains")
+    })
 }
 
 /// The paper's claim for MFS: the first, surrogate-only proposal is
