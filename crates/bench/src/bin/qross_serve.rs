@@ -19,18 +19,25 @@ use std::sync::Arc;
 
 use bench::protocol::{serve_connection, serve_connection_aborting};
 use bench::serve::usage_exit;
-use qross::pipeline::TrainedQross;
+use qross::dataset::SurrogateDataset;
+use qross::online::{OnlineConfig, SurrogateCheckpoint};
+use qross::pipeline::{CollectedCorpus, TrainedQross};
 use qross::serve::{ServeConfig, ServeEngine, ServeModel};
 use qross::surrogate::{Surrogate, SurrogateState};
 use qross_store::Artifact;
 
 const USAGE: &str = "qross-serve --model PATH [--listen ADDR] [--workers N] \
-                     [--batch ROWS] [--queue ROWS] [--cache ENTRIES]";
+                     [--batch ROWS] [--queue ROWS] [--cache ENTRIES] \
+                     [--online] [--refresh-after N] [--checkpoint-dir DIR] \
+                     [--corpus PATH] [--online-seed N] [--online-epochs N]";
 
 struct ServeCli {
     model: String,
     listen: Option<String>,
     config: ServeConfig,
+    online: bool,
+    online_config: OnlineConfig,
+    corpus: Option<String>,
 }
 
 fn parse_cli() -> ServeCli {
@@ -38,6 +45,9 @@ fn parse_cli() -> ServeCli {
         model: String::new(),
         listen: None,
         config: ServeConfig::default(),
+        online: false,
+        online_config: OnlineConfig::default(),
+        corpus: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -46,9 +56,24 @@ fn parse_cli() -> ServeCli {
         if flag == "--help" || flag == "-h" {
             usage_exit(USAGE, "");
         }
+        if flag == "--online" {
+            cli.online = true;
+            i += 1;
+            continue;
+        }
         if !matches!(
             flag.as_str(),
-            "--model" | "--listen" | "--workers" | "--batch" | "--queue" | "--cache"
+            "--model"
+                | "--listen"
+                | "--workers"
+                | "--batch"
+                | "--queue"
+                | "--cache"
+                | "--refresh-after"
+                | "--checkpoint-dir"
+                | "--corpus"
+                | "--online-seed"
+                | "--online-epochs"
         ) {
             usage_exit(USAGE, &format!("unknown argument `{flag}`"));
         }
@@ -72,6 +97,21 @@ fn parse_cli() -> ServeCli {
             }
             "--queue" => cli.config.queue_capacity = parse_count("--queue", value).max(1),
             "--cache" => cli.config.cache_capacity = parse_count("--cache", value),
+            "--refresh-after" => {
+                cli.online_config.refresh_after = parse_count("--refresh-after", value);
+            }
+            "--checkpoint-dir" => {
+                cli.online_config.checkpoint_dir = Some(std::path::PathBuf::from(value));
+            }
+            "--corpus" => cli.corpus = Some(value.clone()),
+            "--online-seed" => {
+                cli.online_config.seed = value.parse::<u64>().unwrap_or_else(|_| {
+                    usage_exit(USAGE, &format!("bad --online-seed value `{value}`"))
+                });
+            }
+            "--online-epochs" => {
+                cli.online_config.epochs = parse_count("--online-epochs", value);
+            }
             _ => unreachable!("flag already screened"),
         }
         i += 1;
@@ -83,19 +123,54 @@ fn parse_cli() -> ServeCli {
 }
 
 /// Loads a bundle if the artifact is one, otherwise a bare surrogate
-/// snapshot — mirroring what `qross-predict` accepts.
+/// snapshot (v1) or an online checkpoint (`SURR` v2 with lineage) —
+/// a serving process can resume from its own checkpoints.
 fn load_model(path: &str) -> Result<ServeModel, String> {
-    match TrainedQross::load(path) {
-        Ok(trained) => Ok(ServeModel::Bundle(Arc::new(trained))),
-        Err(bundle_err) => {
-            if let Ok(state) = SurrogateState::load_auto(path) {
-                let surrogate = Surrogate::from_state(state)
-                    .map_err(|e| format!("restoring surrogate failed: {e}"))?;
-                return Ok(ServeModel::Surrogate(Arc::new(surrogate)));
+    let bundle_err = match TrainedQross::load(path) {
+        Ok(trained) => return Ok(ServeModel::Bundle(Arc::new(trained))),
+        Err(e) => e,
+    };
+    let state_err = match SurrogateState::load_auto(path) {
+        Ok(state) => return surrogate_model(state),
+        Err(e) => e,
+    };
+    match SurrogateCheckpoint::load_auto(path) {
+        Ok(checkpoint) => {
+            if let Some(l) = &checkpoint.lineage {
+                eprintln!(
+                    "qross-serve: checkpoint lineage: generation {} (parent {}, \
+                     retrain {}, {} feedback records)",
+                    l.generation, l.parent_generation, l.retrain_index, l.feedback_count
+                );
             }
-            Err(format!("loading model failed: {bundle_err}"))
+            surrogate_model(checkpoint.state)
         }
+        // Every attempt failed: report each decoder's own diagnosis —
+        // a corrupt checkpoint must surface its precise error, not the
+        // unrelated kind-mismatch from the bundle attempt.
+        Err(checkpoint_err) => Err(format!(
+            "loading model failed — as bundle: {bundle_err}; as surrogate snapshot: \
+             {state_err}; as checkpoint: {checkpoint_err}"
+        )),
     }
+}
+
+fn surrogate_model(state: qross::surrogate::SurrogateState) -> Result<ServeModel, String> {
+    Surrogate::from_state(state)
+        .map(|surrogate| ServeModel::Surrogate(Arc::new(surrogate)))
+        .map_err(|e| format!("restoring surrogate failed: {e}"))
+}
+
+/// Loads the original training corpus merged under every online
+/// fine-tune: a bare `DSET` dataset or a full `CORP` collect-stage
+/// corpus (its dataset is used).
+fn load_corpus(path: &str) -> Result<SurrogateDataset, String> {
+    if let Ok(ds) = SurrogateDataset::load_auto(path) {
+        return Ok(ds);
+    }
+    CollectedCorpus::load_auto(path)
+        .map(|corpus| corpus.dataset)
+        .map_err(|e| format!("loading corpus failed: {e}"))
 }
 
 fn main() {
@@ -110,10 +185,41 @@ fn main() {
         "surrogate"
     };
     let feature_dim = model.feature_dim();
-    let engine = ServeEngine::new(model, cli.config);
+    let base = cli.corpus.as_deref().map(|path| {
+        load_corpus(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    });
+    let engine = if cli.online {
+        ServeEngine::with_online(model, cli.config, cli.online_config.clone(), base).unwrap_or_else(
+            |e| {
+                eprintln!("error: starting online engine failed: {e}");
+                std::process::exit(1);
+            },
+        )
+    } else {
+        if base.is_some() {
+            eprintln!("warning: --corpus is only used with --online; ignoring it");
+        }
+        ServeEngine::new(model, cli.config)
+    };
     eprintln!(
-        "qross-serve: loaded {kind} from {} ({feature_dim} features); {engine:?}",
-        cli.model
+        "qross-serve: loaded {kind} from {} ({feature_dim} features); {engine:?}{}",
+        cli.model,
+        if cli.online {
+            format!(
+                "; online (refresh-after {}, checkpoints {})",
+                cli.online_config.refresh_after,
+                cli.online_config
+                    .checkpoint_dir
+                    .as_ref()
+                    .map(|d| d.display().to_string())
+                    .unwrap_or_else(|| "disabled".to_string())
+            )
+        } else {
+            String::new()
+        }
     );
 
     match cli.listen {
@@ -180,7 +286,15 @@ fn main() {
     }
     let stats = engine.stats();
     eprintln!(
-        "qross-serve: {} requests ({} rows, {} cache hits, {} batches, {} rejected)",
-        stats.requests, stats.rows, stats.cache_hits, stats.batches, stats.rejected
+        "qross-serve: {} requests ({} rows, {} cache hits, {} batches, {} rejected, \
+         {} feedback, {} refreshes, final generation {})",
+        stats.requests,
+        stats.rows,
+        stats.cache_hits,
+        stats.batches,
+        stats.rejected,
+        stats.feedback,
+        stats.refreshes,
+        engine.generation()
     );
 }

@@ -15,6 +15,10 @@
 //! {"id": 2, "op": "predict", "features": [...], "a_values": [0.5, 1.0, 2.0]}
 //! {"id": 3, "op": "tsp", "tsplib": "NAME: up...EOF\n", "a_values": [1.0]}
 //! {"id": 4, "op": "info"}
+//! {"id": 5, "op": "feedback", "features": [...], "a": 1.0, "pf": 0.5,
+//!  "e_avg": 3.25, "e_std": 0.5, "tag": "inst-7", "seed": 3}
+//! {"id": 6, "op": "refresh"}
+//! {"id": 7, "op": "model-info"}
 //! ```
 //!
 //! * `predict` — evaluate the surrogate at `features` for one `a` or a
@@ -25,7 +29,15 @@
 //!   offline proposals (MFS, PBS₈₀, PBS₂₀), and any requested
 //!   `a`/`a_values` are answered like `predict`. Requires a full bundle
 //!   (`ServeModel::Bundle`); bare surrogate models reject this op.
-//! * `info` — model metadata.
+//! * `info` / `model-info` — model metadata, including the current swap
+//!   generation and (online engines) the live feedback counters.
+//! * `feedback` — report an observed solver outcome (`pf`, `e_avg`,
+//!   `e_std` measured at `a`). Online engines only. When the record is
+//!   the `--refresh-after`-th, the response is written only after the
+//!   retrain/hot-swap it triggered completes — so, within a connection,
+//!   every later request deterministically sees the new generation.
+//! * `refresh` — force a retrain/hot-swap now (the operator's refresh
+//!   button); same completion ordering as a triggering `feedback`.
 //!
 //! # Responses
 //!
@@ -45,6 +57,7 @@ use std::sync::mpsc;
 
 use problems::tsplib::parse_tsplib;
 use problems::TspEncoding;
+use qross::online::FeedbackRecord;
 use qross::serve::{PendingPrediction, ServeEngine};
 use qross::surrogate::SurrogatePrediction;
 use serde::{Deserialize, Serialize};
@@ -61,17 +74,27 @@ pub const PIPELINE_DEPTH: usize = 256;
 pub struct Request {
     /// client-chosen correlation id, echoed into the response
     pub id: Option<u64>,
-    /// `predict` | `tsp` | `info`
+    /// `predict` | `tsp` | `info` | `model-info` | `feedback` | `refresh`
     pub op: Option<String>,
-    /// feature vector (`predict`)
+    /// feature vector (`predict`/`feedback`)
     pub features: Option<Vec<f64>>,
-    /// single relaxation parameter (`predict`/`tsp`)
+    /// single relaxation parameter (`predict`/`tsp`/`feedback`)
     pub a: Option<f64>,
     /// relaxation-parameter grid (`predict`/`tsp`); takes precedence
     /// over `a` when both are present
     pub a_values: Option<Vec<f64>>,
     /// TSPLIB95 file content (`tsp`)
     pub tsplib: Option<String>,
+    /// observed probability of feasibility (`feedback`)
+    pub pf: Option<f64>,
+    /// observed batch mean energy (`feedback`)
+    pub e_avg: Option<f64>,
+    /// observed batch energy standard deviation (`feedback`)
+    pub e_std: Option<f64>,
+    /// instance label, lineage only (`feedback`, optional)
+    pub tag: Option<String>,
+    /// solver-run seed, lineage only (`feedback`, optional)
+    pub seed: Option<u64>,
 }
 
 /// One prediction in a response: decimal values for humans, exact bit
@@ -108,7 +131,7 @@ impl PredictionOut {
     }
 }
 
-/// Model metadata (`info` op).
+/// Model metadata (`info` / `model-info` ops).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelInfo {
     /// `bundle` (full pipeline) or `surrogate` (bare snapshot)
@@ -119,6 +142,17 @@ pub struct ModelInfo {
     pub dataset_len: Option<u64>,
     /// training instances (bundles only)
     pub train_instances: Option<u64>,
+    /// model generation currently serving new requests (0 = as loaded)
+    pub generation: u64,
+    /// whether the engine ingests feedback and hot-swaps
+    pub online: bool,
+    /// feedback records accepted so far (online engines only)
+    pub feedback_count: Option<u64>,
+    /// current replay-buffer occupancy (online engines only)
+    pub buffer_len: Option<u64>,
+    /// automatic retrain period in feedback records; 0 = manual
+    /// refreshes only (online engines only)
+    pub refresh_after: Option<u64>,
 }
 
 /// One response line.
@@ -138,8 +172,18 @@ pub struct Response {
     pub proposals: Option<Vec<f64>>,
     /// proposals as exact bit patterns
     pub proposal_bits: Option<Vec<u64>>,
-    /// model metadata (`info`)
+    /// model metadata (`info` / `model-info`)
     pub info: Option<ModelInfo>,
+    /// generation serving new requests after this op (`feedback` /
+    /// `refresh`)
+    pub generation: Option<u64>,
+    /// feedback records accepted so far (`feedback`)
+    pub feedback_count: Option<u64>,
+    /// replay-buffer occupancy after the push (`feedback`)
+    pub buffer_len: Option<u64>,
+    /// whether this op completed a retrain/hot-swap (`feedback` /
+    /// `refresh`)
+    pub refreshed: Option<bool>,
 }
 
 impl Response {
@@ -191,26 +235,14 @@ pub fn stage(engine: &ServeEngine, line: &str) -> Option<Staged> {
     };
     let id = request.id;
     let staged = match request.op.as_deref() {
-        Some("info") => {
-            let model = engine.model();
-            let trained = model.trained();
-            Staged::Ready(Box::new(Response {
-                id,
-                ok: true,
-                info: Some(ModelInfo {
-                    kind: if trained.is_some() {
-                        "bundle"
-                    } else {
-                        "surrogate"
-                    }
-                    .to_string(),
-                    feature_dim: model.feature_dim(),
-                    dataset_len: trained.map(|t| t.dataset_len as u64),
-                    train_instances: trained.map(|t| t.train_encodings.len() as u64),
-                }),
-                ..Default::default()
-            }))
-        }
+        Some("info") | Some("model-info") => Staged::Ready(Box::new(Response {
+            id,
+            ok: true,
+            info: Some(model_info(engine)),
+            ..Default::default()
+        })),
+        Some("feedback") => stage_feedback(engine, id, &request),
+        Some("refresh") => stage_refresh(engine, id),
         Some("predict") => {
             let Some(features) = request.features else {
                 return Some(Staged::Ready(Box::new(Response::err(
@@ -233,11 +265,110 @@ pub fn stage(engine: &ServeEngine, line: &str) -> Option<Staged> {
         Some("tsp") => stage_tsp(engine, id, request.tsplib, request.a, request.a_values),
         Some(other) => Staged::Ready(Box::new(Response::err(
             id,
-            format!("unknown op `{other}` (expected predict | tsp | info)"),
+            format!(
+                "unknown op `{other}` (expected predict | tsp | info | model-info | feedback | \
+                 refresh)"
+            ),
         ))),
         None => Staged::Ready(Box::new(Response::err(id, "missing `op`"))),
     };
     Some(staged)
+}
+
+/// Builds the `info` / `model-info` payload from the engine's current
+/// state. Every field is a pure function of the request stream within a
+/// connection, so info responses diff cleanly across worker counts.
+fn model_info(engine: &ServeEngine) -> ModelInfo {
+    let snapshot = engine.model();
+    let trained = snapshot.model.trained();
+    let status = engine.online_status();
+    ModelInfo {
+        kind: if trained.is_some() {
+            "bundle"
+        } else {
+            "surrogate"
+        }
+        .to_string(),
+        feature_dim: snapshot.model.feature_dim(),
+        dataset_len: trained.map(|t| t.dataset_len as u64),
+        train_instances: trained.map(|t| t.train_encodings.len() as u64),
+        generation: snapshot.generation,
+        online: engine.is_online(),
+        feedback_count: status.map(|s| s.feedback_count),
+        buffer_len: status.map(|s| s.buffer_len as u64),
+        refresh_after: status.map(|s| s.refresh_after as u64),
+    }
+}
+
+/// The `feedback` op: validate, ingest, and — when this record triggers a
+/// retrain — block until the hot-swap completes, so every later request
+/// on this connection deterministically sees the new generation.
+fn stage_feedback(engine: &ServeEngine, id: Option<u64>, request: &Request) -> Staged {
+    let (Some(features), Some(a), Some(pf), Some(e_avg), Some(e_std)) = (
+        request.features.clone(),
+        request.a,
+        request.pf,
+        request.e_avg,
+        request.e_std,
+    ) else {
+        return Staged::Ready(Box::new(Response::err(
+            id,
+            "feedback needs `features`, `a`, `pf`, `e_avg` and `e_std`",
+        )));
+    };
+    let record = FeedbackRecord {
+        features,
+        a,
+        observed_pf: pf,
+        observed_e_avg: e_avg,
+        observed_e_std: e_std,
+        instance_tag: request.tag.clone().unwrap_or_default(),
+        seed: request.seed.unwrap_or(0),
+    };
+    let ack = match engine.submit_feedback(record) {
+        Ok(ack) => ack,
+        Err(e) => return Staged::Ready(Box::new(Response::err(id, e))),
+    };
+    // When this record triggered a retrain, report the generation *its*
+    // swap installed (the wait() result) — another connection may have
+    // swapped again before this response is built, and engine.generation()
+    // would misattribute that later swap to this record.
+    let (refreshed, generation) = match ack.refresh {
+        None => (false, engine.generation()),
+        Some(pending) => match pending.wait() {
+            Ok(generation) => (true, generation),
+            Err(e) => {
+                return Staged::Ready(Box::new(Response::err(
+                    id,
+                    format!("feedback accepted but the triggered retrain failed: {e}"),
+                )))
+            }
+        },
+    };
+    Staged::Ready(Box::new(Response {
+        id,
+        ok: true,
+        generation: Some(generation),
+        feedback_count: Some(ack.feedback_count),
+        buffer_len: Some(ack.buffer_len as u64),
+        refreshed: Some(refreshed),
+        ..Default::default()
+    }))
+}
+
+/// The `refresh` op: force a retrain/hot-swap and block until it lands.
+fn stage_refresh(engine: &ServeEngine, id: Option<u64>) -> Staged {
+    let outcome = engine.refresh().and_then(|pending| pending.wait());
+    match outcome {
+        Ok(generation) => Staged::Ready(Box::new(Response {
+            id,
+            ok: true,
+            generation: Some(generation),
+            refreshed: Some(true),
+            ..Default::default()
+        })),
+        Err(e) => Staged::Ready(Box::new(Response::err(id, e))),
+    }
 }
 
 /// The `tsp` op: parse the upload, featurise with the bundle's featurizer,
@@ -249,7 +380,8 @@ fn stage_tsp(
     a: Option<f64>,
     a_values: Option<Vec<f64>>,
 ) -> Staged {
-    let Some(trained) = engine.model().trained() else {
+    let snapshot = engine.model();
+    let Some(trained) = snapshot.model.trained() else {
         return Staged::Ready(Box::new(Response::err(
             id,
             "this model is a bare surrogate: `tsp` needs a full bundle (train with --problem tsp)",

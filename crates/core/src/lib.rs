@@ -44,6 +44,7 @@ pub mod dataset;
 pub mod eval;
 pub mod features;
 pub mod landscape;
+pub mod online;
 pub mod pipeline;
 pub mod serve;
 pub mod store;
@@ -51,8 +52,9 @@ pub mod strategy;
 pub mod surrogate;
 
 pub use features::{FeatureExtractor, FeaturizerSpec, RandomGcnFeaturizer, StatisticalFeaturizer};
+pub use online::{FeedbackRecord, LineageHeader, OnlineConfig, ReplayBuffer, SurrogateCheckpoint};
 pub use pipeline::{CollectedCorpus, QrossBundle};
-pub use serve::{ServeConfig, ServeEngine, ServeModel, ServeStats};
+pub use serve::{ServeConfig, ServeEngine, ServeModel, ServeStats, VersionedModel};
 pub use surrogate::{Surrogate, SurrogatePrediction};
 
 /// Errors from the QROSS pipeline.

@@ -27,6 +27,23 @@
 //!   `(features, A)` (two queries hit the same entry iff they are
 //!   bit-identical, so a cache hit can never change an answer).
 //!
+//! * **Continual learning with zero-downtime hot-swap** — an engine
+//!   started through [`ServeEngine::with_online`] accepts observed solver
+//!   outcomes ([`ServeEngine::submit_feedback`]), accumulates them in a
+//!   deterministic replay buffer ([`crate::online::ReplayBuffer`]), and
+//!   periodically fine-tunes the surrogate heads on a buffer snapshot
+//!   merged with the original corpus. The engine holds the model in an
+//!   **epoch-counted slot** (`Arc` + generation counter): every request
+//!   captures the current `Arc<VersionedModel>` at submit time, so
+//!   in-flight batches always finish on the model they were admitted
+//!   under while new requests see the swapped generation — no request is
+//!   ever dropped or blocked by a swap. The prediction-cache key includes
+//!   the generation, so a hit can never serve a stale generation's value.
+//!   Each swap checkpoints the new model (with lineage) through
+//!   `qross-store` *before* installing it, making every served generation
+//!   reloadable and the whole loop bit-reproducible from
+//!   `(seed, feedback log)`.
+//!
 //! The NDJSON wire protocol (stdin/stdout and TCP) lives in the `bench`
 //! crate (`bench::protocol`, the `qross-serve` binary); this module is the
 //! transport-agnostic core.
@@ -54,8 +71,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
+use qross_store::Artifact;
+
+use crate::dataset::SurrogateDataset;
+use crate::online::{
+    merge_for_finetune, FeedbackRecord, LineageHeader, OnlineConfig, ReplayBuffer,
+    SurrogateCheckpoint,
+};
 use crate::pipeline::TrainedQross;
-use crate::surrogate::{Surrogate, SurrogatePrediction};
+use crate::surrogate::{FineTuneConfig, Surrogate, SurrogatePrediction};
 use crate::QrossError;
 
 /// The immutable model a [`ServeEngine`] serves.
@@ -93,9 +117,28 @@ impl ServeModel {
 
     /// Feature width every request must supply (the surrogate's input
     /// width minus the relaxation-parameter column).
+    ///
+    /// Invariant across hot-swaps: fine-tuning freezes the scalers
+    /// ([`Surrogate::fine_tune`]), so every generation of a served model
+    /// consumes the same feature width.
     pub fn feature_dim(&self) -> usize {
         self.surrogate().scalers().input_dim() - 1
     }
+}
+
+/// One epoch of the served model: the model plus the generation counter
+/// identifying it. The engine swaps whole `Arc<VersionedModel>`s — a
+/// request captures the current one at submit time and is answered by it
+/// even if a swap lands while the request is queued.
+///
+/// Generation `0` is the model the engine was constructed with; each
+/// successful retrain/swap increments it by one.
+#[derive(Debug, Clone)]
+pub struct VersionedModel {
+    /// monotonically increasing swap epoch (0 = the initial model)
+    pub generation: u64,
+    /// the model itself
+    pub model: ServeModel,
 }
 
 /// Serving-engine tuning knobs.
@@ -138,6 +181,10 @@ pub struct ServeStats {
     pub batches: usize,
     /// requests rejected with [`QrossError::Overloaded`]
     pub rejected: usize,
+    /// feedback records accepted ([`ServeEngine::submit_feedback`])
+    pub feedback: usize,
+    /// successful retrain/hot-swap cycles
+    pub refreshes: usize,
 }
 
 #[derive(Debug, Default)]
@@ -147,6 +194,8 @@ struct StatCounters {
     cache_hits: AtomicU64,
     batches: AtomicU64,
     rejected: AtomicU64,
+    feedback: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 impl StatCounters {
@@ -158,6 +207,8 @@ impl StatCounters {
             cache_hits: get(&self.cache_hits),
             batches: get(&self.batches),
             rejected: get(&self.rejected),
+            feedback: get(&self.feedback),
+            refreshes: get(&self.refreshes),
         }
     }
 }
@@ -166,17 +217,18 @@ impl StatCounters {
 // LRU prediction cache
 // ---------------------------------------------------------------------------
 
-/// Cache key: the exact IEEE-754 bit patterns of the feature vector
-/// followed by the relaxation parameter. Bit-pattern keying makes the
-/// cache safe for a bit-exactness contract — `0.1 + 0.2` and `0.3` are
-/// *different* keys, and NaN payloads (which compare unequal as f64) still
-/// key consistently.
+/// Cache key: the model generation, then the exact IEEE-754 bit patterns
+/// of the feature vector, then the relaxation parameter. Bit-pattern
+/// keying makes the cache safe for a bit-exactness contract — `0.1 + 0.2`
+/// and `0.3` are *different* keys, and NaN payloads (which compare unequal
+/// as f64) still key consistently. The generation prefix makes stale hits
+/// across hot-swaps impossible: a value computed on generation `g` can
+/// only ever answer a request admitted under generation `g`.
 type CacheKey = Box<[u64]>;
 
-fn cache_key(features: &[f64], a: f64) -> CacheKey {
-    features
-        .iter()
-        .map(|v| v.to_bits())
+fn cache_key(generation: u64, features: &[f64], a: f64) -> CacheKey {
+    std::iter::once(generation)
+        .chain(features.iter().map(|v| v.to_bits()))
         .chain(std::iter::once(a.to_bits()))
         .collect()
 }
@@ -216,6 +268,16 @@ impl LruCache {
     #[cfg(test)]
     fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Drops every entry (used after a hot-swap: superseded generations'
+    /// entries can never hit again, so free their capacity immediately).
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
     }
 
     /// Unlinks `idx` from the recency list (leaves slab slot intact).
@@ -303,11 +365,14 @@ impl LruCache {
 
 /// One queued request: a feature vector evaluated at one or more `A`
 /// values. `results[k]` is pre-filled for cache hits; workers compute the
-/// `None` slots.
+/// `None` slots. `model` is the versioned model captured at submit time —
+/// the generation this job is answered by, whatever swaps land while it
+/// waits.
 struct Job {
     features: Arc<Vec<f64>>,
     a_values: Vec<f64>,
     results: Vec<Option<SurrogatePrediction>>,
+    model: Arc<VersionedModel>,
     tx: mpsc::Sender<Result<Vec<SurrogatePrediction>, QrossError>>,
 }
 
@@ -333,13 +398,57 @@ struct Queue {
     shutdown: bool,
 }
 
+/// Mutable online-learning state, guarded by one lock so a feedback push
+/// and its (possible) retrain snapshot are atomic — the snapshot of
+/// retrain `k` is exactly the buffer contents after the record that
+/// triggered it.
+struct OnlineState {
+    buffer: ReplayBuffer,
+    feedback_count: u64,
+    retrain_count: u64,
+}
+
+/// One queued retrain: the training snapshot (captured at trigger time),
+/// its lineage counters, and the channel the resulting generation (or
+/// error) is reported on.
+struct RetrainJob {
+    snapshot: Vec<FeedbackRecord>,
+    retrain_index: u64,
+    feedback_count: u64,
+    reply: mpsc::Sender<Result<u64, QrossError>>,
+}
+
+/// Online-learning half of the shared engine state. Present only for
+/// engines built with [`ServeEngine::with_online`].
+struct OnlineShared {
+    config: OnlineConfig,
+    /// original training corpus merged under every fine-tune (`None`:
+    /// fine-tune on the replay buffer alone)
+    base: Option<SurrogateDataset>,
+    state: Mutex<OnlineState>,
+    /// retrains handed to the trainer and not yet completed — bounded by
+    /// `config.max_pending_retrains` so a feedback flood cannot queue
+    /// unbounded buffer snapshots behind a slow fine-tune
+    pending_retrains: AtomicU64,
+    /// trainer-thread inbox; taken (and dropped) on engine shutdown so
+    /// the trainer drains queued retrains and exits
+    trainer_tx: Mutex<Option<mpsc::Sender<RetrainJob>>>,
+}
+
 struct Shared {
-    model: ServeModel,
+    /// the current model epoch — swapped whole, read with one short lock
+    /// (pointer shuffle only, never held across a forward pass)
+    slot: Mutex<Arc<VersionedModel>>,
+    /// mirror of the slot's generation for lock-free reads
+    generation: AtomicU64,
+    /// feature width, invariant across swaps (scalers are frozen)
+    feature_dim: usize,
     config: ServeConfig,
     queue: Mutex<Queue>,
     work_ready: Condvar,
     cache: Mutex<LruCache>,
     stats: StatCounters,
+    online: Option<OnlineShared>,
 }
 
 /// Locks a mutex, recovering from poisoning: a panicking thread must not
@@ -353,6 +462,11 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Shared {
+    /// The current model epoch (cheap: one short lock, one `Arc` clone).
+    fn current_model(&self) -> Arc<VersionedModel> {
+        Arc::clone(&lock(&self.slot))
+    }
+
     /// Validates and enqueues one request; returns the response channel.
     ///
     /// Fully-cached requests are answered inline without touching the
@@ -362,7 +476,7 @@ impl Shared {
         features: Vec<f64>,
         a_values: Vec<f64>,
     ) -> Result<PendingPrediction, QrossError> {
-        let expect = self.model.feature_dim();
+        let expect = self.feature_dim;
         if features.len() != expect {
             return Err(QrossError::BadRequest {
                 message: format!("expected {expect} features, got {}", features.len()),
@@ -396,13 +510,18 @@ impl Shared {
             return Ok(PendingPrediction { rx });
         }
 
+        // Capture the model epoch this request is answered by. Everything
+        // from here on — cache probe, forward pass, cache fill — runs
+        // against this generation, even if a hot-swap lands concurrently.
+        let model = self.current_model();
+
         // Cache probe under one short lock.
         let mut results: Vec<Option<SurrogatePrediction>> = vec![None; a_values.len()];
         let mut hits = 0u64;
         if self.config.cache_capacity > 0 {
             let mut cache = lock(&self.cache);
             for (slot, &a) in a_values.iter().enumerate() {
-                if let Some(hit) = cache.get(&cache_key(&features, a)) {
+                if let Some(hit) = cache.get(&cache_key(model.generation, &features, a)) {
                     results[slot] = Some(hit);
                     hits += 1;
                 }
@@ -413,6 +532,7 @@ impl Shared {
             features: Arc::new(features),
             a_values,
             results,
+            model,
             tx,
         };
         let pending = job.pending_rows();
@@ -487,30 +607,50 @@ impl Shared {
         }
     }
 
-    /// One stacked forward pass over every un-cached row of `batch`, then
-    /// scatter, cache, and respond.
+    /// One stacked forward pass per model generation over every un-cached
+    /// row of `batch`, then scatter, cache, and respond.
+    ///
+    /// Jobs straddling a hot-swap may carry different generations in one
+    /// drained batch; rows are grouped by the generation captured at
+    /// submit time, so every job is answered by exactly the model it was
+    /// admitted under (per-row bit-exactness is unaffected — matrix rows
+    /// are accumulated independently).
     fn process_batch(self: &Arc<Self>, mut batch: Vec<Job>) {
-        // (job index, slot index) for every row that needs computing, in
-        // deterministic job/slot order.
-        let mut index: Vec<(usize, usize)> = Vec::new();
+        // (job index, slot index) per generation group, in deterministic
+        // job/slot order within each group.
+        type GenGroup = (Arc<VersionedModel>, Vec<(usize, usize)>);
+        let mut groups: Vec<GenGroup> = Vec::new();
         for (j, job) in batch.iter().enumerate() {
             for (slot, r) in job.results.iter().enumerate() {
                 if r.is_none() {
-                    index.push((j, slot));
+                    match groups
+                        .iter_mut()
+                        .find(|(m, _)| m.generation == job.model.generation)
+                    {
+                        Some((_, index)) => index.push((j, slot)),
+                        None => groups.push((Arc::clone(&job.model), vec![(j, slot)])),
+                    }
                 }
             }
         }
-        if !index.is_empty() {
+        for (model, index) in &groups {
             let queries: Vec<(&[f64], f64)> = index
                 .iter()
                 .map(|&(j, slot)| (batch[j].features.as_slice(), batch[j].a_values[slot]))
                 .collect();
-            let predictions = self.model.surrogate().predict_many(&queries);
+            let predictions = model.model.surrogate().predict_many(&queries);
             self.stats.batches.fetch_add(1, Ordering::Relaxed);
             if self.config.cache_capacity > 0 {
                 let mut cache = lock(&self.cache);
                 for (&(j, slot), &p) in index.iter().zip(&predictions) {
-                    cache.insert(cache_key(&batch[j].features, batch[j].a_values[slot]), p);
+                    cache.insert(
+                        cache_key(
+                            model.generation,
+                            &batch[j].features,
+                            batch[j].a_values[slot],
+                        ),
+                        p,
+                    );
                 }
             }
             for (&(j, slot), &p) in index.iter().zip(&predictions) {
@@ -519,6 +659,224 @@ impl Shared {
         }
         for job in batch {
             job.finish();
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Online learning: feedback ingestion, retraining, hot-swap
+    // -----------------------------------------------------------------
+
+    /// Shorthand for the "engine was not started online" rejection.
+    fn online_or_reject(&self) -> Result<&OnlineShared, QrossError> {
+        self.online.as_ref().ok_or_else(|| QrossError::BadRequest {
+            message: "engine is not running in online mode (start it with --online / \
+                      ServeEngine::with_online)"
+                .to_string(),
+        })
+    }
+
+    /// Hands a retrain job to the trainer thread. Callers hold the online
+    /// state lock, which orders jobs by their `retrain_index`.
+    fn send_retrain(&self, online: &OnlineShared, job: RetrainJob) -> Result<(), QrossError> {
+        // Count the job *before* handing it over: the trainer decrements
+        // on completion, and incrementing after a successful send could
+        // race a fast completion into an underflow.
+        online.pending_retrains.fetch_add(1, Ordering::SeqCst);
+        let tx = lock(&online.trainer_tx);
+        match tx.as_ref() {
+            Some(tx) if tx.send(job).is_ok() => Ok(()),
+            _ => {
+                online.pending_retrains.fetch_sub(1, Ordering::SeqCst);
+                Err(QrossError::Serve {
+                    message: "online trainer is not running".to_string(),
+                })
+            }
+        }
+    }
+
+    /// Whether another retrain may be queued right now.
+    fn retrain_capacity_left(&self, online: &OnlineShared) -> bool {
+        let cap = online.config.max_pending_retrains.max(1) as u64;
+        online.pending_retrains.load(Ordering::SeqCst) < cap
+    }
+
+    /// Validates and ingests one feedback record; triggers a retrain when
+    /// the record is the `refresh_after`-th since the last trigger.
+    fn submit_feedback(&self, record: FeedbackRecord) -> Result<FeedbackAck, QrossError> {
+        let online = self.online_or_reject()?;
+        record.validate(self.feature_dim)?;
+        let ack = {
+            let mut st = lock(&online.state);
+            st.buffer.push(record);
+            st.feedback_count += 1;
+            // Triggers landing while the trainer is already saturated are
+            // coalesced: the record stays in the buffer (nothing is
+            // dropped) and a later retrain trains on it. This bounds
+            // queued snapshots at `max_pending_retrains`.
+            let trigger = online.config.refresh_after > 0
+                && st.feedback_count % online.config.refresh_after as u64 == 0
+                && self.retrain_capacity_left(online);
+            let pending = if trigger {
+                let (reply, rx) = mpsc::channel();
+                // Snapshot *now*, under the same lock as the push: the
+                // training set of retrain k is a pure function of the
+                // feedback prefix that triggered it. The retrain index is
+                // committed only once the trainer has the job — a send
+                // failure (engine shutting down) must not burn an index a
+                // clean replay of the same log would not burn, and the
+                // record itself IS ingested either way, so the push is
+                // never rolled back and this call still succeeds.
+                let sent = self.send_retrain(
+                    online,
+                    RetrainJob {
+                        snapshot: st.buffer.snapshot(),
+                        retrain_index: st.retrain_count + 1,
+                        feedback_count: st.feedback_count,
+                        reply,
+                    },
+                );
+                match sent {
+                    Ok(()) => {
+                        st.retrain_count += 1;
+                        Some(PendingRefresh { rx })
+                    }
+                    Err(_) => None,
+                }
+            } else {
+                None
+            };
+            FeedbackAck {
+                feedback_count: st.feedback_count,
+                buffer_len: st.buffer.len(),
+                refresh: pending,
+            }
+        };
+        self.stats.feedback.fetch_add(1, Ordering::Relaxed);
+        Ok(ack)
+    }
+
+    /// Forces a retrain/swap cycle regardless of the trigger counter.
+    fn refresh(&self) -> Result<PendingRefresh, QrossError> {
+        let online = self.online_or_reject()?;
+        let mut st = lock(&online.state);
+        if !self.retrain_capacity_left(online) {
+            // Backpressure, same rule as the request queue: reject
+            // instead of queueing snapshots without bound.
+            return Err(QrossError::Overloaded {
+                capacity: online.config.max_pending_retrains.max(1),
+            });
+        }
+        let (reply, rx) = mpsc::channel();
+        // Index committed only after the trainer has the job (a failed
+        // send must not desynchronise retrain_count from the seeds a
+        // clean replay would derive).
+        self.send_retrain(
+            online,
+            RetrainJob {
+                snapshot: st.buffer.snapshot(),
+                retrain_index: st.retrain_count + 1,
+                feedback_count: st.feedback_count,
+                reply,
+            },
+        )?;
+        st.retrain_count += 1;
+        Ok(PendingRefresh { rx })
+    }
+
+    /// Trainer-thread body: fine-tune → checkpoint → swap, one queued
+    /// retrain at a time, until the engine drops its sender.
+    fn trainer_loop(self: &Arc<Self>, rx: mpsc::Receiver<RetrainJob>) {
+        while let Ok(job) = rx.recv() {
+            let result = self.run_retrain(&job);
+            if let Some(online) = &self.online {
+                online.pending_retrains.fetch_sub(1, Ordering::SeqCst);
+            }
+            // A dropped receiver just means nobody waited; ignore.
+            let _ = job.reply.send(result);
+        }
+    }
+
+    /// One retrain cycle. The swap is installed only after the checkpoint
+    /// is durably written, so every generation the engine ever serves is
+    /// reloadable from disk.
+    fn run_retrain(&self, job: &RetrainJob) -> Result<u64, QrossError> {
+        let online = self.online.as_ref().expect("trainer only runs online");
+        let current = self.current_model();
+        let dataset = merge_for_finetune(
+            online.base.as_ref(),
+            &job.snapshot,
+            online.config.feedback_weight,
+            self.feature_dim,
+        )?;
+        let ft = FineTuneConfig {
+            epochs: online.config.epochs,
+            learning_rate: online.config.learning_rate,
+            batch_size: online.config.batch_size,
+            // Every retrain seed derives from (online seed, retrain
+            // index): retrain k is bit-identical wherever it runs.
+            seed: mathkit::rng::derive_seed(online.config.seed, 0x0F17_0000 + job.retrain_index),
+        };
+        let (tuned, _report) = current.model.surrogate().fine_tune(&dataset, &ft)?;
+        let generation = current.generation + 1;
+        if let Some(dir) = &online.config.checkpoint_dir {
+            let checkpoint = SurrogateCheckpoint {
+                lineage: Some(LineageHeader {
+                    generation,
+                    parent_generation: current.generation,
+                    seed: online.config.seed,
+                    retrain_index: job.retrain_index,
+                    feedback_count: job.feedback_count,
+                    replay_len: job.snapshot.len() as u64,
+                }),
+                state: tuned.to_state(),
+            };
+            checkpoint
+                .save(dir.join(format!("ckpt-g{generation:06}.qross")))
+                .map_err(QrossError::from)?;
+        }
+        let model = swap_surrogate(&current.model, tuned)?;
+        {
+            let mut slot = lock(&self.slot);
+            *slot = Arc::new(VersionedModel { generation, model });
+        }
+        self.generation.store(generation, Ordering::SeqCst);
+        // Entries keyed to superseded generations can never hit again
+        // (submit probes only the generation it captured), so clearing is
+        // bit-exactness-neutral and releases the whole cache capacity to
+        // the new generation at once instead of one LRU eviction at a
+        // time. In-flight old-generation jobs may still insert a few
+        // entries afterwards; they age out normally.
+        if self.config.cache_capacity > 0 {
+            lock(&self.cache).clear();
+        }
+        self.stats.refreshes.fetch_add(1, Ordering::Relaxed);
+        Ok(generation)
+    }
+}
+
+/// Rebuilds a [`ServeModel`] of the same kind around a fine-tuned
+/// surrogate. For bundles the featurizer is rebuilt from its recipe
+/// (checked serialisable at [`ServeEngine::with_online`] time, so this
+/// cannot fail after construction) and the instance encodings are shared.
+fn swap_surrogate(model: &ServeModel, surrogate: Surrogate) -> Result<ServeModel, QrossError> {
+    match model {
+        ServeModel::Surrogate(_) => Ok(ServeModel::Surrogate(Arc::new(surrogate))),
+        ServeModel::Bundle(t) => {
+            let spec = t.featurizer.spec().ok_or_else(|| QrossError::Persistence {
+                message: format!(
+                    "featurizer `{}` has no serialisable recipe: cannot rebuild it for a swap",
+                    t.featurizer.name()
+                ),
+            })?;
+            Ok(ServeModel::Bundle(Arc::new(TrainedQross {
+                surrogate,
+                featurizer: spec.build(),
+                train_encodings: t.train_encodings.clone(),
+                test_encodings: t.test_encodings.clone(),
+                dataset_len: t.dataset_len,
+                report: t.report.clone(),
+                config: t.config,
+            })))
         }
     }
 }
@@ -545,13 +903,66 @@ impl PendingPrediction {
     }
 }
 
+/// A handle on an in-flight retrain/hot-swap cycle.
+#[derive(Debug)]
+pub struct PendingRefresh {
+    rx: mpsc::Receiver<Result<u64, QrossError>>,
+}
+
+impl PendingRefresh {
+    /// Blocks until the retrain completes, returning the generation it
+    /// installed.
+    ///
+    /// # Errors
+    ///
+    /// The retrain's own error (empty training merge, diverged
+    /// fine-tune, checkpoint I/O failure — in every case the old
+    /// generation keeps serving), or [`QrossError::Serve`] if the trainer
+    /// thread is gone.
+    pub fn wait(self) -> Result<u64, QrossError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(QrossError::Serve {
+                message: "online trainer exited before answering".to_string(),
+            })
+        })
+    }
+}
+
+/// Receipt for one accepted feedback record.
+#[derive(Debug)]
+pub struct FeedbackAck {
+    /// total feedback records accepted so far (this one included)
+    pub feedback_count: u64,
+    /// replay-buffer occupancy after the push
+    pub buffer_len: usize,
+    /// handle on the retrain this record triggered, when it was the
+    /// `refresh_after`-th; `None` otherwise. Dropping the handle lets the
+    /// retrain proceed fire-and-forget.
+    pub refresh: Option<PendingRefresh>,
+}
+
+/// Live online-loop counters ([`ServeEngine::online_status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineStatus {
+    /// feedback records accepted since start
+    pub feedback_count: u64,
+    /// current replay-buffer occupancy
+    pub buffer_len: usize,
+    /// retrains triggered (automatic + forced) since start
+    pub retrain_count: u64,
+    /// the configured automatic trigger period (0 = manual only)
+    pub refresh_after: usize,
+}
+
 /// The concurrent batched serving engine. See the module docs.
 ///
 /// Dropping the engine shuts it down gracefully: queued jobs are drained
-/// and answered, then the workers join.
+/// and answered, queued retrains complete, then the workers and the
+/// trainer join.
 pub struct ServeEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    trainer: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -567,9 +978,98 @@ impl std::fmt::Debug for ServeEngine {
 
 impl ServeEngine {
     /// Starts the engine: spawns the worker pool and begins serving.
+    /// The model is frozen (generation 0 forever); see
+    /// [`ServeEngine::with_online`] for the continual-learning variant.
     pub fn new(model: ServeModel, config: ServeConfig) -> Self {
+        Self::build(model, config, None, None).expect("offline construction cannot fail")
+    }
+
+    /// Starts the engine in **online mode**: in addition to serving, it
+    /// ingests feedback ([`ServeEngine::submit_feedback`]), fine-tunes on
+    /// the replay buffer merged with `base` (the original training
+    /// corpus, when available), and hot-swaps the refreshed model without
+    /// dropping a request.
+    ///
+    /// # Errors
+    ///
+    /// * [`QrossError::BadDataset`] — `base`'s feature width differs from
+    ///   the model's.
+    /// * [`QrossError::Persistence`] — a bundle model whose featurizer
+    ///   has no serialisable recipe (it could not be rebuilt for a swap),
+    ///   or an uncreatable checkpoint directory.
+    pub fn with_online(
+        model: ServeModel,
+        config: ServeConfig,
+        online: OnlineConfig,
+        base: Option<SurrogateDataset>,
+    ) -> Result<Self, QrossError> {
+        Self::build(model, config, Some(online), base)
+    }
+
+    fn build(
+        model: ServeModel,
+        config: ServeConfig,
+        online: Option<OnlineConfig>,
+        base: Option<SurrogateDataset>,
+    ) -> Result<Self, QrossError> {
+        let feature_dim = model.feature_dim();
+        let online_shared = match online {
+            None => None,
+            Some(online_config) => {
+                if let Some(base) = &base {
+                    if base.feat_dim() != feature_dim {
+                        return Err(QrossError::BadDataset {
+                            message: format!(
+                                "base corpus is {}-wide but the model expects {feature_dim}",
+                                base.feat_dim()
+                            ),
+                        });
+                    }
+                }
+                // Fail swap-blocking problems at construction, not at the
+                // first retrain: the featurizer must be rebuildable…
+                if let ServeModel::Bundle(t) = &model {
+                    if t.featurizer.spec().is_none() {
+                        return Err(QrossError::Persistence {
+                            message: format!(
+                                "featurizer `{}` has no serialisable recipe: bundles served \
+                                 online must be rebuildable for hot-swaps",
+                                t.featurizer.name()
+                            ),
+                        });
+                    }
+                }
+                // …and the checkpoint directory writable.
+                if let Some(dir) = &online_config.checkpoint_dir {
+                    std::fs::create_dir_all(dir).map_err(|e| QrossError::Persistence {
+                        message: format!("create checkpoint dir {}: {e}", dir.display()),
+                    })?;
+                }
+                let buffer = ReplayBuffer::new(
+                    online_config.buffer_capacity.max(1),
+                    online_config.recent_capacity,
+                    online_config.seed,
+                );
+                Some(OnlineShared {
+                    config: online_config,
+                    base,
+                    state: Mutex::new(OnlineState {
+                        buffer,
+                        feedback_count: 0,
+                        retrain_count: 0,
+                    }),
+                    pending_retrains: AtomicU64::new(0),
+                    trainer_tx: Mutex::new(None),
+                })
+            }
+        };
         let shared = Arc::new(Shared {
-            model,
+            slot: Mutex::new(Arc::new(VersionedModel {
+                generation: 0,
+                model,
+            })),
+            generation: AtomicU64::new(0),
+            feature_dim,
             config,
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
@@ -579,6 +1079,13 @@ impl ServeEngine {
             work_ready: Condvar::new(),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             stats: StatCounters::default(),
+            online: online_shared,
+        });
+        let trainer = shared.online.as_ref().map(|online| {
+            let (tx, rx) = mpsc::channel();
+            *lock(&online.trainer_tx) = Some(tx);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || shared.trainer_loop(rx))
         });
         let workers = (0..resolve_workers(config.workers))
             .map(|_| {
@@ -586,22 +1093,78 @@ impl ServeEngine {
                 std::thread::spawn(move || shared.worker_loop())
             })
             .collect();
-        ServeEngine { shared, workers }
+        Ok(ServeEngine {
+            shared,
+            workers,
+            trainer,
+        })
     }
 
-    /// The model being served.
-    pub fn model(&self) -> &ServeModel {
-        &self.shared.model
+    /// The model epoch currently serving new requests. Requests already
+    /// admitted may still be answered by an earlier generation (the one
+    /// they captured at submit time).
+    pub fn model(&self) -> Arc<VersionedModel> {
+        self.shared.current_model()
     }
 
-    /// Feature width every request must supply.
+    /// The generation currently serving new requests.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::SeqCst)
+    }
+
+    /// Whether the engine ingests feedback and hot-swaps.
+    pub fn is_online(&self) -> bool {
+        self.shared.online.is_some()
+    }
+
+    /// Live online-loop counters; `None` for offline engines.
+    pub fn online_status(&self) -> Option<OnlineStatus> {
+        let online = self.shared.online.as_ref()?;
+        let st = lock(&online.state);
+        Some(OnlineStatus {
+            feedback_count: st.feedback_count,
+            buffer_len: st.buffer.len(),
+            retrain_count: st.retrain_count,
+            refresh_after: online.config.refresh_after,
+        })
+    }
+
+    /// Feature width every request must supply (invariant across swaps).
     pub fn feature_dim(&self) -> usize {
-        self.shared.model.feature_dim()
+        self.shared.feature_dim
     }
 
     /// Current serving counters.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats.snapshot()
+    }
+
+    /// Ingests one observed solver outcome. When the record is the
+    /// `refresh_after`-th since the last automatic trigger, the returned
+    /// ack carries a [`PendingRefresh`] for the retrain it started.
+    ///
+    /// Never blocks on training: the fine-tune runs on the trainer
+    /// thread, predictions keep flowing on the current generation, and
+    /// the swap is a pointer exchange.
+    ///
+    /// # Errors
+    ///
+    /// * [`QrossError::BadRequest`] — offline engine, wrong feature
+    ///   width, or invalid observation values.
+    /// * [`QrossError::Serve`] — the trainer thread is gone.
+    pub fn submit_feedback(&self, record: FeedbackRecord) -> Result<FeedbackAck, QrossError> {
+        self.shared.submit_feedback(record)
+    }
+
+    /// Forces a retrain/hot-swap cycle now, regardless of the feedback
+    /// counter — the operator's "refresh" button.
+    ///
+    /// # Errors
+    ///
+    /// * [`QrossError::BadRequest`] — the engine is not online.
+    /// * [`QrossError::Serve`] — the trainer thread is gone.
+    pub fn refresh(&self) -> Result<PendingRefresh, QrossError> {
+        self.shared.refresh()
     }
 
     /// Enqueues one request (a feature vector at one or more `A` values)
@@ -655,6 +1218,14 @@ impl Drop for ServeEngine {
         }
         self.shared.work_ready.notify_all();
         for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Dropping the trainer's sender lets it drain queued retrains
+        // (completing any outstanding PendingRefresh waits) and exit.
+        if let Some(online) = &self.shared.online {
+            lock(&online.trainer_tx).take();
+        }
+        if let Some(handle) = self.trainer.take() {
             let _ = handle.join();
         }
     }
@@ -802,8 +1373,14 @@ mod tests {
     fn backpressure_rejects_when_queue_full() {
         // No workers running: build the shared state directly so the
         // queue can only fill.
+        let model = ServeModel::Surrogate(Arc::new(tiny_surrogate()));
         let shared = Arc::new(Shared {
-            model: ServeModel::Surrogate(Arc::new(tiny_surrogate())),
+            feature_dim: model.feature_dim(),
+            slot: Mutex::new(Arc::new(VersionedModel {
+                generation: 0,
+                model,
+            })),
+            generation: AtomicU64::new(0),
             config: ServeConfig {
                 workers: 1,
                 max_batch_rows: 8,
@@ -818,6 +1395,7 @@ mod tests {
             work_ready: Condvar::new(),
             cache: Mutex::new(LruCache::new(0)),
             stats: StatCounters::default(),
+            online: None,
         });
         assert!(shared.submit(vec![0.0, 0.0], vec![1.0, 2.0]).is_ok());
         assert!(shared.submit(vec![0.0, 0.0], vec![1.0]).is_ok());
@@ -886,19 +1464,332 @@ mod tests {
             e_avg: x,
             e_std: x,
         };
-        cache.insert(cache_key(&[1.0], 1.0), p(1.0));
-        cache.insert(cache_key(&[2.0], 1.0), p(2.0));
+        cache.insert(cache_key(0, &[1.0], 1.0), p(1.0));
+        cache.insert(cache_key(0, &[2.0], 1.0), p(2.0));
         // Touch key 1 so key 2 is the LRU victim.
-        assert_eq!(cache.get(&cache_key(&[1.0], 1.0)), Some(p(1.0)));
-        cache.insert(cache_key(&[3.0], 1.0), p(3.0));
+        assert_eq!(cache.get(&cache_key(0, &[1.0], 1.0)), Some(p(1.0)));
+        cache.insert(cache_key(0, &[3.0], 1.0), p(3.0));
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&cache_key(&[2.0], 1.0)), None);
-        assert_eq!(cache.get(&cache_key(&[1.0], 1.0)), Some(p(1.0)));
-        assert_eq!(cache.get(&cache_key(&[3.0], 1.0)), Some(p(3.0)));
+        assert_eq!(cache.get(&cache_key(0, &[2.0], 1.0)), None);
+        assert_eq!(cache.get(&cache_key(0, &[1.0], 1.0)), Some(p(1.0)));
+        assert_eq!(cache.get(&cache_key(0, &[3.0], 1.0)), Some(p(3.0)));
         // Re-inserting an existing key refreshes, never grows.
-        cache.insert(cache_key(&[3.0], 1.0), p(3.5));
+        cache.insert(cache_key(0, &[3.0], 1.0), p(3.5));
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(&cache_key(&[3.0], 1.0)), Some(p(3.5)));
+        assert_eq!(cache.get(&cache_key(0, &[3.0], 1.0)), Some(p(3.5)));
+    }
+
+    #[test]
+    fn lru_clear_empties_and_stays_usable() {
+        let mut cache = LruCache::new(2);
+        let p = |x: f64| SurrogatePrediction {
+            pf: x,
+            e_avg: x,
+            e_std: x,
+        };
+        cache.insert(cache_key(0, &[1.0], 1.0), p(1.0));
+        cache.insert(cache_key(0, &[2.0], 1.0), p(2.0));
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get(&cache_key(0, &[1.0], 1.0)), None);
+        // Insertion after a clear works and evicts normally.
+        cache.insert(cache_key(1, &[1.0], 1.0), p(3.0));
+        cache.insert(cache_key(1, &[2.0], 1.0), p(4.0));
+        cache.insert(cache_key(1, &[3.0], 1.0), p(5.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&cache_key(1, &[3.0], 1.0)), Some(p(5.0)));
+    }
+
+    #[test]
+    fn retrain_backpressure_is_bounded_and_recoverable() {
+        // A refresh storm without waits must never queue snapshots
+        // beyond `max_pending_retrains`: excess forced refreshes bounce
+        // with typed backpressure, nothing deadlocks, and once the
+        // trainer drains, refreshes work again.
+        let dir = temp_dir("retrain_bp");
+        let eng = ServeEngine::with_online(
+            ServeModel::Surrogate(Arc::new(tiny_surrogate())),
+            ServeConfig::default(),
+            OnlineConfig {
+                refresh_after: 0,
+                max_pending_retrains: 1,
+                epochs: 40, // slow enough for the storm to pile up
+                ..online_config(&dir)
+            },
+            None,
+        )
+        .expect("online engine");
+        for k in 0..6 {
+            eng.submit_feedback(feedback(k)).expect("feedback");
+        }
+        let mut handles = Vec::new();
+        let mut bounced = 0usize;
+        for _ in 0..12 {
+            match eng.refresh() {
+                Ok(pending) => handles.push(pending),
+                Err(QrossError::Overloaded { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    bounced += 1;
+                }
+                Err(e) => panic!("unexpected refresh error: {e}"),
+            }
+        }
+        for pending in handles {
+            pending.wait().expect("queued refresh completes");
+        }
+        // The storm outran a 1-deep trainer queue at least once (each
+        // accepted refresh fine-tunes for 40 epochs before the next can
+        // start), and the engine recovered: a fresh awaited refresh
+        // lands the next generation.
+        assert!(bounced > 0, "12 instant refreshes never hit the bound");
+        let before = eng.generation();
+        let gen = eng
+            .refresh()
+            .expect("post-storm refresh")
+            .wait()
+            .expect("swap");
+        assert_eq!(gen, before + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saturated_trigger_coalesces_without_losing_feedback() {
+        // refresh_after = 1 with a 1-deep trainer queue: most triggers
+        // coalesce, but every record still lands in the buffer and the
+        // loop keeps making progress (some swaps, no deadlock, no error).
+        let dir = temp_dir("coalesce");
+        let eng = ServeEngine::with_online(
+            ServeModel::Surrogate(Arc::new(tiny_surrogate())),
+            ServeConfig::default(),
+            OnlineConfig {
+                refresh_after: 1,
+                max_pending_retrains: 1,
+                epochs: 10,
+                ..online_config(&dir)
+            },
+            None,
+        )
+        .expect("online engine");
+        let mut last = None;
+        for k in 0..24 {
+            // Drop the refresh handles: fire-and-forget feedback, the
+            // mode that used to queue snapshots without bound.
+            let ack = eng.submit_feedback(feedback(k)).expect("feedback");
+            last = ack.refresh.or(last);
+        }
+        let status = eng.online_status().expect("online");
+        assert_eq!(status.feedback_count, 24);
+        assert!(status.buffer_len > 0);
+        if let Some(pending) = last {
+            let _ = pending.wait();
+        }
+        drop(eng); // drains the (bounded) queue and joins cleanly
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_keys_separate_generations() {
+        // The same (features, A) under a different generation is a
+        // different key — the property that makes stale hits across
+        // hot-swaps impossible.
+        assert_ne!(
+            cache_key(0, &[1.0, 2.0], 0.5),
+            cache_key(1, &[1.0, 2.0], 0.5)
+        );
+        let mut cache = LruCache::new(4);
+        let p = |x: f64| SurrogatePrediction {
+            pf: x,
+            e_avg: x,
+            e_std: x,
+        };
+        cache.insert(cache_key(0, &[1.0], 1.0), p(0.25));
+        assert_eq!(cache.get(&cache_key(1, &[1.0], 1.0)), None);
+    }
+
+    fn feedback(k: usize) -> FeedbackRecord {
+        FeedbackRecord {
+            features: vec![k as f64 / 5.0, 0.25 - k as f64 / 9.0],
+            a: 0.5 + k as f64 * 0.75,
+            observed_pf: ((k * 7) % 11) as f64 / 10.0,
+            observed_e_avg: 3.0 + (k % 5) as f64,
+            observed_e_std: 0.5 + (k % 3) as f64 * 0.25,
+            instance_tag: format!("fb{k}"),
+            seed: k as u64,
+        }
+    }
+
+    fn online_config(dir: &std::path::Path) -> OnlineConfig {
+        OnlineConfig {
+            refresh_after: 4,
+            buffer_capacity: 16,
+            recent_capacity: 8,
+            feedback_weight: 2,
+            epochs: 3,
+            learning_rate: 1e-3,
+            batch_size: 8,
+            max_pending_retrains: 2,
+            seed: 13,
+            checkpoint_dir: Some(dir.to_path_buf()),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qross_serve_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn offline_engine_rejects_feedback_and_refresh() {
+        let eng = engine(ServeConfig::default());
+        assert!(!eng.is_online());
+        assert!(eng.online_status().is_none());
+        assert!(matches!(
+            eng.submit_feedback(feedback(0)),
+            Err(QrossError::BadRequest { .. })
+        ));
+        assert!(matches!(eng.refresh(), Err(QrossError::BadRequest { .. })));
+        assert_eq!(eng.generation(), 0);
+    }
+
+    #[test]
+    fn feedback_triggers_deterministic_swap() {
+        let dir = temp_dir("swap");
+        let run = |sub: &str| -> (Vec<u64>, SurrogatePrediction) {
+            let eng = ServeEngine::with_online(
+                ServeModel::Surrogate(Arc::new(tiny_surrogate())),
+                ServeConfig {
+                    workers: 2,
+                    ..Default::default()
+                },
+                online_config(&dir.join(sub)),
+                None,
+            )
+            .expect("online engine");
+            let mut generations = Vec::new();
+            for k in 0..8 {
+                let ack = eng.submit_feedback(feedback(k)).expect("feedback");
+                assert_eq!(ack.feedback_count, k as u64 + 1);
+                if let Some(pending) = ack.refresh {
+                    generations.push(pending.wait().expect("swap"));
+                }
+            }
+            let post = eng.predict(&[0.3, -0.1], 1.25).expect("predict");
+            (generations, post)
+        };
+        let (gens_a, post_a) = run("a");
+        let (gens_b, post_b) = run("b");
+        // refresh_after = 4 over 8 records: exactly two swaps, at gens 1
+        // and 2 — and the whole loop is bit-reproducible.
+        assert_eq!(gens_a, vec![1, 2]);
+        assert_eq!(gens_a, gens_b);
+        assert_eq!(post_a.pf.to_bits(), post_b.pf.to_bits());
+        assert_eq!(post_a.e_avg.to_bits(), post_b.e_avg.to_bits());
+        assert_eq!(post_a.e_std.to_bits(), post_b.e_std.to_bits());
+        // Both runs wrote bit-identical checkpoints.
+        for g in 1..=2 {
+            let name = format!("ckpt-g{g:06}.qross");
+            let a = std::fs::read(dir.join("a").join(&name)).expect("checkpoint a");
+            let b = std::fs::read(dir.join("b").join(&name)).expect("checkpoint b");
+            assert_eq!(a, b, "checkpoint {name} differs between runs");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn swap_changes_answers_and_cache_does_not_bleed() {
+        let dir = temp_dir("bleed");
+        let eng = ServeEngine::with_online(
+            ServeModel::Surrogate(Arc::new(tiny_surrogate())),
+            ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            OnlineConfig {
+                refresh_after: 0, // manual refreshes only
+                ..online_config(&dir)
+            },
+            None,
+        )
+        .expect("online engine");
+        let f = [0.4, 0.9];
+        // Warm the cache on generation 0, twice (second hit is cached).
+        let before = eng.predict(&f, 2.0).expect("gen0");
+        assert_eq!(eng.predict(&f, 2.0).expect("gen0 again"), before);
+        for k in 0..4 {
+            eng.submit_feedback(feedback(k)).expect("feedback");
+        }
+        let gen = eng.refresh().expect("refresh").wait().expect("swap");
+        assert_eq!(gen, 1);
+        assert_eq!(eng.generation(), 1);
+        // Post-swap answers come from the new generation, not the warm
+        // cache entry, and match the checkpoint exactly.
+        let after = eng.predict(&f, 2.0).expect("gen1");
+        // pf can saturate at the clamp; the linear energy head always
+        // moves when the fine-tune moved weights.
+        assert_ne!(
+            before.e_avg.to_bits(),
+            after.e_avg.to_bits(),
+            "fine-tune moved no weights — the bleed check is vacuous"
+        );
+        let ckpt = SurrogateCheckpoint::load(dir.join("ckpt-g000001.qross")).expect("checkpoint");
+        let lineage = ckpt.lineage.expect("lineage written");
+        assert_eq!(lineage.generation, 1);
+        assert_eq!(lineage.parent_generation, 0);
+        assert_eq!(lineage.feedback_count, 4);
+        let reloaded = Surrogate::from_state(ckpt.state).expect("state");
+        let direct = reloaded.predict(&f, 2.0);
+        assert_eq!(after.pf.to_bits(), direct.pf.to_bits());
+        assert_eq!(after.e_avg.to_bits(), direct.e_avg.to_bits());
+        assert_eq!(after.e_std.to_bits(), direct.e_std.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_with_nothing_to_train_on_keeps_old_generation() {
+        let dir = temp_dir("empty");
+        let eng = ServeEngine::with_online(
+            ServeModel::Surrogate(Arc::new(tiny_surrogate())),
+            ServeConfig::default(),
+            OnlineConfig {
+                refresh_after: 0,
+                ..online_config(&dir)
+            },
+            None,
+        )
+        .expect("online engine");
+        let err = eng.refresh().expect("queued").wait().unwrap_err();
+        assert!(matches!(err, QrossError::BadDataset { .. }), "{err}");
+        assert_eq!(eng.generation(), 0);
+        // …and the engine still serves.
+        assert!(eng.predict(&[0.0, 0.0], 1.0).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_feedback_is_rejected_with_typed_errors() {
+        let dir = temp_dir("invalid");
+        let eng = ServeEngine::with_online(
+            ServeModel::Surrogate(Arc::new(tiny_surrogate())),
+            ServeConfig::default(),
+            online_config(&dir),
+            None,
+        )
+        .expect("online engine");
+        let mut wrong_width = feedback(0);
+        wrong_width.features.push(0.0);
+        let mut bad_pf = feedback(0);
+        bad_pf.observed_pf = 2.0;
+        for bad in [wrong_width, bad_pf] {
+            assert!(matches!(
+                eng.submit_feedback(bad),
+                Err(QrossError::BadRequest { .. })
+            ));
+        }
+        // Rejected feedback never counts.
+        assert_eq!(eng.stats().feedback, 0);
+        assert_eq!(eng.online_status().expect("online").feedback_count, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

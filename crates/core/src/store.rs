@@ -19,11 +19,19 @@
 //! | [`SurrogateDataset`] | `DSET`   | `DATA` |
 //! | [`Scalers`]          | `SCLR`   | `DATA` |
 //! | [`SurrogateState`]   | `SURR`   | `SURR` |
+//! | [`SurrogateCheckpoint`] | `SURR` (payload v2) | `SURR`, `LINE` (optional) |
 //! | [`PipelineConfig`]   | `PCFG`   | `DATA` |
 //! | [`CollectedCorpus`]  | `CORP`   | `PCFG`, `FEAT`, `INST`, `DSET` |
 //! | [`QrossBundle`]      | `BNDL`   | `PCFG`, `FEAT`, `SURR`, `INST`, `RPRT` |
 //! | [`MethodCurve`]      | `MCRV`   | `DATA` |
 //! | [`StrategyRun`]      | `SRUN`   | `DATA` |
+//!
+//! The `SURR` payload was bumped 1 → 2 **compatibly** for the online
+//! hot-swap loop: v2 adds an optional `LINE` section carrying the swap
+//! lineage ([`LineageHeader`]), and the v2 reader
+//! ([`SurrogateCheckpoint`]) still decodes plain v1 snapshots (lineage
+//! `None`). v1 readers ([`SurrogateState`]) reject v2 files with a typed
+//! `UnsupportedVersion` rather than misreading them.
 
 use mathkit::stats::ZScore;
 use mathkit::Matrix;
@@ -37,6 +45,7 @@ use crate::collect::{CollectConfig, SolverObservation};
 use crate::dataset::{DatasetRow, Scalers, SurrogateDataset};
 use crate::eval::{MethodCurve, StrategyRun};
 use crate::features::FeaturizerSpec;
+use crate::online::{LineageHeader, SurrogateCheckpoint};
 use crate::pipeline::{CollectedCorpus, PipelineConfig, QrossBundle};
 use crate::surrogate::{SurrogateConfig, SurrogateState, TrainReport};
 use crate::QrossError;
@@ -377,6 +386,64 @@ impl Artifact for SurrogateState {
         let state = get_surrogate_state(&mut r)?;
         r.finish()?;
         Ok(state)
+    }
+}
+
+fn put_lineage(w: &mut ByteWriter, l: &LineageHeader) {
+    w.put_u64(l.generation);
+    w.put_u64(l.parent_generation);
+    w.put_u64(l.seed);
+    w.put_u64(l.retrain_index);
+    w.put_u64(l.feedback_count);
+    w.put_u64(l.replay_len);
+}
+
+fn get_lineage(r: &mut ByteReader<'_>) -> Result<LineageHeader, StoreError> {
+    Ok(LineageHeader {
+        generation: r.get_u64()?,
+        parent_generation: r.get_u64()?,
+        seed: r.get_u64()?,
+        retrain_index: r.get_u64()?,
+        feedback_count: r.get_u64()?,
+        replay_len: r.get_u64()?,
+    })
+}
+
+/// The online checkpoint: `SURR` payload **v2** — the v1 surrogate
+/// snapshot plus an optional `LINE` lineage section. Reads v1 files too
+/// (lineage decodes to `None`), so a checkpoint-aware loader subsumes
+/// plain snapshots; a v1 reader ([`SurrogateState`]) encountering a v2
+/// checkpoint gets a typed `UnsupportedVersion`, never a misparse.
+impl Artifact for SurrogateCheckpoint {
+    const KIND: [u8; 4] = *b"SURR";
+    const VERSION: u32 = 2;
+
+    fn write_sections(&self, out: &mut SectionWriter) {
+        out.section(*b"SURR", |w| put_surrogate_state(w, &self.state));
+        if let Some(lineage) = &self.lineage {
+            out.section(*b"LINE", |w| put_lineage(w, lineage));
+        }
+    }
+
+    fn read_sections(reader: &SectionReader<'_>) -> Result<Self, StoreError> {
+        let mut sur = reader.section(*b"SURR")?;
+        let state = get_surrogate_state(&mut sur)?;
+        sur.finish()?;
+        let lineage = if reader.tags().contains(b"LINE") {
+            let mut line = reader.section(*b"LINE")?;
+            let lineage = get_lineage(&mut line)?;
+            line.finish()?;
+            if lineage.generation <= lineage.parent_generation {
+                return Err(corrupt(format!(
+                    "lineage runs backwards: generation {} from parent {}",
+                    lineage.generation, lineage.parent_generation
+                )));
+            }
+            Some(lineage)
+        } else {
+            None
+        };
+        Ok(SurrogateCheckpoint { lineage, state })
     }
 }
 
@@ -781,6 +848,98 @@ mod tests {
         };
         assert!(matches!(
             CollectedCorpus::from_store_bytes(&corpus.to_store_bytes()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    fn sample_surrogate_state() -> SurrogateState {
+        use neural::network::MlpBuilder;
+        SurrogateState {
+            pf_net: MlpBuilder::new(3)
+                .dense(4)
+                .relu()
+                .dense(1)
+                .sigmoid()
+                .build(5)
+                .to_state(),
+            e_net: MlpBuilder::new(3)
+                .dense(4)
+                .relu()
+                .dense(2)
+                .build(6)
+                .to_state(),
+            scalers: sample_scalers(),
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_with_lineage() {
+        let ckpt = SurrogateCheckpoint {
+            lineage: Some(LineageHeader {
+                generation: 7,
+                parent_generation: 6,
+                seed: 42,
+                retrain_index: 7,
+                feedback_count: 448,
+                replay_len: 128,
+            }),
+            state: sample_surrogate_state(),
+        };
+        let bytes = ckpt.to_store_bytes();
+        let back = SurrogateCheckpoint::from_store_bytes(&bytes).unwrap();
+        assert_eq!(back.lineage, ckpt.lineage);
+        assert_eq!(back.state.pf_net, ckpt.state.pf_net);
+        assert_eq!(back.state.e_net, ckpt.state.e_net);
+        assert_eq!(back.state.scalers, ckpt.state.scalers);
+    }
+
+    #[test]
+    fn checkpoint_reader_accepts_v1_snapshots() {
+        // A plain v1 SurrogateState file loads as a lineage-less
+        // checkpoint: the payload bump is backwards compatible.
+        let state = sample_surrogate_state();
+        let v1_bytes = state.to_store_bytes();
+        let back = SurrogateCheckpoint::from_store_bytes(&v1_bytes).unwrap();
+        assert!(back.lineage.is_none());
+        assert_eq!(back.state.pf_net, state.pf_net);
+    }
+
+    #[test]
+    fn v1_reader_rejects_v2_checkpoints_typed() {
+        // The old reader must refuse the newer payload instead of
+        // silently dropping the lineage it does not understand.
+        let ckpt = SurrogateCheckpoint {
+            lineage: Some(LineageHeader {
+                generation: 1,
+                parent_generation: 0,
+                seed: 0,
+                retrain_index: 1,
+                feedback_count: 8,
+                replay_len: 8,
+            }),
+            state: sample_surrogate_state(),
+        };
+        assert!(matches!(
+            SurrogateState::from_store_bytes(&ckpt.to_store_bytes()),
+            Err(StoreError::UnsupportedVersion { found: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn backwards_lineage_rejected() {
+        let ckpt = SurrogateCheckpoint {
+            lineage: Some(LineageHeader {
+                generation: 3,
+                parent_generation: 3,
+                seed: 0,
+                retrain_index: 1,
+                feedback_count: 1,
+                replay_len: 1,
+            }),
+            state: sample_surrogate_state(),
+        };
+        assert!(matches!(
+            SurrogateCheckpoint::from_store_bytes(&ckpt.to_store_bytes()),
             Err(StoreError::Corrupt { .. })
         ));
     }

@@ -122,16 +122,21 @@ pub fn propose(
     let slope: Vec<usize> = (0..GRID)
         .filter(|&k| preds[k].pf >= 0.2 && preds[k].pf <= 0.98)
         .collect();
-    let (wlo, whi) = if slope.is_empty() {
-        (lo.ln(), hi.ln()) // saturated Pf head: fall back to the full window
-    } else {
-        // No margin on the left (Pf prediction error there costs
-        // feasibility); two grid steps on the right, where the energy dip
-        // often sits just past the predicted Pf ≈ 1 boundary.
-        let step = (hi.ln() - lo.ln()) / (GRID - 1) as f64;
-        let first = ln_grid[*slope.first().expect("non-empty")];
-        let last = ln_grid[*slope.last().expect("non-empty")] + 2.0 * step;
-        (first, last.min(hi.ln()))
+    let (wlo, whi) = match (slope.first(), slope.last()) {
+        (Some(&first), Some(&last)) => {
+            // No margin on the left (Pf prediction error there costs
+            // feasibility); two grid steps on the right, where the energy
+            // dip often sits just past the predicted Pf ≈ 1 boundary.
+            let step = (hi.ln() - lo.ln()) / (GRID - 1) as f64;
+            let right = ln_grid[last] + 2.0 * step;
+            (ln_grid[first], right.min(hi.ln()))
+        }
+        // Empty slope set — a saturated or flat predicted Pf landscape
+        // (e.g. a constant surrogate): no slope to focus on, search the
+        // full clamped window instead. (This arm used to be reached via
+        // an is_empty() check guarding a pair of `expect("non-empty")`
+        // unwraps; matching on first/last makes the fallback total.)
+        _ => (lo.ln(), hi.ln()),
     };
 
     // Dense objective grid in ONE batched forward per head; only the
@@ -252,5 +257,71 @@ mod tests {
     #[test]
     fn degenerate_sigma() {
         assert_eq!(expected_min_fitness(1.0, 7.0, 0.0, 32), 7.0);
+    }
+
+    /// A surrogate with zeroed dense layers: Pf is the constant
+    /// `sigmoid(pf_bias)` and the energy heads are constant too — the
+    /// flat predicted landscape whose empty slope set used to sit one
+    /// `is_empty()` check away from an `expect` panic.
+    fn constant_surrogate(pf_bias: f64) -> Surrogate {
+        use crate::dataset::Scalers;
+        use crate::surrogate::SurrogateState;
+        use mathkit::stats::ZScore;
+        use neural::layers::LayerSpec;
+        use neural::network::MlpState;
+        let dense = |output: usize, bias: Vec<f64>| LayerSpec::Dense {
+            input: 2,
+            output,
+            weights: vec![0.0; 2 * output],
+            bias,
+        };
+        let z = |m: f64, s: f64| ZScore { mean: m, std: s };
+        Surrogate::from_state(SurrogateState {
+            pf_net: MlpState {
+                input_dim: 2,
+                layers: vec![dense(1, vec![pf_bias]), LayerSpec::Sigmoid],
+            },
+            e_net: MlpState {
+                input_dim: 2,
+                layers: vec![dense(2, vec![0.0, 0.0])],
+            },
+            scalers: Scalers {
+                features: vec![z(0.0, 1.0)],
+                log_a: z(0.0, 1.0),
+                e_avg: z(5.0, 2.0),
+                e_std: z(1.0, 0.5),
+            },
+        })
+        .expect("consistent state")
+    }
+
+    #[test]
+    fn constant_surrogate_below_slope_falls_back_to_full_domain() {
+        // sigmoid(-2) ≈ 0.119 < 0.2 everywhere: the slope set is empty,
+        // but Pf·batch ≥ 1 keeps the objective finite — propose must
+        // fall back to the full domain and succeed, not panic.
+        let sur = constant_surrogate(-2.0);
+        let m = propose(&sur, &[0.0], (0.05, 10.0), 24).expect("flat landscape proposes");
+        assert!((0.05..=10.0).contains(&m.x), "proposal {} escaped", m.x);
+        assert!(m.value.is_finite());
+    }
+
+    #[test]
+    fn constant_surrogate_on_slope_still_proposes() {
+        // sigmoid(0) = 0.5 everywhere: the slope set is the whole grid.
+        let sur = constant_surrogate(0.0);
+        let m = propose(&sur, &[0.0], (0.05, 10.0), 24).expect("proposes");
+        assert!((0.05..=10.0).contains(&m.x));
+    }
+
+    #[test]
+    fn constant_zero_feasibility_is_a_typed_error() {
+        // sigmoid(-40) ≈ 0: every candidate has an infinite expected
+        // minimum — NoCandidate, not a panic.
+        let sur = constant_surrogate(-40.0);
+        assert!(matches!(
+            propose(&sur, &[0.0], (0.05, 10.0), 24),
+            Err(QrossError::NoCandidate { .. })
+        ));
     }
 }

@@ -53,6 +53,32 @@ impl Default for SurrogateConfig {
     }
 }
 
+/// Hyper-parameters for [`Surrogate::fine_tune`] — one continual-learning
+/// refresh, as opposed to the from-scratch [`SurrogateConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneConfig {
+    /// gradient epochs over the merged dataset
+    pub epochs: usize,
+    /// Adam learning rate (typically well below the offline rate — the
+    /// heads start from trained weights)
+    pub learning_rate: f64,
+    /// mini-batch size
+    pub batch_size: usize,
+    /// shuffling seed — fine-tuning is bit-reproducible given it
+    pub seed: u64,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        FineTuneConfig {
+            epochs: 60,
+            learning_rate: 5e-4,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
 /// Prediction triple for one `(instance, A)` query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SurrogatePrediction {
@@ -237,6 +263,87 @@ impl Surrogate {
                 pf_net,
                 e_net,
                 scalers,
+            },
+            report,
+        ))
+    }
+
+    /// Fine-tunes a copy of this surrogate on `dataset`, resuming from
+    /// the current weights — the continual-learning counterpart of
+    /// [`Surrogate::train`], used by the serving engine's retrain/swap
+    /// loop.
+    ///
+    /// Two deliberate differences from a fresh train:
+    ///
+    /// * **weights resume** ([`neural::trainer::fine_tune`]): both heads
+    ///   continue gradient descent from their trained state instead of
+    ///   re-initialising, so a handful of epochs on a small feedback
+    ///   merge adjusts the model rather than rebuilding it;
+    /// * **scalers are frozen**: the input/target normalisation fitted at
+    ///   offline training time is reused verbatim. Feature geometry must
+    ///   stay fixed across generations for hot-swap to be transparent
+    ///   (same `feature_dim`, same input transform), and refitting
+    ///   scalers on a replay mix would silently re-scale the energy
+    ///   heads' output units between generations.
+    ///
+    /// `self` is untouched — serving continues on it while the returned
+    /// copy trains. Bit-reproducible given `(self, dataset, config)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QrossError::BadDataset`] — empty dataset or a feature width
+    ///   differing from the trained one.
+    /// * [`QrossError::TrainingDiverged`] — a head's loss became
+    ///   non-finite during fine-tuning.
+    /// * [`QrossError::Persistence`] — a head's snapshot failed to
+    ///   rebuild for the resumed copy (unreachable for surrogates built
+    ///   through the public API, which only hold valid networks).
+    pub fn fine_tune(
+        &self,
+        dataset: &SurrogateDataset,
+        config: &FineTuneConfig,
+    ) -> Result<(Self, TrainReport), QrossError> {
+        if dataset.feat_dim() + 1 != self.scalers.input_dim() {
+            return Err(QrossError::BadDataset {
+                message: format!(
+                    "fine-tune dataset is {}-wide but the surrogate was trained on {} features",
+                    dataset.feat_dim(),
+                    self.scalers.input_dim() - 1
+                ),
+            });
+        }
+        let tm = to_matrices(dataset, &self.scalers)?;
+        let tc = TrainConfig {
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            optimizer: OptimizerConfig::adam(config.learning_rate),
+            seed: config.seed,
+            target_loss: None,
+        };
+        let tune =
+            |net: &Mlp, y: &Matrix, loss: &Loss| -> Result<(Mlp, TrainHistory), QrossError> {
+                let (tuned, hist) = neural::trainer::fine_tune(net, &tm.x, y, None, loss, &tc)
+                    .map_err(|e| QrossError::Persistence {
+                        message: format!("resuming from trained weights: {e}"),
+                    })?;
+                if hist.diverged {
+                    return Err(QrossError::TrainingDiverged);
+                }
+                Ok((tuned, hist))
+            };
+        let (pf_net, pf_hist) = tune(&self.pf_net, &tm.y_pf, &Loss::Bce)?;
+        let (e_net, e_hist) = tune(&self.e_net, &tm.y_energy, &Loss::Huber { delta: 1.0 })?;
+        let report = TrainReport {
+            pf: pf_hist,
+            energy: e_hist,
+            train_rows: dataset.len(),
+            val_rows: 0,
+        };
+        Ok((
+            Surrogate {
+                pf_net,
+                e_net,
+                scalers: self.scalers.clone(),
             },
             report,
         ))
@@ -582,6 +689,79 @@ mod tests {
         assert_eq!(report.pf.final_train_loss(), None);
         let p = sur.predict(&[0.5], 1.0);
         assert!(p.pf.is_finite() && p.e_avg.is_finite() && p.e_std.is_finite());
+    }
+
+    #[test]
+    fn fine_tune_is_deterministic_and_freezes_scalers() {
+        let ds = synthetic_dataset(8, 10);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let cfg = FineTuneConfig {
+            epochs: 20,
+            seed: 11,
+            ..Default::default()
+        };
+        let (a, report) = sur.fine_tune(&ds, &cfg).unwrap();
+        let (b, _) = sur.fine_tune(&ds, &cfg).unwrap();
+        // Bit-reproducible given (base, dataset, config).
+        let p = |s: &Surrogate| s.predict(&[0.4], 1.2);
+        assert_eq!(p(&a), p(&b));
+        assert_eq!(report.val_rows, 0);
+        assert_eq!(report.train_rows, ds.len());
+        // Scalers are frozen: input/target normalisation is unchanged.
+        assert_eq!(a.scalers(), sur.scalers());
+        // The base surrogate is untouched by the tuning.
+        let before = p(&sur);
+        let _ = sur.fine_tune(&ds, &cfg).unwrap();
+        assert_eq!(p(&sur), before);
+    }
+
+    #[test]
+    fn fine_tune_improves_on_shifted_data() {
+        // Train on one regime, fine-tune on a shifted one: the tuned
+        // model must fit the new data better than the frozen base.
+        let ds = synthetic_dataset(10, 12);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let mut shifted = SurrogateDataset::new(1);
+        for row in ds.rows() {
+            shifted.push(DatasetRow {
+                e_avg: row.e_avg + 3.0,
+                ..row.clone()
+            });
+        }
+        let cfg = FineTuneConfig {
+            epochs: 120,
+            learning_rate: 2e-3,
+            ..Default::default()
+        };
+        let (tuned, _) = sur.fine_tune(&shifted, &cfg).unwrap();
+        let sse = |s: &Surrogate| -> f64 {
+            shifted
+                .rows()
+                .iter()
+                .map(|r| (s.predict(&r.features, r.a).e_avg - r.e_avg).powi(2))
+                .sum()
+        };
+        assert!(
+            sse(&tuned) < sse(&sur) * 0.6,
+            "fine-tune did not adapt: {} vs base {}",
+            sse(&tuned),
+            sse(&sur)
+        );
+    }
+
+    #[test]
+    fn fine_tune_rejects_bad_datasets() {
+        let ds = synthetic_dataset(6, 8);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let cfg = FineTuneConfig::default();
+        assert!(matches!(
+            sur.fine_tune(&SurrogateDataset::new(1), &cfg),
+            Err(QrossError::BadDataset { .. })
+        ));
+        assert!(matches!(
+            sur.fine_tune(&SurrogateDataset::new(3), &cfg),
+            Err(QrossError::BadDataset { .. })
+        ));
     }
 
     #[test]

@@ -135,6 +135,42 @@ pub fn train_with_validation(
     history
 }
 
+/// Fine-tunes a copy of an already-trained network — the continual-
+/// learning entry point.
+///
+/// Unlike building a fresh net and calling [`train`], this **resumes from
+/// the trained weights**: `base` is snapshotted ([`Mlp::to_state`]) and the
+/// copy continues gradient descent from exactly where the previous
+/// training run stopped. `base` itself is untouched, so a serving process
+/// can keep answering requests on it while the returned copy trains — the
+/// property the online hot-swap path relies on.
+///
+/// Deterministic given the config seed, like [`train`]: the same base
+/// state, data and config produce a bit-identical tuned network.
+///
+/// # Errors
+///
+/// Returns [`NeuralError::InvalidModel`] if `base`'s snapshot does not
+/// rebuild (cannot happen for a network constructed through the public
+/// API, but a typed error beats a panic on one that was hand-assembled).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or the training set is empty (as
+/// [`train_with_validation`]).
+pub fn fine_tune(
+    base: &Mlp,
+    x: &Matrix,
+    y: &Matrix,
+    validation: Option<(&Matrix, &Matrix)>,
+    loss: &Loss,
+    config: &TrainConfig,
+) -> Result<(Mlp, TrainHistory), crate::NeuralError> {
+    let mut net = Mlp::from_state(&base.to_state())?;
+    let history = train_with_validation(&mut net, x, y, validation, loss, config);
+    Ok((net, history))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +301,35 @@ mod tests {
         assert!(!h.diverged);
         assert_eq!(h.initial_train_loss(), None);
         assert_eq!(h.final_train_loss(), None);
+    }
+
+    #[test]
+    fn fine_tune_resumes_from_trained_weights() {
+        let (x, y) = linear_data(64);
+        let mut net = MlpBuilder::new(2).dense(4).relu().dense(1).build(8);
+        let cfg = TrainConfig {
+            epochs: 60,
+            ..Default::default()
+        };
+        let h = train(&mut net, &x, &y, &Loss::Mse, &cfg);
+        let partial = *h.train_loss.last().unwrap();
+        // Fine-tuning must pick up where training stopped: its first epoch
+        // loss is near the base's last, far below a fresh net's first.
+        let (tuned, th) = fine_tune(&net, &x, &y, None, &Loss::Mse, &cfg).unwrap();
+        let resumed_first = *th.train_loss.first().unwrap();
+        assert!(
+            resumed_first < h.train_loss[0] / 2.0,
+            "fine-tune restarted from scratch: {resumed_first} vs fresh {}",
+            h.train_loss[0]
+        );
+        assert!(*th.train_loss.last().unwrap() <= partial * 1.5);
+        // The base network is untouched (serving can continue on it).
+        let before = net.to_state();
+        assert_eq!(before, net.to_state());
+        assert_ne!(tuned.to_state(), before, "weights did not move");
+        // Determinism: same base + data + seed, same tuned network.
+        let (tuned2, _) = fine_tune(&net, &x, &y, None, &Loss::Mse, &cfg).unwrap();
+        assert_eq!(tuned.to_state(), tuned2.to_state());
     }
 
     #[test]

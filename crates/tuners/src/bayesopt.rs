@@ -93,11 +93,20 @@ impl BayesOpt {
 
     /// Posterior mean/std at `x` given standardised targets, using the
     /// precomputed Cholesky factor and `K⁻¹ y`.
+    ///
+    /// Degrades to the GP *prior* `(0, √(1 + σₙ²))` when the triangular
+    /// solve fails (a factor whose dimension disagrees with the
+    /// observation set — this used to be an `expect` panic path): a
+    /// prior-only posterior keeps the acquisition well-defined and the
+    /// tuner serving proposals.
     fn posterior(&self, x: f64, xs: &[f64], alpha: &[f64], chol: &Cholesky) -> (f64, f64) {
+        let prior_std = (1.0 + self.config.noise_std.powi(2)).sqrt();
         let kvec: Vec<f64> = xs.iter().map(|&xi| self.kernel(x, xi)).collect();
+        let Ok(v) = chol.solve_lower(&kvec) else {
+            return (0.0, prior_std);
+        };
         let mean: f64 = kvec.iter().zip(alpha.iter()).map(|(k, a)| k * a).sum();
         // var = k(x,x) − kᵀ K⁻¹ k, via the triangular solve L v = k.
-        let v = chol.solve_lower(&kvec).expect("dimensions match");
         let explained: f64 = v.iter().map(|vi| vi * vi).sum();
         let var = (1.0 + self.config.noise_std.powi(2) - explained).max(1e-12);
         (mean, var.sqrt())
@@ -133,7 +142,12 @@ impl Tuner for BayesOpt {
             // Pathological duplicates: fall back to random exploration.
             Err(_) => return self.rng.gen_range(self.lo..=self.hi),
         };
-        let alpha = chol.solve(&targets).expect("dimensions match");
+        // A solve failure (degenerate/ill-conditioned Gram the jitter
+        // could not rescue) falls back to random exploration too — the
+        // GP is unusable this round, not the tuner.
+        let Ok(alpha) = chol.solve(&targets) else {
+            return self.rng.gen_range(self.lo..=self.hi);
+        };
 
         let y_best = targets.iter().cloned().fold(f64::INFINITY, f64::min);
 
@@ -270,5 +284,46 @@ mod tests {
         // Gram matrix is rank-1; ask must still return a valid point.
         let x = t.ask();
         assert!((0.0..=10.0).contains(&x));
+    }
+
+    #[test]
+    fn degenerate_gram_with_zero_noise_is_handled() {
+        // noise_std = 0 removes the diagonal regularisation that normally
+        // rescues a rank-deficient Gram built from duplicated
+        // observations — the worst-conditioned matrix the GP path can
+        // see. Every ask must still produce an in-domain proposal through
+        // the fallible solve/fallback paths, never a panic.
+        let mut t = BayesOpt::with_config(
+            0.0,
+            10.0,
+            9,
+            BayesOptConfig {
+                warmup: 2,
+                noise_std: 0.0,
+                ..Default::default()
+            },
+        );
+        for _ in 0..12 {
+            t.tell(5.0, 1.0);
+            t.tell(5.0 + 1e-13, 1.0); // near-duplicate: ill-conditioned
+            let x = t.ask();
+            assert!((0.0..=10.0).contains(&x), "proposal {x} out of domain");
+        }
+    }
+
+    #[test]
+    fn posterior_with_mismatched_factor_degrades_to_prior() {
+        // Regression for the former `expect("dimensions match")` panic:
+        // a Cholesky factor whose dimension disagrees with the
+        // observation set now yields the GP prior instead of aborting.
+        let t = BayesOpt::new(0.0, 10.0, 1);
+        let xs = [1.0, 5.0, 9.0];
+        let alpha = [0.1, -0.2, 0.3];
+        let small = Matrix::from_rows(&[&[1.1, 0.2], &[0.2, 1.1]]);
+        let chol = Cholesky::factor(&small).unwrap();
+        let (mu, sigma) = t.posterior(4.0, &xs, &alpha, &chol);
+        assert_eq!(mu, 0.0);
+        let prior_std = (1.0 + t.config.noise_std.powi(2)).sqrt();
+        assert_eq!(sigma, prior_std);
     }
 }

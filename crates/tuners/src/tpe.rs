@@ -98,9 +98,34 @@ impl Tuner for Tpe {
         let good: Vec<f64> = sorted[..n_good].iter().map(|o| o.x).collect();
         let bad: Vec<f64> = sorted[n_good..].iter().map(|o| o.x).collect();
 
-        let l = ParzenEstimator::fit(&good, self.lo, self.hi).expect("non-empty good set");
-        let g = ParzenEstimator::fit(&bad, self.lo, self.hi).expect("non-empty bad set");
+        self.propose_from_split(&good, &bad)
+    }
 
+    fn tell(&mut self, x: f64, y: f64) {
+        validate_observation(self.lo, self.hi, x, y);
+        self.observations.push(Observation { x, y });
+    }
+
+    fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+}
+
+impl Tpe {
+    /// Fits the good/bad Parzen mixtures and proposes the best density
+    /// ratio among sampled candidates.
+    ///
+    /// Degrades to a uniform draw over the domain when either mixture
+    /// cannot be fitted (an empty split — this used to be an
+    /// `expect("non-empty good set")` panic path): with no model of the
+    /// good region, uniform exploration is the only unbiased proposal.
+    fn propose_from_split(&mut self, good: &[f64], bad: &[f64]) -> f64 {
+        let (Ok(l), Ok(g)) = (
+            ParzenEstimator::fit(good, self.lo, self.hi),
+            ParzenEstimator::fit(bad, self.lo, self.hi),
+        ) else {
+            return self.rng.gen_range(self.lo..=self.hi);
+        };
         // Sample candidates from l, keep the best density ratio.
         let mut best_x = self.rng.gen_range(self.lo..=self.hi);
         let mut best_score = f64::NEG_INFINITY;
@@ -113,15 +138,6 @@ impl Tuner for Tpe {
             }
         }
         best_x
-    }
-
-    fn tell(&mut self, x: f64, y: f64) {
-        validate_observation(self.lo, self.hi, x, y);
-        self.observations.push(Observation { x, y });
-    }
-
-    fn observations(&self) -> &[Observation] {
-        &self.observations
     }
 }
 
@@ -191,6 +207,28 @@ mod tests {
         }
         let x = t.ask();
         assert!((0.0..=10.0).contains(&x));
+    }
+
+    #[test]
+    fn empty_splits_degrade_to_uniform_sampling() {
+        // Regression for the former `expect("non-empty good set")`
+        // panic: an unfittable split must yield a uniform in-domain
+        // proposal, not an abort.
+        let mut t = Tpe::new(2.0, 8.0, 4);
+        for (good, bad) in [
+            (&[][..], &[3.0, 4.0][..]), // empty good set
+            (&[3.0, 4.0][..], &[][..]), // empty bad set
+            (&[][..], &[][..]),         // both empty
+        ] {
+            for _ in 0..20 {
+                let x = t.propose_from_split(good, bad);
+                assert!((2.0..=8.0).contains(&x), "proposal {x} escaped domain");
+            }
+        }
+        // The degraded draws explore (not a constant point).
+        let a = t.propose_from_split(&[], &[]);
+        let b = t.propose_from_split(&[], &[]);
+        assert_ne!(a, b);
     }
 
     #[test]
