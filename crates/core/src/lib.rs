@@ -55,7 +55,7 @@ pub use features::{FeatureExtractor, FeaturizerSpec, RandomGcnFeaturizer, Statis
 pub use online::{FeedbackRecord, LineageHeader, OnlineConfig, ReplayBuffer, SurrogateCheckpoint};
 pub use pipeline::{CollectedCorpus, QrossBundle};
 pub use serve::{ServeConfig, ServeEngine, ServeModel, ServeStats, VersionedModel};
-pub use surrogate::{Surrogate, SurrogatePrediction};
+pub use surrogate::{PredictScratch, Surrogate, SurrogatePrediction};
 
 /// Errors from the QROSS pipeline.
 #[derive(Debug, Clone, PartialEq)]

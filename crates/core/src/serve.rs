@@ -572,6 +572,10 @@ impl Shared {
     /// pass per head, repeat until shutdown *and* the queue is empty
     /// (queued work is always drained, never dropped).
     fn worker_loop(self: &Arc<Self>) {
+        // Per-worker input-staging scratch: batched predicts reuse one
+        // buffer across this worker's lifetime instead of allocating per
+        // drained batch (bit-invisible — see `PredictScratch`).
+        let mut scratch = crate::surrogate::PredictScratch::new();
         loop {
             let batch: Vec<Job> = {
                 let mut q = lock(&self.queue);
@@ -603,7 +607,7 @@ impl Shared {
                 }
                 batch
             };
-            self.process_batch(batch);
+            self.process_batch(&mut scratch, batch);
         }
     }
 
@@ -615,7 +619,11 @@ impl Shared {
     /// submit time, so every job is answered by exactly the model it was
     /// admitted under (per-row bit-exactness is unaffected — matrix rows
     /// are accumulated independently).
-    fn process_batch(self: &Arc<Self>, mut batch: Vec<Job>) {
+    fn process_batch(
+        self: &Arc<Self>,
+        scratch: &mut crate::surrogate::PredictScratch,
+        mut batch: Vec<Job>,
+    ) {
         // (job index, slot index) per generation group, in deterministic
         // job/slot order within each group.
         type GenGroup = (Arc<VersionedModel>, Vec<(usize, usize)>);
@@ -638,7 +646,7 @@ impl Shared {
                 .iter()
                 .map(|&(j, slot)| (batch[j].features.as_slice(), batch[j].a_values[slot]))
                 .collect();
-            let predictions = model.model.surrogate().predict_many(&queries);
+            let predictions = model.model.surrogate().predict_many_with(scratch, &queries);
             self.stats.batches.fetch_add(1, Ordering::Relaxed);
             if self.config.cache_capacity > 0 {
                 let mut cache = lock(&self.cache);

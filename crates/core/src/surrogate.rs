@@ -90,6 +90,34 @@ pub struct SurrogatePrediction {
     pub e_std: f64,
 }
 
+/// Reusable input-staging buffer for the batched predict paths
+/// ([`Surrogate::predict_many_with`] / [`Surrogate::predict_grid_with`]).
+///
+/// The batched paths stage query rows into an input matrix before the
+/// forward pass; holding one scratch per worker keeps that staging
+/// allocation out of the serve hot loop (the same pattern as solver
+/// replica scratch reuse). Using a scratch never changes any output bit.
+#[derive(Debug)]
+pub struct PredictScratch {
+    x: Matrix,
+}
+
+impl PredictScratch {
+    /// Creates an empty scratch; buffers grow on first use and are
+    /// reused afterwards.
+    pub fn new() -> Self {
+        PredictScratch {
+            x: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for PredictScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Training diagnostics returned alongside the surrogate.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -229,6 +257,10 @@ impl Surrogate {
             optimizer: OptimizerConfig::adam(config.learning_rate),
             seed: config.seed,
             target_loss: None,
+            // Surrogate training stays on the bit-exact tier so persisted
+            // models reproduce across releases; opt into the fast-math
+            // tier through `neural::trainer::TrainConfig` directly.
+            fast_math: false,
         };
         let pf_hist = train_with_validation(
             &mut pf_net,
@@ -319,6 +351,10 @@ impl Surrogate {
             optimizer: OptimizerConfig::adam(config.learning_rate),
             seed: config.seed,
             target_loss: None,
+            // Surrogate training stays on the bit-exact tier so persisted
+            // models reproduce across releases; opt into the fast-math
+            // tier through `neural::trainer::TrainConfig` directly.
+            fast_math: false,
         };
         let tune =
             |net: &Mlp, y: &Matrix, loss: &Loss| -> Result<(Mlp, TrainHistory), QrossError> {
@@ -381,17 +417,36 @@ impl Surrogate {
     ///
     /// Panics on feature-width mismatch or a non-positive `a`.
     pub fn predict_grid(&self, features: &[f64], a_values: &[f64]) -> Vec<SurrogatePrediction> {
+        self.predict_grid_with(&mut PredictScratch::new(), features, a_values)
+    }
+
+    /// [`Surrogate::predict_grid`] staging the input batch in a reusable
+    /// per-worker [`PredictScratch`] instead of allocating a fresh input
+    /// matrix per call. Output is identical (exact `f64` bits): the
+    /// scratch only changes where the input rows are staged, never what
+    /// they contain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-width mismatch or a non-positive `a`.
+    pub fn predict_grid_with(
+        &self,
+        scratch: &mut PredictScratch,
+        features: &[f64],
+        a_values: &[f64],
+    ) -> Vec<SurrogatePrediction> {
         if a_values.is_empty() {
             return Vec::new();
         }
         let d = self.scalers.input_dim();
-        let mut x = Matrix::zeros(a_values.len(), d);
+        let x = &mut scratch.x;
+        x.reset_zeroed(a_values.len(), d);
         for (r, &a) in a_values.iter().enumerate() {
             x.row_slice_mut(r)
                 .copy_from_slice(&self.scalers.input_row(features, a));
         }
-        let pf_out = self.pf_net.infer(&x);
-        let e_out = self.e_net.infer(&x);
+        let pf_out = self.pf_net.infer(x);
+        let e_out = self.e_net.infer(x);
         (0..a_values.len())
             .map(|r| SurrogatePrediction {
                 pf: pf_out[(r, 0)].clamp(0.0, 1.0),
@@ -421,17 +476,37 @@ impl Surrogate {
     /// Panics on feature-width mismatch or a non-positive `a` (callers
     /// that face untrusted input — the serving engine — validate first).
     pub fn predict_many(&self, queries: &[(&[f64], f64)]) -> Vec<SurrogatePrediction> {
+        self.predict_many_with(&mut PredictScratch::new(), queries)
+    }
+
+    /// [`Surrogate::predict_many`] staging the input batch in a reusable
+    /// per-worker [`PredictScratch`] instead of allocating a fresh input
+    /// matrix per call — the serving engine holds one scratch per worker
+    /// thread. Output is identical (exact `f64` bits) and the
+    /// bit-exactness contract of [`Surrogate::predict_many`] carries over
+    /// unchanged: the scratch only changes where the input rows are
+    /// staged, never what they contain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-width mismatch or a non-positive `a`.
+    pub fn predict_many_with(
+        &self,
+        scratch: &mut PredictScratch,
+        queries: &[(&[f64], f64)],
+    ) -> Vec<SurrogatePrediction> {
         if queries.is_empty() {
             return Vec::new();
         }
         let d = self.scalers.input_dim();
-        let mut x = Matrix::zeros(queries.len(), d);
+        let x = &mut scratch.x;
+        x.reset_zeroed(queries.len(), d);
         for (r, (features, a)) in queries.iter().enumerate() {
             x.row_slice_mut(r)
                 .copy_from_slice(&self.scalers.input_row(features, *a));
         }
-        let pf_out = self.pf_net.infer(&x);
-        let e_out = self.e_net.infer(&x);
+        let pf_out = self.pf_net.infer(x);
+        let e_out = self.e_net.infer(x);
         (0..queries.len())
             .map(|r| SurrogatePrediction {
                 pf: pf_out[(r, 0)].clamp(0.0, 1.0),
@@ -790,5 +865,42 @@ mod tests {
             Surrogate::from_json("{not json"),
             Err(QrossError::Persistence { .. })
         ));
+    }
+
+    /// Scratch-reusing entry points are an allocation optimisation only:
+    /// they must return exactly the f64 bits of the allocating variants,
+    /// including when the same scratch is reused across calls of
+    /// different batch sizes (the serving worker's access pattern).
+    #[test]
+    fn scratch_variants_are_bit_identical() {
+        let ds = synthetic_dataset(10, 12);
+        let (sur, _) = Surrogate::train(&ds, &quick_config()).unwrap();
+        let assert_same = |a: &[SurrogatePrediction], b: &[SurrogatePrediction]| {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.pf.to_bits(), y.pf.to_bits());
+                assert_eq!(x.e_avg.to_bits(), y.e_avg.to_bits());
+                assert_eq!(x.e_std.to_bits(), y.e_std.to_bits());
+            }
+        };
+
+        let mut scratch = PredictScratch::new();
+        // Shrinking, growing, and single-row batches through one scratch.
+        for &rows in &[7usize, 2, 13, 1, 64] {
+            let a_values: Vec<f64> = (0..rows).map(|k| 0.2 + 0.37 * k as f64).collect();
+            let grid = sur.predict_grid(&[0.4], &a_values);
+            let grid_scratch = sur.predict_grid_with(&mut scratch, &[0.4], &a_values);
+            assert_same(&grid, &grid_scratch);
+
+            let feats: Vec<[f64; 1]> = (0..rows).map(|k| [k as f64 / rows as f64]).collect();
+            let queries: Vec<(&[f64], f64)> = feats
+                .iter()
+                .zip(&a_values)
+                .map(|(f, &a)| (f.as_slice(), a))
+                .collect();
+            let many = sur.predict_many(&queries);
+            let many_scratch = sur.predict_many_with(&mut scratch, &queries);
+            assert_same(&many, &many_scratch);
+        }
     }
 }

@@ -1,0 +1,408 @@
+//! Blocked matrix-multiply kernels and the two numeric tiers.
+//!
+//! # Numeric tiers
+//!
+//! The workspace distinguishes two tiers of floating-point guarantees:
+//!
+//! * **Serve tier (bit-exact).** [`matmul_serve`] — used by
+//!   [`Matrix::matmul`](crate::Matrix::matmul) and therefore by
+//!   `Dense::infer` / `Mlp::infer` / `Surrogate::predict*` — produces
+//!   *exactly* the same `f64` bit patterns as the reference
+//!   implementation ([`matmul_reference`]). Every output element is
+//!   accumulated into a single `f64` in ascending-`k` order, and the
+//!   reference's zero-skip (`a[i][k] == 0.0` contributes nothing, even
+//!   when `b[k][j]` is NaN or infinite) is preserved. Blocking and
+//!   register tiling only change *which* elements are in flight
+//!   concurrently, never the per-element accumulation order, so the
+//!   result is bit-identical by construction (and property-tested).
+//!   Persisted artifacts and the train-once/serve-many replay contract
+//!   rely on this tier.
+//!
+//! * **Fast-math tier (value-approximate).** [`matmul_fastmath`] —
+//!   exposed as [`Matrix::matmul_fastmath`](crate::Matrix::matmul_fastmath)
+//!   and opted into by the trainer via `TrainConfig::fast_math` — drops
+//!   the zero-skip branch and reassociates the `k` accumulation into two
+//!   interleaved partial sums for instruction-level parallelism. Results
+//!   agree with the serve tier to normal rounding accuracy but are *not*
+//!   bit-identical. Only collection/training paths, where no
+//!   bit-reproducibility contract exists across code versions, may use
+//!   it; within one binary it is still deterministic (same inputs, same
+//!   bits).
+//!
+//! # Kernel shape
+//!
+//! Both kernels register-tile the output into `MR x NR` (2×8) blocks:
+//! `NR` column accumulators per row live in registers across the whole
+//! `k` loop, eliminating the per-`k` load/store of the output row that
+//! the naive ikj loop performs, and giving the autovectorizer a clean
+//! unrolled lane structure. Inner loops index fixed-size `[f64; NR]`
+//! arrays and `chunks_exact` slices, so no bounds checks survive in the
+//! hot path. For taller left operands (`m >= PACK_MIN_ROWS`) the right
+//! operand is first packed into panel-major storage with the row stride
+//! padded up to a multiple of `NR`: the `k` walk over a panel is then
+//! unit-stride, and the ragged column tail is handled by zero padding
+//! (pad lanes are computed and discarded, which cannot perturb real
+//! lanes because each lane has its own accumulator).
+
+/// Column lanes held in registers per tile (power of two, sized so an
+/// `MR`-row tile of `f64` accumulators fits the SSE2 register file).
+pub const NR: usize = 8;
+
+/// Rows advanced per register tile.
+const MR: usize = 2;
+
+/// Minimum left-operand row count before packing the right operand into
+/// padded panels pays for itself; below this the kernel reads `b`
+/// in place.
+const PACK_MIN_ROWS: usize = 8;
+
+/// Reference ikj matrix multiply: the bit-exactness oracle.
+///
+/// This is the historical `Matrix::matmul` loop, kept verbatim as the
+/// specification of the serve tier's numeric behaviour. `out` must be
+/// zero-filled on entry.
+pub fn matmul_reference(m: usize, kk: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), kk * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * kk..(i + 1) * kk];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[k * n..(k + 1) * n];
+            for (j, &bkj) in brow.iter().enumerate() {
+                orow[j] += aik * bkj;
+            }
+        }
+    }
+}
+
+/// Serve-tier blocked multiply: bit-identical to [`matmul_reference`].
+///
+/// `out` must be zero-filled on entry. See the module docs for the
+/// bit-exactness argument.
+pub fn matmul_serve(m: usize, kk: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), kk * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || kk == 0 {
+        return; // zero-length accumulation: out stays all-zero
+    }
+    if m >= PACK_MIN_ROWS {
+        matmul_serve_packed(m, kk, n, a, b, out);
+    } else {
+        matmul_serve_direct(m, kk, n, a, b, out);
+    }
+}
+
+/// Serve tier without packing: tiles read `b` in place. Used for short
+/// left operands (single-query predict) where a pack pass would not
+/// amortise.
+fn matmul_serve_direct(m: usize, kk: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    let full = n - n % NR;
+    let mut i = 0;
+    // MR-row register tiles over full-width column panels.
+    while i + MR <= m {
+        let arow0 = &a[i * kk..(i + 1) * kk];
+        let arow1 = &a[(i + 1) * kk..(i + 2) * kk];
+        let mut j0 = 0;
+        while j0 < full {
+            let mut acc0 = [0.0f64; NR];
+            let mut acc1 = [0.0f64; NR];
+            for k in 0..kk {
+                let bk: &[f64; NR] = b[k * n + j0..k * n + j0 + NR].try_into().unwrap();
+                let a0 = arow0[k];
+                if a0 != 0.0 {
+                    for l in 0..NR {
+                        acc0[l] += a0 * bk[l];
+                    }
+                }
+                let a1 = arow1[k];
+                if a1 != 0.0 {
+                    for l in 0..NR {
+                        acc1[l] += a1 * bk[l];
+                    }
+                }
+            }
+            out[i * n + j0..i * n + j0 + NR].copy_from_slice(&acc0);
+            out[(i + 1) * n + j0..(i + 1) * n + j0 + NR].copy_from_slice(&acc1);
+            j0 += NR;
+        }
+        for j in full..n {
+            let mut s0 = 0.0f64;
+            let mut s1 = 0.0f64;
+            for k in 0..kk {
+                let bkj = b[k * n + j];
+                let a0 = arow0[k];
+                if a0 != 0.0 {
+                    s0 += a0 * bkj;
+                }
+                let a1 = arow1[k];
+                if a1 != 0.0 {
+                    s1 += a1 * bkj;
+                }
+            }
+            out[i * n + j] = s0;
+            out[(i + 1) * n + j] = s1;
+        }
+        i += MR;
+    }
+    // Odd row tail: single-row tiles.
+    while i < m {
+        let arow = &a[i * kk..(i + 1) * kk];
+        let mut j0 = 0;
+        while j0 < full {
+            let mut acc = [0.0f64; NR];
+            for k in 0..kk {
+                let bk: &[f64; NR] = b[k * n + j0..k * n + j0 + NR].try_into().unwrap();
+                let a0 = arow[k];
+                if a0 != 0.0 {
+                    for l in 0..NR {
+                        acc[l] += a0 * bk[l];
+                    }
+                }
+            }
+            out[i * n + j0..i * n + j0 + NR].copy_from_slice(&acc);
+            j0 += NR;
+        }
+        for j in full..n {
+            let mut s = 0.0f64;
+            for k in 0..kk {
+                let a0 = arow[k];
+                if a0 != 0.0 {
+                    s += a0 * b[k * n + j];
+                }
+            }
+            out[i * n + j] = s;
+        }
+        i += 1;
+    }
+}
+
+/// Serve tier with the right operand packed into panel-major storage:
+/// panel `p` holds columns `p*NR .. p*NR+NR` contiguously per `k` (row
+/// stride padded from `n` up to `panels * NR` with zeros), so the inner
+/// `k` walk is unit-stride. Pad lanes of the ragged last panel are
+/// computed into their own accumulators and never stored.
+fn matmul_serve_packed(m: usize, kk: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    let panels = n.div_ceil(NR);
+    let mut pack = vec![0.0f64; panels * kk * NR];
+    for k in 0..kk {
+        let brow = &b[k * n..(k + 1) * n];
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = (n - j0).min(NR);
+            let dst = (p * kk + k) * NR;
+            pack[dst..dst + w].copy_from_slice(&brow[j0..j0 + w]);
+        }
+    }
+    for p in 0..panels {
+        let panel = &pack[p * kk * NR..(p + 1) * kk * NR];
+        let j0 = p * NR;
+        let w = (n - j0).min(NR);
+        let mut i = 0;
+        while i + MR <= m {
+            let arow0 = &a[i * kk..(i + 1) * kk];
+            let arow1 = &a[(i + 1) * kk..(i + 2) * kk];
+            let mut acc0 = [0.0f64; NR];
+            let mut acc1 = [0.0f64; NR];
+            for (bk, (&a0, &a1)) in panel.chunks_exact(NR).zip(arow0.iter().zip(arow1.iter())) {
+                if a0 != 0.0 {
+                    for l in 0..NR {
+                        acc0[l] += a0 * bk[l];
+                    }
+                }
+                if a1 != 0.0 {
+                    for l in 0..NR {
+                        acc1[l] += a1 * bk[l];
+                    }
+                }
+            }
+            out[i * n + j0..i * n + j0 + w].copy_from_slice(&acc0[..w]);
+            out[(i + 1) * n + j0..(i + 1) * n + j0 + w].copy_from_slice(&acc1[..w]);
+            i += MR;
+        }
+        while i < m {
+            let arow = &a[i * kk..(i + 1) * kk];
+            let mut acc = [0.0f64; NR];
+            for (bk, &a0) in panel.chunks_exact(NR).zip(arow.iter()) {
+                if a0 != 0.0 {
+                    for l in 0..NR {
+                        acc[l] += a0 * bk[l];
+                    }
+                }
+            }
+            out[i * n + j0..i * n + j0 + w].copy_from_slice(&acc[..w]);
+            i += 1;
+        }
+    }
+}
+
+/// Fast-math-tier multiply: branch-free, `k`-reassociated. **Not**
+/// bit-identical to the serve tier — see the module docs for which code
+/// paths may use it. `out` must be zero-filled on entry.
+///
+/// Each output lane keeps two partial accumulators over interleaved
+/// even/odd `k` and folds them at the end; there is no zero-skip, so a
+/// zero `a[i][k]` against a non-finite `b[k][j]` contributes NaN here
+/// where the serve tier contributes nothing.
+pub fn matmul_fastmath(m: usize, kk: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * kk);
+    debug_assert_eq!(b.len(), kk * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || kk == 0 {
+        return;
+    }
+    let full = n - n % NR;
+    let kpair = kk - kk % 2;
+    for i in 0..m {
+        let arow = &a[i * kk..(i + 1) * kk];
+        let mut j0 = 0;
+        while j0 < full {
+            let mut even = [0.0f64; NR];
+            let mut odd = [0.0f64; NR];
+            let mut k = 0;
+            while k < kpair {
+                let a0 = arow[k];
+                let a1 = arow[k + 1];
+                let b0: &[f64; NR] = b[k * n + j0..k * n + j0 + NR].try_into().unwrap();
+                let b1: &[f64; NR] = b[(k + 1) * n + j0..(k + 1) * n + j0 + NR]
+                    .try_into()
+                    .unwrap();
+                for l in 0..NR {
+                    even[l] += a0 * b0[l];
+                    odd[l] += a1 * b1[l];
+                }
+                k += 2;
+            }
+            if k < kk {
+                let a0 = arow[k];
+                let b0: &[f64; NR] = b[k * n + j0..k * n + j0 + NR].try_into().unwrap();
+                for l in 0..NR {
+                    even[l] += a0 * b0[l];
+                }
+            }
+            for l in 0..NR {
+                out[i * n + j0 + l] = even[l] + odd[l];
+            }
+            j0 += NR;
+        }
+        for j in full..n {
+            let mut s = 0.0f64;
+            for (k, &a0) in arow.iter().enumerate() {
+                s += a0 * b[k * n + j];
+            }
+            out[i * n + j] = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(m: usize, n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..m * n).map(f).collect()
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    fn check_serve(m: usize, kk: usize, n: usize) {
+        // Mix of signs, magnitudes, exact zeros and negative zeros so the
+        // zero-skip path and rounding-sensitive sums are both exercised.
+        let a = dense(m, kk, |i| match i % 7 {
+            0 => 0.0,
+            1 => -0.0,
+            x => ((x * i) as f64).sin() * 1e3f64.powi((i % 5) as i32 - 2),
+        });
+        let b = dense(kk, n, |i| ((i * 31 + 7) as f64).cos() * 0.37);
+        let mut want = vec![0.0; m * n];
+        let mut got = vec![0.0; m * n];
+        matmul_reference(m, kk, n, &a, &b, &mut want);
+        matmul_serve(m, kk, n, &a, &b, &mut got);
+        assert_bits_eq(&want, &got);
+    }
+
+    #[test]
+    fn serve_matches_reference_on_serve_shapes() {
+        // predict single row, batched predict, hidden layer, output heads
+        for &(m, kk, n) in &[
+            (1usize, 25usize, 64usize),
+            (64, 25, 64),
+            (64, 64, 64),
+            (64, 64, 1),
+            (64, 64, 2),
+            (256, 65, 64),
+        ] {
+            check_serve(m, kk, n);
+        }
+    }
+
+    #[test]
+    fn serve_matches_reference_on_ragged_shapes() {
+        for &(m, kk, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 13, 7),
+            (3, 9, 15),
+            (7, 8, 9),
+            (8, 3, 5), // packed path, ragged tail panel
+            (9, 17, 12),
+            (13, 1, 19),
+            (5, 64, 1),
+        ] {
+            check_serve(m, kk, n);
+        }
+    }
+
+    #[test]
+    fn serve_zero_skip_shields_nonfinite() {
+        // A zero in `a` must skip a NaN/inf in `b`, exactly like the
+        // reference; both rows below the packing threshold and above it.
+        for m in [2usize, 9] {
+            let kk = 3;
+            let n = 10;
+            let mut a = dense(m, kk, |i| i as f64 + 1.0);
+            a[1] = 0.0; // row 0, k=1
+            let mut b = dense(kk, n, |i| i as f64);
+            b[n + 4] = f64::NAN; // k=1 row
+            b[n + 5] = f64::INFINITY;
+            let mut want = vec![0.0; m * n];
+            let mut got = vec![0.0; m * n];
+            matmul_reference(m, kk, n, &a, &b, &mut want);
+            matmul_serve(m, kk, n, &a, &b, &mut got);
+            assert_bits_eq(&want, &got);
+        }
+    }
+
+    #[test]
+    fn fastmath_close_to_reference() {
+        let (m, kk, n) = (6, 33, 20);
+        let a = dense(m, kk, |i| ((i * 3 + 1) as f64).sin());
+        let b = dense(kk, n, |i| ((i * 5 + 2) as f64).cos());
+        let mut want = vec![0.0; m * n];
+        let mut got = vec![0.0; m * n];
+        matmul_reference(m, kk, n, &a, &b, &mut want);
+        matmul_fastmath(m, kk, n, &a, &b, &mut got);
+        for (x, y) in want.iter().zip(got.iter()) {
+            assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let mut out = [0.0f64; 0];
+        matmul_serve(0, 3, 0, &[], &[], &mut out);
+        matmul_fastmath(0, 3, 0, &[], &[], &mut out);
+        let mut out1 = [0.0f64; 4];
+        matmul_serve(2, 0, 2, &[], &[], &mut out1);
+        assert_eq!(out1, [0.0; 4]);
+    }
+}

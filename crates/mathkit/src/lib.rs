@@ -4,6 +4,9 @@
 //!
 //! * [`matrix`] — dense row-major matrices with the small set of BLAS-like
 //!   operations the neural network and Gaussian-process code need;
+//! * [`kernel`] — register-tiled matmul kernels behind [`Matrix`], defining
+//!   the two numeric tiers (bit-exact serve tier vs opt-in fast-math
+//!   collection tier);
 //! * [`linalg`] — Cholesky factorisation and triangular solves for symmetric
 //!   positive-definite systems (Gaussian-process regression);
 //! * [`stats`] — descriptive statistics, online (Welford) accumulators,
@@ -31,6 +34,7 @@
 pub mod fit;
 pub mod integrate;
 pub mod kde;
+pub mod kernel;
 pub mod linalg;
 pub mod matrix;
 pub mod optimize;

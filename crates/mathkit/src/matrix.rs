@@ -180,10 +180,16 @@ impl Matrix {
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
-    /// Matrix multiplication `self * other`.
+    /// Matrix multiplication `self * other` (**serve tier**: bit-exact).
     ///
-    /// Uses an ikj loop ordering so the inner loop streams over contiguous
-    /// memory of both operands.
+    /// Dispatches to the register-tiled blocked kernel
+    /// ([`crate::kernel::matmul_serve`]), which is bit-identical to the
+    /// reference ikj loop ([`Matrix::matmul_reference`]): each output
+    /// element is accumulated into a single `f64` in ascending-`k` order
+    /// with the zero-skip on `self` preserved. Inference paths
+    /// (`Dense::infer`, `Mlp::infer`, `Surrogate::predict*`) rely on this
+    /// bit-exactness contract; see `mathkit::kernel` for the tier
+    /// definitions.
     ///
     /// # Panics
     ///
@@ -195,20 +201,81 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (j, &bkj) in brow.iter().enumerate() {
-                    orow[j] += aik * bkj;
-                }
-            }
-        }
+        crate::kernel::matmul_serve(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
+    }
+
+    /// Reference ikj matrix multiply: the serve tier's bit-exactness
+    /// oracle. Semantically and bit-wise identical to [`Matrix::matmul`]
+    /// but unblocked; kept for property tests and benchmarks that pin the
+    /// blocked kernel against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        crate::kernel::matmul_reference(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Matrix multiplication `self * other` (**fast-math tier**).
+    ///
+    /// Branch-free, `k`-reassociated kernel: agrees with [`Matrix::matmul`]
+    /// to normal rounding accuracy but is **not** bit-identical. Only
+    /// collection/training paths without a cross-version
+    /// bit-reproducibility contract may use it (see `TrainConfig::fast_math`
+    /// and the `mathkit::kernel` tier docs). Deterministic within one
+    /// binary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_fastmath(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        crate::kernel::matmul_fastmath(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Reshapes `self` in place to `rows x cols`, reusing the existing
+    /// allocation, and fills it with zeros. The scratch-reuse counterpart
+    /// of [`Matrix::zeros`] for per-worker buffers on hot paths.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// `self^T * other` without materialising the transpose.

@@ -19,6 +19,11 @@
 //!   pass without reallocating. Incremental values agree with a full
 //!   recomputation to ≤ 1e-9 over arbitrary flip sequences
 //!   (property-tested);
+//! * [`batch`] — [`ReplicaBatch`]: the lockstep multi-replica counterpart
+//!   of [`QuboState`] — N replicas' assignments and flip-delta vectors
+//!   stored structure-of-arrays and rebuilt in one shared CSR traversal,
+//!   with every lane bit-identical to an independent state
+//!   (property-tested); the SA/DA replica loops batch through it;
 //! * [`program`] — [`ConstrainedBinaryProgram`]: linear-equality-constrained
 //!   binary programs and their penalty relaxation parameterised by `A`;
 //! * [`ising`] — conversion between QUBO and Ising forms.
@@ -37,11 +42,13 @@
 //! assert_eq!(model.energy(&[1, 1, 0]), 1.0);
 //! ```
 
+pub mod batch;
 pub mod ising;
 pub mod model;
 pub mod program;
 pub mod state;
 
+pub use batch::ReplicaBatch;
 pub use ising::IsingModel;
 pub use model::{QuboBuilder, QuboModel};
 pub use program::{ConstrainedBinaryProgram, LinearConstraint};

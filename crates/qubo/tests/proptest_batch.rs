@@ -1,0 +1,142 @@
+//! Property tests for the lockstep multi-replica batch engine.
+//!
+//! Contract: a `ReplicaBatch` advanced in lockstep (interleaving lanes in
+//! any order) is bit-identical, per lane, to independent `QuboState`
+//! replicas fed the same per-lane operation sequences.
+
+use proptest::prelude::*;
+
+use qubo::{QuboBuilder, QuboState, ReplicaBatch};
+
+fn qubo_strategy() -> impl Strategy<Value = (usize, Vec<f64>, Vec<(usize, usize, f64)>)> {
+    (2usize..12).prop_flat_map(|n| {
+        let linear = proptest::collection::vec(-5.0..5.0f64, n);
+        let couplings = proptest::collection::vec(
+            (
+                (0..n, 0..n).prop_filter("distinct", |(i, j)| i != j),
+                -5.0..5.0f64,
+            )
+                .prop_map(|((i, j), w)| (i, j, w)),
+            0..(n * 2),
+        );
+        (Just(n), linear, couplings)
+    })
+}
+
+fn build_model(n: usize, linear: &[f64], couplings: &[(usize, usize, f64)]) -> qubo::QuboModel {
+    let mut b = QuboBuilder::new(n);
+    for (i, &l) in linear.iter().enumerate() {
+        b.add_linear(i, l);
+    }
+    for &(i, j, w) in couplings {
+        b.add_quadratic(i, j, w);
+    }
+    b.build()
+}
+
+proptest! {
+    /// N lanes advanced in lockstep over one shared CSR == N sequential
+    /// single-replica sweeps with the same per-replica flip sequences,
+    /// exact f64 bits (energies, deltas, applied flip deltas,
+    /// assignments).
+    #[test]
+    fn lockstep_equals_sequential_bitwise(
+        (n, linear, couplings) in qubo_strategy(),
+        lanes in 1usize..6,
+        init_bits in proptest::collection::vec(0u8..2, 6 * 12),
+        flips in proptest::collection::vec(0usize..144, 1..60),
+    ) {
+        let model = build_model(n, &linear, &couplings);
+
+        // Per-lane initial assignments drawn from the shared bit pool.
+        let inits: Vec<Vec<u8>> = (0..lanes)
+            .map(|r| init_bits[r * n..(r + 1) * n].to_vec())
+            .collect();
+        // Per-lane flip sequences: distribute the shared flip list
+        // round-robin, so lanes advance interleaved but each lane's own
+        // sequence is fixed.
+        let mut per_lane: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+        for (t, &f) in flips.iter().enumerate() {
+            per_lane[t % lanes].push(f % n);
+        }
+
+        // Sequential reference: each lane runs to completion on its own
+        // QuboState before the next lane starts.
+        let mut reference: Vec<QuboState<'_>> = Vec::new();
+        let mut ref_applied: Vec<Vec<u64>> = Vec::new();
+        for r in 0..lanes {
+            let mut s = QuboState::new(&model, inits[r].clone());
+            let applied = per_lane[r].iter().map(|&i| s.flip(i).to_bits()).collect();
+            reference.push(s);
+            ref_applied.push(applied);
+        }
+
+        // Lockstep: all lanes share one batch, staged then rebuilt once,
+        // flips interleaved in the original round-robin order.
+        let mut batch = ReplicaBatch::new(&model, lanes);
+        for (r, init) in inits.iter().enumerate() {
+            batch.set_assignment(r, init);
+        }
+        batch.rebuild_all();
+
+        // Initial caches: bit-identical to fresh single-replica states
+        // (the `reference` states have already run their flips).
+        for (r, init) in inits.iter().enumerate() {
+            let fresh = QuboState::new(&model, init.clone());
+            prop_assert_eq!(batch.energy(r).to_bits(), fresh.energy().to_bits());
+        }
+
+        // Interleaved advance, checking applied deltas as we go.
+        let mut cursors = vec![0usize; lanes];
+        for (t, _) in flips.iter().enumerate() {
+            let r = t % lanes;
+            let i = per_lane[r][cursors[r]];
+            let applied = batch.flip(r, i).to_bits();
+            prop_assert_eq!(applied, ref_applied[r][cursors[r]], "flip {} lane {}", t, r);
+            cursors[r] += 1;
+        }
+
+        let mut buf = Vec::new();
+        for (r, s) in reference.iter().enumerate() {
+            prop_assert_eq!(batch.energy(r).to_bits(), s.energy().to_bits(), "energy lane {}", r);
+            batch.copy_assignment(r, &mut buf);
+            prop_assert_eq!(&buf[..], s.assignment(), "assignment lane {}", r);
+            for i in 0..n {
+                prop_assert_eq!(
+                    batch.flip_delta(r, i).to_bits(),
+                    s.flip_delta(i).to_bits(),
+                    "delta lane {} var {}", r, i
+                );
+            }
+        }
+    }
+
+    /// `rebuild_all` equals fresh per-lane construction bitwise after an
+    /// arbitrary flip history (cache rebuild discards nothing it
+    /// shouldn't).
+    #[test]
+    fn rebuild_all_matches_fresh_construction(
+        (n, linear, couplings) in qubo_strategy(),
+        lanes in 1usize..5,
+        flips in proptest::collection::vec((0usize..5, 0usize..12), 0..30),
+    ) {
+        let model = build_model(n, &linear, &couplings);
+        let mut batch = ReplicaBatch::new(&model, lanes);
+        for &(r, i) in &flips {
+            batch.flip(r % lanes, i % n);
+        }
+        batch.rebuild_all();
+        let mut buf = Vec::new();
+        for r in 0..lanes {
+            batch.copy_assignment(r, &mut buf);
+            let fresh = QuboState::new(&model, buf.clone());
+            prop_assert_eq!(batch.energy(r).to_bits(), fresh.energy().to_bits());
+            for i in 0..n {
+                prop_assert_eq!(
+                    batch.flip_delta(r, i).to_bits(),
+                    fresh.flip_delta(i).to_bits()
+                );
+            }
+        }
+    }
+}

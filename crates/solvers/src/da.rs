@@ -18,16 +18,27 @@
 //! The hardware runs each replica on dedicated silicon; here replicas map
 //! onto CPU threads.
 
+use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use mathkit::rng::derive_rng;
-use qubo::{QuboModel, QuboState};
+use mathkit::rng::{derive_rng, derive_seed};
+use qubo::{QuboModel, QuboState, ReplicaBatch};
 
 use crate::parallel::parallel_map_with;
 use crate::sample::{Sample, SampleSet};
 use crate::schedule::BetaSchedule;
 use crate::Solver;
+
+/// Per-worker scratch for the lane-batched replica loop.
+struct DaScratch<'m> {
+    replicas: ReplicaBatch<'m>,
+    rngs: Vec<StdRng>,
+    e_off: Vec<f64>,
+    accepted: Vec<Vec<usize>>,
+    best_e: Vec<f64>,
+    best_x: Vec<Vec<u8>>,
+}
 
 /// Configuration for [`DigitalAnnealer`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,7 +97,11 @@ impl DigitalAnnealer {
     /// the maintained flip-delta vector (O(1) per candidate); the one
     /// committed flip is O(degree); incumbent tracking uses the cached
     /// energy — no full `model.energy()` call inside the step loop.
-    fn run_replica(
+    ///
+    /// This is the reference trajectory [`DigitalAnnealer::run_chunk`]
+    /// reproduces bit-for-bit, lane by lane.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn run_replica(
         &self,
         state: &mut QuboState<'_>,
         best_x: &mut Vec<u8>,
@@ -137,6 +152,94 @@ impl DigitalAnnealer {
             energy: best_e,
         }
     }
+
+    /// Runs replicas `first .. first + count` in lockstep lanes of one
+    /// [`ReplicaBatch`], returning their samples in replica order.
+    ///
+    /// Each lane consumes its own RNG stream in exactly
+    /// [`DigitalAnnealer::run_replica`]'s order (candidate draws in
+    /// ascending `i`, then the pick draw), so every sample is
+    /// bit-identical to the sequential path at any lane width. The DA
+    /// parallel trial is the natural lockstep shape: the per-step scan of
+    /// all `n` candidates walks variable-major SoA rows
+    /// (`flip_deltas_at(i)` is `lanes` contiguous f64), turning `count`
+    /// separate delta sweeps into one unit-stride pass that serves every
+    /// replica in the chunk, on top of the shared-CSR cache rebuild.
+    fn run_chunk(
+        &self,
+        scratch: &mut DaScratch<'_>,
+        first: usize,
+        count: usize,
+        schedule: &BetaSchedule,
+        seed: u64,
+    ) -> Vec<Sample> {
+        let rb = &mut scratch.replicas;
+        let model = rb.model();
+        let n = rb.num_vars();
+        scratch.rngs.clear();
+        for r in 0..count {
+            let rs = derive_seed(seed, (first + r) as u64);
+            scratch.rngs.push(derive_rng(rs, 0xDA));
+        }
+        for (r, rng) in scratch.rngs.iter_mut().enumerate() {
+            rb.randomize_lane(r, rng);
+        }
+        // One shared CSR traversal rebuilds all lanes' caches.
+        rb.rebuild_all();
+        debug_assert!(count <= scratch.best_x.len());
+        scratch.best_e.clear();
+        for r in 0..count {
+            scratch.best_e.push(rb.energy(r));
+            rb.copy_assignment(r, &mut scratch.best_x[r]);
+        }
+        let offset_step = self.config.offset_step_fraction * model.max_abs_coefficient().max(1e-12);
+        scratch.e_off.clear();
+        scratch.e_off.resize(count, 0.0);
+        for beta in schedule.iter() {
+            for acc in &mut scratch.accepted[..count] {
+                acc.clear();
+            }
+            // Parallel trial, lockstep across lanes: variable-major scan
+            // over contiguous lane rows; per lane the candidate order (and
+            // hence RNG consumption) is ascending `i`, as in run_replica.
+            for i in 0..n {
+                let row = rb.flip_deltas_at(i);
+                for (r, &lane_delta) in row.iter().enumerate().take(count) {
+                    let delta = lane_delta - scratch.e_off[r];
+                    let ok = if delta <= 0.0 {
+                        true
+                    } else {
+                        let exponent = delta * beta;
+                        exponent < 40.0 && scratch.rngs[r].gen::<f64>() < (-exponent).exp()
+                    };
+                    if ok {
+                        scratch.accepted[r].push(i);
+                    }
+                }
+            }
+            for r in 0..count {
+                let accepted = &scratch.accepted[r];
+                if accepted.is_empty() {
+                    // Dynamic offset: lower the barrier for the next step.
+                    scratch.e_off[r] += offset_step;
+                    continue;
+                }
+                scratch.e_off[r] = 0.0;
+                let pick = accepted[scratch.rngs[r].gen_range(0..accepted.len())];
+                rb.flip(r, pick);
+                if rb.energy(r) < scratch.best_e[r] {
+                    scratch.best_e[r] = rb.energy(r);
+                    rb.copy_assignment(r, &mut scratch.best_x[r]);
+                }
+            }
+        }
+        (0..count)
+            .map(|r| Sample {
+                assignment: scratch.best_x[r].clone(),
+                energy: scratch.best_e[r],
+            })
+            .collect()
+    }
 }
 
 impl Solver for DigitalAnnealer {
@@ -159,26 +262,28 @@ impl Solver for DigitalAnnealer {
             Some((hot, cold)) => BetaSchedule::geometric(hot, cold, self.config.steps.max(1)),
             None => BetaSchedule::auto(model, self.config.steps.max(1)),
         };
-        let samples = parallel_map_with(
-            batch,
-            || {
-                (
-                    QuboState::new(model, vec![0; model.num_vars()]),
-                    Vec::new(),
-                    Vec::with_capacity(model.num_vars()),
-                )
+        // Replicas advance in lockstep lanes (bit-identical to sequential
+        // replicas at any width — see `run_chunk`); chunks of `lanes`
+        // replicas fan out across workers.
+        let lanes = crate::replica_lanes();
+        let chunks = batch.div_ceil(lanes.max(1));
+        let nested = parallel_map_with(
+            chunks,
+            || DaScratch {
+                replicas: ReplicaBatch::new(model, lanes),
+                rngs: Vec::with_capacity(lanes),
+                e_off: Vec::with_capacity(lanes),
+                accepted: vec![Vec::with_capacity(model.num_vars()); lanes],
+                best_e: Vec::with_capacity(lanes),
+                best_x: vec![Vec::new(); lanes],
             },
-            |(state, best_x, accepted), replica| {
-                self.run_replica(
-                    state,
-                    best_x,
-                    accepted,
-                    &schedule,
-                    mathkit::rng::derive_seed(seed, replica as u64),
-                )
+            |scratch, chunk| {
+                let first = chunk * lanes;
+                let count = lanes.min(batch - first);
+                self.run_chunk(scratch, first, count, &schedule, seed)
             },
         );
-        SampleSet::from_samples(samples)
+        SampleSet::from_samples(nested.into_iter().flatten().collect())
     }
 }
 
@@ -250,6 +355,44 @@ mod tests {
         });
         let set = solver.sample(&m, 8, 3);
         assert_eq!(set.best().unwrap().energy, -1.0);
+    }
+
+    /// Lane width is a pure performance knob: any width produces the
+    /// sample set bit-identically, and each sample equals a sequential
+    /// `run_replica` with the same per-replica seed.
+    #[test]
+    fn lane_width_invariant_and_matches_run_replica() {
+        let m = frustrated8();
+        let solver = DigitalAnnealer::new(DaConfig {
+            steps: 200,
+            ..Default::default()
+        });
+        let baseline = solver.sample(&m, 11, 42);
+        for width in [1usize, 3, 8, 16] {
+            crate::set_replica_lanes(width);
+            let got = solver.sample(&m, 11, 42);
+            crate::set_replica_lanes(0);
+            assert_eq!(got, baseline, "width {width} diverged");
+        }
+        let schedule = BetaSchedule::auto(&m, 200);
+        for (replica, sample) in baseline.iter().enumerate() {
+            let mut state = QuboState::new(&m, vec![0; 8]);
+            let mut best_x = Vec::new();
+            let mut accepted = Vec::new();
+            let want = solver.run_replica(
+                &mut state,
+                &mut best_x,
+                &mut accepted,
+                &schedule,
+                mathkit::rng::derive_seed(42, replica as u64),
+            );
+            assert_eq!(sample.assignment, want.assignment, "replica {replica}");
+            assert_eq!(
+                sample.energy.to_bits(),
+                want.energy.to_bits(),
+                "replica {replica}"
+            );
+        }
     }
 
     #[test]

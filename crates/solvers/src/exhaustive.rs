@@ -15,6 +15,12 @@ use crate::Solver;
 /// Consecutive Gray codes differ in one bit, so each step is one O(degree)
 /// incremental flip instead of an O(n + nnz) full evaluation — the
 /// enumeration shares the same [`QuboState`] engine as the annealers.
+///
+/// Audited for redundant flip pairs: the walk applies exactly one `flip`
+/// per visited assignment (`2^n - 1` flips total for `2^n` states) and
+/// never un-flips to probe a neighbour — `flip_delta` already reports
+/// every neighbour's energy change from the cached local fields, so a
+/// flip/unflip round-trip would be pure waste and none exists.
 fn enumerate_gray<F: FnMut(u32, f64)>(model: &QuboModel, mut visit: F) {
     /// Resync cadence: every 2^16 steps the energy *and* delta caches are
     /// rebuilt exactly, so rounding drift is bounded by what one 64k-flip
@@ -116,17 +122,21 @@ impl Solver for ExhaustiveSolver {
         if batch == 0 {
             return SampleSet::new();
         }
-        // Keep the `batch` lowest-energy assignments via a bounded
-        // worst-first comparison (n is tiny, so a simple Vec is fine).
+        // Keep the `batch` lowest-energy assignments in a sorted bounded
+        // buffer. Binary insertion (O(log batch) search + one memmove)
+        // replaces the previous re-sort on every accepted candidate;
+        // inserting *after* equal energies reproduces the ordering the old
+        // stable sort produced, so the output is unchanged.
         let mut keep: Vec<(f64, u32)> = Vec::with_capacity(batch + 1);
         enumerate_gray(model, |bits, e| {
-            if keep.len() < batch {
-                keep.push((e, bits));
-                keep.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            } else if e < keep[batch - 1].0 {
-                keep[batch - 1] = (e, bits);
-                keep.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if keep.len() == batch {
+                if e >= keep[batch - 1].0 {
+                    return;
+                }
+                keep.pop();
             }
+            let at = keep.partition_point(|p| p.0 <= e);
+            keep.insert(at, (e, bits));
         });
         // Exact re-scoring of the survivors (cheap: `batch` evaluations),
         // then a final sort in case rounding reordered near-ties.
@@ -174,6 +184,22 @@ mod tests {
         let m = b.build();
         let set = ExhaustiveSolver::new().sample(&m, 3, 0);
         assert_eq!(set.energies(), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_keep_first_seen_assignments() {
+        // Two symmetric variables → energies {0, 1, 1, 2}. The bounded
+        // buffer must keep the earlier-enumerated of the two energy-1
+        // assignments when batch truncates the tie, matching the ordering
+        // the former stable-sort implementation produced.
+        let mut b = QuboBuilder::new(2);
+        b.add_linear(0, 1.0);
+        b.add_linear(1, 1.0);
+        let m = b.build();
+        let set = ExhaustiveSolver::new().sample(&m, 2, 0);
+        assert_eq!(set.energies(), vec![0.0, 1.0]);
+        // Gray order visits 00, 01, 11, 10 → the kept tie is x0 = 1.
+        assert_eq!(set.iter().nth(1).unwrap().assignment, vec![1, 0]);
     }
 
     #[test]

@@ -84,6 +84,40 @@ pub use tabu::TabuSearch;
 
 use qubo::QuboModel;
 
+/// Default lockstep lane width for the SA/DA batched replica kernels.
+pub const DEFAULT_REPLICA_LANES: usize = 8;
+
+thread_local! {
+    static REPLICA_LANES: std::cell::Cell<usize> =
+        const { std::cell::Cell::new(DEFAULT_REPLICA_LANES) };
+}
+
+/// Lockstep lane width the SA/DA replica loops will use for batches
+/// dispatched from the calling thread: replicas are grouped into chunks of
+/// this many [`qubo::ReplicaBatch`] lanes and advanced over one shared CSR
+/// traversal per chunk.
+///
+/// The width is a **pure performance knob**: every lane runs the unchanged
+/// per-replica algorithm on its own RNG stream, so sample output is
+/// bit-identical at any width (CI replays collection at 1-vs-N lanes and
+/// diffs dataset bytes). Solvers read the width once, on the caller's
+/// thread, before fanning out to workers.
+pub fn replica_lanes() -> usize {
+    REPLICA_LANES.with(|c| c.get())
+}
+
+/// Overrides [`replica_lanes`] on the calling thread; `0` restores
+/// [`DEFAULT_REPLICA_LANES`]. Used by determinism tests and benches to pin
+/// the lane width; production code should leave the default.
+pub fn set_replica_lanes(width: usize) {
+    let width = if width == 0 {
+        DEFAULT_REPLICA_LANES
+    } else {
+        width
+    };
+    REPLICA_LANES.with(|c| c.set(width));
+}
+
 /// A stochastic QUBO solver: returns a batch of candidate solutions.
 ///
 /// Implementations must be deterministic given `(model, batch, seed)` so

@@ -5,16 +5,25 @@
 //! `batch` replicas anneals independently from a uniform random state; one
 //! *sweep* attempts `n` flips at fixed β.
 
+use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use mathkit::rng::derive_rng;
-use qubo::{QuboModel, QuboState};
+use mathkit::rng::{derive_rng, derive_seed};
+use qubo::{QuboModel, QuboState, ReplicaBatch};
 
 use crate::parallel::parallel_map_with;
 use crate::sample::{Sample, SampleSet};
 use crate::schedule::BetaSchedule;
 use crate::Solver;
+
+/// Per-worker scratch for the lane-batched replica loop.
+struct SaScratch<'m> {
+    replicas: ReplicaBatch<'m>,
+    rngs: Vec<StdRng>,
+    best_e: Vec<f64>,
+    best_x: Vec<Vec<u8>>,
+}
 
 /// Configuration for [`SimulatedAnnealer`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,7 +87,12 @@ impl SimulatedAnnealer {
     /// acceptance test reads the maintained flip-delta (O(1)), a commit is
     /// O(degree), and the incumbent is tracked from the cached energy — no
     /// full `model.energy()` call anywhere in the sweep.
-    fn run_replica(
+    ///
+    /// This is the reference trajectory [`SimulatedAnnealer::run_chunk`]
+    /// reproduces bit-for-bit, lane by lane; it remains the entry point
+    /// for single-replica use and equivalence tests.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn run_replica(
         &self,
         state: &mut QuboState<'_>,
         best_x: &mut Vec<u8>,
@@ -125,6 +139,85 @@ impl SimulatedAnnealer {
             }
         }
     }
+
+    /// Anneals replicas `first .. first + count` in lockstep lanes of one
+    /// [`ReplicaBatch`], returning their samples in replica order.
+    ///
+    /// Each lane runs the *unchanged* [`SimulatedAnnealer::run_replica`]
+    /// algorithm on its own RNG stream (`derive_rng(derive_seed(seed,
+    /// replica), 0x5A)`): the per-lane sequence of RNG draws, delta reads,
+    /// flips and incumbent updates is identical, so every sample is
+    /// bit-identical to the sequential path at any lane width — lanes only
+    /// interleave operations *across* independent replicas. What batching
+    /// buys is one shared CSR traversal for the per-replica cache rebuild
+    /// and lane-interleaved (structure-of-arrays) delta storage.
+    fn run_chunk(
+        &self,
+        scratch: &mut SaScratch<'_>,
+        first: usize,
+        count: usize,
+        schedule: &BetaSchedule,
+        seed: u64,
+    ) -> Vec<Sample> {
+        let rb = &mut scratch.replicas;
+        let n = rb.num_vars();
+        scratch.rngs.clear();
+        for r in 0..count {
+            let rs = derive_seed(seed, (first + r) as u64);
+            scratch.rngs.push(derive_rng(rs, 0x5A));
+        }
+        for (r, rng) in scratch.rngs.iter_mut().enumerate() {
+            rb.randomize_lane(r, rng);
+        }
+        // One shared CSR traversal rebuilds all lanes' caches.
+        rb.rebuild_all();
+        debug_assert!(count <= scratch.best_x.len());
+        scratch.best_e.clear();
+        for r in 0..count {
+            scratch.best_e.push(rb.energy(r));
+            rb.copy_assignment(r, &mut scratch.best_x[r]);
+        }
+        for beta in schedule.iter() {
+            for _ in 0..n {
+                for (r, rng) in scratch.rngs.iter_mut().enumerate() {
+                    let i = rng.gen_range(0..n);
+                    let delta = rb.flip_delta(r, i);
+                    let accept = if delta <= 0.0 {
+                        true
+                    } else {
+                        let exponent = delta * beta;
+                        // exp(-40) < 1e-17: skip the RNG draw, as in
+                        // run_replica.
+                        exponent < 40.0 && rng.gen::<f64>() < (-exponent).exp()
+                    };
+                    if accept {
+                        rb.flip(r, i);
+                        if self.config.track_best && rb.energy(r) < scratch.best_e[r] {
+                            scratch.best_e[r] = rb.energy(r);
+                            rb.copy_assignment(r, &mut scratch.best_x[r]);
+                        }
+                    }
+                }
+            }
+        }
+        (0..count)
+            .map(|r| {
+                if self.config.track_best && scratch.best_e[r] < rb.energy(r) {
+                    Sample {
+                        assignment: scratch.best_x[r].clone(),
+                        energy: scratch.best_e[r],
+                    }
+                } else {
+                    let mut assignment = Vec::new();
+                    rb.copy_assignment(r, &mut assignment);
+                    Sample {
+                        assignment,
+                        energy: rb.energy(r),
+                    }
+                }
+            })
+            .collect()
+    }
 }
 
 impl Solver for SimulatedAnnealer {
@@ -147,19 +240,26 @@ impl Solver for SimulatedAnnealer {
             Some((hot, cold)) => BetaSchedule::geometric(hot, cold, self.config.sweeps.max(1)),
             None => BetaSchedule::auto(model, self.config.sweeps.max(1)),
         };
-        let samples = parallel_map_with(
-            batch,
-            || (QuboState::new(model, vec![0; model.num_vars()]), Vec::new()),
-            |(state, best_x), replica| {
-                self.run_replica(
-                    state,
-                    best_x,
-                    &schedule,
-                    mathkit::rng::derive_seed(seed, replica as u64),
-                )
+        // Replicas advance in lockstep lanes (bit-identical to sequential
+        // replicas at any width — see `run_chunk`); chunks of `lanes`
+        // replicas fan out across workers.
+        let lanes = crate::replica_lanes();
+        let chunks = batch.div_ceil(lanes.max(1));
+        let nested = parallel_map_with(
+            chunks,
+            || SaScratch {
+                replicas: ReplicaBatch::new(model, lanes),
+                rngs: Vec::with_capacity(lanes),
+                best_e: Vec::with_capacity(lanes),
+                best_x: vec![Vec::new(); lanes],
+            },
+            |scratch, chunk| {
+                let first = chunk * lanes;
+                let count = lanes.min(batch - first);
+                self.run_chunk(scratch, first, count, &schedule, seed)
             },
         );
-        SampleSet::from_samples(samples)
+        SampleSet::from_samples(nested.into_iter().flatten().collect())
     }
 }
 
@@ -278,6 +378,45 @@ mod tests {
         });
         let set = solver.sample(&m, 8, 3);
         assert_eq!(set.len(), 8);
+    }
+
+    /// Lane width is a pure performance knob: any width produces the
+    /// sample set bit-identically, and each sample equals a sequential
+    /// `run_replica` with the same per-replica seed.
+    #[test]
+    fn lane_width_invariant_and_matches_run_replica() {
+        let m = hard6();
+        for track_best in [true, false] {
+            let solver = SimulatedAnnealer::new(SaConfig {
+                sweeps: 32,
+                track_best,
+                ..Default::default()
+            });
+            let baseline = solver.sample(&m, 11, 99);
+            for width in [1usize, 3, 8, 16] {
+                crate::set_replica_lanes(width);
+                let got = solver.sample(&m, 11, 99);
+                crate::set_replica_lanes(0);
+                assert_eq!(got, baseline, "width {width} diverged");
+            }
+            let schedule = BetaSchedule::auto(&m, 32);
+            for (replica, sample) in baseline.iter().enumerate() {
+                let mut state = QuboState::new(&m, vec![0; 6]);
+                let mut best_x = Vec::new();
+                let want = solver.run_replica(
+                    &mut state,
+                    &mut best_x,
+                    &schedule,
+                    mathkit::rng::derive_seed(99, replica as u64),
+                );
+                assert_eq!(sample.assignment, want.assignment, "replica {replica}");
+                assert_eq!(
+                    sample.energy.to_bits(),
+                    want.energy.to_bits(),
+                    "replica {replica}"
+                );
+            }
+        }
     }
 
     #[test]
