@@ -1,13 +1,22 @@
 //! `qross-serve` — the serving daemon of the train-once / serve-many
 //! loop: load a model once, answer NDJSON prediction requests forever.
 //!
-//! Two transports, one protocol (`bench::protocol`):
+//! Three transports, one protocol (`bench::protocol`):
 //!
 //! * **stdio** (default): requests on stdin, responses on stdout, exit at
 //!   EOF. Composable — `qross-serve --model m.qross < requests.ndjson`.
-//! * **TCP** (`--listen ADDR`): accept connections, one NDJSON session
-//!   per connection, each on its own thread over the *same* shared
+//! * **TCP event loop** (`--listen ADDR`): one nonblocking thread
+//!   multiplexes every connection (`bench::net`) over the shared
 //!   engine — concurrent clients' requests micro-batch together.
+//!   `--max-conns` caps simultaneous connections.
+//! * **TCP thread-per-connection** (`--listen-threaded ADDR`): the
+//!   older blocking path, kept as a differential oracle for the event
+//!   loop — both must produce byte-identical sessions.
+//!
+//! Multi-tenancy: repeatable `--tenant NAME=WEIGHT[:QUOTA]` assigns
+//! weighted-fair shares (and optional pending-row quotas) to requests
+//! tagged with a `tenant` field; `--tenant default=...` reconfigures the
+//! untagged class.
 //!
 //! The model may be a full `.qross` bundle (TSP: enables the `tsp`
 //! upload op) or a bare surrogate snapshot (MVC/QAP: `predict` only),
@@ -17,33 +26,87 @@
 
 use std::sync::Arc;
 
+use bench::net::{serve_event_loop, AcceptBackoff, EventLoopConfig};
 use bench::protocol::{serve_connection, serve_connection_aborting};
 use bench::serve::usage_exit;
 use qross::dataset::SurrogateDataset;
 use qross::online::{OnlineConfig, SurrogateCheckpoint};
 use qross::pipeline::{CollectedCorpus, TrainedQross};
-use qross::serve::{ServeConfig, ServeEngine, ServeModel};
+use qross::serve::{ServeConfig, ServeEngine, ServeModel, TenantClass, TenantPolicy};
 use qross::surrogate::{Surrogate, SurrogateState};
 use qross_store::Artifact;
 
-const USAGE: &str = "qross-serve --model PATH [--listen ADDR] [--workers N] \
+const USAGE: &str = "qross-serve --model PATH [--listen ADDR | --listen-threaded ADDR] \
+                     [--max-conns N] [--tenant NAME=WEIGHT[:QUOTA]]... [--workers N] \
                      [--batch ROWS] [--queue ROWS] [--cache ENTRIES] \
                      [--online] [--refresh-after N] [--checkpoint-dir DIR] \
                      [--corpus PATH] [--online-seed N] [--online-epochs N]";
 
+enum Listen {
+    Stdio,
+    EventLoop(String),
+    Threaded(String),
+}
+
 struct ServeCli {
     model: String,
-    listen: Option<String>,
+    listen: Listen,
+    max_conns: usize,
+    policy: TenantPolicy,
     config: ServeConfig,
     online: bool,
     online_config: OnlineConfig,
     corpus: Option<String>,
 }
 
+/// Parses one `--tenant NAME=WEIGHT[:QUOTA]` spec into the policy.
+/// `NAME=default` reconfigures the untagged class.
+fn parse_tenant_spec(policy: &mut TenantPolicy, spec: &str) {
+    let bad = |why: &str| -> ! {
+        usage_exit(
+            USAGE,
+            &format!("bad --tenant value `{spec}` ({why}); expected NAME=WEIGHT[:QUOTA]"),
+        )
+    };
+    let Some((name, rest)) = spec.split_once('=') else {
+        bad("missing `=`");
+    };
+    if name.is_empty() {
+        bad("empty tenant name");
+    }
+    let (weight_str, quota_str) = match rest.split_once(':') {
+        Some((w, q)) => (w, Some(q)),
+        None => (rest, None),
+    };
+    let Ok(weight) = weight_str.parse::<u32>() else {
+        bad("weight is not a number");
+    };
+    if weight == 0 {
+        bad("weight must be at least 1");
+    }
+    let quota_rows = match quota_str {
+        Some(q) => match q.parse::<usize>() {
+            Ok(q) => q,
+            Err(_) => bad("quota is not a number"),
+        },
+        None => 0,
+    };
+    let class = TenantClass { weight, quota_rows };
+    if name == "default" {
+        policy.default_class = class;
+    } else if let Some(slot) = policy.classes.iter_mut().find(|(n, _)| n == name) {
+        slot.1 = class;
+    } else {
+        policy.classes.push((name.to_string(), class));
+    }
+}
+
 fn parse_cli() -> ServeCli {
     let mut cli = ServeCli {
         model: String::new(),
-        listen: None,
+        listen: Listen::Stdio,
+        max_conns: 0,
+        policy: TenantPolicy::default(),
         config: ServeConfig::default(),
         online: false,
         online_config: OnlineConfig::default(),
@@ -65,6 +128,9 @@ fn parse_cli() -> ServeCli {
             flag.as_str(),
             "--model"
                 | "--listen"
+                | "--listen-threaded"
+                | "--max-conns"
+                | "--tenant"
                 | "--workers"
                 | "--batch"
                 | "--queue"
@@ -90,7 +156,10 @@ fn parse_cli() -> ServeCli {
         };
         match flag.as_str() {
             "--model" => cli.model = value.clone(),
-            "--listen" => cli.listen = Some(value.clone()),
+            "--listen" => cli.listen = Listen::EventLoop(value.clone()),
+            "--listen-threaded" => cli.listen = Listen::Threaded(value.clone()),
+            "--max-conns" => cli.max_conns = parse_count("--max-conns", value).max(1),
+            "--tenant" => parse_tenant_spec(&mut cli.policy, value),
             "--workers" => cli.config.workers = parse_count("--workers", value),
             "--batch" => {
                 cli.config.max_batch_rows = parse_count("--batch", value).max(1);
@@ -192,18 +261,34 @@ fn main() {
         })
     });
     let engine = if cli.online {
-        ServeEngine::with_online(model, cli.config, cli.online_config.clone(), base).unwrap_or_else(
-            |e| {
-                eprintln!("error: starting online engine failed: {e}");
-                std::process::exit(1);
-            },
+        ServeEngine::with_online_tenants(
+            model,
+            cli.config,
+            cli.policy.clone(),
+            cli.online_config.clone(),
+            base,
         )
+        .unwrap_or_else(|e| {
+            eprintln!("error: starting online engine failed: {e}");
+            std::process::exit(1);
+        })
     } else {
         if base.is_some() {
             eprintln!("warning: --corpus is only used with --online; ignoring it");
         }
-        ServeEngine::new(model, cli.config)
+        ServeEngine::with_tenants(model, cli.config, cli.policy.clone())
     };
+    for (name, class) in &cli.policy.classes {
+        eprintln!(
+            "qross-serve: tenant {name}: weight {}, quota {}",
+            class.weight,
+            if class.quota_rows == 0 {
+                "unlimited".to_string()
+            } else {
+                class.quota_rows.to_string()
+            }
+        );
+    }
     eprintln!(
         "qross-serve: loaded {kind} from {} ({feature_dim} features); {engine:?}{}",
         cli.model,
@@ -223,7 +308,7 @@ fn main() {
     );
 
     match cli.listen {
-        None => {
+        Listen::Stdio => {
             // StdinLock is !Send and the staging thread owns the reader,
             // so buffer the Send-able handle instead of locking.
             let stdin = std::io::BufReader::new(std::io::stdin());
@@ -233,18 +318,43 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        Some(addr) => {
+        Listen::EventLoop(addr) => {
             let listener = std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
                 eprintln!("error: cannot listen on {addr}: {e}");
                 std::process::exit(1);
             });
-            eprintln!("qross-serve: listening on {addr}");
+            eprintln!("qross-serve: listening on {addr} (event loop)");
+            let config = EventLoopConfig {
+                max_conns: cli.max_conns,
+                ..EventLoopConfig::default()
+            };
+            if let Err(e) = serve_event_loop(&engine, listener, config) {
+                eprintln!("error: event loop failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        Listen::Threaded(addr) => {
+            let listener = std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
+                eprintln!("error: cannot listen on {addr}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("qross-serve: listening on {addr} (thread per connection)");
+            let mut backoff = AcceptBackoff::new();
             std::thread::scope(|scope| {
-                for stream in listener.incoming() {
-                    let stream = match stream {
-                        Ok(stream) => stream,
+                loop {
+                    let stream = match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            backoff.reset();
+                            stream
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                         Err(e) => {
-                            eprintln!("warning: accept failed: {e}");
+                            // A persistent accept failure (EMFILE et al.)
+                            // used to spin this loop at 100% CPU; back off
+                            // with a bounded, exponentially growing sleep.
+                            let delay = backoff.failure();
+                            eprintln!("warning: accept failed: {e} (retrying in {delay:?})");
+                            std::thread::sleep(delay);
                             continue;
                         }
                     };

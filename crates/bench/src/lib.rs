@@ -26,6 +26,7 @@
 //! | `qross-serve`   | load a model once, serve NDJSON prediction/upload requests over stdio or TCP ([`protocol`]) |
 
 pub mod experiments;
+pub mod net;
 pub mod protocol;
 pub mod serve;
 

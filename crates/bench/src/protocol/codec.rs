@@ -1,0 +1,225 @@
+//! Sans-IO halves of the NDJSON session.
+//!
+//! [`SessionCodec`] turns arbitrary byte chunks into request lines — the
+//! caller owns the socket/pipe/file; the codec only ever sees `&[u8]`,
+//! so any chunking (1-byte reads, jumbo frames, whatever the kernel
+//! hands a nonblocking read) decodes to the identical line sequence.
+//! [`ResponseEmitter`] is the matching output half: it holds staged
+//! responses in request order and serializes each one as soon as it —
+//! and everything before it — is complete, into a caller-owned byte
+//! buffer.
+//!
+//! Both halves are driven by the blocking stdio/TCP path
+//! ([`super::serve_connection`]) and the nonblocking event loop
+//! (`bench::net`), which is what makes "byte-identical at any
+//! connection count" a structural property rather than a test hope.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+
+use super::{complete, render, Staged};
+
+/// Longest accepted request line (bytes, newline excluded). A client
+/// streaming one endless line used to grow the read buffer without
+/// bound — a reject-never-OOM violation; past this cap the line is
+/// dropped (not buffered) and answered with a typed bad-request error.
+/// 1 MiB comfortably fits every legitimate op, including TSPLIB uploads
+/// of the sizes this repo trains on.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One decoded item from the request byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecLine {
+    /// a complete request line (newline stripped, CRLF-tolerant)
+    Line(String),
+    /// a line longer than the codec's cap; its bytes were discarded
+    Oversized {
+        /// the cap that was exceeded ([`MAX_LINE_BYTES`] by default)
+        limit: usize,
+    },
+    /// a complete line that was not valid UTF-8
+    InvalidUtf8,
+}
+
+/// Incremental request-line decoder.
+///
+/// Mirrors `BufRead::lines` for well-formed input: splits on `\n`,
+/// strips one trailing `\r` from terminated lines, and yields a final
+/// unterminated line at EOF ([`SessionCodec::finish`]). Unlike
+/// `lines()`, it is bounded ([`MAX_LINE_BYTES`]) and survives invalid
+/// UTF-8 by reporting it as an item instead of an error.
+#[derive(Debug)]
+pub struct SessionCodec {
+    buf: Vec<u8>,
+    /// prefix of `buf` already scanned and known newline-free — feeds
+    /// resume scanning where they left off, so a line arriving in many
+    /// small chunks costs O(len), not O(len²)
+    scanned: usize,
+    /// inside an over-limit line: drop bytes until the next newline
+    discarding: bool,
+    limit: usize,
+}
+
+impl Default for SessionCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionCodec {
+    pub fn new() -> Self {
+        Self::with_limit(MAX_LINE_BYTES)
+    }
+
+    /// A codec with a custom line cap (tests; production uses
+    /// [`MAX_LINE_BYTES`]).
+    pub fn with_limit(limit: usize) -> Self {
+        SessionCodec {
+            buf: Vec::new(),
+            scanned: 0,
+            discarding: false,
+            limit: limit.max(1),
+        }
+    }
+
+    /// Appends a chunk of request bytes. Any split boundary is fine.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.discarding {
+            // Drop oversized-line bytes instead of buffering them; keep
+            // only what follows the terminating newline.
+            if let Some(pos) = bytes.iter().position(|&b| b == b'\n') {
+                self.discarding = false;
+                self.buf.extend_from_slice(&bytes[pos + 1..]);
+            }
+            return;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (bounded by the line cap plus one read
+    /// chunk — the backpressure quantity an event loop may want).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The next complete item, or `None` when more bytes are needed.
+    pub fn next_line(&mut self) -> Option<CodecLine> {
+        let pos = self.buf[self.scanned..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| p + self.scanned);
+        match pos {
+            Some(pos) => {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                self.scanned = 0;
+                line.pop(); // the '\n'
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                Some(self.classify(line))
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if self.buf.len() > self.limit {
+                    // The partial line is already over the cap: report it
+                    // now and stop buffering its remainder.
+                    self.buf.clear();
+                    self.scanned = 0;
+                    self.discarding = true;
+                    return Some(CodecLine::Oversized { limit: self.limit });
+                }
+                None
+            }
+        }
+    }
+
+    /// EOF: yields the final unterminated line, if any. Mirrors
+    /// `BufRead::lines`, which keeps a trailing `\r` when no `\n`
+    /// follows it.
+    pub fn finish(&mut self) -> Option<CodecLine> {
+        if self.discarding || self.buf.is_empty() {
+            self.buf.clear();
+            self.scanned = 0;
+            self.discarding = false;
+            return None;
+        }
+        let line = std::mem::take(&mut self.buf);
+        self.scanned = 0;
+        Some(self.classify(line))
+    }
+
+    fn classify(&self, line: Vec<u8>) -> CodecLine {
+        if line.len() > self.limit {
+            return CodecLine::Oversized { limit: self.limit };
+        }
+        match String::from_utf8(line) {
+            Ok(s) => CodecLine::Line(s),
+            Err(_) => CodecLine::InvalidUtf8,
+        }
+    }
+}
+
+/// Order-preserving response serializer.
+///
+/// Staged responses are pushed in request order; [`ResponseEmitter::pump`]
+/// appends every response that is complete *and* at the head of the line
+/// to an output buffer as NDJSON. Responses never reorder: a slow
+/// prediction holds back everything staged after it, exactly like the
+/// blocking writer loop it replaces.
+#[derive(Debug, Default)]
+pub struct ResponseEmitter {
+    queue: VecDeque<Staged>,
+}
+
+impl ResponseEmitter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages the next response (in request order).
+    pub fn push(&mut self, staged: Staged) {
+        self.queue.push_back(staged);
+    }
+
+    /// Responses staged but not yet emitted — the connection's pipelining
+    /// depth, which drivers bound to stop a flooding client.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Appends every head-of-line-complete response to `out` (one NDJSON
+    /// line each) without blocking; returns how many lines were emitted.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failure only (cannot happen for the fixed response
+    /// schema).
+    pub fn pump(&mut self, out: &mut Vec<u8>) -> std::io::Result<usize> {
+        let mut emitted = 0usize;
+        while let Some(front) = self.queue.front_mut() {
+            let line = match front {
+                Staged::Ready(_) | Staged::Raw(_) => {
+                    render(self.queue.pop_front().expect("front exists"))?
+                }
+                Staged::Pending { pending, .. } => match pending.try_wait() {
+                    None => break,
+                    Some(outcome) => {
+                        let Some(Staged::Pending { head, a_values, .. }) = self.queue.pop_front()
+                        else {
+                            unreachable!("front was Pending");
+                        };
+                        super::render_response(&complete(head, a_values, outcome))?
+                    }
+                },
+            };
+            writeln!(out, "{line}").expect("Vec<u8> writes cannot fail");
+            emitted += 1;
+        }
+        Ok(emitted)
+    }
+}

@@ -19,6 +19,8 @@
 //!  "e_avg": 3.25, "e_std": 0.5, "tag": "inst-7", "seed": 3}
 //! {"id": 6, "op": "refresh"}
 //! {"id": 7, "op": "model-info"}
+//! {"id": 8, "op": "metrics"}
+//! {"id": 9, "op": "predict", "tenant": "team-a", "features": [...], "a": 1.0}
 //! ```
 //!
 //! * `predict` — evaluate the surrogate at `features` for one `a` or a
@@ -38,6 +40,26 @@
 //!   every later request deterministically sees the new generation.
 //! * `refresh` — force a retrain/hot-swap now (the operator's refresh
 //!   button); same completion ordering as a triggering `feedback`.
+//! * `metrics` — a point-in-time engine metrics snapshot (qps, p50/p99
+//!   latency, batch occupancy, cache hit rate, per-tenant rejects,
+//!   generation). Unlike every other response it is *not* deterministic
+//!   across replays (it reports wall-clock rates), so it has its own
+//!   response schema ([`MetricsResponse`]) and never appears in the CI
+//!   byte-diff fixtures.
+//!
+//! Any request may carry an optional `tenant` string: the engine's
+//! admission control (per-tenant quotas, weighted fair queueing) accounts
+//! the work to that tenant. Untagged requests ride the default tenant.
+//!
+//! # Sans-IO core
+//!
+//! The protocol itself never does I/O. [`codec::SessionCodec`] turns
+//! arbitrary byte chunks into request lines (any split boundary, bounded
+//! line length), [`stage`] turns a line into a [`Staged`] request, and
+//! [`codec::ResponseEmitter`] serializes completed responses in request
+//! order. [`serve_connection`] is the blocking driver over that core
+//! (stdio and thread-per-connection TCP); `bench::net` drives the same
+//! core from a nonblocking event loop.
 //!
 //! # Responses
 //!
@@ -52,15 +74,19 @@
 //! response on the offending line; the connection — and the process —
 //! keep serving. A serving process must survive hostile uploads.
 
+pub mod codec;
+
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
 
 use problems::tsplib::parse_tsplib;
 use problems::TspEncoding;
 use qross::online::FeedbackRecord;
-use qross::serve::{PendingPrediction, ServeEngine};
+use qross::serve::{CompletionNotify, PendingPrediction, ServeEngine};
 use qross::surrogate::SurrogatePrediction;
 use serde::{Deserialize, Serialize};
+
+pub use codec::{CodecLine, ResponseEmitter, SessionCodec, MAX_LINE_BYTES};
 
 /// How many staged (submitted but unwritten) responses a connection may
 /// hold. Bounds per-connection memory against a client that floods
@@ -95,6 +121,9 @@ pub struct Request {
     pub tag: Option<String>,
     /// solver-run seed, lineage only (`feedback`, optional)
     pub seed: Option<u64>,
+    /// tenant this request's work is accounted to (any op, optional);
+    /// absent/empty = the default tenant
+    pub tenant: Option<String>,
 }
 
 /// One prediction in a response: decimal values for humans, exact bit
@@ -197,6 +226,57 @@ impl Response {
     }
 }
 
+/// One tenant's row in a [`MetricsResponse`]. Counters are cumulative
+/// since engine start; `pending_rows` is the instantaneous backlog that
+/// `quota_rows` (0 = unlimited) bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantMetricsOut {
+    pub tenant: String,
+    pub weight: u64,
+    pub quota_rows: u64,
+    pub requests: u64,
+    pub rows: u64,
+    pub rejected: u64,
+    pub pending_rows: u64,
+}
+
+/// Engine metrics payload (`metrics` op). Latency quantiles come from a
+/// log₂-bucketed histogram (exact to within √2); `null` until the first
+/// request completes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsOut {
+    pub uptime_secs: f64,
+    /// accepted requests per second, averaged over the uptime
+    pub qps: f64,
+    pub latency_p50_us: Option<f64>,
+    pub latency_p99_us: Option<f64>,
+    /// mean rows per worker forward pass (cache hits excluded)
+    pub batch_occupancy: f64,
+    /// cache hits / accepted rows
+    pub cache_hit_rate: f64,
+    /// model generation currently serving new requests
+    pub generation: u64,
+    /// queued (unanswered) rows across all tenants right now
+    pub queue_depth: u64,
+    /// total rejected requests (tenant quotas + global capacity)
+    pub rejected: u64,
+    pub tenants: Vec<TenantMetricsOut>,
+}
+
+/// The `metrics` op's response line. Deliberately **not** a [`Response`]:
+/// the `Response` schema is byte-frozen (the vendored serde subset
+/// serializes every field, so adding one would change every response
+/// line and break the replay fixtures' byte-identity contract), and
+/// metrics are wall-clock-dependent anyway — they never take part in
+/// byte-diff replays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// the request's `id`, echoed
+    pub id: Option<u64>,
+    pub ok: bool,
+    pub metrics: MetricsOut,
+}
+
 /// A request that has been validated and (when it needs the engine)
 /// submitted, but whose response may not be computed yet. Staging is
 /// cheap; the expensive part rides on the engine's worker pool, so a
@@ -206,6 +286,9 @@ impl Response {
 pub enum Staged {
     /// response already complete (errors, `info`)
     Ready(Box<Response>),
+    /// a pre-serialized response line (`metrics` — its schema is not
+    /// [`Response`], see [`MetricsResponse`])
+    Raw(String),
     /// engine-served predictions still in flight
     Pending {
         /// response skeleton: everything but `predictions`
@@ -220,6 +303,17 @@ pub enum Staged {
 /// Parses, validates and dispatches one request line. Returns `None` for
 /// blank lines.
 pub fn stage(engine: &ServeEngine, line: &str) -> Option<Staged> {
+    stage_opts(engine, line, None)
+}
+
+/// [`stage`] with a completion hook handed to the engine for requests
+/// that go through the batch queue — event-loop drivers use it to wake
+/// their poller when a pending prediction becomes resolvable.
+pub fn stage_opts(
+    engine: &ServeEngine,
+    line: &str,
+    notify: Option<CompletionNotify>,
+) -> Option<Staged> {
     let line = line.trim();
     if line.is_empty() {
         return None;
@@ -234,6 +328,7 @@ pub fn stage(engine: &ServeEngine, line: &str) -> Option<Staged> {
         }
     };
     let id = request.id;
+    let tenant = request.tenant.clone();
     let staged = match request.op.as_deref() {
         Some("info") | Some("model-info") => Staged::Ready(Box::new(Response {
             id,
@@ -241,6 +336,7 @@ pub fn stage(engine: &ServeEngine, line: &str) -> Option<Staged> {
             info: Some(model_info(engine)),
             ..Default::default()
         })),
+        Some("metrics") => stage_metrics(engine, id),
         Some("feedback") => stage_feedback(engine, id, &request),
         Some("refresh") => stage_refresh(engine, id),
         Some("predict") => {
@@ -260,9 +356,28 @@ pub fn stage(engine: &ServeEngine, line: &str) -> Option<Staged> {
                     ))))
                 }
             };
-            submit(engine, id, Response::default(), features, a_values)
+            submit(
+                engine,
+                id,
+                tenant.as_deref(),
+                Response::default(),
+                features,
+                a_values,
+                notify,
+            )
         }
-        Some("tsp") => stage_tsp(engine, id, request.tsplib, request.a, request.a_values),
+        Some("tsp") => stage_tsp(
+            engine,
+            id,
+            tenant.as_deref(),
+            request.tsplib,
+            request.a,
+            request.a_values,
+            notify,
+        ),
+        // The op list in this message is frozen: the committed
+        // error-replay fixtures byte-diff against it, so later ops
+        // (`metrics`) are documented in README/ARTIFACTS instead.
         Some(other) => Staged::Ready(Box::new(Response::err(
             id,
             format!(
@@ -273,6 +388,73 @@ pub fn stage(engine: &ServeEngine, line: &str) -> Option<Staged> {
         None => Staged::Ready(Box::new(Response::err(id, "missing `op`"))),
     };
     Some(staged)
+}
+
+/// The `metrics` op: snapshot the engine and pre-serialize the line (its
+/// schema is [`MetricsResponse`], not [`Response`]).
+fn stage_metrics(engine: &ServeEngine, id: Option<u64>) -> Staged {
+    let m = engine.metrics();
+    let payload = MetricsResponse {
+        id,
+        ok: true,
+        metrics: MetricsOut {
+            uptime_secs: m.uptime_secs,
+            qps: m.qps,
+            latency_p50_us: m.latency_p50_us,
+            latency_p99_us: m.latency_p99_us,
+            batch_occupancy: m.batch_occupancy,
+            cache_hit_rate: m.cache_hit_rate,
+            generation: m.generation,
+            queue_depth: m.queue_depth as u64,
+            rejected: m.rejected,
+            tenants: m
+                .tenants
+                .into_iter()
+                .map(|t| TenantMetricsOut {
+                    tenant: t.tenant,
+                    weight: u64::from(t.weight),
+                    quota_rows: t.quota_rows as u64,
+                    requests: t.requests,
+                    rows: t.rows,
+                    rejected: t.rejected,
+                    pending_rows: t.pending_rows as u64,
+                })
+                .collect(),
+        },
+    };
+    match serde_json::to_string(&payload) {
+        Ok(line) => Staged::Raw(line),
+        Err(e) => Staged::Ready(Box::new(Response::err(
+            id,
+            format!("metrics serialization failed: {e}"),
+        ))),
+    }
+}
+
+/// Maps one decoded [`CodecLine`] to a staged response: well-formed
+/// lines go through [`stage_opts`]; protocol-level rejects (a line over
+/// [`MAX_LINE_BYTES`], invalid UTF-8) become typed bad-request error
+/// responses on the spot — the session keeps serving.
+pub fn stage_line(
+    engine: &ServeEngine,
+    item: CodecLine,
+    notify: Option<CompletionNotify>,
+) -> Option<Staged> {
+    match item {
+        CodecLine::Line(line) => stage_opts(engine, &line, notify),
+        CodecLine::Oversized { limit } => Some(Staged::Ready(Box::new(Response::err(
+            None,
+            qross::QrossError::BadRequest {
+                message: format!("request line exceeds the {limit}-byte limit"),
+            },
+        )))),
+        CodecLine::InvalidUtf8 => Some(Staged::Ready(Box::new(Response::err(
+            None,
+            qross::QrossError::BadRequest {
+                message: "request line is not valid UTF-8".to_string(),
+            },
+        )))),
+    }
 }
 
 /// Builds the `info` / `model-info` payload from the engine's current
@@ -373,12 +555,15 @@ fn stage_refresh(engine: &ServeEngine, id: Option<u64>) -> Staged {
 
 /// The `tsp` op: parse the upload, featurise with the bundle's featurizer,
 /// plan the offline proposals, and submit any requested grid.
+#[allow(clippy::too_many_arguments)]
 fn stage_tsp(
     engine: &ServeEngine,
     id: Option<u64>,
+    tenant: Option<&str>,
     tsplib: Option<String>,
     a: Option<f64>,
     a_values: Option<Vec<f64>>,
+    notify: Option<CompletionNotify>,
 ) -> Staged {
     let snapshot = engine.model();
     let Some(trained) = snapshot.model.trained() else {
@@ -415,19 +600,23 @@ fn stage_tsp(
         (None, Some(a)) => vec![a],
         (None, None) => Vec::new(),
     };
-    submit(engine, id, head, features, a_values)
+    submit(engine, id, tenant, head, features, a_values, notify)
 }
 
 /// Pushes validated work into the engine; engine-side rejections
-/// (width/finiteness checks, backpressure) become `ok: false` responses.
+/// (width/finiteness checks, quotas, backpressure) become `ok: false`
+/// responses.
+#[allow(clippy::too_many_arguments)]
 fn submit(
     engine: &ServeEngine,
     id: Option<u64>,
+    tenant: Option<&str>,
     mut head: Response,
     features: Vec<f64>,
     a_values: Vec<f64>,
+    notify: Option<CompletionNotify>,
 ) -> Staged {
-    match engine.submit(features, a_values.clone()) {
+    match engine.submit_opts(tenant, features, a_values.clone(), notify) {
         Ok(pending) => {
             head.id = id;
             Staged::Pending {
@@ -445,34 +634,59 @@ fn submit(
     }
 }
 
-/// Waits for a staged request's predictions and completes the response.
-pub fn resolve(staged: Staged) -> Response {
+/// Completes a pending response skeleton with the engine's verdict.
+fn complete(
+    head: Box<Response>,
+    a_values: Vec<f64>,
+    outcome: Result<Vec<SurrogatePrediction>, qross::QrossError>,
+) -> Response {
+    let mut response = *head;
+    match outcome {
+        Ok(predictions) => {
+            response.ok = true;
+            response.predictions = Some(
+                a_values
+                    .into_iter()
+                    .zip(predictions)
+                    .map(|(a, p)| PredictionOut::new(a, p))
+                    .collect(),
+            );
+        }
+        Err(e) => {
+            response.ok = false;
+            response.error = Some(e.to_string());
+        }
+    }
+    response
+}
+
+/// Serializes a [`Response`] to its NDJSON line (no trailing newline).
+///
+/// # Errors
+///
+/// `InvalidData` when serialization fails (it cannot for the fixed
+/// response schema; kept fallible to avoid a panic path on the wire).
+pub fn render_response(response: &Response) -> std::io::Result<String> {
+    serde_json::to_string(response)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Waits (blocking) for a staged request and serializes its response
+/// line. The blocking driver's write half; event loops use
+/// [`codec::ResponseEmitter`] instead, which polls rather than waits.
+///
+/// # Errors
+///
+/// As [`render_response`].
+pub fn render(staged: Staged) -> std::io::Result<String> {
     match staged {
-        Staged::Ready(response) => *response,
+        Staged::Ready(response) => render_response(&response),
+        Staged::Raw(line) => Ok(line),
         Staged::Pending {
             head,
             a_values,
             pending,
-        } => {
-            let mut response = *head;
-            match pending.wait() {
-                Ok(predictions) => {
-                    response.ok = true;
-                    response.predictions = Some(
-                        a_values
-                            .into_iter()
-                            .zip(predictions)
-                            .map(|(a, p)| PredictionOut::new(a, p))
-                            .collect(),
-                    );
-                }
-                Err(e) => {
-                    response.ok = false;
-                    response.error = Some(e.to_string());
-                }
-            }
-            response
-        }
+        } => render_response(&complete(head, a_values, pending.wait())),
     }
 }
 
@@ -528,20 +742,41 @@ where
     let (tx, rx) = mpsc::sync_channel::<Staged>(PIPELINE_DEPTH);
     std::thread::scope(|scope| {
         let stager = scope.spawn(move || -> std::io::Result<()> {
-            for line in reader.lines() {
-                let line = line?;
-                if let Some(staged) = stage(engine, &line) {
-                    if tx.send(staged).is_err() {
-                        break; // writer side gone
+            // Thin driver over the sans-IO codec: feed whatever chunk the
+            // reader hands us, stage every completed line. Byte-identical
+            // to the old `BufRead::lines` loop for well-formed input; on
+            // hostile input (oversized or non-UTF-8 lines) it now answers
+            // with an `ok: false` line instead of tearing the session
+            // down.
+            let mut reader = reader;
+            let mut session = SessionCodec::new();
+            loop {
+                let chunk = reader.fill_buf()?;
+                let eof = chunk.is_empty();
+                if !eof {
+                    session.feed(chunk);
+                    let n = chunk.len();
+                    reader.consume(n);
+                }
+                loop {
+                    let item = match session.next_line() {
+                        Some(item) => item,
+                        None if eof => match session.finish() {
+                            Some(item) => item,
+                            None => return Ok(()),
+                        },
+                        None => break,
+                    };
+                    if let Some(staged) = stage_line(engine, item, None) {
+                        if tx.send(staged).is_err() {
+                            return Ok(()); // writer side gone
+                        }
                     }
                 }
             }
-            Ok(())
         });
         let mut write_line = |staged: Staged| -> std::io::Result<()> {
-            let response = resolve(staged);
-            let json = serde_json::to_string(&response)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            let json = render(staged)?;
             writeln!(writer, "{json}")?;
             writer.flush()
         };

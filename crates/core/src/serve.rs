@@ -70,6 +70,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use qross_store::Artifact;
 
@@ -168,6 +169,74 @@ impl Default for ServeConfig {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-tenant admission control
+// ---------------------------------------------------------------------------
+
+/// The tenant every untagged request is accounted to.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Hard cap on distinct tenants the engine will track. Tenant names come
+/// off the wire, so an unbounded registry would be a memory DoS vector;
+/// once the cap is reached, requests for *new* tenant names are accounted
+/// to [`DEFAULT_TENANT`] instead (served, but without a private quota).
+pub const MAX_TENANTS: usize = 1024;
+
+/// Service class of one tenant: its fair-queueing weight and its
+/// admission quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantClass {
+    /// deficit-weighted round-robin share (relative to other tenants'
+    /// weights); clamped to ≥ 1
+    pub weight: u32,
+    /// token quota: the most *pending* (queued, un-answered) prediction
+    /// rows this tenant may hold at once. `0` means "no private bound" —
+    /// only the global `queue_capacity` applies
+    pub quota_rows: usize,
+}
+
+impl Default for TenantClass {
+    fn default() -> Self {
+        TenantClass {
+            weight: 1,
+            quota_rows: 0,
+        }
+    }
+}
+
+/// Per-tenant admission policy for a serving engine.
+///
+/// Tenancy is cooperative labelling, not authentication: a request's
+/// optional `tenant` tag selects which queue, quota and weight it is
+/// accounted to, so one hot integration cannot starve the rest of a
+/// shared engine. Unknown tenants are registered on first use with
+/// `default_class`; tenants named in `classes` get their configured
+/// weight/quota from the start.
+#[derive(Debug, Clone, Default)]
+pub struct TenantPolicy {
+    /// class applied to tenants not listed in `classes`
+    pub default_class: TenantClass,
+    /// explicitly provisioned tenants (name → class)
+    pub classes: Vec<(String, TenantClass)>,
+}
+
+impl TenantPolicy {
+    /// The class for `name` — its explicit entry, or the default.
+    fn class_for(&self, name: &str) -> TenantClass {
+        self.classes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, class)| class)
+            .unwrap_or(self.default_class)
+    }
+}
+
+/// Completion hook a nonblocking front-end passes to
+/// [`ServeEngine::submit_opts`]: invoked (from a worker thread) after the
+/// request's result is delivered, e.g. to write a wake byte to an event
+/// loop's self-pipe. Must be cheap and must not block.
+pub type CompletionNotify = Arc<dyn Fn() + Send + Sync>;
+
 /// Monotonic serving counters (a snapshot of [`ServeEngine::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
@@ -187,15 +256,77 @@ pub struct ServeStats {
     pub refreshes: usize,
 }
 
+/// Number of log₂ latency buckets: bucket `i` counts requests whose
+/// submit→answer latency fell in `[2^i, 2^(i+1))` nanoseconds. 48 buckets
+/// span ~1ns to ~3.2 days — everything a serving process can observe.
+const LATENCY_BUCKETS: usize = 48;
+
+/// Log-bucketed request-latency histogram. Recording is one relaxed
+/// atomic increment — lock-free, wait-free, safe from any worker thread —
+/// and quantile reads fold the bucket counts without stopping writers
+/// (a racing snapshot may be off by the handful of in-flight increments,
+/// which is noise at metrics time scales).
+#[derive(Debug)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn record(&self, nanos: u64) {
+        // floor(log2(nanos)), with 0 mapped to bucket 0.
+        let bucket = (63 - (nanos | 1).leading_zeros()) as usize;
+        self.buckets[bucket.min(LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The latency (µs) at quantile `q` (0..=1): the geometric midpoint
+    /// of the first bucket whose cumulative count reaches `q`·total.
+    /// `None` when nothing has been recorded yet.
+    fn quantile_us(&self, q: f64) -> Option<f64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)) ns: 2^(i+0.5).
+                let mid_ns = 2f64.powf(i as f64 + 0.5);
+                return Some(mid_ns / 1_000.0);
+            }
+        }
+        None
+    }
+}
+
 #[derive(Debug, Default)]
 struct StatCounters {
     requests: AtomicU64,
     rows: AtomicU64,
     cache_hits: AtomicU64,
     batches: AtomicU64,
+    /// rows answered by a worker forward pass (excludes cache hits) —
+    /// `batched_rows / batches` is the mean batch occupancy
+    batched_rows: AtomicU64,
     rejected: AtomicU64,
     feedback: AtomicU64,
     refreshes: AtomicU64,
+    /// submit→answer latency of every accepted request
+    latency: LatencyHistogram,
 }
 
 impl StatCounters {
@@ -373,6 +504,8 @@ struct Job {
     a_values: Vec<f64>,
     results: Vec<Option<SurrogatePrediction>>,
     model: Arc<VersionedModel>,
+    submitted: Instant,
+    notify: Option<CompletionNotify>,
     tx: mpsc::Sender<Result<Vec<SurrogatePrediction>, QrossError>>,
 }
 
@@ -381,21 +514,219 @@ impl Job {
         self.results.iter().filter(|r| r.is_none()).count()
     }
 
-    fn finish(self) {
+    fn finish(self, stats: &StatCounters) {
         let out: Vec<SurrogatePrediction> = self
             .results
             .into_iter()
             .map(|r| r.expect("all slots computed"))
             .collect();
+        stats
+            .latency
+            .record(self.submitted.elapsed().as_nanos() as u64);
         // A dropped receiver just means the client went away; ignore.
         let _ = self.tx.send(Ok(out));
+        // Wake the submitter's event loop (if any) only after the result
+        // is deliverable: a woken poller must find the response ready.
+        if let Some(notify) = self.notify {
+            notify();
+        }
     }
 }
 
-struct Queue {
+/// One tenant's admission state: its FIFO of queued jobs, its quota
+/// accounting, and its deficit-round-robin scheduling state.
+struct TenantQueue {
+    name: String,
+    class: TenantClass,
     jobs: VecDeque<Job>,
+    /// pending (queued, unanswered) rows — the quantity `quota_rows`
+    /// bounds
+    pending_rows: usize,
+    /// deficit counter: rows of service this tenant is owed. Topped up by
+    /// `weight`·quantum on each scheduler visit, spent as jobs drain,
+    /// reset when the tenant goes idle (classic DWRR).
+    deficit: u64,
+    /// whether this tenant is in the active ring
+    queued: bool,
+    // -- per-tenant counters (mutated under the queue lock) --
+    requests: u64,
+    rows: u64,
+    rejected: u64,
+}
+
+/// The tenant-aware job queue. A tenant with queued jobs sits in the
+/// `active` ring; workers drain the ring deficit-weighted round-robin, so
+/// a flooding tenant's backlog cannot delay other tenants by more than
+/// one batch. Tenancy is invisible when every request is untagged: one
+/// default tenant means one FIFO, exactly the pre-tenant behaviour.
+struct Queue {
+    tenants: Vec<TenantQueue>,
+    by_name: HashMap<String, usize>,
+    /// round-robin ring of tenant indices with queued jobs
+    active: VecDeque<usize>,
+    /// pending rows across all tenants (the global `queue_capacity`
+    /// bound)
     pending_rows: usize,
     shutdown: bool,
+}
+
+/// Rows of service granted per unit of tenant weight each time the
+/// scheduler visits a tenant. Must be small relative to `max_batch_rows`:
+/// weighted sharing is arbitrated *within* a drained batch, so a quantum
+/// near the batch size would let whichever tenant is at the ring front
+/// fill whole batches and degrade the share to round-robin.
+const DWRR_QUANTUM_ROWS: u64 = 2;
+
+impl Queue {
+    fn new(policy: &TenantPolicy) -> Queue {
+        let mut queue = Queue {
+            tenants: Vec::new(),
+            by_name: HashMap::new(),
+            active: VecDeque::new(),
+            pending_rows: 0,
+            shutdown: false,
+        };
+        // The default tenant is index 0, always present.
+        queue.register(DEFAULT_TENANT, policy.class_for(DEFAULT_TENANT));
+        for (name, class) in &policy.classes {
+            if !queue.by_name.contains_key(name) {
+                queue.register(name, *class);
+            }
+        }
+        queue
+    }
+
+    fn register(&mut self, name: &str, class: TenantClass) -> usize {
+        let idx = self.tenants.len();
+        self.tenants.push(TenantQueue {
+            name: name.to_string(),
+            class: TenantClass {
+                weight: class.weight.max(1),
+                quota_rows: class.quota_rows,
+            },
+            jobs: VecDeque::new(),
+            pending_rows: 0,
+            deficit: 0,
+            queued: false,
+            requests: 0,
+            rows: 0,
+            rejected: 0,
+        });
+        self.by_name.insert(name.to_string(), idx);
+        idx
+    }
+
+    /// Index of `tenant`, registering it with the default class on first
+    /// use. Past [`MAX_TENANTS`] distinct names, unknown tenants fold
+    /// into the default tenant (reject-never-OOM applies to the tenant
+    /// registry too).
+    fn tenant_index(&mut self, tenant: Option<&str>, policy: &TenantPolicy) -> usize {
+        let Some(name) = tenant.filter(|n| !n.is_empty() && *n != DEFAULT_TENANT) else {
+            return 0;
+        };
+        if let Some(&idx) = self.by_name.get(name) {
+            return idx;
+        }
+        if self.tenants.len() >= MAX_TENANTS {
+            return 0;
+        }
+        self.register(name, policy.class_for(name))
+    }
+
+    /// Whether any tenant has queued jobs.
+    fn is_idle(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Enqueues `job` on tenant `idx` and links the tenant into the
+    /// active ring. Caller has already done quota accounting.
+    fn push(&mut self, idx: usize, job: Job) {
+        let rows = job.pending_rows();
+        let tenant = &mut self.tenants[idx];
+        tenant.pending_rows += rows;
+        tenant.jobs.push_back(job);
+        self.pending_rows += rows;
+        if !tenant.queued {
+            tenant.queued = true;
+            self.active.push_back(idx);
+        }
+    }
+
+    /// Deficit-weighted round-robin drain: collects up to
+    /// `max_batch_rows` pending rows of jobs for one worker batch,
+    /// cycling tenants in the active ring. Each visit tops a tenant's
+    /// deficit up by `weight`·quantum and serves whole jobs while the
+    /// deficit covers them, so service converges on the weight ratio
+    /// whatever each tenant's backlog looks like. A worker never leaves
+    /// empty-handed while jobs are queued: with an empty batch the front
+    /// job is served regardless of deficit (work conservation — fairness
+    /// only arbitrates *contended* batches).
+    fn drain_batch(&mut self, max_batch_rows: usize) -> Vec<Job> {
+        let mut batch = Vec::new();
+        let mut rows = 0usize;
+        // Every ring visit either serves ≥1 job or retires the tenant
+        // from the ring, except deficit top-ups that still don't cover
+        // the front job — bounded by job size / quantum, so this loop
+        // terminates. `visits` is a belt-and-braces backstop.
+        let mut visits = 0usize;
+        let max_visits = self
+            .active
+            .len()
+            .saturating_mul(2)
+            .saturating_add(max_batch_rows / DWRR_QUANTUM_ROWS as usize)
+            .saturating_add(16);
+        while rows < max_batch_rows && visits < max_visits {
+            visits += 1;
+            let Some(&idx) = self.active.front() else {
+                break;
+            };
+            let tenant = &mut self.tenants[idx];
+            if tenant.jobs.is_empty() {
+                tenant.queued = false;
+                tenant.deficit = 0;
+                self.active.pop_front();
+                continue;
+            }
+            let top_up = DWRR_QUANTUM_ROWS * u64::from(tenant.class.weight);
+            // Clamp accumulated credit: a backlogged tenant whose visits
+            // keep getting cut short by batch boundaries must not bank
+            // unbounded deficit it could later burst with.
+            let deficit_cap = top_up.saturating_add(max_batch_rows as u64);
+            tenant.deficit = tenant.deficit.saturating_add(top_up).min(deficit_cap);
+            while let Some(job) = tenant.jobs.front() {
+                let job_rows = job.pending_rows();
+                if rows + job_rows > max_batch_rows && !batch.is_empty() {
+                    // Batch is full; later rows wait for the next worker.
+                    rows = max_batch_rows;
+                    break;
+                }
+                if u64::try_from(job_rows).unwrap_or(u64::MAX) > tenant.deficit && !batch.is_empty()
+                {
+                    break; // out of credit this round; rotate
+                }
+                tenant.deficit = tenant.deficit.saturating_sub(job_rows as u64);
+                tenant.pending_rows -= job_rows;
+                self.pending_rows -= job_rows;
+                rows += job_rows;
+                batch.push(tenant.jobs.pop_front().expect("front checked"));
+                if rows >= max_batch_rows {
+                    break;
+                }
+            }
+            // Rotate a still-backlogged tenant to the back of the ring;
+            // retire an idle one (its deficit does not accrue while
+            // idle — classic DWRR keeps long-idle tenants from bursting).
+            self.active.pop_front();
+            let tenant = &mut self.tenants[idx];
+            if tenant.jobs.is_empty() {
+                tenant.queued = false;
+                tenant.deficit = 0;
+            } else {
+                self.active.push_back(idx);
+            }
+        }
+        batch
+    }
 }
 
 /// Mutable online-learning state, guarded by one lock so a feedback push
@@ -444,6 +775,9 @@ struct Shared {
     /// feature width, invariant across swaps (scalers are frozen)
     feature_dim: usize,
     config: ServeConfig,
+    policy: TenantPolicy,
+    /// engine start time, the denominator of the qps metric
+    started: Instant,
     queue: Mutex<Queue>,
     work_ready: Condvar,
     cache: Mutex<LruCache>,
@@ -470,11 +804,13 @@ impl Shared {
     /// Validates and enqueues one request; returns the response channel.
     ///
     /// Fully-cached requests are answered inline without touching the
-    /// queue (the fast path a warm serving process mostly runs).
-    fn submit(
+    /// job queue (the fast path a warm serving process mostly runs).
+    fn submit_opts(
         self: &Arc<Self>,
+        tenant: Option<&str>,
         features: Vec<f64>,
         a_values: Vec<f64>,
+        notify: Option<CompletionNotify>,
     ) -> Result<PendingPrediction, QrossError> {
         let expect = self.feature_dim;
         if features.len() != expect {
@@ -492,10 +828,13 @@ impl Shared {
                 message: format!("relaxation parameter must be finite and positive, got {bad}"),
             });
         }
+        let submitted = Instant::now();
         let (tx, rx) = mpsc::channel();
         // Accepted-work counters are bumped only once a request is
         // actually admitted (inline or enqueued): a rejected request must
-        // show up in `rejected`, never in `requests`/`rows`.
+        // show up in `rejected`, never in `requests`/`rows`. Per-tenant
+        // accounting happens under the queue lock, which also owns the
+        // tenant registry.
         let total_rows = a_values.len() as u64;
         let accept = |hits: u64| {
             self.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -504,9 +843,22 @@ impl Shared {
                 self.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
             }
         };
+        let accept_tenant = |q: &mut Queue, idx: usize| {
+            let t = &mut q.tenants[idx];
+            t.requests += 1;
+            t.rows += total_rows;
+        };
         if a_values.is_empty() {
             accept(0);
+            let mut q = lock(&self.queue);
+            let idx = q.tenant_index(tenant, &self.policy);
+            accept_tenant(&mut q, idx);
+            drop(q);
+            self.stats.latency.record(0);
             let _ = tx.send(Ok(Vec::new()));
+            if let Some(notify) = notify {
+                notify();
+            }
             return Ok(PendingPrediction { rx });
         }
 
@@ -533,12 +885,18 @@ impl Shared {
             a_values,
             results,
             model,
+            submitted,
+            notify,
             tx,
         };
         let pending = job.pending_rows();
         if pending == 0 {
             accept(hits);
-            job.finish();
+            let mut q = lock(&self.queue);
+            let idx = q.tenant_index(tenant, &self.policy);
+            accept_tenant(&mut q, idx);
+            drop(q);
+            job.finish(&self.stats);
             return Ok(PendingPrediction { rx });
         }
         if pending > self.config.queue_capacity {
@@ -554,18 +912,81 @@ impl Shared {
         }
         {
             let mut q = lock(&self.queue);
+            let idx = q.tenant_index(tenant, &self.policy);
+            // Admission control: the tenant's private token quota first,
+            // then the global bound. Both reject immediately (typed
+            // backpressure, never unbounded buffering).
+            let quota = q.tenants[idx].class.quota_rows;
+            if quota > 0 && q.tenants[idx].pending_rows + pending > quota {
+                q.tenants[idx].rejected += 1;
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(QrossError::Overloaded { capacity: quota });
+            }
             if q.pending_rows + pending > self.config.queue_capacity {
+                q.tenants[idx].rejected += 1;
                 self.stats.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(QrossError::Overloaded {
                     capacity: self.config.queue_capacity,
                 });
             }
-            q.pending_rows += pending;
-            q.jobs.push_back(job);
+            accept_tenant(&mut q, idx);
+            q.push(idx, job);
         }
         accept(hits);
         self.work_ready.notify_one();
         Ok(PendingPrediction { rx })
+    }
+
+    /// Point-in-time metrics snapshot. Counters are relaxed atomics and
+    /// the per-tenant table is read under the queue lock, so the snapshot
+    /// is cheap but only approximately consistent across fields — fine
+    /// for observability, not for accounting.
+    fn metrics(&self) -> EngineMetrics {
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let requests = get(&self.stats.requests);
+        let batches = get(&self.stats.batches);
+        let batched_rows = get(&self.stats.batched_rows);
+        let rows = get(&self.stats.rows);
+        let cache_hits = get(&self.stats.cache_hits);
+        let (queue_depth, tenants) = {
+            let q = lock(&self.queue);
+            let tenants = q
+                .tenants
+                .iter()
+                .filter(|t| t.requests > 0 || t.rejected > 0 || t.class != TenantClass::default())
+                .map(|t| TenantMetrics {
+                    tenant: t.name.clone(),
+                    weight: t.class.weight,
+                    quota_rows: t.class.quota_rows,
+                    requests: t.requests,
+                    rows: t.rows,
+                    rejected: t.rejected,
+                    pending_rows: t.pending_rows,
+                })
+                .collect();
+            (q.pending_rows, tenants)
+        };
+        EngineMetrics {
+            uptime_secs: uptime,
+            qps: requests as f64 / uptime,
+            latency_p50_us: self.stats.latency.quantile_us(0.50),
+            latency_p99_us: self.stats.latency.quantile_us(0.99),
+            batch_occupancy: if batches > 0 {
+                batched_rows as f64 / batches as f64
+            } else {
+                0.0
+            },
+            cache_hit_rate: if rows > 0 {
+                cache_hits as f64 / rows as f64
+            } else {
+                0.0
+            },
+            generation: self.generation.load(Ordering::SeqCst),
+            queue_depth,
+            rejected: get(&self.stats.rejected),
+            tenants,
+        }
     }
 
     /// Worker body: drain a batch of jobs, answer them with one forward
@@ -580,7 +1001,7 @@ impl Shared {
             let batch: Vec<Job> = {
                 let mut q = lock(&self.queue);
                 loop {
-                    if !q.jobs.is_empty() {
+                    if !q.is_idle() {
                         break;
                     }
                     if q.shutdown {
@@ -591,21 +1012,7 @@ impl Shared {
                         Err(poisoned) => poisoned.into_inner(),
                     };
                 }
-                let mut batch = Vec::new();
-                let mut rows = 0usize;
-                while let Some(job) = q.jobs.front() {
-                    let pending = job.pending_rows();
-                    if !batch.is_empty() && rows + pending > self.config.max_batch_rows {
-                        break;
-                    }
-                    rows += pending;
-                    q.pending_rows -= pending;
-                    batch.push(q.jobs.pop_front().expect("front checked"));
-                    if rows >= self.config.max_batch_rows {
-                        break;
-                    }
-                }
-                batch
+                q.drain_batch(self.config.max_batch_rows)
             };
             self.process_batch(&mut scratch, batch);
         }
@@ -648,6 +1055,9 @@ impl Shared {
                 .collect();
             let predictions = model.model.surrogate().predict_many_with(scratch, &queries);
             self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .batched_rows
+                .fetch_add(queries.len() as u64, Ordering::Relaxed);
             if self.config.cache_capacity > 0 {
                 let mut cache = lock(&self.cache);
                 for (&(j, slot), &p) in index.iter().zip(&predictions) {
@@ -666,7 +1076,7 @@ impl Shared {
             }
         }
         for job in batch {
-            job.finish();
+            job.finish(&self.stats);
         }
     }
 
@@ -889,6 +1299,46 @@ fn swap_surrogate(model: &ServeModel, surrogate: Surrogate) -> Result<ServeModel
     }
 }
 
+/// One tenant's row in [`EngineMetrics`]. Counters are cumulative since
+/// engine start; `pending_rows` is the instantaneous queued backlog the
+/// tenant's `quota_rows` bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetrics {
+    pub tenant: String,
+    pub weight: u32,
+    /// 0 = unlimited (only the global queue bound applies)
+    pub quota_rows: usize,
+    pub requests: u64,
+    pub rows: u64,
+    pub rejected: u64,
+    pub pending_rows: usize,
+}
+
+/// Point-in-time engine metrics ([`ServeEngine::metrics`], and the
+/// `metrics` protocol op). Latency quantiles come from a log₂-bucketed
+/// histogram, so they are exact to within a factor of √2; `None` until
+/// the first request completes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMetrics {
+    pub uptime_secs: f64,
+    /// accepted requests per second, averaged over the uptime
+    pub qps: f64,
+    pub latency_p50_us: Option<f64>,
+    pub latency_p99_us: Option<f64>,
+    /// mean rows per worker forward pass (cache hits excluded)
+    pub batch_occupancy: f64,
+    /// cache hits / accepted rows
+    pub cache_hit_rate: f64,
+    /// model generation currently serving new requests
+    pub generation: u64,
+    /// instantaneous queued (unanswered) rows across all tenants
+    pub queue_depth: usize,
+    /// total rejected requests (quota + global capacity)
+    pub rejected: u64,
+    /// tenants that have seen traffic or carry a non-default class
+    pub tenants: Vec<TenantMetrics>,
+}
+
 /// A response handle returned by [`ServeEngine::submit`].
 #[derive(Debug)]
 pub struct PendingPrediction {
@@ -908,6 +1358,21 @@ impl PendingPrediction {
                 message: "worker disconnected before answering".to_string(),
             })
         })
+    }
+
+    /// Non-blocking poll: `Some(result)` once the engine has answered,
+    /// `None` while the request is still in flight. Event-loop drivers
+    /// call this after their wake pipe fires instead of parking a thread
+    /// per request. A dead worker reports as `Some(Err(Serve))`, matching
+    /// [`PendingPrediction::wait`].
+    pub fn try_wait(&mut self) -> Option<Result<Vec<SurrogatePrediction>, QrossError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(QrossError::Serve {
+                message: "worker disconnected before answering".to_string(),
+            })),
+        }
     }
 }
 
@@ -989,7 +1454,16 @@ impl ServeEngine {
     /// The model is frozen (generation 0 forever); see
     /// [`ServeEngine::with_online`] for the continual-learning variant.
     pub fn new(model: ServeModel, config: ServeConfig) -> Self {
-        Self::build(model, config, None, None).expect("offline construction cannot fail")
+        Self::build(model, config, TenantPolicy::default(), None, None)
+            .expect("offline construction cannot fail")
+    }
+
+    /// Starts the engine with a multi-tenant admission policy: per-tenant
+    /// row quotas and deficit-weighted round-robin draining into the
+    /// micro-batcher. Tenants absent from `policy.classes` get
+    /// `policy.default_class` on first use.
+    pub fn with_tenants(model: ServeModel, config: ServeConfig, policy: TenantPolicy) -> Self {
+        Self::build(model, config, policy, None, None).expect("offline construction cannot fail")
     }
 
     /// Starts the engine in **online mode**: in addition to serving, it
@@ -1011,12 +1485,29 @@ impl ServeEngine {
         online: OnlineConfig,
         base: Option<SurrogateDataset>,
     ) -> Result<Self, QrossError> {
-        Self::build(model, config, Some(online), base)
+        Self::build(model, config, TenantPolicy::default(), Some(online), base)
+    }
+
+    /// Online mode with a multi-tenant admission policy — the union of
+    /// [`ServeEngine::with_online`] and [`ServeEngine::with_tenants`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::with_online`].
+    pub fn with_online_tenants(
+        model: ServeModel,
+        config: ServeConfig,
+        policy: TenantPolicy,
+        online: OnlineConfig,
+        base: Option<SurrogateDataset>,
+    ) -> Result<Self, QrossError> {
+        Self::build(model, config, policy, Some(online), base)
     }
 
     fn build(
         model: ServeModel,
         config: ServeConfig,
+        policy: TenantPolicy,
         online: Option<OnlineConfig>,
         base: Option<SurrogateDataset>,
     ) -> Result<Self, QrossError> {
@@ -1079,11 +1570,9 @@ impl ServeEngine {
             generation: AtomicU64::new(0),
             feature_dim,
             config,
-            queue: Mutex::new(Queue {
-                jobs: VecDeque::new(),
-                pending_rows: 0,
-                shutdown: false,
-            }),
+            queue: Mutex::new(Queue::new(&policy)),
+            policy,
+            started: Instant::now(),
             work_ready: Condvar::new(),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             stats: StatCounters::default(),
@@ -1191,7 +1680,32 @@ impl ServeEngine {
         features: Vec<f64>,
         a_values: Vec<f64>,
     ) -> Result<PendingPrediction, QrossError> {
-        self.shared.submit(features, a_values)
+        self.shared.submit_opts(None, features, a_values, None)
+    }
+
+    /// [`ServeEngine::submit`] with admission options: the requesting
+    /// tenant (`None` = default tenant) and an optional completion hook,
+    /// invoked after the result becomes receivable — event-loop
+    /// front-ends use it to wake their poller instead of parking a thread
+    /// per request.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit`], plus [`QrossError::Overloaded`] when
+    /// the tenant's own row quota is exhausted.
+    pub fn submit_opts(
+        &self,
+        tenant: Option<&str>,
+        features: Vec<f64>,
+        a_values: Vec<f64>,
+        notify: Option<CompletionNotify>,
+    ) -> Result<PendingPrediction, QrossError> {
+        self.shared.submit_opts(tenant, features, a_values, notify)
+    }
+
+    /// A point-in-time metrics snapshot (the `metrics` protocol op).
+    pub fn metrics(&self) -> EngineMetrics {
+        self.shared.metrics()
     }
 
     /// Blocking single prediction — `submit` + `wait`.
@@ -1395,40 +1909,38 @@ mod tests {
                 queue_capacity: 3,
                 cache_capacity: 0,
             },
-            queue: Mutex::new(Queue {
-                jobs: VecDeque::new(),
-                pending_rows: 0,
-                shutdown: false,
-            }),
+            queue: Mutex::new(Queue::new(&TenantPolicy::default())),
+            policy: TenantPolicy::default(),
+            started: Instant::now(),
             work_ready: Condvar::new(),
             cache: Mutex::new(LruCache::new(0)),
             stats: StatCounters::default(),
             online: None,
         });
-        assert!(shared.submit(vec![0.0, 0.0], vec![1.0, 2.0]).is_ok());
-        assert!(shared.submit(vec![0.0, 0.0], vec![1.0]).is_ok());
+        let submit = |a_values: Vec<f64>| shared.submit_opts(None, vec![0.0, 0.0], a_values, None);
+        assert!(submit(vec![1.0, 2.0]).is_ok());
+        assert!(submit(vec![1.0]).is_ok());
         // 3 rows pending == capacity: the next row must bounce.
-        let err = shared.submit(vec![0.0, 0.0], vec![1.0]).unwrap_err();
+        let err = submit(vec![1.0]).unwrap_err();
         assert!(matches!(err, QrossError::Overloaded { capacity: 3 }));
         // A single request larger than the queue could never be admitted:
         // that is a client error, not transient load (retrying an
         // Overloaded would loop forever).
-        let err = shared
-            .submit(vec![0.0, 0.0], vec![1.0, 2.0, 3.0, 4.0])
-            .unwrap_err();
+        let err = submit(vec![1.0, 2.0, 3.0, 4.0]).unwrap_err();
         assert!(matches!(err, QrossError::BadRequest { .. }));
         // Rejections never count as accepted work.
         let stats = shared.stats.snapshot();
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.rows, 3);
-        // Rejection is not sticky: drain one job and submit again.
+        // Rejection is not sticky: drain one batch and submit again.
         {
             let mut q = lock(&shared.queue);
-            let job = q.jobs.pop_front().expect("queued job");
-            q.pending_rows -= job.pending_rows();
+            let drained = q.drain_batch(2);
+            assert_eq!(drained.len(), 1);
+            assert_eq!(drained[0].pending_rows(), 2);
         }
-        assert!(shared.submit(vec![0.0, 0.0], vec![1.0]).is_ok());
+        assert!(submit(vec![1.0]).is_ok());
     }
 
     #[test]
@@ -1798,6 +2310,260 @@ mod tests {
         assert_eq!(eng.stats().feedback, 0);
         assert_eq!(eng.online_status().expect("online").feedback_count, 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A workerless engine whose queue can only fill — lets tests drive
+    /// `drain_batch` by hand and observe scheduling order deterministically.
+    fn workerless(policy: TenantPolicy, queue_capacity: usize) -> Arc<Shared> {
+        let model = ServeModel::Surrogate(Arc::new(tiny_surrogate()));
+        Arc::new(Shared {
+            feature_dim: model.feature_dim(),
+            slot: Mutex::new(Arc::new(VersionedModel {
+                generation: 0,
+                model,
+            })),
+            generation: AtomicU64::new(0),
+            config: ServeConfig {
+                workers: 1,
+                max_batch_rows: 8,
+                queue_capacity,
+                cache_capacity: 0,
+            },
+            queue: Mutex::new(Queue::new(&policy)),
+            policy,
+            started: Instant::now(),
+            work_ready: Condvar::new(),
+            cache: Mutex::new(LruCache::new(0)),
+            stats: StatCounters::default(),
+            online: None,
+        })
+    }
+
+    #[test]
+    fn tenant_quota_rejects_only_the_offender() {
+        let policy = TenantPolicy {
+            default_class: TenantClass::default(),
+            classes: vec![(
+                "capped".to_string(),
+                TenantClass {
+                    weight: 1,
+                    quota_rows: 2,
+                },
+            )],
+        };
+        let shared = workerless(policy, 1024);
+        let submit = |tenant: Option<&str>, rows: usize| {
+            shared.submit_opts(tenant, vec![0.0, 0.0], vec![1.0; rows], None)
+        };
+        assert!(submit(Some("capped"), 2).is_ok());
+        // The capped tenant's quota is exhausted; its next row bounces…
+        let err = submit(Some("capped"), 1).unwrap_err();
+        assert!(matches!(err, QrossError::Overloaded { capacity: 2 }));
+        // …while other tenants (and the default) are untouched.
+        assert!(submit(Some("other"), 4).is_ok());
+        assert!(submit(None, 4).is_ok());
+        let metrics = shared.metrics();
+        let capped = metrics
+            .tenants
+            .iter()
+            .find(|t| t.tenant == "capped")
+            .expect("capped tenant visible");
+        assert_eq!(capped.rejected, 1);
+        assert_eq!(capped.requests, 1);
+        assert_eq!(capped.pending_rows, 2);
+        assert_eq!(metrics.rejected, 1);
+        assert_eq!(metrics.queue_depth, 10);
+    }
+
+    #[test]
+    fn unknown_tenants_fold_into_default_past_the_registry_cap() {
+        let shared = workerless(TenantPolicy::default(), usize::MAX);
+        {
+            let mut q = lock(&shared.queue);
+            for k in 0..MAX_TENANTS + 10 {
+                let _ = q.tenant_index(Some(&format!("t{k}")), &shared.policy);
+            }
+            assert_eq!(q.tenants.len(), MAX_TENANTS);
+            // Registry is full: a fresh name lands on the default tenant.
+            assert_eq!(q.tenant_index(Some("fresh"), &shared.policy), 0);
+            // Known names still resolve to their own slot.
+            assert_ne!(q.tenant_index(Some("t5"), &shared.policy), 0);
+        }
+    }
+
+    #[test]
+    fn dwrr_serves_tenants_proportionally_to_weight() {
+        let policy = TenantPolicy {
+            default_class: TenantClass::default(),
+            classes: vec![
+                (
+                    "heavy".to_string(),
+                    TenantClass {
+                        weight: 3,
+                        quota_rows: 0,
+                    },
+                ),
+                (
+                    "light".to_string(),
+                    TenantClass {
+                        weight: 1,
+                        quota_rows: 0,
+                    },
+                ),
+            ],
+        };
+        let shared = workerless(policy, usize::MAX);
+        // Both tenants backlogged with single-row jobs.
+        for _ in 0..200 {
+            shared
+                .submit_opts(Some("heavy"), vec![0.0, 0.0], vec![1.0], None)
+                .expect("heavy submit");
+            shared
+                .submit_opts(Some("light"), vec![0.0, 0.0], vec![1.0], None)
+                .expect("light submit");
+        }
+        // Drain a contended stretch; service per tenant is measured as
+        // the drop in its pending_rows (both stay backlogged throughout).
+        let (heavy_before, light_before) = {
+            let q = lock(&shared.queue);
+            let by = |name: &str| {
+                q.tenants
+                    .iter()
+                    .find(|t| t.name == name)
+                    .expect("registered")
+                    .pending_rows
+            };
+            (by("heavy"), by("light"))
+        };
+        let mut drained = 0usize;
+        while drained < 120 {
+            let batch = {
+                let mut q = lock(&shared.queue);
+                q.drain_batch(shared.config.max_batch_rows)
+            };
+            assert!(!batch.is_empty(), "backlogged queue yielded nothing");
+            drained += batch.iter().map(Job::pending_rows).sum::<usize>();
+        }
+        let (heavy_served, light_served) = {
+            let q = lock(&shared.queue);
+            let by = |name: &str| {
+                q.tenants
+                    .iter()
+                    .find(|t| t.name == name)
+                    .expect("registered")
+                    .pending_rows
+            };
+            (heavy_before - by("heavy"), light_before - by("light"))
+        };
+        // Weight 3 vs 1 should converge near a 3:1 service split while
+        // both stay backlogged; allow slack for batch-boundary rounding.
+        assert!(
+            light_served > 0,
+            "light tenant starved: heavy={heavy_served} light={light_served}"
+        );
+        let ratio = heavy_served as f64 / light_served as f64;
+        assert!(
+            (2.0..=4.5).contains(&ratio),
+            "service ratio {ratio:.2} (heavy={heavy_served}, light={light_served}) \
+             not near the 3:1 weights"
+        );
+    }
+
+    #[test]
+    fn dwrr_is_plain_fifo_for_a_single_tenant() {
+        let shared = workerless(TenantPolicy::default(), usize::MAX);
+        for k in 0..5 {
+            shared
+                .submit_opts(None, vec![k as f64, 0.0], vec![1.0], None)
+                .expect("submit");
+        }
+        let batch = {
+            let mut q = lock(&shared.queue);
+            q.drain_batch(3)
+        };
+        // FIFO order, batch bounded at max rows.
+        let firsts: Vec<f64> = batch.iter().map(|j| j.features[0]).collect();
+        assert_eq!(firsts, vec![0.0, 1.0, 2.0]);
+        let batch = {
+            let mut q = lock(&shared.queue);
+            q.drain_batch(3)
+        };
+        let firsts: Vec<f64> = batch.iter().map(|j| j.features[0]).collect();
+        assert_eq!(firsts, vec![3.0, 4.0]);
+        assert!(lock(&shared.queue).is_idle());
+    }
+
+    #[test]
+    fn dwrr_work_conservation_serves_oversized_front_job() {
+        // A job bigger than any deficit top-up must still be served when
+        // the batch is otherwise empty — fairness never deadlocks work.
+        let shared = workerless(TenantPolicy::default(), usize::MAX);
+        shared
+            .submit_opts(None, vec![0.0, 0.0], vec![1.0; 64], None)
+            .expect("submit");
+        let batch = {
+            let mut q = lock(&shared.queue);
+            q.drain_batch(8)
+        };
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].pending_rows(), 64);
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_log_bucket_exact() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        // 100 samples at ~1µs, 1 sample at ~1ms: p50 lands in the 1µs
+        // bucket, p999 in the 1ms bucket. Buckets are powers of two, so
+        // use exact powers to pin bucket indices.
+        for _ in 0..100 {
+            h.record(1 << 10); // bucket 10: [1024, 2048) ns
+        }
+        h.record(1 << 20); // bucket 20: [1.05, 2.10) ms
+        let p50 = h.quantile_us(0.50).expect("recorded");
+        assert!((1.0..=2.1).contains(&p50), "p50 {p50}µs outside bucket 10");
+        let p999 = h.quantile_us(0.999).expect("recorded");
+        assert!(
+            (1000.0..=2200.0).contains(&p999),
+            "p999 {p999}µs outside bucket 20"
+        );
+        // Zero nanoseconds must not panic (bucket 0 via the |1 guard).
+        h.record(0);
+    }
+
+    #[test]
+    fn metrics_reports_live_engine_counters() {
+        let eng = engine(ServeConfig {
+            workers: 2,
+            max_batch_rows: 8,
+            ..Default::default()
+        });
+        for k in 0..10 {
+            let f = [k as f64 / 7.0, 0.25];
+            eng.predict(&f, 1.5).expect("predict");
+            eng.predict(&f, 1.5).expect("cached predict");
+        }
+        let m = eng.metrics();
+        assert_eq!(m.generation, 0);
+        assert!(m.qps > 0.0);
+        assert!(m.uptime_secs > 0.0);
+        assert_eq!(m.queue_depth, 0);
+        assert_eq!(m.rejected, 0);
+        // Second predict of each pair is a cache hit: rate is 1/2.
+        assert!(
+            (m.cache_hit_rate - 0.5).abs() < 1e-9,
+            "{}",
+            m.cache_hit_rate
+        );
+        assert!(m.batch_occupancy >= 1.0);
+        let p50 = m.latency_p50_us.expect("latencies recorded");
+        let p99 = m.latency_p99_us.expect("latencies recorded");
+        assert!(p50 > 0.0 && p99 >= p50);
+        // All traffic untagged: exactly the default tenant, all rows.
+        assert_eq!(m.tenants.len(), 1);
+        assert_eq!(m.tenants[0].tenant, DEFAULT_TENANT);
+        assert_eq!(m.tenants[0].requests, 20);
+        assert_eq!(m.tenants[0].rows, 20);
     }
 
     #[test]

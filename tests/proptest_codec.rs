@@ -1,0 +1,211 @@
+//! Property tests for the sans-IO session codec: the request-line
+//! sequence a byte stream decodes to — and the response bytes a full
+//! session produces — are invariant under how the stream is chunked.
+//! One-byte reads, jumbo frames, splits inside a CRLF or a UTF-8
+//! sequence: the codec must see through all of them, because the
+//! nonblocking event loop feeds it whatever the kernel hands a read.
+
+use std::io::{BufRead, Cursor, Read};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use bench::protocol::{serve_connection, CodecLine, SessionCodec};
+use qross_repro::mathkit::stats::ZScore;
+use qross_repro::neural::network::MlpBuilder;
+use qross_repro::qross::dataset::Scalers;
+use qross_repro::qross::pipeline::{PipelineConfig, TrainedQross};
+use qross_repro::qross::serve::{ServeConfig, ServeEngine, ServeModel};
+use qross_repro::qross::surrogate::{Surrogate, SurrogateState, TrainReport};
+use qross_repro::qross::StatisticalFeaturizer;
+
+/// Feature width of [`StatisticalFeaturizer`].
+const FEAT_DIM: usize = 24;
+
+/// Seed-derived surrogate over the statistical featurizer's 24 features
+/// (same shape as the serving integration suite: real code paths, no
+/// training time).
+fn test_engine(config: ServeConfig) -> ServeEngine {
+    let zscore = |m: f64, s: f64| ZScore { mean: m, std: s };
+    let state = SurrogateState {
+        pf_net: MlpBuilder::new(FEAT_DIM + 1)
+            .dense(24)
+            .relu()
+            .dense(1)
+            .sigmoid()
+            .build(41)
+            .to_state(),
+        e_net: MlpBuilder::new(FEAT_DIM + 1)
+            .dense(24)
+            .relu()
+            .dense(2)
+            .build(42)
+            .to_state(),
+        scalers: Scalers {
+            features: (0..FEAT_DIM)
+                .map(|c| zscore(0.2 * c as f64, 1.0 + 0.05 * c as f64))
+                .collect(),
+            log_a: zscore(0.0, 1.0),
+            e_avg: zscore(8.0, 3.0),
+            e_std: zscore(1.0, 0.4),
+        },
+    };
+    let surrogate = Surrogate::from_state(state).expect("consistent state");
+    let bundle = Arc::new(TrainedQross {
+        surrogate,
+        featurizer: Box::new(StatisticalFeaturizer::new()),
+        train_encodings: Vec::new(),
+        test_encodings: Vec::new(),
+        dataset_len: 0,
+        report: TrainReport::default(),
+        config: PipelineConfig::micro(),
+    });
+    ServeEngine::new(ServeModel::Bundle(bundle), config)
+}
+
+/// Decodes `bytes` split at the given cut points, returning every item
+/// including the EOF tail.
+fn decode_chunked(bytes: &[u8], cuts: &[usize], limit: usize) -> Vec<CodecLine> {
+    let mut codec = SessionCodec::with_limit(limit);
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    for &cut in cuts.iter().chain(std::iter::once(&bytes.len())) {
+        let cut = cut.min(bytes.len());
+        if cut <= start {
+            continue;
+        }
+        codec.feed(&bytes[start..cut]);
+        while let Some(item) = codec.next_line() {
+            items.push(item);
+        }
+        start = cut;
+    }
+    if let Some(item) = codec.finish() {
+        items.push(item);
+    }
+    items
+}
+
+/// A `BufRead` whose `fill_buf` hands out the stream in preset chunks —
+/// the blocking driver then feeds the codec exactly those splits.
+struct ChunkedReader {
+    data: Vec<u8>,
+    /// sorted chunk boundaries (positions in `data`)
+    cuts: Vec<usize>,
+    pos: usize,
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let chunk = self.fill_buf()?;
+        let n = chunk.len().min(buf.len());
+        buf[..n].copy_from_slice(&chunk[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for ChunkedReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        let end = self
+            .cuts
+            .iter()
+            .copied()
+            .find(|&c| c > self.pos && c < self.data.len())
+            .unwrap_or(self.data.len());
+        Ok(&self.data[self.pos..end])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+    }
+}
+
+/// Byte-stream fragments covering every decoding hazard: plain lines,
+/// CRLF, blank lines, multi-byte UTF-8 (splittable mid-character),
+/// invalid UTF-8, and lines longer than the test cap.
+fn fragment_strategy() -> impl Strategy<Value = Vec<u8>> {
+    (0u8..7, 0usize..40).prop_map(|(kind, len)| match kind {
+        0 => format!("{{\"id\": {len}, \"op\": \"info\"}}\n").into_bytes(),
+        1 => format!("line-{len}\r\n").into_bytes(),
+        2 => b"\n".to_vec(),
+        3 => format!("caf\u{e9}-{len}\u{2603}\n").into_bytes(),
+        4 => {
+            let mut v = vec![b'x'; len];
+            v.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+            v
+        }
+        5 => {
+            let mut v = vec![b'y'; 97 + len]; // over the 64-byte test cap
+            v.push(b'\n');
+            v
+        }
+        _ => format!("tail-{len}").into_bytes(), // unterminated (EOF tail)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any chunking of any hazard mix decodes to the all-at-once item
+    /// sequence — including oversized-line discards and invalid UTF-8.
+    #[test]
+    fn codec_items_are_invariant_under_chunking(
+        fragments in proptest::collection::vec(fragment_strategy(), 1..12),
+        raw_cuts in proptest::collection::vec(0usize..600, 0..40),
+    ) {
+        let bytes: Vec<u8> = fragments.concat();
+        let baseline = decode_chunked(&bytes, &[], 64);
+        let mut cuts = raw_cuts;
+        cuts.sort_unstable();
+        cuts.dedup();
+        let chunked = decode_chunked(&bytes, &cuts, 64);
+        prop_assert_eq!(&baseline, &chunked);
+        let byte_by_byte: Vec<usize> = (1..bytes.len()).collect();
+        let trickled = decode_chunked(&bytes, &byte_by_byte, 64);
+        prop_assert_eq!(&baseline, &trickled);
+    }
+
+    /// Replaying the committed serving fixture through the blocking
+    /// driver yields byte-identical responses no matter how the reader
+    /// chunks the request stream.
+    #[test]
+    fn fixture_replay_bytes_are_invariant_under_chunking(
+        raw_cuts in proptest::collection::vec(1usize..4096, 0..64),
+    ) {
+        let fixture = std::fs::read("tests/fixtures/serve_smoke_requests.ndjson")
+            .expect("committed fixture");
+        let engine = test_engine(ServeConfig::default());
+        let mut baseline: Vec<u8> = Vec::new();
+        serve_connection(&engine, Cursor::new(fixture.clone()), &mut baseline)
+            .expect("baseline session");
+        let mut cuts = raw_cuts;
+        cuts.sort_unstable();
+        cuts.dedup();
+        let reader = ChunkedReader { data: fixture, cuts, pos: 0 };
+        let mut chunked: Vec<u8> = Vec::new();
+        serve_connection(&engine, reader, &mut chunked).expect("chunked session");
+        prop_assert_eq!(&baseline, &chunked);
+    }
+}
+
+/// The degenerate chunking — every read returns one byte — replays the
+/// fixture byte-identically (deterministic companion to the property).
+#[test]
+fn fixture_replay_survives_one_byte_reads() {
+    let fixture =
+        std::fs::read("tests/fixtures/serve_smoke_requests.ndjson").expect("committed fixture");
+    let engine = test_engine(ServeConfig::default());
+    let mut baseline: Vec<u8> = Vec::new();
+    serve_connection(&engine, Cursor::new(fixture.clone()), &mut baseline)
+        .expect("baseline session");
+    let cuts: Vec<usize> = (1..fixture.len()).collect();
+    let reader = ChunkedReader {
+        data: fixture,
+        cuts,
+        pos: 0,
+    };
+    let mut trickled: Vec<u8> = Vec::new();
+    serve_connection(&engine, reader, &mut trickled).expect("one-byte session");
+    assert_eq!(baseline, trickled);
+}
