@@ -1,14 +1,20 @@
 //! `qross-serve` — the serving daemon of the train-once / serve-many
-//! loop: load a model once, answer NDJSON prediction requests forever.
+//! loop: load a model once, answer prediction requests forever.
 //!
-//! Three transports, one protocol (`bench::protocol`):
+//! Three transports, two wire formats, one protocol (`bench::protocol`):
+//! every transport sniffs each connection's first bytes and speaks either
+//! NDJSON (lines starting with `{` or whitespace) or QBIN, the
+//! length-framed binary format (`QBIN` magic, raw little-endian f64
+//! rows, CRC-32 trailer — see ARTIFACTS.md). Both formats share one
+//! port and one engine; responses carry identical f64 bit patterns.
 //!
 //! * **stdio** (default): requests on stdin, responses on stdout, exit at
 //!   EOF. Composable — `qross-serve --model m.qross < requests.ndjson`.
 //! * **TCP event loop** (`--listen ADDR`): one nonblocking thread
 //!   multiplexes every connection (`bench::net`) over the shared
-//!   engine — concurrent clients' requests micro-batch together.
-//!   `--max-conns` caps simultaneous connections.
+//!   engine — concurrent clients' requests micro-batch together,
+//!   NDJSON and QBIN clients side by side. `--max-conns` caps
+//!   simultaneous connections.
 //! * **TCP thread-per-connection** (`--listen-threaded ADDR`): the
 //!   older blocking path, kept as a differential oracle for the event
 //!   loop — both must produce byte-identical sessions.
@@ -22,7 +28,7 @@
 //! upload op) or a bare surrogate snapshot (MVC/QAP: `predict` only),
 //! binary or JSON, sniffed by magic bytes.
 //!
-//! All diagnostics go to stderr; stdout carries protocol lines only.
+//! All diagnostics go to stderr; stdout carries protocol bytes only.
 
 use std::sync::Arc;
 

@@ -7,8 +7,10 @@
 //! * [`sys::Poller`] — epoll via a minimal FFI shim (`poll(2)` fallback),
 //!   no tokio, no new dependencies;
 //! * per-connection sans-IO state — a [`SessionCodec`] fed by
-//!   nonblocking reads, a [`ResponseEmitter`] holding staged responses
-//!   in request order, and a write buffer flushed as the socket drains;
+//!   nonblocking reads (sniffing NDJSON vs QBIN from the connection's
+//!   first bytes, so both protocols share one listen port), a
+//!   [`ResponseEmitter`] holding staged responses in request order, and
+//!   a write buffer flushed as the socket drains;
 //! * a [`sys::WakePipe`] self-pipe: engine workers complete a prediction
 //!   and wake the poller through the job's completion hook, so the loop
 //!   never spins and never parks a thread per request;
@@ -38,7 +40,9 @@ use std::time::{Duration, Instant};
 
 use qross::serve::{CompletionNotify, ServeEngine};
 
-use crate::protocol::{stage_line, ResponseEmitter, SessionCodec, PIPELINE_DEPTH};
+use crate::protocol::{
+    stage_item, ResponseEmitter, SessionCodec, WireFormat, WireItem, PIPELINE_DEPTH,
+};
 use sys::{Interest, PollEvent, Poller, WakePipe};
 
 const TOKEN_LISTENER: u64 = 0;
@@ -476,8 +480,11 @@ impl EventLoop<'_> {
             }
         }
         self.stage_ready(conn);
-        // Serialize every head-of-line-complete response.
-        if conn.emitter.pump(&mut conn.out).is_err() {
+        // Serialize every head-of-line-complete response in the
+        // connection's sniffed wire format (while undecided the emitter
+        // is necessarily empty, so the default is never observable).
+        let wire = conn.codec.wire().unwrap_or(WireFormat::Ndjson);
+        if conn.emitter.pump(wire, &mut conn.out).is_err() {
             return Fate::Close;
         }
         // Flush as much as the socket will take.
@@ -502,7 +509,8 @@ impl EventLoop<'_> {
         // interest, so a fully-buffered session keeps moving even if
         // the socket never becomes readable again.
         self.stage_ready(conn);
-        if conn.emitter.pump(&mut conn.out).is_err() {
+        let wire = conn.codec.wire().unwrap_or(WireFormat::Ndjson);
+        if conn.emitter.pump(wire, &mut conn.out).is_err() {
             return Fate::Close;
         }
         if conn.finished() {
@@ -512,24 +520,37 @@ impl EventLoop<'_> {
         }
     }
 
-    /// Stages decoded lines while the pipelining window has room;
-    /// processes the codec's EOF tail exactly once.
+    /// Stages decoded items (either wire format) while the pipelining
+    /// window has room; processes the codec's EOF tail exactly once.
     fn stage_ready(&mut self, conn: &mut Conn) {
         while !conn.read_paused(&self.config) {
-            let item = match conn.codec.next_line() {
-                Some(item) => item,
-                None if conn.eof && !conn.input_done => {
+            if let Some(item) = conn.codec.next_item() {
+                let fatal = matches!(&item, WireItem::FrameError(e) if e.is_fatal());
+                if let Some(staged) = stage_item(self.engine, item, Some(Arc::clone(&conn.notify)))
+                {
+                    conn.emitter.push(staged);
+                }
+                if fatal {
+                    // Framing is lost (bad magic / unknown version): the
+                    // reject is staged; stop reading and close once it —
+                    // and everything before it — has flushed.
+                    conn.eof = true;
                     conn.input_done = true;
-                    match conn.codec.finish() {
-                        Some(item) => item,
-                        None => break,
+                    return;
+                }
+                continue;
+            }
+            if conn.eof && !conn.input_done {
+                conn.input_done = true;
+                if let Some(item) = conn.codec.finish() {
+                    if let Some(staged) =
+                        stage_item(self.engine, item, Some(Arc::clone(&conn.notify)))
+                    {
+                        conn.emitter.push(staged);
                     }
                 }
-                None => break,
-            };
-            if let Some(staged) = stage_line(self.engine, item, Some(Arc::clone(&conn.notify))) {
-                conn.emitter.push(staged);
             }
+            return;
         }
     }
 }

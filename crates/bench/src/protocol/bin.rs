@@ -1,0 +1,1105 @@
+//! QBIN — the length-framed binary wire protocol (version 1).
+//!
+//! NDJSON puts a JSON parse and a text float round-trip on every hot
+//! request; QBIN replaces both with fixed-offset little-endian reads.
+//! It reuses the `.qross` codec discipline end to end: every read is
+//! bounds-checked, length prefixes are validated against the remaining
+//! bytes *before* any allocation, hostile input yields a typed
+//! [`BinError`] (never a panic), and every `f64` travels as its exact
+//! IEEE-754 bit pattern — a QBIN predict response carries the same bits
+//! as the NDJSON response for the same request.
+//!
+//! # Frame grammar
+//!
+//! ```text
+//! frame   := magic version op length payload crc
+//! magic   := "QBIN"                      (4 bytes; doubles as the
+//!                                         protocol-sniffing token)
+//! version := u8                          (1)
+//! op      := u8                          (request/response tag below)
+//! length  := u32 LE                      (payload bytes; capped at
+//!                                         MAX_FRAME_BYTES)
+//! payload := length bytes                (op-specific grammar)
+//! crc     := u32 LE                      (CRC-32/IEEE of version, op,
+//!                                         length and payload — every
+//!                                         byte after the magic)
+//! ```
+//!
+//! The CRC covers the header fields as well as the payload, so any
+//! single-bit corruption anywhere in a frame is detected: a flipped
+//! magic byte is a [`BinError::BadMagic`], everything else fails the
+//! checksum. After a CRC mismatch the decoder resyncs at the next frame
+//! boundary (the declared length is still the best guess); after a bad
+//! magic or unknown version it declares the stream unrecoverable —
+//! framing itself is lost.
+//!
+//! # Payload grammars
+//!
+//! Shared primitives (all little-endian): `opt_u64` is a presence byte
+//! (`0`/`1`) followed by a `u64` when present; `str` is a `u32` byte
+//! count followed by UTF-8 bytes; `f64s` is a `u32` element count
+//! followed by raw `f64` bit patterns, decoded as a **borrowed**
+//! [`F64View`] over the frame payload — no per-request `Vec<f64>`.
+//!
+//! Request ops:
+//!
+//! | op | name | payload |
+//! |----|------|---------|
+//! | `0x01` | predict  | `id: opt_u64, tenant: str, a_values: f64s, features: f64s` |
+//! | `0x02` | info     | `id: opt_u64` |
+//! | `0x03` | feedback | `id: opt_u64, a pf e_avg e_std: f64×4, seed: u64, tag: str, features: f64s` |
+//! | `0x04` | refresh  | `id: opt_u64` |
+//!
+//! Response ops:
+//!
+//! | op | name | payload |
+//! |----|------|---------|
+//! | `0x81` | predict | `id: opt_u64, count: u32, count × (a pf e_avg e_std: f64×4)` |
+//! | `0x82` | info    | `id: opt_u64, bundle: u8, feature_dim: u32, generation: u64, online: u8, dataset_len train_instances feedback_count buffer_len refresh_after: opt_u64×5` |
+//! | `0x83` | ack     | `id: opt_u64, generation feedback_count buffer_len: opt_u64×3, refreshed: opt_bool` (feedback / refresh) |
+//! | `0x7F` | error   | `id: opt_u64, message: str` |
+//!
+//! `tsp` uploads and the wall-clock `metrics` op stay NDJSON-only (one
+//! is a text format, the other is excluded from every byte-diff); a
+//! QBIN frame carrying an unknown op gets an error frame back and the
+//! session keeps serving, exactly like an unknown NDJSON op.
+
+use qross_store::codec::crc32;
+
+/// The 4-byte frame magic — also the token the per-connection sniffer
+/// matches to pick QBIN over NDJSON on a shared port.
+pub const QBIN_MAGIC: [u8; 4] = *b"QBIN";
+
+/// Protocol version this decoder speaks.
+pub const QBIN_VERSION: u8 = 1;
+
+/// Frame header bytes: magic (4) + version (1) + op (1) + length (4).
+pub const HEADER_LEN: usize = 10;
+
+/// Trailing CRC-32 bytes.
+pub const CRC_LEN: usize = 4;
+
+/// Largest accepted frame payload, mirroring the NDJSON line cap
+/// ([`super::MAX_LINE_BYTES`]): a client streaming an absurd declared
+/// length gets a typed reject and its payload bytes are *discarded*,
+/// never buffered — the reject-never-OOM rule.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Request op tags.
+pub const OP_PREDICT: u8 = 0x01;
+pub const OP_INFO: u8 = 0x02;
+pub const OP_FEEDBACK: u8 = 0x03;
+pub const OP_REFRESH: u8 = 0x04;
+
+/// Response op tags.
+pub const OP_RESP_PREDICT: u8 = 0x81;
+pub const OP_RESP_INFO: u8 = 0x82;
+pub const OP_RESP_ACK: u8 = 0x83;
+pub const OP_RESP_ERROR: u8 = 0x7F;
+
+/// Typed QBIN protocol error. Decoding hostile, truncated or corrupted
+/// frames yields one of these — never a panic, never an allocation
+/// proportional to an attacker-declared length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// frame does not start with [`QBIN_MAGIC`] — framing is lost
+    BadMagic {
+        /// the four bytes found instead
+        found: [u8; 4],
+    },
+    /// version byte this decoder does not speak — later layouts may
+    /// differ, so framing cannot be trusted either
+    UnsupportedVersion {
+        /// the version byte found
+        found: u8,
+    },
+    /// declared payload length exceeds [`MAX_FRAME_BYTES`]; the payload
+    /// is skipped without buffering and the session survives
+    Oversized {
+        /// the cap that was exceeded
+        limit: usize,
+        /// the declared payload length
+        declared: u64,
+    },
+    /// checksum mismatch — the frame is dropped, the stream resyncs at
+    /// the next frame boundary
+    CrcMismatch {
+        /// CRC-32 carried by the frame
+        expected: u32,
+        /// CRC-32 of the received bytes
+        actual: u32,
+    },
+    /// the stream ended (or the payload ran out) before a complete value
+    Truncated {
+        /// bytes needed
+        needed: usize,
+        /// bytes available
+        available: usize,
+    },
+    /// structurally invalid payload (bad presence tag, non-UTF-8 string,
+    /// count that outruns the payload…)
+    Malformed {
+        /// explanation
+        message: String,
+    },
+    /// op tag this endpoint does not serve
+    UnknownOp {
+        /// the tag found
+        op: u8,
+    },
+}
+
+impl BinError {
+    /// Whether the session can keep decoding after this error. A bad
+    /// magic or unknown version means frame boundaries themselves are
+    /// untrustworthy; everything else resyncs at the next frame.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            BinError::BadMagic { .. } | BinError::UnsupportedVersion { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::BadMagic { found } => {
+                write!(f, "qbin: bad frame magic {found:02x?}")
+            }
+            BinError::UnsupportedVersion { found } => {
+                write!(f, "qbin: unsupported protocol version {found}")
+            }
+            BinError::Oversized { limit, declared } => write!(
+                f,
+                "qbin: frame payload of {declared} bytes exceeds the {limit}-byte limit"
+            ),
+            BinError::CrcMismatch { expected, actual } => write!(
+                f,
+                "qbin: frame checksum mismatch (expected {expected:#010x}, got {actual:#010x})"
+            ),
+            BinError::Truncated { needed, available } => write!(
+                f,
+                "qbin: truncated frame ({needed} bytes needed, {available} available)"
+            ),
+            BinError::Malformed { message } => write!(f, "qbin: malformed payload: {message}"),
+            BinError::UnknownOp { op } => write!(
+                f,
+                "qbin: unknown op {op:#04x} (expected predict {OP_PREDICT:#04x} | info \
+                 {OP_INFO:#04x} | feedback {OP_FEEDBACK:#04x} | refresh {OP_REFRESH:#04x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+// ---------------------------------------------------------------------------
+// Zero-copy payload primitives
+// ---------------------------------------------------------------------------
+
+/// A borrowed view over `8 × len` raw little-endian `f64` bytes inside a
+/// frame payload — the zero-copy half of the decode path. Reading is a
+/// fixed-offset `u64` load per element (alignment-safe); nothing is
+/// allocated until the caller decides it needs ownership
+/// ([`F64View::to_vec`], one pass, one allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct F64View<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> F64View<'a> {
+    /// Wraps raw LE f64 bytes; `bytes.len()` must be a multiple of 8
+    /// (the decoder guarantees it).
+    fn new(bytes: &'a [u8]) -> Self {
+        debug_assert_eq!(bytes.len() % 8, 0);
+        F64View { bytes }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 8
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The `i`-th element, decoded in place from its bit pattern.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        let start = i.checked_mul(8)?;
+        let chunk = self.bytes.get(start..start + 8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(chunk);
+        Some(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    /// Iterates the elements without allocating.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        self.bytes.chunks_exact(8).map(|chunk| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(chunk);
+            f64::from_bits(u64::from_le_bytes(raw))
+        })
+    }
+
+    /// Materialises the elements — the single copy a request pays, at
+    /// the moment it enters the engine's owned queue.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+}
+
+/// Bounds-checked cursor over one frame payload, yielding **borrowed**
+/// slices — the wire-side sibling of `qross_store`'s `ByteReader`, with
+/// `u32` length prefixes (a frame payload is capped at
+/// [`MAX_FRAME_BYTES`], so 32 bits always suffice).
+struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        if self.remaining() < n {
+            return Err(BinError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32(&mut self) -> Result<u32, BinError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, BinError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn get_f64(&mut self) -> Result<f64, BinError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    fn get_opt_u64(&mut self) -> Result<Option<u64>, BinError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_u64()?)),
+            other => Err(BinError::Malformed {
+                message: format!("invalid Option tag {other:#04x}"),
+            }),
+        }
+    }
+
+    fn get_opt_bool(&mut self) -> Result<Option<bool>, BinError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(false)),
+            2 => Ok(Some(true)),
+            other => Err(BinError::Malformed {
+                message: format!("invalid bool tag {other:#04x}"),
+            }),
+        }
+    }
+
+    /// A `u32`-count-prefixed element run, validated against the
+    /// remaining payload *before* anything is read or allocated.
+    fn get_counted(&mut self, elem_size: usize) -> Result<&'a [u8], BinError> {
+        let n = self.get_u32()? as usize;
+        let bytes = n
+            .checked_mul(elem_size)
+            .ok_or_else(|| BinError::Malformed {
+                message: format!("element count {n} overflows"),
+            })?;
+        self.take(bytes)
+    }
+
+    fn get_str(&mut self) -> Result<&'a str, BinError> {
+        let bytes = self.get_counted(1)?;
+        std::str::from_utf8(bytes).map_err(|e| BinError::Malformed {
+            message: format!("invalid UTF-8 string: {e}"),
+        })
+    }
+
+    fn get_f64s(&mut self) -> Result<F64View<'a>, BinError> {
+        Ok(F64View::new(self.get_counted(8)?))
+    }
+
+    /// Rejects trailing bytes — same discipline as the store decoders.
+    fn finish(&self) -> Result<(), BinError> {
+        if self.remaining() != 0 {
+            return Err(BinError::Malformed {
+                message: format!("{} trailing bytes after payload", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+    }
+}
+
+fn put_opt_bool(out: &mut Vec<u8>, v: Option<bool>) {
+    out.push(match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    });
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    put_u32(out, xs.len() as u32);
+    for &x in xs {
+        put_f64(out, x);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode
+// ---------------------------------------------------------------------------
+
+/// Appends one complete frame to `out`: header, the payload `build`
+/// writes, patched length, trailing CRC. Encoding goes **directly into
+/// the caller's buffer** (the per-connection write buffer on the serve
+/// path) — no intermediate allocation.
+pub fn write_frame(out: &mut Vec<u8>, op: u8, build: impl FnOnce(&mut Vec<u8>)) {
+    let start = out.len();
+    out.extend_from_slice(&QBIN_MAGIC);
+    out.push(QBIN_VERSION);
+    out.push(op);
+    out.extend_from_slice(&[0u8; 4]); // length, patched below
+    let payload_start = out.len();
+    build(out);
+    let len = (out.len() - payload_start) as u32;
+    out[start + 6..start + 10].copy_from_slice(&len.to_le_bytes());
+    let crc = crc32(&out[start + 4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Incremental frame decode
+// ---------------------------------------------------------------------------
+
+/// One complete, CRC-verified frame, its payload borrowed from the
+/// codec's read buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// protocol version (always [`QBIN_VERSION`] once decoded)
+    pub version: u8,
+    /// op tag
+    pub op: u8,
+    /// raw payload bytes, zero-copy
+    pub payload: &'a [u8],
+}
+
+/// Incremental QBIN frame decoder — the binary sibling of the NDJSON
+/// line codec. Fed arbitrary byte chunks, yields complete CRC-verified
+/// frames as borrowed views; any chunking (1-byte reads, jumbo frames)
+/// decodes to the identical frame sequence.
+///
+/// Oversized declared payloads are *discarded in flight*, never
+/// buffered; a fatal error (bad magic / unknown version) freezes the
+/// codec — frame boundaries are no longer trustworthy, so the session
+/// should answer once and close.
+#[derive(Debug)]
+pub struct FrameCodec {
+    buf: Vec<u8>,
+    /// consumed prefix of `buf`, compacted away on the next feed
+    pos: usize,
+    /// bytes of an oversized frame (payload + CRC) still to skip
+    discard: u64,
+    /// framing lost: no further frames will be yielded
+    fatal: bool,
+    limit: usize,
+}
+
+impl Default for FrameCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameCodec {
+    pub fn new() -> Self {
+        Self::with_limit(MAX_FRAME_BYTES)
+    }
+
+    /// A codec with a custom payload cap (tests; production uses
+    /// [`MAX_FRAME_BYTES`]).
+    pub fn with_limit(limit: usize) -> Self {
+        FrameCodec {
+            buf: Vec::new(),
+            pos: 0,
+            discard: 0,
+            fatal: false,
+            limit: limit.max(1),
+        }
+    }
+
+    /// Whether a fatal framing error has been reported.
+    pub fn is_fatal(&self) -> bool {
+        self.fatal
+    }
+
+    /// Appends a chunk of wire bytes. Any split boundary is fine.
+    pub fn feed(&mut self, mut bytes: &[u8]) {
+        if self.fatal {
+            return; // the stream is dead; don't buffer what we'll never parse
+        }
+        if self.discard > 0 {
+            // Skip an oversized frame's payload without buffering it.
+            let skip = (self.discard).min(bytes.len() as u64) as usize;
+            self.discard -= skip as u64;
+            bytes = &bytes[skip..];
+        }
+        // Compact the consumed prefix before growing the buffer; no
+        // borrows are outstanding (feed takes &mut self).
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (bounded by the frame cap plus one read
+    /// chunk).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The next complete frame (or frame-level error), or `None` when
+    /// more bytes are needed. The returned payload borrows this codec's
+    /// buffer and stays valid until the next `feed`.
+    #[allow(clippy::type_complexity)]
+    pub fn next_frame(&mut self) -> Option<Result<Frame<'_>, BinError>> {
+        if self.fatal || self.discard > 0 {
+            return None;
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return None;
+        }
+        if avail[..4] != QBIN_MAGIC {
+            self.fatal = true;
+            let mut found = [0u8; 4];
+            found.copy_from_slice(&avail[..4]);
+            return Some(Err(BinError::BadMagic { found }));
+        }
+        let version = avail[4];
+        if version != QBIN_VERSION {
+            self.fatal = true;
+            return Some(Err(BinError::UnsupportedVersion { found: version }));
+        }
+        let op = avail[5];
+        let len = u32::from_le_bytes([avail[6], avail[7], avail[8], avail[9]]) as usize;
+        if len > self.limit {
+            // Reject without buffering: drop what we have of the payload
+            // and arrange for the rest (plus the CRC) to be skipped as
+            // it arrives.
+            let total_to_skip = len as u64 + CRC_LEN as u64;
+            let already = (avail.len() - HEADER_LEN) as u64;
+            let dropped = already.min(total_to_skip);
+            self.discard = total_to_skip - dropped;
+            self.pos += HEADER_LEN + dropped as usize;
+            return Some(Err(BinError::Oversized {
+                limit: self.limit,
+                declared: len as u64,
+            }));
+        }
+        let frame_len = HEADER_LEN + len + CRC_LEN;
+        if avail.len() < frame_len {
+            return None;
+        }
+        let crc_off = HEADER_LEN + len;
+        let expected = u32::from_le_bytes([
+            avail[crc_off],
+            avail[crc_off + 1],
+            avail[crc_off + 2],
+            avail[crc_off + 3],
+        ]);
+        let actual = crc32(&avail[4..crc_off]);
+        let start = self.pos;
+        self.pos += frame_len;
+        if expected != actual {
+            // The declared length is still the best resync boundary.
+            return Some(Err(BinError::CrcMismatch { expected, actual }));
+        }
+        Some(Ok(Frame {
+            version,
+            op,
+            payload: &self.buf[start + HEADER_LEN..start + crc_off],
+        }))
+    }
+
+    /// EOF: a partial frame (or an unfinished oversized skip) left in
+    /// the buffer is a truncation error; clean streams yield `None`.
+    pub fn finish(&mut self) -> Option<BinError> {
+        if self.fatal {
+            return None;
+        }
+        let leftover = self.buffered();
+        self.buf.clear();
+        self.pos = 0;
+        if self.discard > 0 {
+            self.discard = 0;
+            return Some(BinError::Truncated {
+                needed: CRC_LEN,
+                available: 0,
+            });
+        }
+        if leftover > 0 {
+            return Some(BinError::Truncated {
+                needed: HEADER_LEN,
+                available: leftover,
+            });
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A decoded request frame — the borrowed, zero-copy view the serving
+/// path dispatches on. Feature and grid slices point into the
+/// connection's read buffer; the single copy into owned memory happens
+/// at engine submit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinRequest<'a> {
+    /// evaluate the surrogate at `features` for each of `a_values`
+    Predict {
+        /// client correlation id, echoed
+        id: Option<u64>,
+        /// tenant the work is accounted to; empty = default
+        tenant: &'a str,
+        /// relaxation-parameter grid
+        a_values: F64View<'a>,
+        /// feature vector
+        features: F64View<'a>,
+    },
+    /// model metadata
+    Info {
+        /// client correlation id, echoed
+        id: Option<u64>,
+    },
+    /// report an observed solver outcome (online engines)
+    Feedback {
+        /// client correlation id, echoed
+        id: Option<u64>,
+        /// relaxation parameter the outcome was measured at
+        a: f64,
+        /// observed probability of feasibility
+        pf: f64,
+        /// observed batch mean energy
+        e_avg: f64,
+        /// observed batch energy standard deviation
+        e_std: f64,
+        /// solver-run seed, lineage only
+        seed: u64,
+        /// instance label, lineage only
+        tag: &'a str,
+        /// feature vector
+        features: F64View<'a>,
+    },
+    /// force a retrain/hot-swap now
+    Refresh {
+        /// client correlation id, echoed
+        id: Option<u64>,
+    },
+}
+
+/// Decodes one request frame's payload.
+///
+/// # Errors
+///
+/// [`BinError::UnknownOp`] for tags this endpoint does not serve,
+/// [`BinError::Truncated`] / [`BinError::Malformed`] for payloads that
+/// do not match their op's grammar.
+pub fn decode_request<'a>(frame: &Frame<'a>) -> Result<BinRequest<'a>, BinError> {
+    let mut r = PayloadReader::new(frame.payload);
+    let request = match frame.op {
+        OP_PREDICT => {
+            let id = r.get_opt_u64()?;
+            let tenant = r.get_str()?;
+            let a_values = r.get_f64s()?;
+            let features = r.get_f64s()?;
+            BinRequest::Predict {
+                id,
+                tenant,
+                a_values,
+                features,
+            }
+        }
+        OP_INFO => BinRequest::Info {
+            id: r.get_opt_u64()?,
+        },
+        OP_FEEDBACK => {
+            let id = r.get_opt_u64()?;
+            let a = r.get_f64()?;
+            let pf = r.get_f64()?;
+            let e_avg = r.get_f64()?;
+            let e_std = r.get_f64()?;
+            let seed = r.get_u64()?;
+            let tag = r.get_str()?;
+            let features = r.get_f64s()?;
+            BinRequest::Feedback {
+                id,
+                a,
+                pf,
+                e_avg,
+                e_std,
+                seed,
+                tag,
+                features,
+            }
+        }
+        OP_REFRESH => BinRequest::Refresh {
+            id: r.get_opt_u64()?,
+        },
+        op => return Err(BinError::UnknownOp { op }),
+    };
+    r.finish()?;
+    Ok(request)
+}
+
+/// Encodes a predict request frame (client side; the server never sends
+/// requests). `a_values` and `features` travel as raw bit patterns.
+pub fn encode_predict(
+    out: &mut Vec<u8>,
+    id: Option<u64>,
+    tenant: &str,
+    a_values: &[f64],
+    features: &[f64],
+) {
+    write_frame(out, OP_PREDICT, |p| {
+        put_opt_u64(p, id);
+        put_str(p, tenant);
+        put_f64s(p, a_values);
+        put_f64s(p, features);
+    });
+}
+
+/// Encodes an info request frame.
+pub fn encode_info(out: &mut Vec<u8>, id: Option<u64>) {
+    write_frame(out, OP_INFO, |p| put_opt_u64(p, id));
+}
+
+/// Encodes a feedback request frame.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_feedback(
+    out: &mut Vec<u8>,
+    id: Option<u64>,
+    a: f64,
+    pf: f64,
+    e_avg: f64,
+    e_std: f64,
+    seed: u64,
+    tag: &str,
+    features: &[f64],
+) {
+    write_frame(out, OP_FEEDBACK, |p| {
+        put_opt_u64(p, id);
+        put_f64(p, a);
+        put_f64(p, pf);
+        put_f64(p, e_avg);
+        put_f64(p, e_std);
+        put_u64(p, seed);
+        put_str(p, tag);
+        put_f64s(p, features);
+    });
+}
+
+/// Encodes a refresh request frame.
+pub fn encode_refresh(out: &mut Vec<u8>, id: Option<u64>) {
+    write_frame(out, OP_REFRESH, |p| put_opt_u64(p, id));
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+use super::{ModelInfo, PredictionOut, Response};
+
+/// Encodes a [`Response`] as one QBIN frame appended to `out` — the
+/// binary rendition of the NDJSON response line, carrying the identical
+/// f64 bit patterns. Frame choice: errors (`ok: false`) become error
+/// frames; otherwise predictions, info and feedback/refresh acks each
+/// get their op. (`tsp`-only fields never reach this encoder — the op
+/// is NDJSON-only.)
+pub fn encode_response(out: &mut Vec<u8>, response: &Response) {
+    if !response.ok {
+        let message = response.error.as_deref().unwrap_or("request failed");
+        write_frame(out, OP_RESP_ERROR, |p| {
+            put_opt_u64(p, response.id);
+            put_str(p, message);
+        });
+        return;
+    }
+    if let Some(predictions) = &response.predictions {
+        write_frame(out, OP_RESP_PREDICT, |p| {
+            put_opt_u64(p, response.id);
+            put_u32(p, predictions.len() as u32);
+            for row in predictions {
+                put_f64(p, row.a);
+                put_u64(p, row.pf_bits);
+                put_u64(p, row.e_avg_bits);
+                put_u64(p, row.e_std_bits);
+            }
+        });
+        return;
+    }
+    if let Some(info) = &response.info {
+        write_frame(out, OP_RESP_INFO, |p| {
+            put_opt_u64(p, response.id);
+            p.push(u8::from(info.kind == "bundle"));
+            put_u32(p, info.feature_dim as u32);
+            put_u64(p, info.generation);
+            p.push(u8::from(info.online));
+            put_opt_u64(p, info.dataset_len);
+            put_opt_u64(p, info.train_instances);
+            put_opt_u64(p, info.feedback_count);
+            put_opt_u64(p, info.buffer_len);
+            put_opt_u64(p, info.refresh_after);
+        });
+        return;
+    }
+    write_frame(out, OP_RESP_ACK, |p| {
+        put_opt_u64(p, response.id);
+        put_opt_u64(p, response.generation);
+        put_opt_u64(p, response.feedback_count);
+        put_opt_u64(p, response.buffer_len);
+        put_opt_bool(p, response.refreshed);
+    });
+}
+
+/// Decodes one response frame's payload into the NDJSON-equivalent
+/// [`Response`] (client side: tests, benches, the dual-protocol CI
+/// replay). Predictions rebuild both the decimal fields and the `_bits`
+/// mirrors from the wire bit patterns, so comparing against a parsed
+/// NDJSON response compares exact bits.
+///
+/// # Errors
+///
+/// [`BinError::UnknownOp`] / [`BinError::Truncated`] /
+/// [`BinError::Malformed`] as for requests.
+pub fn decode_response(frame: &Frame<'_>) -> Result<Response, BinError> {
+    let mut r = PayloadReader::new(frame.payload);
+    let response = match frame.op {
+        OP_RESP_ERROR => {
+            let id = r.get_opt_u64()?;
+            let message = r.get_str()?.to_string();
+            Response {
+                id,
+                ok: false,
+                error: Some(message),
+                ..Default::default()
+            }
+        }
+        OP_RESP_PREDICT => {
+            let id = r.get_opt_u64()?;
+            let count = r.get_u32()? as usize;
+            // 4 f64s per row; validate before allocating.
+            if count.saturating_mul(32) > r.remaining() {
+                return Err(BinError::Truncated {
+                    needed: count.saturating_mul(32),
+                    available: r.remaining(),
+                });
+            }
+            let mut predictions = Vec::with_capacity(count);
+            for _ in 0..count {
+                let a = r.get_f64()?;
+                let pf_bits = r.get_u64()?;
+                let e_avg_bits = r.get_u64()?;
+                let e_std_bits = r.get_u64()?;
+                predictions.push(PredictionOut {
+                    a,
+                    pf: f64::from_bits(pf_bits),
+                    e_avg: f64::from_bits(e_avg_bits),
+                    e_std: f64::from_bits(e_std_bits),
+                    pf_bits,
+                    e_avg_bits,
+                    e_std_bits,
+                });
+            }
+            Response {
+                id,
+                ok: true,
+                predictions: Some(predictions),
+                ..Default::default()
+            }
+        }
+        OP_RESP_INFO => {
+            let id = r.get_opt_u64()?;
+            let bundle = r.get_u8()?;
+            let feature_dim = r.get_u32()? as usize;
+            let generation = r.get_u64()?;
+            let online = r.get_u8()?;
+            let dataset_len = r.get_opt_u64()?;
+            let train_instances = r.get_opt_u64()?;
+            let feedback_count = r.get_opt_u64()?;
+            let buffer_len = r.get_opt_u64()?;
+            let refresh_after = r.get_opt_u64()?;
+            Response {
+                id,
+                ok: true,
+                info: Some(ModelInfo {
+                    kind: if bundle != 0 { "bundle" } else { "surrogate" }.to_string(),
+                    feature_dim,
+                    dataset_len,
+                    train_instances,
+                    generation,
+                    online: online != 0,
+                    feedback_count,
+                    buffer_len,
+                    refresh_after,
+                }),
+                ..Default::default()
+            }
+        }
+        OP_RESP_ACK => {
+            let id = r.get_opt_u64()?;
+            let generation = r.get_opt_u64()?;
+            let feedback_count = r.get_opt_u64()?;
+            let buffer_len = r.get_opt_u64()?;
+            let refreshed = r.get_opt_bool()?;
+            Response {
+                id,
+                ok: true,
+                generation,
+                feedback_count,
+                buffer_len,
+                refreshed,
+                ..Default::default()
+            }
+        }
+        op => return Err(BinError::UnknownOp { op }),
+    };
+    r.finish()?;
+    Ok(response)
+}
+
+/// Decodes a buffer of complete response frames (client-side helper for
+/// tests and the CI replay): every frame must decode cleanly.
+///
+/// # Errors
+///
+/// The first frame-level or payload-level error encountered.
+pub fn decode_response_stream(bytes: &[u8]) -> Result<Vec<Response>, BinError> {
+    let mut codec = FrameCodec::new();
+    codec.feed(bytes);
+    let mut responses = Vec::new();
+    while let Some(item) = codec.next_frame() {
+        let frame = item?;
+        responses.push(decode_response(&frame)?);
+    }
+    if let Some(err) = codec.finish() {
+        return Err(err);
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_frame(bytes: &[u8]) -> Result<(u8, Vec<u8>), BinError> {
+        let mut codec = FrameCodec::new();
+        codec.feed(bytes);
+        let frame = codec.next_frame().expect("one frame")?;
+        Ok((frame.op, frame.payload.to_vec()))
+    }
+
+    #[test]
+    fn predict_request_roundtrip_is_bit_exact() {
+        let features = [1.5, -0.0, f64::from_bits(0x7FF8_0000_DEAD_BEEF)];
+        let a_values = [0.25, f64::INFINITY];
+        let mut out = Vec::new();
+        encode_predict(&mut out, Some(7), "team-a", &a_values, &features);
+        let mut codec = FrameCodec::new();
+        codec.feed(&out);
+        let frame = codec.next_frame().expect("frame").expect("valid");
+        let BinRequest::Predict {
+            id,
+            tenant,
+            a_values: av,
+            features: fv,
+        } = decode_request(&frame).expect("decodes")
+        else {
+            panic!("wrong op");
+        };
+        assert_eq!(id, Some(7));
+        assert_eq!(tenant, "team-a");
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&av.to_vec()), bits(&a_values));
+        assert_eq!(bits(&fv.to_vec()), bits(&features));
+        assert!(codec.next_frame().is_none());
+        assert!(codec.finish().is_none());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let mut out = Vec::new();
+        encode_predict(&mut out, Some(1), "", &[1.0], &[2.0, 3.0]);
+        for byte in 0..out.len() {
+            for bit in 0..8 {
+                let mut corrupted = out.clone();
+                corrupted[byte] ^= 1 << bit;
+                let mut codec = FrameCodec::new();
+                codec.feed(&corrupted);
+                let mut saw_error = false;
+                while let Some(item) = codec.next_frame() {
+                    match item {
+                        Ok(frame) => {
+                            // A length flip can only shrink/grow the
+                            // frame; the CRC over the header catches it,
+                            // so a clean frame here is a test failure.
+                            panic!("bit flip at {byte}:{bit} yielded a frame {frame:?}");
+                        }
+                        Err(_) => saw_error = true,
+                    }
+                }
+                if codec.finish().is_some() {
+                    saw_error = true;
+                }
+                assert!(saw_error, "bit flip at {byte}:{bit} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_discarded_and_session_survives() {
+        let mut codec = FrameCodec::with_limit(64);
+        // Header declaring a 1000-byte payload, streamed in pieces.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&QBIN_MAGIC);
+        bytes.push(QBIN_VERSION);
+        bytes.push(OP_PREDICT);
+        bytes.extend_from_slice(&1000u32.to_le_bytes());
+        codec.feed(&bytes);
+        match codec.next_frame() {
+            Some(Err(BinError::Oversized { limit: 64, .. })) => {}
+            other => panic!("expected oversized reject, got {other:?}"),
+        }
+        // 1000 payload bytes + 4 CRC bytes arrive and are discarded…
+        let junk = vec![0xABu8; 1004];
+        codec.feed(&junk);
+        assert_eq!(codec.buffered(), 0, "oversized payload must not buffer");
+        // …and the next well-formed frame still decodes.
+        let mut next = Vec::new();
+        encode_info(&mut next, Some(9));
+        codec.feed(&next);
+        let frame = codec.next_frame().expect("frame").expect("valid");
+        assert!(matches!(
+            decode_request(&frame),
+            Ok(BinRequest::Info { id: Some(9) })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut codec = FrameCodec::new();
+        codec.feed(b"NOPE\x01\x01\x00\x00\x00\x00");
+        assert!(matches!(
+            codec.next_frame(),
+            Some(Err(BinError::BadMagic { .. }))
+        ));
+        assert!(codec.is_fatal());
+        assert!(codec.next_frame().is_none());
+        let mut more = Vec::new();
+        encode_info(&mut more, None);
+        codec.feed(&more);
+        assert!(codec.next_frame().is_none(), "fatal codec yields nothing");
+    }
+
+    #[test]
+    fn unknown_op_is_typed_not_fatal() {
+        let mut out = Vec::new();
+        write_frame(&mut out, 0x42, |p| put_opt_u64(p, None));
+        let (op, payload) = single_frame(&out).expect("frame itself is well-formed");
+        let frame = Frame {
+            version: QBIN_VERSION,
+            op,
+            payload: &payload,
+        };
+        assert!(matches!(
+            decode_request(&frame),
+            Err(BinError::UnknownOp { op: 0x42 })
+        ));
+    }
+
+    #[test]
+    fn response_error_frame_roundtrips() {
+        let response = Response::err(Some(3), "predict needs `features`");
+        let mut out = Vec::new();
+        encode_response(&mut out, &response);
+        let decoded = decode_response_stream(&out).expect("decodes");
+        assert_eq!(decoded.len(), 1);
+        assert!(!decoded[0].ok);
+        assert_eq!(decoded[0].id, Some(3));
+        assert_eq!(
+            decoded[0].error.as_deref(),
+            Some("predict needs `features`")
+        );
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut out = Vec::new();
+        write_frame(&mut out, OP_INFO, |p| {
+            put_opt_u64(p, None);
+            p.push(0xEE); // trailing garbage inside a valid frame
+        });
+        let mut codec = FrameCodec::new();
+        codec.feed(&out);
+        let frame = codec.next_frame().expect("frame").expect("CRC is valid");
+        assert!(matches!(
+            decode_request(&frame),
+            Err(BinError::Malformed { .. })
+        ));
+    }
+}

@@ -1,13 +1,25 @@
-//! Sans-IO halves of the NDJSON session.
+//! Sans-IO halves of a serving session, protocol-agnostic.
 //!
-//! [`SessionCodec`] turns arbitrary byte chunks into request lines — the
-//! caller owns the socket/pipe/file; the codec only ever sees `&[u8]`,
-//! so any chunking (1-byte reads, jumbo frames, whatever the kernel
-//! hands a nonblocking read) decodes to the identical line sequence.
+//! [`SessionCodec`] turns arbitrary byte chunks into framed requests —
+//! the caller owns the socket/pipe/file; the codec only ever sees
+//! `&[u8]`, so any chunking (1-byte reads, jumbo frames, whatever the
+//! kernel hands a nonblocking read) decodes to the identical item
+//! sequence. Each connection speaks **either** NDJSON or QBIN, decided
+//! once by sniffing the first bytes: a stream opening with the exact
+//! [`bin::QBIN_MAGIC`] is binary, anything else (JSON's `{`, leading
+//! whitespace, blank lines) is NDJSON. The sniff survives pathological
+//! chunking — a 1-byte first read, the magic split across two chunks, a
+//! client that sends only the magic and stalls — because the decision
+//! waits until the prefix either completes the magic or diverges from
+//! it.
+//!
 //! [`ResponseEmitter`] is the matching output half: it holds staged
 //! responses in request order and serializes each one as soon as it —
 //! and everything before it — is complete, into a caller-owned byte
-//! buffer.
+//! buffer, as NDJSON lines or QBIN frames to match the connection's
+//! protocol. NDJSON serialization reuses one per-emitter scratch
+//! `String` (bit-identical output, no per-response allocation); QBIN
+//! frames are encoded directly into the output buffer.
 //!
 //! Both halves are driven by the blocking stdio/TCP path
 //! ([`super::serve_connection`]) and the nonblocking event loop
@@ -15,19 +27,29 @@
 //! connection count" a structural property rather than a test hope.
 
 use std::collections::VecDeque;
-use std::io::Write as _;
 
-use super::{complete, render, Staged};
+use super::{bin, complete, emit_response, Staged};
 
 /// Longest accepted request line (bytes, newline excluded). A client
 /// streaming one endless line used to grow the read buffer without
 /// bound — a reject-never-OOM violation; past this cap the line is
 /// dropped (not buffered) and answered with a typed bad-request error.
 /// 1 MiB comfortably fits every legitimate op, including TSPLIB uploads
-/// of the sizes this repo trains on.
+/// of the sizes this repo trains on. QBIN frames get the same cap on
+/// their declared payload length ([`bin::MAX_FRAME_BYTES`]).
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
-/// One decoded item from the request byte stream.
+/// Which wire protocol a connection speaks, decided once per connection
+/// by sniffing its first bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormat {
+    /// one JSON request/response per line
+    Ndjson,
+    /// length-framed binary ([`bin`])
+    Qbin,
+}
+
+/// One decoded item from an NDJSON request byte stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecLine {
     /// a complete request line (newline stripped, CRLF-tolerant)
@@ -41,15 +63,28 @@ pub enum CodecLine {
     InvalidUtf8,
 }
 
-/// Incremental request-line decoder.
+/// One decoded item from the session byte stream, either protocol.
+/// Frame payloads borrow the codec's buffer (zero-copy) and stay valid
+/// until the next `feed`.
+#[derive(Debug)]
+pub enum WireItem<'a> {
+    /// an NDJSON item
+    Line(CodecLine),
+    /// a complete, CRC-verified QBIN frame
+    Frame(bin::Frame<'a>),
+    /// a QBIN framing-level reject (oversized, corrupt, truncated…)
+    FrameError(bin::BinError),
+}
+
+/// Incremental NDJSON request-line decoder.
 ///
 /// Mirrors `BufRead::lines` for well-formed input: splits on `\n`,
 /// strips one trailing `\r` from terminated lines, and yields a final
-/// unterminated line at EOF ([`SessionCodec::finish`]). Unlike
-/// `lines()`, it is bounded ([`MAX_LINE_BYTES`]) and survives invalid
-/// UTF-8 by reporting it as an item instead of an error.
+/// unterminated line at EOF. Unlike `lines()`, it is bounded
+/// ([`MAX_LINE_BYTES`]) and survives invalid UTF-8 by reporting it as an
+/// item instead of an error.
 #[derive(Debug)]
-pub struct SessionCodec {
+struct LineCodec {
     buf: Vec<u8>,
     /// prefix of `buf` already scanned and known newline-free — feeds
     /// resume scanning where they left off, so a line arriving in many
@@ -60,21 +95,9 @@ pub struct SessionCodec {
     limit: usize,
 }
 
-impl Default for SessionCodec {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl SessionCodec {
-    pub fn new() -> Self {
-        Self::with_limit(MAX_LINE_BYTES)
-    }
-
-    /// A codec with a custom line cap (tests; production uses
-    /// [`MAX_LINE_BYTES`]).
-    pub fn with_limit(limit: usize) -> Self {
-        SessionCodec {
+impl LineCodec {
+    fn with_limit(limit: usize) -> Self {
+        LineCodec {
             buf: Vec::new(),
             scanned: 0,
             discarding: false,
@@ -82,8 +105,7 @@ impl SessionCodec {
         }
     }
 
-    /// Appends a chunk of request bytes. Any split boundary is fine.
-    pub fn feed(&mut self, bytes: &[u8]) {
+    fn feed(&mut self, bytes: &[u8]) {
         if self.discarding {
             // Drop oversized-line bytes instead of buffering them; keep
             // only what follows the terminating newline.
@@ -96,14 +118,11 @@ impl SessionCodec {
         self.buf.extend_from_slice(bytes);
     }
 
-    /// Bytes currently buffered (bounded by the line cap plus one read
-    /// chunk — the backpressure quantity an event loop may want).
-    pub fn buffered(&self) -> usize {
+    fn buffered(&self) -> usize {
         self.buf.len()
     }
 
-    /// The next complete item, or `None` when more bytes are needed.
-    pub fn next_line(&mut self) -> Option<CodecLine> {
+    fn next_line(&mut self) -> Option<CodecLine> {
         let pos = self.buf[self.scanned..]
             .iter()
             .position(|&b| b == b'\n')
@@ -137,7 +156,7 @@ impl SessionCodec {
     /// EOF: yields the final unterminated line, if any. Mirrors
     /// `BufRead::lines`, which keeps a trailing `\r` when no `\n`
     /// follows it.
-    pub fn finish(&mut self) -> Option<CodecLine> {
+    fn finish(&mut self) -> Option<CodecLine> {
         if self.discarding || self.buf.is_empty() {
             self.buf.clear();
             self.scanned = 0;
@@ -160,16 +179,151 @@ impl SessionCodec {
     }
 }
 
+/// Per-protocol decoding state, entered once the sniff decides.
+#[derive(Debug)]
+enum ProtoState {
+    /// fewer bytes than the magic so far, all matching its prefix
+    Sniffing {
+        pending: Vec<u8>,
+    },
+    Ndjson(LineCodec),
+    Qbin(bin::FrameCodec),
+}
+
+/// Incremental request decoder for one connection, either protocol.
+///
+/// Feed arbitrary byte chunks; take decoded items with
+/// [`SessionCodec::next_item`] and the EOF tail with
+/// [`SessionCodec::finish`]. The protocol is sniffed from the first
+/// bytes and fixed for the connection's lifetime
+/// ([`SessionCodec::wire`]).
+#[derive(Debug)]
+pub struct SessionCodec {
+    state: ProtoState,
+    limit: usize,
+}
+
+impl Default for SessionCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionCodec {
+    pub fn new() -> Self {
+        Self::with_limit(MAX_LINE_BYTES)
+    }
+
+    /// A codec with a custom line/frame cap (tests; production uses
+    /// [`MAX_LINE_BYTES`]).
+    pub fn with_limit(limit: usize) -> Self {
+        SessionCodec {
+            state: ProtoState::Sniffing {
+                pending: Vec::new(),
+            },
+            limit: limit.max(1),
+        }
+    }
+
+    /// The sniffed protocol, `None` while fewer magic-prefix bytes than
+    /// the full magic have arrived.
+    pub fn wire(&self) -> Option<WireFormat> {
+        match &self.state {
+            ProtoState::Sniffing { .. } => None,
+            ProtoState::Ndjson(_) => Some(WireFormat::Ndjson),
+            ProtoState::Qbin(_) => Some(WireFormat::Qbin),
+        }
+    }
+
+    /// Appends a chunk of request bytes. Any split boundary is fine —
+    /// including inside the sniffed magic.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        match &mut self.state {
+            ProtoState::Sniffing { pending } => {
+                pending.extend_from_slice(bytes);
+                let seen = pending.len().min(bin::QBIN_MAGIC.len());
+                if pending[..seen] != bin::QBIN_MAGIC[..seen] {
+                    // Diverged from the magic: this is NDJSON, and the
+                    // sniffed bytes are its first line's prefix.
+                    let pending = std::mem::take(pending);
+                    let mut codec = LineCodec::with_limit(self.limit);
+                    codec.feed(&pending);
+                    self.state = ProtoState::Ndjson(codec);
+                } else if pending.len() >= bin::QBIN_MAGIC.len() {
+                    // Full magic seen: binary. The magic bytes are part
+                    // of the first frame, so the frame codec gets them
+                    // too.
+                    let pending = std::mem::take(pending);
+                    let mut codec = bin::FrameCodec::with_limit(self.limit);
+                    codec.feed(&pending);
+                    self.state = ProtoState::Qbin(codec);
+                }
+                // else: still a strict prefix of the magic — keep
+                // sniffing (a client may send one byte and stall).
+            }
+            ProtoState::Ndjson(codec) => codec.feed(bytes),
+            ProtoState::Qbin(codec) => codec.feed(bytes),
+        }
+    }
+
+    /// Bytes currently buffered (bounded by the line/frame cap plus one
+    /// read chunk — the backpressure quantity an event loop may want).
+    pub fn buffered(&self) -> usize {
+        match &self.state {
+            ProtoState::Sniffing { pending } => pending.len(),
+            ProtoState::Ndjson(codec) => codec.buffered(),
+            ProtoState::Qbin(codec) => codec.buffered(),
+        }
+    }
+
+    /// The next complete item, or `None` when more bytes are needed.
+    /// Frame payloads borrow this codec and stay valid until the next
+    /// `feed`.
+    pub fn next_item(&mut self) -> Option<WireItem<'_>> {
+        match &mut self.state {
+            ProtoState::Sniffing { .. } => None,
+            ProtoState::Ndjson(codec) => codec.next_line().map(WireItem::Line),
+            ProtoState::Qbin(codec) => codec.next_frame().map(|decoded| match decoded {
+                Ok(frame) => WireItem::Frame(frame),
+                Err(e) => WireItem::FrameError(e),
+            }),
+        }
+    }
+
+    /// EOF: yields the final item, if any — an unterminated NDJSON tail
+    /// line, or a truncation error for a partial QBIN frame. A stream
+    /// that ends mid-sniff (fewer bytes than the magic) is treated as
+    /// NDJSON, mirroring `BufRead::lines` on a short trailing line.
+    pub fn finish(&mut self) -> Option<WireItem<'_>> {
+        if let ProtoState::Sniffing { pending } = &mut self.state {
+            let pending = std::mem::take(pending);
+            let mut codec = LineCodec::with_limit(self.limit);
+            codec.feed(&pending);
+            self.state = ProtoState::Ndjson(codec);
+        }
+        match &mut self.state {
+            ProtoState::Sniffing { .. } => unreachable!("sniff resolved above"),
+            ProtoState::Ndjson(codec) => codec.finish().map(WireItem::Line),
+            ProtoState::Qbin(codec) => codec.finish().map(WireItem::FrameError),
+        }
+    }
+}
+
 /// Order-preserving response serializer.
 ///
 /// Staged responses are pushed in request order; [`ResponseEmitter::pump`]
 /// appends every response that is complete *and* at the head of the line
-/// to an output buffer as NDJSON. Responses never reorder: a slow
+/// to an output buffer — one NDJSON line or one QBIN frame each, per the
+/// connection's sniffed protocol. Responses never reorder: a slow
 /// prediction holds back everything staged after it, exactly like the
 /// blocking writer loop it replaces.
 #[derive(Debug, Default)]
 pub struct ResponseEmitter {
     queue: VecDeque<Staged>,
+    /// per-connection NDJSON serialization scratch, reused across
+    /// responses — the bytes are identical to a fresh `to_string`, the
+    /// allocation is not repeated
+    scratch: String,
 }
 
 impl ResponseEmitter {
@@ -193,19 +347,17 @@ impl ResponseEmitter {
     }
 
     /// Appends every head-of-line-complete response to `out` (one NDJSON
-    /// line each) without blocking; returns how many lines were emitted.
+    /// line or QBIN frame each) without blocking; returns how many
+    /// responses were emitted.
     ///
     /// # Errors
     ///
     /// Serialization failure only (cannot happen for the fixed response
     /// schema).
-    pub fn pump(&mut self, out: &mut Vec<u8>) -> std::io::Result<usize> {
+    pub fn pump(&mut self, wire: WireFormat, out: &mut Vec<u8>) -> std::io::Result<usize> {
         let mut emitted = 0usize;
         while let Some(front) = self.queue.front_mut() {
-            let line = match front {
-                Staged::Ready(_) | Staged::Raw(_) => {
-                    render(self.queue.pop_front().expect("front exists"))?
-                }
+            match front {
                 Staged::Pending { pending, .. } => match pending.try_wait() {
                     None => break,
                     Some(outcome) => {
@@ -213,11 +365,25 @@ impl ResponseEmitter {
                         else {
                             unreachable!("front was Pending");
                         };
-                        super::render_response(&complete(head, a_values, outcome))?
+                        let response = complete(head, a_values, outcome);
+                        emit_response(&response, wire, &mut self.scratch, out)?;
                     }
                 },
-            };
-            writeln!(out, "{line}").expect("Vec<u8> writes cannot fail");
+                Staged::Ready(_) | Staged::Raw(_) => {
+                    match self.queue.pop_front().expect("front exists") {
+                        Staged::Ready(response) => {
+                            emit_response(&response, wire, &mut self.scratch, out)?;
+                        }
+                        Staged::Raw(line) => {
+                            // Pre-serialized NDJSON (`metrics`) — the op
+                            // is not reachable over QBIN.
+                            out.extend_from_slice(line.as_bytes());
+                            out.push(b'\n');
+                        }
+                        Staged::Pending { .. } => unreachable!("front was not Pending"),
+                    }
+                }
+            }
             emitted += 1;
         }
         Ok(emitted)

@@ -1,9 +1,23 @@
-//! NDJSON serving protocol — the wire layer over
-//! [`qross::serve::ServeEngine`].
+//! Serving protocol — the wire layer over
+//! [`qross::serve::ServeEngine`], spoken in two formats on every
+//! transport.
 //!
-//! One request per line, one response per line, **in request order**
-//! (responses never reorder, whatever the engine's worker count). The
-//! same protocol runs over stdin/stdout and TCP (`qross-serve`).
+//! One request, one response, **in request order** (responses never
+//! reorder, whatever the engine's worker count). The same protocol runs
+//! over stdin/stdout and TCP (`qross-serve`), and every connection
+//! speaks either:
+//!
+//! * **NDJSON** — one JSON object per line (documented below); or
+//! * **QBIN** ([`bin`]) — a length-framed binary protocol with raw
+//!   little-endian f64 payloads and zero-copy decode, for clients that
+//!   care about predict-path throughput.
+//!
+//! The format is sniffed from the first bytes of each connection
+//! ([`codec::SessionCodec`]): a stream opening with the QBIN magic is
+//! binary, anything else (JSON's `{`, whitespace) is NDJSON. Both run on
+//! the same `--listen` port. Responses carry the identical f64 bit
+//! patterns in either format — a QBIN predict response and the NDJSON
+//! response for the same request decode to the same bits.
 //!
 //! # Requests
 //!
@@ -53,13 +67,15 @@
 //!
 //! # Sans-IO core
 //!
-//! The protocol itself never does I/O. [`codec::SessionCodec`] turns
-//! arbitrary byte chunks into request lines (any split boundary, bounded
-//! line length), [`stage`] turns a line into a [`Staged`] request, and
-//! [`codec::ResponseEmitter`] serializes completed responses in request
-//! order. [`serve_connection`] is the blocking driver over that core
-//! (stdio and thread-per-connection TCP); `bench::net` drives the same
-//! core from a nonblocking event loop.
+//! The protocol itself never does I/O. [`codec::SessionCodec`] sniffs
+//! the format and turns arbitrary byte chunks into framed requests (any
+//! split boundary, bounded line/frame length), [`stage_item`] turns a
+//! decoded item — NDJSON line or QBIN frame — into a [`Staged`] request,
+//! and [`codec::ResponseEmitter`] serializes completed responses in
+//! request order, as lines or frames to match. [`serve_connection`] is
+//! the blocking driver over that core (stdio and thread-per-connection
+//! TCP); `bench::net` drives the same core from a nonblocking event
+//! loop.
 //!
 //! # Responses
 //!
@@ -74,6 +90,7 @@
 //! response on the offending line; the connection — and the process —
 //! keep serving. A serving process must survive hostile uploads.
 
+pub mod bin;
 pub mod codec;
 
 use std::io::{BufRead, Write};
@@ -86,7 +103,7 @@ use qross::serve::{CompletionNotify, PendingPrediction, ServeEngine};
 use qross::surrogate::SurrogatePrediction;
 use serde::{Deserialize, Serialize};
 
-pub use codec::{CodecLine, ResponseEmitter, SessionCodec, MAX_LINE_BYTES};
+pub use codec::{CodecLine, ResponseEmitter, SessionCodec, WireFormat, WireItem, MAX_LINE_BYTES};
 
 /// How many staged (submitted but unwritten) responses a connection may
 /// hold. Bounds per-connection memory against a client that floods
@@ -457,6 +474,141 @@ pub fn stage_line(
     }
 }
 
+/// Dispatches one CRC-verified QBIN frame. The borrowed
+/// [`bin::BinRequest`] view is decoded in place over the connection's
+/// read buffer; the single copy into owned memory happens here, at
+/// engine submit — the same ownership point as the NDJSON path, minus
+/// the JSON parse and f64 text round-trip.
+///
+/// Payload-level rejects (unknown op, grammar violations) become
+/// `ok: false` responses, mirroring how NDJSON treats an unknown `op` —
+/// the session keeps serving. `tsp` and `metrics` are NDJSON-only ops by
+/// design (TSPLIB uploads are text; metrics have a non-[`Response`]
+/// schema).
+pub fn stage_frame(
+    engine: &ServeEngine,
+    frame: &bin::Frame<'_>,
+    notify: Option<CompletionNotify>,
+) -> Staged {
+    let request = match bin::decode_request(frame) {
+        Ok(request) => request,
+        Err(e) => {
+            return Staged::Ready(Box::new(Response::err(
+                None,
+                qross::QrossError::BadRequest {
+                    message: format!("bad QBIN request: {e}"),
+                },
+            )))
+        }
+    };
+    match request {
+        bin::BinRequest::Predict {
+            id,
+            tenant,
+            a_values,
+            features,
+        } => {
+            if a_values.is_empty() {
+                return Staged::Ready(Box::new(Response::err(
+                    id,
+                    "predict needs `a` or `a_values`",
+                )));
+            }
+            let tenant = (!tenant.is_empty()).then_some(tenant);
+            submit(
+                engine,
+                id,
+                tenant,
+                Response::default(),
+                features.to_vec(),
+                a_values.to_vec(),
+                notify,
+            )
+        }
+        bin::BinRequest::Info { id } => Staged::Ready(Box::new(Response {
+            id,
+            ok: true,
+            info: Some(model_info(engine)),
+            ..Default::default()
+        })),
+        bin::BinRequest::Feedback {
+            id,
+            a,
+            pf,
+            e_avg,
+            e_std,
+            seed,
+            tag,
+            features,
+        } => ingest_feedback(
+            engine,
+            id,
+            FeedbackRecord {
+                features: features.to_vec(),
+                a,
+                observed_pf: pf,
+                observed_e_avg: e_avg,
+                observed_e_std: e_std,
+                instance_tag: tag.to_string(),
+                seed,
+            },
+        ),
+        bin::BinRequest::Refresh { id } => stage_refresh(engine, id),
+    }
+}
+
+/// Maps one decoded [`WireItem`] — either protocol — to a staged
+/// response. Framing-level QBIN rejects (oversized, CRC mismatch,
+/// truncation) become typed `ok: false` responses, like the NDJSON
+/// line-cap path; whether the session can continue afterwards is the
+/// error's [`bin::BinError::is_fatal`] — drivers check it before
+/// consuming the item and close after answering a fatal one (framing is
+/// lost, resync is impossible).
+pub fn stage_item(
+    engine: &ServeEngine,
+    item: WireItem<'_>,
+    notify: Option<CompletionNotify>,
+) -> Option<Staged> {
+    match item {
+        WireItem::Line(line) => stage_line(engine, line, notify),
+        WireItem::Frame(frame) => Some(stage_frame(engine, &frame, notify)),
+        WireItem::FrameError(e) => Some(Staged::Ready(Box::new(Response::err(
+            None,
+            qross::QrossError::BadRequest {
+                message: format!("bad QBIN frame: {e}"),
+            },
+        )))),
+    }
+}
+
+/// Serializes one completed [`Response`] onto `out` in the connection's
+/// wire format — one NDJSON line (through the reusable `scratch`
+/// buffer; bytes identical to a fresh `to_string`) or one QBIN frame
+/// (encoded directly into `out`).
+///
+/// # Errors
+///
+/// NDJSON serialization failure only (cannot happen for the fixed
+/// response schema; kept fallible to avoid a panic path on the wire).
+fn emit_response(
+    response: &Response,
+    wire: WireFormat,
+    scratch: &mut String,
+    out: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    match wire {
+        WireFormat::Ndjson => {
+            scratch.clear();
+            serde_json::to_string_into(response, scratch)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            out.extend_from_slice(scratch.as_bytes());
+            out.push(b'\n');
+        }
+        WireFormat::Qbin => bin::encode_response(out, response),
+    }
+    Ok(())
+}
+
 /// Builds the `info` / `model-info` payload from the engine's current
 /// state. Every field is a pure function of the request stream within a
 /// connection, so info responses diff cleanly across worker counts.
@@ -498,15 +650,24 @@ fn stage_feedback(engine: &ServeEngine, id: Option<u64>, request: &Request) -> S
             "feedback needs `features`, `a`, `pf`, `e_avg` and `e_std`",
         )));
     };
-    let record = FeedbackRecord {
-        features,
-        a,
-        observed_pf: pf,
-        observed_e_avg: e_avg,
-        observed_e_std: e_std,
-        instance_tag: request.tag.clone().unwrap_or_default(),
-        seed: request.seed.unwrap_or(0),
-    };
+    ingest_feedback(
+        engine,
+        id,
+        FeedbackRecord {
+            features,
+            a,
+            observed_pf: pf,
+            observed_e_avg: e_avg,
+            observed_e_std: e_std,
+            instance_tag: request.tag.clone().unwrap_or_default(),
+            seed: request.seed.unwrap_or(0),
+        },
+    )
+}
+
+/// Feedback ingestion shared by both wire formats: push the record,
+/// and — when it triggers a retrain — block until the hot-swap lands.
+fn ingest_feedback(engine: &ServeEngine, id: Option<u64>, record: FeedbackRecord) -> Staged {
     let ack = match engine.submit_feedback(record) {
         Ok(ack) => ack,
         Err(e) => return Staged::Ready(Box::new(Response::err(id, e))),
@@ -690,8 +851,9 @@ pub fn render(staged: Staged) -> std::io::Result<String> {
     }
 }
 
-/// Serves one NDJSON connection to completion: reads request lines from
-/// `reader`, writes one response line per request to `writer`, in order.
+/// Serves one connection to completion, either wire format: reads
+/// requests from `reader` (NDJSON lines or QBIN frames, sniffed from the
+/// first bytes), writes one response per request to `writer`, in order.
 ///
 /// A staging thread parses/validates/submits while this thread resolves
 /// and writes, so up to [`PIPELINE_DEPTH`] requests are in flight — the
@@ -739,15 +901,15 @@ where
     W: Write,
     F: FnOnce(),
 {
-    let (tx, rx) = mpsc::sync_channel::<Staged>(PIPELINE_DEPTH);
+    let (tx, rx) = mpsc::sync_channel::<(WireFormat, Staged)>(PIPELINE_DEPTH);
     std::thread::scope(|scope| {
         let stager = scope.spawn(move || -> std::io::Result<()> {
             // Thin driver over the sans-IO codec: feed whatever chunk the
-            // reader hands us, stage every completed line. Byte-identical
-            // to the old `BufRead::lines` loop for well-formed input; on
-            // hostile input (oversized or non-UTF-8 lines) it now answers
-            // with an `ok: false` line instead of tearing the session
-            // down.
+            // reader hands us, stage every completed item. Byte-identical
+            // to the old `BufRead::lines` loop for well-formed NDJSON; on
+            // hostile input (oversized or non-UTF-8 lines, corrupt QBIN
+            // frames) it answers with a typed `ok: false` response
+            // instead of tearing the session down.
             let mut reader = reader;
             let mut session = SessionCodec::new();
             loop {
@@ -758,31 +920,64 @@ where
                     let n = chunk.len();
                     reader.consume(n);
                 }
-                loop {
-                    let item = match session.next_line() {
-                        Some(item) => item,
-                        None if eof => match session.finish() {
-                            Some(item) => item,
-                            None => return Ok(()),
-                        },
-                        None => break,
-                    };
-                    if let Some(staged) = stage_line(engine, item, None) {
-                        if tx.send(staged).is_err() {
+                // The wire format is fixed once sniffed; `None` only
+                // while no item can exist yet (the EOF-mid-sniff tail
+                // is NDJSON by definition).
+                let wire = session.wire().unwrap_or(WireFormat::Ndjson);
+                while let Some(item) = session.next_item() {
+                    let fatal = matches!(&item, WireItem::FrameError(e) if e.is_fatal());
+                    let staged = stage_item(engine, item, None);
+                    if let Some(staged) = staged {
+                        if tx.send((wire, staged)).is_err() {
                             return Ok(()); // writer side gone
                         }
                     }
+                    if fatal {
+                        // Framing is lost (bad magic / unknown version):
+                        // the reject was answered; close instead of
+                        // guessing at a resync point.
+                        return Ok(());
+                    }
+                }
+                if eof {
+                    if let Some(item) = session.finish() {
+                        if let Some(staged) = stage_item(engine, item, None) {
+                            let _ = tx.send((wire, staged));
+                        }
+                    }
+                    return Ok(());
                 }
             }
         });
-        let mut write_line = |staged: Staged| -> std::io::Result<()> {
-            let json = render(staged)?;
-            writeln!(writer, "{json}")?;
+        let mut scratch = String::new();
+        let mut out: Vec<u8> = Vec::new();
+        let mut write_item = |wire: WireFormat, staged: Staged| -> std::io::Result<()> {
+            out.clear();
+            match staged {
+                Staged::Ready(response) => emit_response(&response, wire, &mut scratch, &mut out)?,
+                Staged::Raw(line) => {
+                    // Pre-serialized NDJSON (`metrics`) — not reachable
+                    // over QBIN.
+                    out.extend_from_slice(line.as_bytes());
+                    out.push(b'\n');
+                }
+                Staged::Pending {
+                    head,
+                    a_values,
+                    pending,
+                } => emit_response(
+                    &complete(head, a_values, pending.wait()),
+                    wire,
+                    &mut scratch,
+                    &mut out,
+                )?,
+            }
+            writer.write_all(&out)?;
             writer.flush()
         };
         let mut write_result = Ok(());
-        while let Ok(staged) = rx.recv() {
-            if let Err(e) = write_line(staged) {
+        while let Ok((wire, staged)) = rx.recv() {
+            if let Err(e) = write_item(wire, staged) {
                 write_result = Err(e);
                 break;
             }

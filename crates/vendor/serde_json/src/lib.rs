@@ -48,6 +48,21 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serialises `value` to compact JSON **appended to `out`** — the
+/// allocation-reusing sibling of [`to_string`]. Callers on a hot path
+/// (one response line per request) keep one `String` scratch per
+/// connection, `clear()` it and serialise in place; the bytes produced
+/// are identical to [`to_string`]'s.
+///
+/// # Errors
+///
+/// Infallible for the value model this subset supports; the `Result` is
+/// kept for symmetry with [`to_string`].
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    write_value(out, &value.to_value(), None, 0);
+    Ok(())
+}
+
 /// Serialises `value` to two-space-indented JSON.
 ///
 /// # Errors

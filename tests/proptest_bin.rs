@@ -1,0 +1,494 @@
+//! Property tests for the QBIN binary wire protocol: encode→decode
+//! round-trips are **bit-exact** (NaN payloads, signed zeros, infinities
+//! included), decoding is invariant under arbitrary chunking, and
+//! hostile input — truncations, byte substitutions, declared-length
+//! lies, raw garbage — never panics and always yields a typed
+//! [`BinError`]. Mirrors the `proptest_store.rs` discipline for the
+//! `.qross` artifact codec, applied to the wire.
+
+use proptest::prelude::*;
+
+use bench::protocol::bin::{self, BinError, BinRequest, FrameCodec};
+use bench::protocol::{ModelInfo, PredictionOut, Response};
+
+/// Arbitrary `f64` *bit patterns* — covers NaNs with payloads, signed
+/// zeros, infinities and subnormals, not just sampled finite reals.
+fn f64_bits_strategy() -> impl Strategy<Value = f64> {
+    (0u32..=u32::MAX, 0u32..=u32::MAX)
+        .prop_map(|(hi, lo)| f64::from_bits(((hi as u64) << 32) | lo as u64))
+}
+
+/// Short strings over the characters tenant/tag labels actually use.
+fn label_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..38, 0..12).prop_map(|chars| {
+        chars
+            .into_iter()
+            .map(|c| match c {
+                0..=25 => (b'a' + c) as char,
+                26..=35 => (b'0' + (c - 26)) as char,
+                36 => '-',
+                _ => ' ',
+            })
+            .collect()
+    })
+}
+
+fn id_strategy() -> impl Strategy<Value = Option<u64>> {
+    (0u8..3, 0u64..=u64::MAX).prop_map(|(kind, v)| match kind {
+        0 => None,
+        _ => Some(v),
+    })
+}
+
+/// An owned mirror of one request, so round-trips can be compared
+/// bit-for-bit after the borrowed view is gone.
+#[derive(Debug, Clone)]
+enum OwnedRequest {
+    Predict {
+        id: Option<u64>,
+        tenant: String,
+        a_values: Vec<f64>,
+        features: Vec<f64>,
+    },
+    Info {
+        id: Option<u64>,
+    },
+    Feedback {
+        id: Option<u64>,
+        a: f64,
+        pf: f64,
+        e_avg: f64,
+        e_std: f64,
+        seed: u64,
+        tag: String,
+        features: Vec<f64>,
+    },
+    Refresh {
+        id: Option<u64>,
+    },
+}
+
+impl OwnedRequest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OwnedRequest::Predict {
+                id,
+                tenant,
+                a_values,
+                features,
+            } => bin::encode_predict(out, *id, tenant, a_values, features),
+            OwnedRequest::Info { id } => bin::encode_info(out, *id),
+            OwnedRequest::Feedback {
+                id,
+                a,
+                pf,
+                e_avg,
+                e_std,
+                seed,
+                tag,
+                features,
+            } => bin::encode_feedback(out, *id, *a, *pf, *e_avg, *e_std, *seed, tag, features),
+            OwnedRequest::Refresh { id } => bin::encode_refresh(out, *id),
+        }
+    }
+
+    /// Bitwise equality against a decoded view (NaN-safe: every f64 is
+    /// compared as its bit pattern).
+    fn matches(&self, decoded: &BinRequest<'_>) -> bool {
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        match (self, decoded) {
+            (
+                OwnedRequest::Predict {
+                    id,
+                    tenant,
+                    a_values,
+                    features,
+                },
+                BinRequest::Predict {
+                    id: d_id,
+                    tenant: d_tenant,
+                    a_values: d_a,
+                    features: d_f,
+                },
+            ) => {
+                id == d_id
+                    && tenant == d_tenant
+                    && bits(a_values) == bits(&d_a.to_vec())
+                    && bits(features) == bits(&d_f.to_vec())
+            }
+            (OwnedRequest::Info { id }, BinRequest::Info { id: d_id }) => id == d_id,
+            (
+                OwnedRequest::Feedback {
+                    id,
+                    a,
+                    pf,
+                    e_avg,
+                    e_std,
+                    seed,
+                    tag,
+                    features,
+                },
+                BinRequest::Feedback {
+                    id: d_id,
+                    a: d_a,
+                    pf: d_pf,
+                    e_avg: d_e_avg,
+                    e_std: d_e_std,
+                    seed: d_seed,
+                    tag: d_tag,
+                    features: d_f,
+                },
+            ) => {
+                id == d_id
+                    && a.to_bits() == d_a.to_bits()
+                    && pf.to_bits() == d_pf.to_bits()
+                    && e_avg.to_bits() == d_e_avg.to_bits()
+                    && e_std.to_bits() == d_e_std.to_bits()
+                    && seed == d_seed
+                    && tag == d_tag
+                    && bits(features) == bits(&d_f.to_vec())
+            }
+            (OwnedRequest::Refresh { id }, BinRequest::Refresh { id: d_id }) => id == d_id,
+            _ => false,
+        }
+    }
+}
+
+fn request_strategy() -> impl Strategy<Value = OwnedRequest> {
+    (
+        0u8..4,
+        id_strategy(),
+        label_strategy(),
+        proptest::collection::vec(f64_bits_strategy(), 0..6),
+        proptest::collection::vec(f64_bits_strategy(), 0..27),
+        (
+            f64_bits_strategy(),
+            f64_bits_strategy(),
+            f64_bits_strategy(),
+            f64_bits_strategy(),
+            0u64..=u64::MAX,
+        ),
+    )
+        .prop_map(
+            |(kind, id, label, a_values, features, (a, pf, e_avg, e_std, seed))| match kind {
+                0 => OwnedRequest::Predict {
+                    id,
+                    tenant: label,
+                    a_values,
+                    features,
+                },
+                1 => OwnedRequest::Info { id },
+                2 => OwnedRequest::Feedback {
+                    id,
+                    a,
+                    pf,
+                    e_avg,
+                    e_std,
+                    seed,
+                    tag: label,
+                    features,
+                },
+                _ => OwnedRequest::Refresh { id },
+            },
+        )
+}
+
+/// A [`Response`] of one of the QBIN-expressible kinds (error, predict,
+/// info, ack), with arbitrary-bit f64 payloads. Predict rows keep the
+/// decimal/`_bits` invariant the serving path maintains.
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (
+        0u8..4,
+        id_strategy(),
+        label_strategy(),
+        proptest::collection::vec(
+            (
+                f64_bits_strategy(),
+                f64_bits_strategy(),
+                f64_bits_strategy(),
+                f64_bits_strategy(),
+            ),
+            0..5,
+        ),
+        (id_strategy(), id_strategy(), id_strategy(), id_strategy()),
+        (0u8..3, 0u32..1_000, 0u64..=u64::MAX, 0u8..2),
+    )
+        .prop_map(
+            |(kind, id, label, rows, (o1, o2, o3, o4), (tri, dim, generation, flag))| match kind {
+                0 => Response {
+                    id,
+                    ok: false,
+                    error: Some(label),
+                    ..Default::default()
+                },
+                1 => Response {
+                    id,
+                    ok: true,
+                    predictions: Some(
+                        rows.into_iter()
+                            .map(|(a, pf, e_avg, e_std)| PredictionOut {
+                                a,
+                                pf,
+                                e_avg,
+                                e_std,
+                                pf_bits: pf.to_bits(),
+                                e_avg_bits: e_avg.to_bits(),
+                                e_std_bits: e_std.to_bits(),
+                            })
+                            .collect(),
+                    ),
+                    ..Default::default()
+                },
+                2 => Response {
+                    id,
+                    ok: true,
+                    info: Some(ModelInfo {
+                        kind: if flag == 0 { "surrogate" } else { "bundle" }.to_string(),
+                        feature_dim: dim as usize,
+                        dataset_len: o1,
+                        train_instances: o2,
+                        generation,
+                        online: tri == 1,
+                        feedback_count: o3,
+                        buffer_len: o4,
+                        refresh_after: o1,
+                    }),
+                    ..Default::default()
+                },
+                _ => Response {
+                    id,
+                    ok: true,
+                    generation: o1,
+                    feedback_count: o2,
+                    buffer_len: o3,
+                    refreshed: match tri {
+                        0 => None,
+                        1 => Some(false),
+                        _ => Some(true),
+                    },
+                    ..Default::default()
+                },
+            },
+        )
+}
+
+/// Owned summary of one decode step, for comparing decode runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DecodedItem {
+    Frame { op: u8, payload: Vec<u8> },
+    Error(String),
+}
+
+/// Decodes `bytes` split at the given cut points, returning every item
+/// including the EOF verdict. Must never panic, whatever the bytes.
+fn decode_chunked(bytes: &[u8], cuts: &[usize], limit: usize) -> Vec<DecodedItem> {
+    let mut codec = FrameCodec::with_limit(limit);
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    for &cut in cuts.iter().chain(std::iter::once(&bytes.len())) {
+        let cut = cut.min(bytes.len());
+        if cut <= start {
+            continue;
+        }
+        codec.feed(&bytes[start..cut]);
+        while let Some(item) = next_item_owned(&mut codec) {
+            items.push(item);
+        }
+        start = cut;
+    }
+    if let Some(err) = codec.finish() {
+        items.push(DecodedItem::Error(err.to_string()));
+    }
+    items
+}
+
+/// Pulls the next frame/error as an owned summary (the borrowed `Frame`
+/// cannot outlive the codec's buffer).
+fn next_item_owned(codec: &mut FrameCodec) -> Option<DecodedItem> {
+    codec.next_frame().map(|decoded| match decoded {
+        Ok(frame) => DecodedItem::Frame {
+            op: frame.op,
+            payload: frame.payload.to_vec(),
+        },
+        Err(e) => DecodedItem::Error(e.to_string()),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any mix of requests round-trips through encode → frame decode →
+    /// payload decode bit-exactly, including NaN-payload f64s.
+    #[test]
+    fn request_roundtrip_is_bit_exact(
+        requests in proptest::collection::vec(request_strategy(), 1..6),
+    ) {
+        let mut stream = Vec::new();
+        for request in &requests {
+            request.encode(&mut stream);
+        }
+        let mut codec = FrameCodec::new();
+        codec.feed(&stream);
+        for expected in &requests {
+            let frame = codec.next_frame().expect("frame per request").expect("clean frame");
+            let decoded = bin::decode_request(&frame).expect("well-formed payload");
+            prop_assert!(
+                expected.matches(&decoded),
+                "decode changed the request: {expected:?} vs {decoded:?}"
+            );
+        }
+        prop_assert!(codec.next_frame().is_none());
+        prop_assert!(codec.finish().is_none());
+    }
+
+    /// Responses round-trip bit-exactly: the decoded struct serializes
+    /// to the identical NDJSON line as the original — the same equality
+    /// the dual-protocol CI replay enforces.
+    #[test]
+    fn response_roundtrip_is_bit_exact(
+        responses in proptest::collection::vec(response_strategy(), 1..5),
+    ) {
+        let mut stream = Vec::new();
+        for response in &responses {
+            bin::encode_response(&mut stream, response);
+        }
+        let decoded = bin::decode_response_stream(&stream).expect("clean stream");
+        prop_assert_eq!(decoded.len(), responses.len());
+        for (original, decoded) in responses.iter().zip(&decoded) {
+            let a = serde_json::to_string(original).expect("serializable");
+            let b = serde_json::to_string(decoded).expect("serializable");
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Frame decoding is invariant under how the stream is chunked —
+    /// valid frames, hostile bytes, anything.
+    #[test]
+    fn decoding_is_invariant_under_chunking(
+        requests in proptest::collection::vec(request_strategy(), 0..4),
+        junk in proptest::collection::vec(0u8..=u8::MAX, 0..40),
+        raw_cuts in proptest::collection::vec(0usize..2048, 0..32),
+    ) {
+        let mut stream = Vec::new();
+        for request in &requests {
+            request.encode(&mut stream);
+        }
+        stream.extend_from_slice(&junk);
+        let baseline = decode_chunked(&stream, &[], 1 << 16);
+        let mut cuts = raw_cuts;
+        cuts.sort_unstable();
+        cuts.dedup();
+        let chunked = decode_chunked(&stream, &cuts, 1 << 16);
+        prop_assert_eq!(&baseline, &chunked);
+        let byte_by_byte: Vec<usize> = (1..stream.len()).collect();
+        let trickled = decode_chunked(&stream, &byte_by_byte, 1 << 16);
+        prop_assert_eq!(&baseline, &trickled);
+    }
+
+    /// Truncating a valid frame anywhere — inside the header, the
+    /// payload or the trailing CRC — yields a typed truncation at EOF,
+    /// never a panic, never a silently-clean stream end.
+    #[test]
+    fn truncation_yields_typed_error(
+        request in request_strategy(),
+        cut_frac in 0u32..1_000,
+    ) {
+        let mut stream = Vec::new();
+        request.encode(&mut stream);
+        let cut = 1 + (cut_frac as usize * (stream.len() - 2)) / 1_000;
+        let mut codec = FrameCodec::new();
+        codec.feed(&stream[..cut]);
+        prop_assert!(codec.next_frame().is_none(), "partial frame must not decode");
+        match codec.finish() {
+            Some(BinError::Truncated { .. }) => {}
+            other => prop_assert!(false, "expected Truncated at EOF, got {other:?}"),
+        }
+    }
+
+    /// Substituting any byte of a valid frame never panics and never
+    /// reproduces the original frame as a clean decode — every
+    /// corruption is surfaced as some typed error.
+    #[test]
+    fn byte_substitution_is_always_detected(
+        request in request_strategy(),
+        pos_frac in 0u32..1_000,
+        new_byte in 0u8..=u8::MAX,
+    ) {
+        let mut stream = Vec::new();
+        request.encode(&mut stream);
+        let pristine = decode_chunked(&stream, &[], bin::MAX_FRAME_BYTES);
+        let pos = (pos_frac as usize * stream.len()) / 1_000;
+        let changed = stream[pos] != new_byte;
+        stream[pos] = new_byte;
+        let corrupted = decode_chunked(&stream, &[], bin::MAX_FRAME_BYTES);
+        if changed {
+            prop_assert!(
+                corrupted != pristine,
+                "byte {} rewritten to {:#04x} decoded as if untouched", pos, new_byte
+            );
+            prop_assert!(
+                corrupted.iter().any(|item| matches!(item, DecodedItem::Error(_))),
+                "corruption produced no typed error: {corrupted:?}"
+            );
+        } else {
+            prop_assert_eq!(&corrupted, &pristine);
+        }
+    }
+
+    /// Arbitrary garbage — raw, or hiding behind a genuine magic — never
+    /// panics the decoder; every item it yields is typed.
+    #[test]
+    fn garbage_never_panics(
+        prefix_magic in 0u8..2,
+        junk in proptest::collection::vec(0u8..=u8::MAX, 0..200),
+        raw_cuts in proptest::collection::vec(0usize..220, 0..16),
+    ) {
+        let mut stream = Vec::new();
+        if prefix_magic == 1 {
+            stream.extend_from_slice(&bin::QBIN_MAGIC);
+        }
+        stream.extend_from_slice(&junk);
+        let mut cuts = raw_cuts;
+        cuts.sort_unstable();
+        cuts.dedup();
+        // The assertion is implicit: no panic, bounded memory (the codec
+        // caps buffering at the frame limit), and finish() terminates.
+        let _ = decode_chunked(&stream, &cuts, 1 << 12);
+    }
+
+    /// A declared length over the cap is rejected with a typed error,
+    /// its payload is discarded without buffering, and the very next
+    /// valid frame decodes — the session survives, like the NDJSON
+    /// line-cap path.
+    #[test]
+    fn oversized_frames_are_rejected_and_survived(
+        declared in 65u32..100_000,
+        id in id_strategy(),
+    ) {
+        let limit = 64usize;
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&bin::QBIN_MAGIC);
+        stream.push(bin::QBIN_VERSION);
+        stream.push(bin::OP_PREDICT);
+        stream.extend_from_slice(&declared.to_le_bytes());
+        // The lying frame's payload + CRC, then a genuine (small, under
+        // the test cap) request.
+        stream.extend(std::iter::repeat_n(0xAB, declared as usize + 4));
+        let follow_at = stream.len();
+        bin::encode_info(&mut stream, id);
+        let items = decode_chunked(&stream, &[7, follow_at, follow_at + 3], limit);
+        prop_assert!(items.len() >= 2, "expected a reject and a frame: {items:?}");
+        match &items[0] {
+            DecodedItem::Error(msg) => prop_assert!(
+                msg.contains("exceeds"),
+                "expected an oversize reject, got {msg:?}"
+            ),
+            other => prop_assert!(false, "expected an error first, got {other:?}"),
+        }
+        let tail_ok = items[1..].iter().any(|item| matches!(
+            item,
+            DecodedItem::Frame { .. }
+        ));
+        prop_assert!(tail_ok, "the session did not survive the reject: {items:?}");
+    }
+}

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use bench::protocol::{serve_connection, CodecLine, SessionCodec};
+use bench::protocol::{bin, serve_connection, CodecLine, SessionCodec, WireFormat, WireItem};
 use qross_repro::mathkit::stats::ZScore;
 use qross_repro::neural::network::MlpBuilder;
 use qross_repro::qross::dataset::Scalers;
@@ -75,15 +75,24 @@ fn decode_chunked(bytes: &[u8], cuts: &[usize], limit: usize) -> Vec<CodecLine> 
             continue;
         }
         codec.feed(&bytes[start..cut]);
-        while let Some(item) = codec.next_line() {
-            items.push(item);
+        while let Some(item) = codec.next_item() {
+            items.push(expect_line(item));
         }
         start = cut;
     }
     if let Some(item) = codec.finish() {
-        items.push(item);
+        items.push(expect_line(item));
     }
     items
+}
+
+/// These streams never start with the QBIN magic, so every decoded item
+/// must come out of the NDJSON half of the sniffing codec.
+fn expect_line(item: WireItem<'_>) -> CodecLine {
+    match item {
+        WireItem::Line(line) => line,
+        other => panic!("NDJSON stream decoded a non-line item: {other:?}"),
+    }
 }
 
 /// A `BufRead` whose `fill_buf` hands out the stream in preset chunks —
@@ -208,4 +217,120 @@ fn fixture_replay_survives_one_byte_reads() {
     let mut trickled: Vec<u8> = Vec::new();
     serve_connection(&engine, reader, &mut trickled).expect("one-byte session");
     assert_eq!(baseline, trickled);
+}
+
+/// One QBIN info-request frame (the smallest request that decodes).
+fn qbin_info_frame() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bin::encode_info(&mut bytes, Some(7));
+    bytes
+}
+
+/// Asserts the codec currently holds exactly one decodable info frame.
+fn expect_info_frame(codec: &mut SessionCodec) {
+    let item = codec.next_item().expect("a complete frame is buffered");
+    let WireItem::Frame(frame) = item else {
+        panic!("expected a QBIN frame, got {item:?}");
+    };
+    let request = bin::decode_request(&frame).expect("well-formed info frame");
+    assert_eq!(
+        request,
+        bin::BinRequest::Info { id: Some(7) },
+        "the trickled frame decodes to the original request"
+    );
+}
+
+/// Sniffing survives the most adversarial chunking: every read hands the
+/// codec a single byte, including through the 4-byte magic.
+#[test]
+fn sniff_survives_one_byte_reads() {
+    let bytes = qbin_info_frame();
+    let mut codec = SessionCodec::new();
+    for (i, b) in bytes.iter().enumerate() {
+        if i < bin::QBIN_MAGIC.len() {
+            assert_eq!(codec.wire(), None, "undecided before the magic completes");
+        }
+        codec.feed(std::slice::from_ref(b));
+    }
+    assert_eq!(codec.wire(), Some(WireFormat::Qbin));
+    expect_info_frame(&mut codec);
+    assert!(codec.finish().is_none(), "no partial frame left behind");
+}
+
+/// The magic split across two chunks (every split point) still sniffs
+/// binary, and the frame decodes intact.
+#[test]
+fn sniff_survives_magic_split_across_two_chunks() {
+    let bytes = qbin_info_frame();
+    for split in 1..bin::QBIN_MAGIC.len() {
+        let mut codec = SessionCodec::new();
+        codec.feed(&bytes[..split]);
+        assert_eq!(codec.wire(), None, "split at {split}: still sniffing");
+        assert!(codec.next_item().is_none());
+        codec.feed(&bytes[split..]);
+        assert_eq!(codec.wire(), Some(WireFormat::Qbin), "split at {split}");
+        expect_info_frame(&mut codec);
+    }
+}
+
+/// A client that sends only the magic and stalls: the protocol is
+/// decided, no item is produced, and the session completes normally once
+/// the rest of the frame arrives.
+#[test]
+fn sniff_magic_then_stall_waits_without_items() {
+    let bytes = qbin_info_frame();
+    let mut codec = SessionCodec::new();
+    codec.feed(&bytes[..bin::QBIN_MAGIC.len()]);
+    assert_eq!(codec.wire(), Some(WireFormat::Qbin));
+    assert!(codec.next_item().is_none(), "no frame yet — keep waiting");
+    assert_eq!(codec.buffered(), bin::QBIN_MAGIC.len());
+    codec.feed(&bytes[bin::QBIN_MAGIC.len()..]);
+    expect_info_frame(&mut codec);
+}
+
+/// EOF while stalled mid-frame is a typed truncation, not a hang or a
+/// misclassification.
+#[test]
+fn sniff_magic_then_eof_is_typed_truncation() {
+    let bytes = qbin_info_frame();
+    let mut codec = SessionCodec::new();
+    codec.feed(&bytes[..bin::QBIN_MAGIC.len()]);
+    match codec.finish() {
+        Some(WireItem::FrameError(bin::BinError::Truncated { .. })) => {}
+        other => panic!("expected a truncation error at EOF, got {other:?}"),
+    }
+}
+
+/// A prefix that diverges from the magic — even sharing its first bytes —
+/// routes to NDJSON, and the sniffed bytes are preserved as the first
+/// line's prefix.
+#[test]
+fn sniff_divergence_mid_magic_routes_to_ndjson() {
+    let mut codec = SessionCodec::new();
+    codec.feed(b"QB");
+    assert_eq!(codec.wire(), None, "still a strict prefix of the magic");
+    codec.feed(b"X rest of line\nsecond\n");
+    assert_eq!(codec.wire(), Some(WireFormat::Ndjson));
+    let mut lines = Vec::new();
+    while let Some(item) = codec.next_item() {
+        lines.push(expect_line(item));
+    }
+    assert_eq!(
+        lines,
+        vec![
+            CodecLine::Line("QBX rest of line".to_string()),
+            CodecLine::Line("second".to_string()),
+        ],
+        "no sniffed byte is lost on the NDJSON path"
+    );
+}
+
+/// An EOF before the magic resolves (stream shorter than 4 bytes) is an
+/// NDJSON tail line, mirroring `BufRead::lines` on a short stream.
+#[test]
+fn sniff_short_stream_is_ndjson_tail() {
+    let mut codec = SessionCodec::new();
+    codec.feed(b"QBI");
+    let item = codec.finish().expect("the tail is an item");
+    assert_eq!(expect_line(item), CodecLine::Line("QBI".to_string()));
 }
