@@ -9,59 +9,14 @@
 //!
 //! TSP bundles are self-contained: the manifest's batch size, strategy
 //! seed and evaluation instances all come from the bundle itself, so
-//! `--model` is the only flag the TSP serve side needs. MVC/QAP models
-//! are bare surrogate snapshots; their corpus is regenerated from
+//! `--model` is the only flag the TSP serve side needs. Other families'
+//! models are bare surrogate snapshots; their corpus is regenerated from
 //! `--problem`/`--scale`/`--seed`, which must match the training run.
-
-use bench::serve::{generic_manifest, parse_serve_cli, tsp_manifest, usage_exit, ProblemKind};
-use qross::pipeline::TrainedQross;
-use qross::surrogate::{Surrogate, SurrogateState};
-use qross_store::Artifact;
-
-const USAGE: &str = "qross-predict --model PATH [--problem tsp|mvc|qap] \
-                     [--scale micro|quick|paper] [--seed N] [--manifest PATH]";
+//!
+//! The whole CLI and reload/manifest flow lives in
+//! [`bench::serve::run_predict`], shared with `qross-train`'s parser —
+//! this binary is only the entry point.
 
 fn main() {
-    let mut args = parse_serve_cli(USAGE, false);
-    if args.model.is_empty() {
-        usage_exit(USAGE, "--model is required");
-    }
-    if args.manifest.is_empty() {
-        args.manifest = format!("results/predictions-{}-serve.json", args.problem.name());
-    }
-
-    let manifest = match args.problem {
-        ProblemKind::Tsp => {
-            let trained = TrainedQross::load(&args.model)
-                .unwrap_or_else(|e| fail(&format!("loading bundle failed: {e}")));
-            println!(
-                "loaded {:?} from {} ({} test instances)",
-                trained,
-                args.model,
-                trained.test_encodings.len()
-            );
-            tsp_manifest(&trained)
-        }
-        kind => {
-            let state = SurrogateState::load_auto(&args.model)
-                .unwrap_or_else(|e| fail(&format!("loading surrogate failed: {e}")));
-            let surrogate = Surrogate::from_state(state)
-                .unwrap_or_else(|e| fail(&format!("restoring surrogate failed: {e}")));
-            println!("loaded {} surrogate from {}", kind.name(), args.model);
-            generic_manifest(kind, &surrogate, args.scale, args.seed)
-        }
-    };
-    qross_store::json::write_json_file(&args.manifest, &manifest)
-        .unwrap_or_else(|e| fail(&format!("writing manifest failed: {e}")));
-    println!(
-        "wrote manifest  {} ({} instances x {} grid points)",
-        args.manifest,
-        manifest.entries.len(),
-        manifest.a_grid_bits.len()
-    );
-}
-
-fn fail(message: &str) -> ! {
-    eprintln!("error: {message}");
-    std::process::exit(1);
+    bench::serve::run_predict();
 }

@@ -1,101 +1,22 @@
 //! `qross-train` — the offline half of the train-once / serve-many loop.
 //!
-//! Generates a problem corpus (TSP through the staged pipeline; MVC/QAP
-//! through the problem-generic trainer), collects solver data, trains the
-//! surrogate, and writes two artifacts:
+//! Generates a problem corpus (TSP through the staged pipeline; every
+//! other registered family through the problem-generic trainer), collects
+//! solver data, trains the surrogate, and writes two artifacts:
 //!
 //! * the **model** — a `.qross` bundle (TSP) or surrogate snapshot
-//!   (MVC/QAP), binary by default, JSON with `--format json`;
+//!   (other families), binary by default, JSON with `--format json`;
 //! * the **predictions manifest** — every grid prediction (and, for TSP,
 //!   every planned strategy proposal) as exact `f64` bit patterns.
 //!
 //! `qross-predict` reloads the model in a fresh process and regenerates
 //! the manifest; a byte-for-byte diff of the two files proves the
 //! serve-side model is bit-identical to the trained one.
-
-use bench::experiments::{pipeline_config, Solvers};
-use bench::serve::{generic_manifest, parse_serve_cli, train_generic, tsp_manifest, ProblemKind};
-use qross::pipeline::{Pipeline, TrainedQross};
-use qross_store::Artifact;
-
-const USAGE: &str = "qross-train [--problem tsp|mvc|qap] [--scale micro|quick|paper] \
-                     [--seed N] [--model PATH] [--manifest PATH] [--format binary|json]";
+//!
+//! The whole CLI and train/persist flow lives in
+//! [`bench::serve::run_train`], shared with `qross-predict`'s parser —
+//! this binary is only the entry point.
 
 fn main() {
-    let mut args = parse_serve_cli(USAGE, true);
-    let name = args.problem.name();
-    if args.model.is_empty() {
-        let ext = if args.json_model { "json" } else { "qross" };
-        args.model = format!("results/model-{name}.{ext}");
-    }
-    if args.manifest.is_empty() {
-        args.manifest = format!("results/predictions-{name}-train.json");
-    }
-
-    let solvers = Solvers::at(args.scale);
-    let manifest = match args.problem {
-        ProblemKind::Tsp => {
-            // Stage 1 — collect: generation + solver-data collection,
-            // packaged as a persistable corpus.
-            let cfg = pipeline_config(args.scale, args.seed);
-            let corpus = Pipeline::new(cfg)
-                .collect_corpus(&solvers.da)
-                .unwrap_or_else(|e| fail(&format!("collect stage failed: {e}")));
-            println!(
-                "collected {} rows from {} train instances",
-                corpus.dataset.len(),
-                corpus.train_instances.len()
-            );
-            // Stage 2 — train: fit the surrogate on the corpus.
-            let trained = TrainedQross::train_on_corpus(&corpus)
-                .unwrap_or_else(|e| fail(&format!("train stage failed: {e}")));
-            let last = trained.report.pf.final_train_loss().unwrap_or(f64::NAN);
-            println!(
-                "trained surrogate on {} rows (final Pf loss {last:.4})",
-                trained.dataset_len
-            );
-            // Stage 3 — persist the bundle for the serve process.
-            let save_result = if args.json_model {
-                trained
-                    .to_bundle()
-                    .and_then(|b| b.save_json(&args.model).map_err(Into::into))
-            } else {
-                trained.save(&args.model)
-            };
-            save_result.unwrap_or_else(|e| fail(&format!("saving model failed: {e}")));
-            tsp_manifest(&trained)
-        }
-        kind => {
-            let (surrogate, report) = train_generic(kind, args.scale, args.seed, &solvers.da)
-                .unwrap_or_else(|e| fail(&format!("training failed: {e}")));
-            let last = report.pf.final_train_loss().unwrap_or(f64::NAN);
-            println!(
-                "trained {} surrogate on {} rows (final Pf loss {last:.4})",
-                kind.name(),
-                report.train_rows
-            );
-            let state = surrogate.to_state();
-            let save_result = if args.json_model {
-                state.save_json(&args.model)
-            } else {
-                state.save(&args.model)
-            };
-            save_result.unwrap_or_else(|e| fail(&format!("saving model failed: {e}")));
-            generic_manifest(kind, &surrogate, args.scale, args.seed)
-        }
-    };
-    println!("wrote model     {}", args.model);
-    qross_store::json::write_json_file(&args.manifest, &manifest)
-        .unwrap_or_else(|e| fail(&format!("writing manifest failed: {e}")));
-    println!(
-        "wrote manifest  {} ({} instances x {} grid points)",
-        args.manifest,
-        manifest.entries.len(),
-        manifest.a_grid_bits.len()
-    );
-}
-
-fn fail(message: &str) -> ! {
-    eprintln!("error: {message}");
-    std::process::exit(1);
+    bench::serve::run_train();
 }

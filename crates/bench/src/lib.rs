@@ -21,7 +21,7 @@
 //!
 //! | binary          | content |
 //! |-----------------|---------|
-//! | `qross-train`   | collect + train on a generated TSP/MVC/QAP corpus, write a `.qross` model and a predictions manifest |
+//! | `qross-train`   | collect + train on a generated corpus of any registered problem family, write a `.qross` model and a predictions manifest |
 //! | `qross-predict` | reload the model in a fresh process, recompute the manifest for a byte-exact diff |
 //! | `qross-serve`   | load a model once, serve NDJSON prediction/upload requests over stdio or TCP ([`protocol`]) |
 

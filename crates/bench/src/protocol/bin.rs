@@ -49,6 +49,13 @@
 //! | `0x02` | info     | `id: opt_u64` |
 //! | `0x03` | feedback | `id: opt_u64, a pf e_avg e_std: f64×4, seed: u64, tag: str, features: f64s` |
 //! | `0x04` | refresh  | `id: opt_u64` |
+//! | `0x05` | instance | `id: opt_u64, tenant: str, family: str, name: str, dims: u64s, scalars: f64s, vec_count: u32, vec_count × f64s, edge_count: u32, edge_count × (u v: u32×2, w: f64), a_values: f64s` |
+//!
+//! `u64s` is a `u32` element count followed by raw `u64`s, the integer
+//! sibling of `f64s`. The `instance` payload is the wire form of
+//! `problems::InstanceData` — the same compact encoding the registry's
+//! family codecs validate, so a hostile payload is rejected by the
+//! family layer with a typed error, never a panic.
 //!
 //! Response ops:
 //!
@@ -59,11 +66,14 @@
 //! | `0x83` | ack     | `id: opt_u64, generation feedback_count buffer_len: opt_u64×3, refreshed: opt_bool` (feedback / refresh) |
 //! | `0x7F` | error   | `id: opt_u64, message: str` |
 //!
-//! `tsp` uploads and the wall-clock `metrics` op stay NDJSON-only (one
-//! is a text format, the other is excluded from every byte-diff); a
-//! QBIN frame carrying an unknown op gets an error frame back and the
-//! session keeps serving, exactly like an unknown NDJSON op.
+//! `tsp` TSPLIB uploads and the wall-clock `metrics` op stay NDJSON-only
+//! (one is a text format, the other is excluded from every byte-diff) —
+//! TSP instances travel over QBIN through the `instance` op's compact
+//! coordinate/edge encoding instead; a QBIN frame carrying an unknown op
+//! gets an error frame back and the session keeps serving, exactly like
+//! an unknown NDJSON op.
 
+use problems::InstanceData;
 use qross_store::codec::crc32;
 
 /// The 4-byte frame magic — also the token the per-connection sniffer
@@ -90,6 +100,7 @@ pub const OP_PREDICT: u8 = 0x01;
 pub const OP_INFO: u8 = 0x02;
 pub const OP_FEEDBACK: u8 = 0x03;
 pub const OP_REFRESH: u8 = 0x04;
+pub const OP_INSTANCE: u8 = 0x05;
 
 /// Response op tags.
 pub const OP_RESP_PREDICT: u8 = 0x81;
@@ -186,7 +197,8 @@ impl std::fmt::Display for BinError {
             BinError::UnknownOp { op } => write!(
                 f,
                 "qbin: unknown op {op:#04x} (expected predict {OP_PREDICT:#04x} | info \
-                 {OP_INFO:#04x} | feedback {OP_FEEDBACK:#04x} | refresh {OP_REFRESH:#04x})"
+                 {OP_INFO:#04x} | feedback {OP_FEEDBACK:#04x} | refresh {OP_REFRESH:#04x} | \
+                 instance {OP_INSTANCE:#04x})"
             ),
         }
     }
@@ -343,6 +355,37 @@ impl<'a> PayloadReader<'a> {
 
     fn get_f64s(&mut self) -> Result<F64View<'a>, BinError> {
         Ok(F64View::new(self.get_counted(8)?))
+    }
+
+    /// A `u32`-count-prefixed run of raw `u64`s, materialised (the
+    /// `instance` payload's `dims` are a handful of entries, not a hot
+    /// path). Validated against the remaining payload before allocating.
+    fn get_u64s(&mut self) -> Result<Vec<u64>, BinError> {
+        let bytes = self.get_counted(8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|chunk| {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(chunk);
+                u64::from_le_bytes(raw)
+            })
+            .collect())
+    }
+
+    /// A `u32`-count-prefixed run of `(u32, u32, f64)` edges, validated
+    /// against the remaining payload (16 bytes each) before allocating.
+    fn get_edges(&mut self) -> Result<Vec<(u32, u32, f64)>, BinError> {
+        let bytes = self.get_counted(16)?;
+        Ok(bytes
+            .chunks_exact(16)
+            .map(|chunk| {
+                let u = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                let v = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&chunk[8..16]);
+                (u, v, f64::from_bits(u64::from_le_bytes(raw)))
+            })
+            .collect())
     }
 
     /// Rejects trailing bytes — same discipline as the store decoders.
@@ -651,6 +694,21 @@ pub enum BinRequest<'a> {
         /// client correlation id, echoed
         id: Option<u64>,
     },
+    /// upload a compact instance of a registered problem family and
+    /// evaluate the surrogate on its features over `a_values`
+    Instance {
+        /// client correlation id, echoed
+        id: Option<u64>,
+        /// tenant the work is accounted to; empty = default
+        tenant: &'a str,
+        /// problem-family registry name
+        family: &'a str,
+        /// decoded instance payload, validated by the family's codec at
+        /// dispatch
+        data: InstanceData,
+        /// relaxation-parameter grid
+        a_values: F64View<'a>,
+    },
 }
 
 /// Decodes one request frame's payload.
@@ -701,6 +759,37 @@ pub fn decode_request<'a>(frame: &Frame<'a>) -> Result<BinRequest<'a>, BinError>
         OP_REFRESH => BinRequest::Refresh {
             id: r.get_opt_u64()?,
         },
+        OP_INSTANCE => {
+            let id = r.get_opt_u64()?;
+            let tenant = r.get_str()?;
+            let family = r.get_str()?;
+            let name = r.get_str()?.to_string();
+            let dims = r.get_u64s()?;
+            let scalars = r.get_f64s()?.to_vec();
+            let vec_count = r.get_u32()? as usize;
+            // Each vec needs at least its 4-byte count, so a hostile
+            // count fails on Truncated before `vecs` grows past the
+            // payload size.
+            let mut vecs = Vec::new();
+            for _ in 0..vec_count {
+                vecs.push(r.get_f64s()?.to_vec());
+            }
+            let edges = r.get_edges()?;
+            let a_values = r.get_f64s()?;
+            BinRequest::Instance {
+                id,
+                tenant,
+                family,
+                data: InstanceData {
+                    name,
+                    dims,
+                    scalars,
+                    vecs,
+                    edges,
+                },
+                a_values,
+            }
+        }
         op => return Err(BinError::UnknownOp { op }),
     };
     r.finish()?;
@@ -759,6 +848,42 @@ pub fn encode_refresh(out: &mut Vec<u8>, id: Option<u64>) {
     write_frame(out, OP_REFRESH, |p| put_opt_u64(p, id));
 }
 
+/// Encodes an instance request frame: the compact wire form of
+/// [`InstanceData`] plus the grid to evaluate. Every `f64` travels as
+/// its exact bit pattern, so a QBIN upload and the NDJSON `instance` op
+/// for the same payload reach the family codec with identical bits.
+pub fn encode_instance(
+    out: &mut Vec<u8>,
+    id: Option<u64>,
+    tenant: &str,
+    family: &str,
+    data: &InstanceData,
+    a_values: &[f64],
+) {
+    write_frame(out, OP_INSTANCE, |p| {
+        put_opt_u64(p, id);
+        put_str(p, tenant);
+        put_str(p, family);
+        put_str(p, &data.name);
+        put_u32(p, data.dims.len() as u32);
+        for &d in &data.dims {
+            put_u64(p, d);
+        }
+        put_f64s(p, &data.scalars);
+        put_u32(p, data.vecs.len() as u32);
+        for vec in &data.vecs {
+            put_f64s(p, vec);
+        }
+        put_u32(p, data.edges.len() as u32);
+        for &(u, v, w) in &data.edges {
+            put_u32(p, u);
+            put_u32(p, v);
+            put_f64(p, w);
+        }
+        put_f64s(p, a_values);
+    });
+}
+
 // ---------------------------------------------------------------------------
 // Responses
 // ---------------------------------------------------------------------------
@@ -769,8 +894,9 @@ use super::{ModelInfo, PredictionOut, Response};
 /// binary rendition of the NDJSON response line, carrying the identical
 /// f64 bit patterns. Frame choice: errors (`ok: false`) become error
 /// frames; otherwise predictions, info and feedback/refresh acks each
-/// get their op. (`tsp`-only fields never reach this encoder — the op
-/// is NDJSON-only.)
+/// get their op. (The NDJSON-only response decorations — the instance
+/// name echo and `tsp` strategy proposals — are dropped here by design;
+/// the compact wire carries ids, predictions, info and errors.)
 pub fn encode_response(out: &mut Vec<u8>, response: &Response) {
     if !response.ok {
         let message = response.error.as_deref().unwrap_or("request failed");
@@ -979,6 +1105,63 @@ mod tests {
         assert_eq!(bits(&fv.to_vec()), bits(&features));
         assert!(codec.next_frame().is_none());
         assert!(codec.finish().is_none());
+    }
+
+    #[test]
+    fn instance_request_roundtrip_is_bit_exact() {
+        let data = InstanceData {
+            name: "kp9".to_string(),
+            dims: vec![3],
+            scalars: vec![7.0],
+            vecs: vec![vec![6.0, 10.0, 12.0], vec![1.0, 2.0, 3.0]],
+            edges: vec![(0, 1, 1.5), (1, 2, -0.0)],
+        };
+        let mut out = Vec::new();
+        encode_instance(&mut out, Some(11), "team-b", "knapsack", &data, &[0.5, 2.0]);
+        let mut codec = FrameCodec::new();
+        codec.feed(&out);
+        let frame = codec.next_frame().expect("frame").expect("valid");
+        let BinRequest::Instance {
+            id,
+            tenant,
+            family,
+            data: decoded,
+            a_values,
+        } = decode_request(&frame).expect("decodes")
+        else {
+            panic!("wrong op");
+        };
+        assert_eq!(id, Some(11));
+        assert_eq!(tenant, "team-b");
+        assert_eq!(family, "knapsack");
+        assert_eq!(decoded, data);
+        // -0.0 == 0.0 under PartialEq; check the edge weight bits too.
+        assert_eq!(decoded.edges[1].2.to_bits(), (-0.0f64).to_bits());
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a_values.to_vec()), bits(&[0.5, 2.0]));
+    }
+
+    #[test]
+    fn instance_request_hostile_counts_reject_without_alloc() {
+        // An outer vec_count far beyond the payload must fail Truncated,
+        // not allocate.
+        let mut out = Vec::new();
+        write_frame(&mut out, OP_INSTANCE, |p| {
+            put_opt_u64(p, None);
+            put_str(p, "");
+            put_str(p, "mvc");
+            put_str(p, "g");
+            put_u32(p, 0); // dims
+            put_f64s(p, &[]); // scalars
+            put_u32(p, u32::MAX); // hostile vec count
+        });
+        let mut codec = FrameCodec::new();
+        codec.feed(&out);
+        let frame = codec.next_frame().expect("frame").expect("CRC valid");
+        assert!(matches!(
+            decode_request(&frame),
+            Err(BinError::Truncated { .. })
+        ));
     }
 
     #[test]

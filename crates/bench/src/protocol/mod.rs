@@ -28,6 +28,9 @@
 //! {"id": 1, "op": "predict", "features": [...], "a": 1.0}
 //! {"id": 2, "op": "predict", "features": [...], "a_values": [0.5, 1.0, 2.0]}
 //! {"id": 3, "op": "tsp", "tsplib": "NAME: up...EOF\n", "a_values": [1.0]}
+//! {"id": 4, "op": "instance", "family": "maxcut",
+//!  "instance": {"name": "g1", "dims": [4], "scalars": [], "vecs": [],
+//!               "edges": [[0, 1, 1.0], [2, 3, 1.0]]}, "a_values": [1.0]}
 //! {"id": 4, "op": "info"}
 //! {"id": 5, "op": "feedback", "features": [...], "a": 1.0, "pf": 0.5,
 //!  "e_avg": 3.25, "e_std": 0.5, "tag": "inst-7", "seed": 3}
@@ -45,6 +48,16 @@
 //!   offline proposals (MFS, PBS₈₀, PBS₂₀), and any requested
 //!   `a`/`a_values` are answered like `predict`. Requires a full bundle
 //!   (`ServeModel::Bundle`); bare surrogate models reject this op.
+//! * `instance` (alias `solve`) — upload a compact instance of **any
+//!   registered problem family**: `family` names the family, `instance`
+//!   carries the [`problems::InstanceData`] payload the family's own
+//!   codec decodes, and the family's featurizer produces the feature
+//!   vector served like `predict`. An unknown or misspelled `family` is
+//!   a typed bad-request naming every registered family; a malformed
+//!   payload is rejected by the family codec, never a panic. For
+//!   `family: "tsp"` a `tsplib` text upload is also accepted and
+//!   behaves exactly like the `tsp` op (which remains the alias for
+//!   that path).
 //! * `info` / `model-info` — model metadata, including the current swap
 //!   generation and (online engines) the live feedback counters.
 //! * `feedback` — report an observed solver outcome (`pf`, `e_avg`,
@@ -97,7 +110,7 @@ use std::io::{BufRead, Write};
 use std::sync::mpsc;
 
 use problems::tsplib::parse_tsplib;
-use problems::TspEncoding;
+use problems::{InstanceData, TspEncoding};
 use qross::online::FeedbackRecord;
 use qross::serve::{CompletionNotify, PendingPrediction, ServeEngine};
 use qross::surrogate::SurrogatePrediction;
@@ -117,8 +130,14 @@ pub const PIPELINE_DEPTH: usize = 256;
 pub struct Request {
     /// client-chosen correlation id, echoed into the response
     pub id: Option<u64>,
-    /// `predict` | `tsp` | `info` | `model-info` | `feedback` | `refresh`
+    /// `predict` | `tsp` | `instance`/`solve` | `info` | `model-info` |
+    /// `feedback` | `refresh`
     pub op: Option<String>,
+    /// problem-family registry name (`instance`/`solve`)
+    pub family: Option<String>,
+    /// compact instance payload, decoded by the family's own codec
+    /// (`instance`/`solve`)
+    pub instance: Option<InstanceData>,
     /// feature vector (`predict`/`feedback`)
     pub features: Option<Vec<f64>>,
     /// single relaxation parameter (`predict`/`tsp`/`feedback`)
@@ -392,6 +411,17 @@ pub fn stage_opts(
             request.a_values,
             notify,
         ),
+        Some("instance") | Some("solve") => stage_instance(
+            engine,
+            id,
+            tenant.as_deref(),
+            request.family,
+            request.instance,
+            request.tsplib,
+            request.a,
+            request.a_values,
+            notify,
+        ),
         // The op list in this message is frozen: the committed
         // error-replay fixtures byte-diff against it, so later ops
         // (`metrics`) are documented in README/ARTIFACTS instead.
@@ -482,9 +512,10 @@ pub fn stage_line(
 ///
 /// Payload-level rejects (unknown op, grammar violations) become
 /// `ok: false` responses, mirroring how NDJSON treats an unknown `op` —
-/// the session keeps serving. `tsp` and `metrics` are NDJSON-only ops by
-/// design (TSPLIB uploads are text; metrics have a non-[`Response`]
-/// schema).
+/// the session keeps serving. `tsp` TSPLIB uploads and `metrics` are
+/// NDJSON-only ops by design (one is a text format, the other has a
+/// non-[`Response`] schema); instance uploads travel over QBIN through
+/// the compact `instance` op instead.
 pub fn stage_frame(
     engine: &ServeEngine,
     frame: &bin::Frame<'_>,
@@ -554,6 +585,20 @@ pub fn stage_frame(
             },
         ),
         bin::BinRequest::Refresh { id } => stage_refresh(engine, id),
+        bin::BinRequest::Instance {
+            id,
+            tenant,
+            family,
+            data,
+            a_values,
+        } => {
+            let family = match problems::lookup_family(family) {
+                Ok(family) => family,
+                Err(e) => return bad_request(id, e),
+            };
+            let tenant = (!tenant.is_empty()).then_some(tenant);
+            stage_instance_data(engine, id, tenant, family, &data, a_values.to_vec(), notify)
+        }
     }
 }
 
@@ -760,6 +805,83 @@ fn stage_tsp(
         (Some(grid), _) => grid,
         (None, Some(a)) => vec![a],
         (None, None) => Vec::new(),
+    };
+    submit(engine, id, tenant, head, features, a_values, notify)
+}
+
+/// A family-layer rejection (unknown family, malformed payload) as a
+/// typed bad-request response — the session keeps serving.
+fn bad_request(id: Option<u64>, e: impl std::fmt::Display) -> Staged {
+    Staged::Ready(Box::new(Response::err(
+        id,
+        qross::QrossError::BadRequest {
+            message: e.to_string(),
+        },
+    )))
+}
+
+/// The `instance` / `solve` op: resolve the family in the registry,
+/// decode the compact payload with the family's own codec, featurise
+/// with the family's recipe, and submit any requested grid.
+///
+/// An unknown `family` is a typed bad-request naming every registered
+/// family; a payload the codec rejects is a bad-request with the codec's
+/// explanation. For `family: "tsp"` a `tsplib` text upload is accepted
+/// too and takes the exact `tsp`-op path (bundle featurizer, strategy
+/// proposals).
+#[allow(clippy::too_many_arguments)]
+fn stage_instance(
+    engine: &ServeEngine,
+    id: Option<u64>,
+    tenant: Option<&str>,
+    family: Option<String>,
+    instance: Option<InstanceData>,
+    tsplib: Option<String>,
+    a: Option<f64>,
+    a_values: Option<Vec<f64>>,
+    notify: Option<CompletionNotify>,
+) -> Staged {
+    let Some(family_name) = family else {
+        return Staged::Ready(Box::new(Response::err(id, "instance needs `family`")));
+    };
+    let family = match problems::lookup_family(&family_name) {
+        Ok(family) => family,
+        Err(e) => return bad_request(id, e),
+    };
+    // The TSPLIB text path stays available through the generic op.
+    if family.name() == "tsp" && instance.is_none() && tsplib.is_some() {
+        return stage_tsp(engine, id, tenant, tsplib, a, a_values, notify);
+    }
+    let Some(data) = instance else {
+        return Staged::Ready(Box::new(Response::err(id, "instance needs `instance`")));
+    };
+    let a_values = match (a_values, a) {
+        (Some(grid), _) => grid,
+        (None, Some(a)) => vec![a],
+        (None, None) => Vec::new(),
+    };
+    stage_instance_data(engine, id, tenant, family, &data, a_values, notify)
+}
+
+/// The format-independent core of the `instance` op, shared with the
+/// QBIN frame path: decode through the family codec, featurise, submit.
+fn stage_instance_data(
+    engine: &ServeEngine,
+    id: Option<u64>,
+    tenant: Option<&str>,
+    family: &dyn problems::ProblemFamily,
+    data: &InstanceData,
+    a_values: Vec<f64>,
+    notify: Option<CompletionNotify>,
+) -> Staged {
+    let problem = match family.decode(data) {
+        Ok(problem) => problem,
+        Err(e) => return bad_request(id, e),
+    };
+    let features = problem.features();
+    let head = Response {
+        instance: Some(problems::RelaxableProblem::name(&problem).to_string()),
+        ..Default::default()
     };
     submit(engine, id, tenant, head, features, a_values, notify)
 }

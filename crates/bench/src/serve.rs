@@ -1,6 +1,17 @@
 //! Shared machinery of the `qross-train` / `qross-predict` binaries —
-//! the train-once / serve-many loop over generated TSP, MVC and QAP
+//! the train-once / serve-many loop over registry-generated problem
 //! corpora.
+//!
+//! Family dispatch goes through [`problems::registry`]: the CLI resolves
+//! `--problem` with [`problems::lookup_family`] (case-insensitive, and a
+//! typo gets an error naming every registered family), corpora come from
+//! [`problems::ProblemFamily::corpus`], and features from
+//! [`problems::FamilyProblem::features`]. Adding a family to the
+//! registry makes it trainable and servable here with no further edits.
+//! TSP remains the one special case: it trains through the staged
+//! [`qross::pipeline::Pipeline`] and persists a self-contained bundle,
+//! because the paper's primary workload carries per-instance strategy
+//! state the generic path does not.
 //!
 //! The contract the pair demonstrates (and CI enforces byte-for-byte):
 //! a model trained and saved by `qross-train` in one process, reloaded by
@@ -12,119 +23,27 @@
 
 use serde::{Deserialize, Serialize};
 
-use problems::{MvcInstance, QapInstance, RelaxableProblem};
-use qross::pipeline::{train_on_problems, TrainedQross, A_DOMAIN};
+use problems::{known_families, lookup_family, CorpusTier, ProblemFamily};
+use qross::pipeline::{train_on_problems, Pipeline, TrainedQross, A_DOMAIN};
 use qross::strategy::ProposalStrategy;
-use qross::surrogate::{Surrogate, TrainReport};
+use qross::surrogate::{Surrogate, SurrogateState, TrainReport};
+use qross_store::Artifact;
 use solvers::Solver;
 
-use crate::experiments::pipeline_config;
+use crate::experiments::{pipeline_config, Solvers};
 use crate::Scale;
 
-/// Problem family a model is trained on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ProblemKind {
-    /// synthetic TSP via the full pipeline (the paper's primary workload)
-    Tsp,
-    /// weighted minimum vertex cover on `G(n, p)` graphs
-    Mvc,
-    /// quadratic assignment problem instances
-    Qap,
-}
-
-impl ProblemKind {
-    /// Parses `tsp` / `mvc` / `qap` (case-insensitive).
-    pub fn parse(s: &str) -> Option<ProblemKind> {
-        match s.to_ascii_lowercase().as_str() {
-            "tsp" => Some(ProblemKind::Tsp),
-            "mvc" => Some(ProblemKind::Mvc),
-            "qap" => Some(ProblemKind::Qap),
-            _ => None,
-        }
-    }
-
-    /// Canonical lower-case name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ProblemKind::Tsp => "tsp",
-            ProblemKind::Mvc => "mvc",
-            ProblemKind::Qap => "qap",
-        }
+/// Maps the experiment scale onto the registry's corpus tier.
+pub fn corpus_tier(scale: Scale) -> CorpusTier {
+    match scale {
+        Scale::Micro => CorpusTier::Micro,
+        Scale::Quick => CorpusTier::Quick,
+        Scale::Paper => CorpusTier::Paper,
     }
 }
 
-/// Deterministic MVC training corpus for a scale and seed.
-pub fn mvc_corpus(scale: Scale, seed: u64) -> Vec<MvcInstance> {
-    let (count, n, p) = match scale {
-        Scale::Micro => (10, 12, 0.4),
-        Scale::Quick => (20, 20, 0.4),
-        Scale::Paper => (60, 30, 0.5),
-    };
-    (0..count)
-        .map(|i| {
-            MvcInstance::random_gnp(
-                &format!("mvc{n}_{i}"),
-                n,
-                p,
-                mathkit::rng::derive_seed(seed, 40_000 + i as u64),
-            )
-        })
-        .collect()
-}
-
-/// Deterministic QAP training corpus for a scale and seed.
-pub fn qap_corpus(scale: Scale, seed: u64) -> Vec<QapInstance> {
-    let (count, n) = match scale {
-        Scale::Micro => (8, 5),
-        Scale::Quick => (14, 6),
-        Scale::Paper => (30, 8),
-    };
-    (0..count)
-        .map(|i| {
-            QapInstance::random(
-                &format!("qap{n}_{i}"),
-                n,
-                mathkit::rng::derive_seed(seed, 50_000 + i as u64),
-            )
-        })
-        .collect()
-}
-
-/// Graph-level MVC features (size, density, weight and degree moments).
-pub fn mvc_features(g: &MvcInstance) -> Vec<f64> {
-    let n = g.num_vertices();
-    let m = g.edges().len();
-    let possible = (n * (n - 1) / 2).max(1);
-    let mut degree = vec![0.0f64; n];
-    for &(u, v) in g.edges() {
-        degree[u as usize] += 1.0;
-        degree[v as usize] += 1.0;
-    }
-    vec![
-        n as f64,
-        m as f64,
-        m as f64 / possible as f64,
-        mathkit::stats::mean(g.weights()),
-        mathkit::stats::std_population(g.weights()),
-        mathkit::stats::mean(&degree),
-        mathkit::stats::std_population(&degree),
-    ]
-}
-
-/// QAP features (size plus flow/distance matrix moments).
-pub fn qap_features(q: &QapInstance) -> Vec<f64> {
-    let flow = q.flow().as_slice();
-    let dist = q.dist().as_slice();
-    vec![
-        q.size() as f64,
-        mathkit::stats::mean(flow),
-        mathkit::stats::std_population(flow),
-        mathkit::stats::mean(dist),
-        mathkit::stats::std_population(dist),
-    ]
-}
-
-/// Trains the generic (non-TSP) surrogate for a problem family.
+/// Trains the generic (non-TSP) surrogate for a registered family on its
+/// penalty-sweep corpus.
 ///
 /// # Errors
 ///
@@ -132,42 +51,29 @@ pub fn qap_features(q: &QapInstance) -> Vec<f64> {
 ///
 /// # Panics
 ///
-/// Panics if called with [`ProblemKind::Tsp`] — the TSP path goes
-/// through the staged [`qross::pipeline::Pipeline`].
+/// Panics if called with the `tsp` family — the TSP path goes through
+/// the staged [`qross::pipeline::Pipeline`].
 pub fn train_generic<S: Solver + ?Sized>(
-    kind: ProblemKind,
+    family: &dyn ProblemFamily,
     scale: Scale,
     seed: u64,
     solver: &S,
 ) -> Result<(Surrogate, TrainReport), qross::QrossError> {
+    assert!(
+        family.name() != "tsp",
+        "TSP trains through the staged pipeline"
+    );
     let cfg = pipeline_config(scale, seed);
-    match kind {
-        ProblemKind::Tsp => panic!("TSP trains through the staged pipeline"),
-        ProblemKind::Mvc => {
-            let corpus = mvc_corpus(scale, seed);
-            train_on_problems(
-                &corpus,
-                mvc_features,
-                7,
-                &cfg.collect,
-                &cfg.surrogate,
-                solver,
-                seed,
-            )
-        }
-        ProblemKind::Qap => {
-            let corpus = qap_corpus(scale, seed);
-            train_on_problems(
-                &corpus,
-                qap_features,
-                5,
-                &cfg.collect,
-                &cfg.surrogate,
-                solver,
-                seed,
-            )
-        }
-    }
+    let corpus = family.corpus(corpus_tier(scale), seed);
+    train_on_problems(
+        &corpus,
+        |p| p.features(),
+        family.feature_dim(),
+        &cfg.collect,
+        &cfg.surrogate,
+        solver,
+        seed,
+    )
 }
 
 /// The log-spaced relaxation-parameter grid every manifest evaluates.
@@ -199,7 +105,7 @@ pub struct InstancePredictions {
 /// its evaluation set, as exact bit patterns.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PredictionManifest {
-    /// problem family (`tsp` / `mvc` / `qap`)
+    /// problem family (a registry name)
     pub problem: String,
     /// root seed the corpus and model derive from
     pub seed: u64,
@@ -249,32 +155,22 @@ pub fn tsp_manifest(trained: &TrainedQross) -> PredictionManifest {
     }
 }
 
-/// Builds the manifest for a generic (MVC/QAP) surrogate: grid
-/// predictions over the regenerated corpus.
+/// Builds the manifest for a generic (non-TSP) surrogate: grid
+/// predictions over the family's regenerated corpus.
 pub fn generic_manifest(
-    kind: ProblemKind,
+    family: &dyn ProblemFamily,
     surrogate: &Surrogate,
     scale: Scale,
     seed: u64,
 ) -> PredictionManifest {
     let grid = manifest_a_grid();
-    let named_features: Vec<(String, Vec<f64>)> = match kind {
-        ProblemKind::Tsp => panic!("TSP manifests come from tsp_manifest"),
-        ProblemKind::Mvc => mvc_corpus(scale, seed)
-            .iter()
-            .map(|g| (g.name().to_string(), mvc_features(g)))
-            .collect(),
-        ProblemKind::Qap => qap_corpus(scale, seed)
-            .iter()
-            .map(|q| (q.name().to_string(), qap_features(q)))
-            .collect(),
-    };
-    let entries = named_features
-        .into_iter()
-        .map(|(instance, features)| {
-            let preds = surrogate.predict_grid(&features, &grid);
+    let entries = family
+        .corpus(corpus_tier(scale), seed)
+        .iter()
+        .map(|p| {
+            let preds = surrogate.predict_grid(&p.features(), &grid);
             InstancePredictions {
-                instance,
+                instance: p.name().to_string(),
                 pf_bits: bits(&preds.iter().map(|p| p.pf).collect::<Vec<_>>()),
                 e_avg_bits: bits(&preds.iter().map(|p| p.e_avg).collect::<Vec<_>>()),
                 e_std_bits: bits(&preds.iter().map(|p| p.e_std).collect::<Vec<_>>()),
@@ -283,7 +179,7 @@ pub fn generic_manifest(
         })
         .collect();
     PredictionManifest {
-        problem: kind.name().to_string(),
+        problem: family.name().to_string(),
         seed,
         a_grid_bits: bits(&grid),
         entries,
@@ -293,9 +189,9 @@ pub fn generic_manifest(
 /// Parsed command line shared by `qross-train` and `qross-predict`.
 #[derive(Debug, Clone)]
 pub struct ServeCli {
-    /// problem family to train/serve
-    pub problem: ProblemKind,
-    /// corpus scale (MVC/QAP serve side regenerates the corpus from it)
+    /// problem family to train/serve (resolved through the registry)
+    pub problem: &'static dyn ProblemFamily,
+    /// corpus scale (the generic serve side regenerates the corpus from it)
     pub scale: Scale,
     /// root seed
     pub seed: u64,
@@ -324,7 +220,7 @@ pub fn usage_exit(usage: &str, message: &str) -> ! {
 /// additionally accepts `--format binary|json` (the train side).
 pub fn parse_serve_cli(usage: &str, with_format: bool) -> ServeCli {
     let mut cli = ServeCli {
-        problem: ProblemKind::Tsp,
+        problem: lookup_family("tsp").expect("tsp is registered"),
         scale: Scale::Quick,
         seed: 2021,
         model: String::new(),
@@ -352,9 +248,10 @@ pub fn parse_serve_cli(usage: &str, with_format: bool) -> ServeCli {
             usage_exit(usage, &format!("flag `{flag}` needs a value"));
         };
         match flag.as_str() {
-            "--problem" => match ProblemKind::parse(value) {
-                Some(p) => cli.problem = p,
-                None => usage_exit(usage, &format!("bad --problem value `{value}`")),
+            "--problem" => match lookup_family(value) {
+                Ok(f) => cli.problem = f,
+                // The registry error already names every known family.
+                Err(e) => usage_exit(usage, &e.to_string()),
             },
             "--scale" => match Scale::parse(value) {
                 Some(s) => cli.scale = s,
@@ -376,6 +273,143 @@ pub fn parse_serve_cli(usage: &str, with_format: bool) -> ServeCli {
         i += 1;
     }
     cli
+}
+
+/// `qross-train`'s usage string, with the family list pulled from the
+/// registry so adding a family never edits the binaries.
+pub fn train_usage() -> String {
+    format!(
+        "qross-train [--problem {}] [--scale micro|quick|paper] \
+         [--seed N] [--model PATH] [--manifest PATH] [--format binary|json]",
+        known_families()
+    )
+}
+
+/// `qross-predict`'s usage string (family list from the registry).
+pub fn predict_usage() -> String {
+    format!(
+        "qross-predict --model PATH [--problem {}] \
+         [--scale micro|quick|paper] [--seed N] [--manifest PATH]",
+        known_families()
+    )
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+fn write_manifest(path: &str, manifest: &PredictionManifest) {
+    qross_store::json::write_json_file(path, manifest)
+        .unwrap_or_else(|e| fail(&format!("writing manifest failed: {e}")));
+    println!(
+        "wrote manifest  {} ({} instances x {} grid points)",
+        path,
+        manifest.entries.len(),
+        manifest.a_grid_bits.len()
+    );
+}
+
+/// The whole of `qross-train`: parse the shared CLI, train the family's
+/// model (TSP through the staged pipeline, everything else through
+/// [`train_generic`]), persist it, and write the predictions manifest.
+pub fn run_train() {
+    let usage = train_usage();
+    let mut args = parse_serve_cli(&usage, true);
+    let name = args.problem.name();
+    if args.model.is_empty() {
+        let ext = if args.json_model { "json" } else { "qross" };
+        args.model = format!("results/model-{name}.{ext}");
+    }
+    if args.manifest.is_empty() {
+        args.manifest = format!("results/predictions-{name}-train.json");
+    }
+
+    let solvers = Solvers::at(args.scale);
+    let manifest = if name == "tsp" {
+        // Stage 1 — collect: generation + solver-data collection,
+        // packaged as a persistable corpus.
+        let cfg = pipeline_config(args.scale, args.seed);
+        let corpus = Pipeline::new(cfg)
+            .collect_corpus(&solvers.da)
+            .unwrap_or_else(|e| fail(&format!("collect stage failed: {e}")));
+        println!(
+            "collected {} rows from {} train instances",
+            corpus.dataset.len(),
+            corpus.train_instances.len()
+        );
+        // Stage 2 — train: fit the surrogate on the corpus.
+        let trained = TrainedQross::train_on_corpus(&corpus)
+            .unwrap_or_else(|e| fail(&format!("train stage failed: {e}")));
+        let last = trained.report.pf.final_train_loss().unwrap_or(f64::NAN);
+        println!(
+            "trained surrogate on {} rows (final Pf loss {last:.4})",
+            trained.dataset_len
+        );
+        // Stage 3 — persist the bundle for the serve process.
+        let save_result = if args.json_model {
+            trained
+                .to_bundle()
+                .and_then(|b| b.save_json(&args.model).map_err(Into::into))
+        } else {
+            trained.save(&args.model)
+        };
+        save_result.unwrap_or_else(|e| fail(&format!("saving model failed: {e}")));
+        tsp_manifest(&trained)
+    } else {
+        let (surrogate, report) = train_generic(args.problem, args.scale, args.seed, &solvers.da)
+            .unwrap_or_else(|e| fail(&format!("training failed: {e}")));
+        let last = report.pf.final_train_loss().unwrap_or(f64::NAN);
+        println!(
+            "trained {name} surrogate on {} rows (final Pf loss {last:.4})",
+            report.train_rows
+        );
+        let state = surrogate.to_state();
+        let save_result = if args.json_model {
+            state.save_json(&args.model)
+        } else {
+            state.save(&args.model)
+        };
+        save_result.unwrap_or_else(|e| fail(&format!("saving model failed: {e}")));
+        generic_manifest(args.problem, &surrogate, args.scale, args.seed)
+    };
+    println!("wrote model     {}", args.model);
+    write_manifest(&args.manifest, &manifest);
+}
+
+/// The whole of `qross-predict`: reload a model written by `qross-train`
+/// in a fresh process and regenerate the predictions manifest for a
+/// byte-exact diff against the training side's.
+pub fn run_predict() {
+    let usage = predict_usage();
+    let mut args = parse_serve_cli(&usage, false);
+    if args.model.is_empty() {
+        usage_exit(&usage, "--model is required");
+    }
+    let name = args.problem.name();
+    if args.manifest.is_empty() {
+        args.manifest = format!("results/predictions-{name}-serve.json");
+    }
+
+    let manifest = if name == "tsp" {
+        let trained = TrainedQross::load(&args.model)
+            .unwrap_or_else(|e| fail(&format!("loading bundle failed: {e}")));
+        println!(
+            "loaded {:?} from {} ({} test instances)",
+            trained,
+            args.model,
+            trained.test_encodings.len()
+        );
+        tsp_manifest(&trained)
+    } else {
+        let state = SurrogateState::load_auto(&args.model)
+            .unwrap_or_else(|e| fail(&format!("loading surrogate failed: {e}")));
+        let surrogate = Surrogate::from_state(state)
+            .unwrap_or_else(|e| fail(&format!("restoring surrogate failed: {e}")));
+        println!("loaded {name} surrogate from {}", args.model);
+        generic_manifest(args.problem, &surrogate, args.scale, args.seed)
+    };
+    write_manifest(&args.manifest, &manifest);
 }
 
 /// Drives a freshly built strategy through `trials` proposals against a
@@ -408,34 +442,47 @@ pub fn proposal_trace(strategy: &mut dyn ProposalStrategy, trials: usize) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
+    use problems::registry;
 
     #[test]
-    fn corpora_are_deterministic() {
-        let a = mvc_corpus(Scale::Micro, 7);
-        let b = mvc_corpus(Scale::Micro, 7);
-        assert_eq!(a.len(), b.len());
-        assert_eq!(a[0].edges(), b[0].edges());
-        let qa = qap_corpus(Scale::Micro, 7);
-        let qb = qap_corpus(Scale::Micro, 7);
-        assert_eq!(qa[0].flow().as_slice(), qb[0].flow().as_slice());
+    fn registry_corpora_are_deterministic() {
+        for family in registry() {
+            let a = family.corpus(corpus_tier(Scale::Micro), 7);
+            let b = family.corpus(corpus_tier(Scale::Micro), 7);
+            assert_eq!(a.len(), b.len(), "{}", family.name());
+            assert!(!a.is_empty(), "{}", family.name());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.name(), y.name());
+                assert_eq!(bits(&x.features()), bits(&y.features()));
+            }
+        }
     }
 
     #[test]
-    fn features_have_declared_width() {
-        let g = &mvc_corpus(Scale::Micro, 3)[0];
-        assert_eq!(mvc_features(g).len(), 7);
-        assert!(mvc_features(g).iter().all(|v| v.is_finite()));
-        let q = &qap_corpus(Scale::Micro, 3)[0];
-        assert_eq!(qap_features(q).len(), 5);
-        assert!(qap_features(q).iter().all(|v| v.is_finite()));
+    fn registry_features_have_declared_width() {
+        for family in registry() {
+            let corpus = family.corpus(corpus_tier(Scale::Micro), 3);
+            for p in &corpus {
+                let f = p.features();
+                assert_eq!(f.len(), family.feature_dim(), "{}", family.name());
+                assert!(f.iter().all(|v| v.is_finite()), "{}", family.name());
+            }
+        }
     }
 
     #[test]
-    fn problem_kind_parses() {
-        assert_eq!(ProblemKind::parse("TSP"), Some(ProblemKind::Tsp));
-        assert_eq!(ProblemKind::parse("mvc"), Some(ProblemKind::Mvc));
-        assert_eq!(ProblemKind::parse("qap"), Some(ProblemKind::Qap));
-        assert_eq!(ProblemKind::parse("sat"), None);
-        assert_eq!(ProblemKind::Qap.name(), "qap");
+    fn usage_strings_name_every_family() {
+        for family in registry() {
+            assert!(train_usage().contains(family.name()));
+            assert!(predict_usage().contains(family.name()));
+        }
+    }
+
+    #[test]
+    fn unknown_family_error_names_known_ones() {
+        let err = lookup_family("sat").expect_err("sat is not registered");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown problem family `sat`"));
+        assert!(msg.contains("maxcut") && msg.contains("knapsack"));
     }
 }

@@ -21,8 +21,8 @@
 //! | [`SurrogateState`]   | `SURR`   | `SURR` |
 //! | [`SurrogateCheckpoint`] | `SURR` (payload v2) | `SURR`, `LINE` (optional) |
 //! | [`PipelineConfig`]   | `PCFG`   | `DATA` |
-//! | [`CollectedCorpus`]  | `CORP`   | `PCFG`, `FEAT`, `INST`, `DSET` |
-//! | [`QrossBundle`]      | `BNDL`   | `PCFG`, `FEAT`, `SURR`, `INST`, `RPRT` |
+//! | [`CollectedCorpus`]  | `CORP` (payload v2) | `PCFG`, `FEAT`, `INST`, `DSET` |
+//! | [`QrossBundle`]      | `BNDL` (payload v2) | `PCFG`, `FEAT`, `SURR`, `INST`, `RPRT` |
 //! | [`MethodCurve`]      | `MCRV`   | `DATA` |
 //! | [`StrategyRun`]      | `SRUN`   | `DATA` |
 //!
@@ -32,6 +32,17 @@
 //! ([`SurrogateCheckpoint`]) still decodes plain v1 snapshots (lineage
 //! `None`). v1 readers ([`SurrogateState`]) reject v2 files with a typed
 //! `UnsupportedVersion` rather than misreading them.
+//!
+//! The `CORP`/`BNDL` payloads were bumped 1 → 2 for the problem-family
+//! layer: the v2 `INST` section is **family-tagged and sparse** — it
+//! opens with the family name (`"tsp"`), and each instance persists its
+//! generating coordinates (2n floats) when it has them, or the
+//! upper-triangle distances (n(n−1)/2 floats) otherwise, instead of the
+//! dense n×n matrix v1 wrote. Re-deriving distances from coordinates is
+//! bit-identical (IEEE 754 ops are deterministic), so reloaded bundles
+//! predict bit-identically. The v2 readers still decode v1 payloads;
+//! [`CollectedCorpus::to_v1_bytes`] / [`QrossBundle::to_v1_bytes`] emit
+//! the legacy dense layout for compatibility gates and size baselines.
 
 use mathkit::stats::ZScore;
 use mathkit::Matrix;
@@ -178,6 +189,142 @@ fn get_instances(r: &mut ByteReader<'_>) -> Result<Vec<TspInstance>, StoreError>
     // empty, which bounds the count before allocation.
     let n = r.get_len(16)?;
     (0..n).map(|_| get_instance(r)).collect()
+}
+
+// v2 instance encoding (family-tagged, sparse). Instances built from
+// coordinates persist those (2n floats); explicit-matrix instances
+// persist the upper triangle (n(n−1)/2 floats). Both decode paths
+// rebuild the dense matrix bit-identically: coordinates re-derive
+// distances through the same deterministic IEEE 754 ops, and the upper
+// triangle mirrors exactly.
+
+const INST_COORDS: u8 = 0;
+const INST_UPPER_TRI: u8 = 1;
+
+/// Family tag opening every v2 `INST` section. The pipeline's corpus
+/// and bundle artifacts are TSP-typed today; the tag makes the section
+/// self-describing so future family-typed artifacts can share the
+/// layout without a further payload bump.
+const INST_FAMILY: &str = "tsp";
+
+fn put_instance_v2(w: &mut ByteWriter, inst: &TspInstance) {
+    w.put_str(inst.name());
+    match inst.coords() {
+        Some(coords) => {
+            w.put_u8(INST_COORDS);
+            w.put_usize(coords.len());
+            for &(x, y) in coords {
+                w.put_f64(x);
+                w.put_f64(y);
+            }
+        }
+        None => {
+            let n = inst.num_cities();
+            w.put_u8(INST_UPPER_TRI);
+            w.put_usize(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    w.put_f64(inst.distance(i, j));
+                }
+            }
+        }
+    }
+}
+
+fn get_instance_v2(r: &mut ByteReader<'_>) -> Result<TspInstance, StoreError> {
+    let name = r.get_str()?;
+    let kind = r.get_u8()?;
+    let n = r.get_usize()?;
+    match kind {
+        INST_COORDS => {
+            if n.checked_mul(16)
+                .map(|bytes| bytes > r.remaining())
+                .unwrap_or(true)
+            {
+                return Err(corrupt(format!(
+                    "instance `{name}`: {n} coordinate pairs outrun the input"
+                )));
+            }
+            let mut coords = Vec::with_capacity(n);
+            for _ in 0..n {
+                coords.push((r.get_f64()?, r.get_f64()?));
+            }
+            for (i, &(x, y)) in coords.iter().enumerate() {
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(corrupt(format!(
+                        "instance `{name}`: non-finite coordinate at city {i}"
+                    )));
+                }
+            }
+            Ok(TspInstance::from_coords(&name, &coords))
+        }
+        INST_UPPER_TRI => {
+            let cells = n
+                .checked_mul(n.saturating_sub(1))
+                .map(|c| c / 2)
+                .ok_or_else(|| corrupt("city count overflows"))?;
+            if cells
+                .checked_mul(8)
+                .map(|bytes| bytes > r.remaining())
+                .unwrap_or(true)
+            {
+                return Err(corrupt(format!(
+                    "instance `{name}`: {n}-city upper triangle outruns the input"
+                )));
+            }
+            let mut dist = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = r.get_f64()?;
+                    dist[(i, j)] = d;
+                    dist[(j, i)] = d;
+                }
+            }
+            TspInstance::from_matrix(&name, dist)
+                .map_err(|e| corrupt(format!("instance `{name}`: {e}")))
+        }
+        other => Err(corrupt(format!(
+            "instance `{name}`: unknown storage kind {other:#04x}"
+        ))),
+    }
+}
+
+fn put_instances_v2(w: &mut ByteWriter, instances: &[TspInstance]) {
+    w.put_usize(instances.len());
+    for inst in instances {
+        put_instance_v2(w, inst);
+    }
+}
+
+fn get_instances_v2(r: &mut ByteReader<'_>) -> Result<Vec<TspInstance>, StoreError> {
+    // Each instance costs ≥ 17 bytes (name length + kind byte + count).
+    let n = r.get_len(17)?;
+    (0..n).map(|_| get_instance_v2(r)).collect()
+}
+
+/// Writes the v2 `INST` section body (family tag + train + test).
+fn put_instance_section_v2(w: &mut ByteWriter, train: &[TspInstance], test: &[TspInstance]) {
+    w.put_str(INST_FAMILY);
+    put_instances_v2(w, train);
+    put_instances_v2(w, test);
+}
+
+/// Reads an `INST` section at either payload version.
+fn get_instance_section(
+    r: &mut ByteReader<'_>,
+    payload_version: u32,
+) -> Result<(Vec<TspInstance>, Vec<TspInstance>), StoreError> {
+    if payload_version >= 2 {
+        let family = r.get_str()?;
+        if family != INST_FAMILY {
+            return Err(corrupt(format!(
+                "instance section is `{family}`-typed, expected `{INST_FAMILY}`"
+            )));
+        }
+        Ok((get_instances_v2(r)?, get_instances_v2(r)?))
+    } else {
+        Ok((get_instances(r)?, get_instances(r)?))
+    }
 }
 
 fn put_dataset(w: &mut ByteWriter, ds: &SurrogateDataset) {
@@ -462,15 +609,18 @@ impl Artifact for PipelineConfig {
     }
 }
 
+/// Corpus payload **v2**: the `INST` section is family-tagged and
+/// sparse (see the module docs). The reader still decodes v1 payloads
+/// with their dense matrices.
 impl Artifact for CollectedCorpus {
     const KIND: [u8; 4] = *b"CORP";
+    const VERSION: u32 = 2;
 
     fn write_sections(&self, out: &mut SectionWriter) {
         out.section(*b"PCFG", |w| put_pipeline_config(w, &self.config));
         out.section(*b"FEAT", |w| put_featurizer_spec(w, &self.featurizer));
         out.section(*b"INST", |w| {
-            put_instances(w, &self.train_instances);
-            put_instances(w, &self.test_instances);
+            put_instance_section_v2(w, &self.train_instances, &self.test_instances);
         });
         out.section(*b"DSET", |w| put_dataset(w, &self.dataset));
     }
@@ -483,8 +633,8 @@ impl Artifact for CollectedCorpus {
         let featurizer = get_featurizer_spec(&mut feat)?;
         feat.finish()?;
         let mut inst = reader.section(*b"INST")?;
-        let train_instances = get_instances(&mut inst)?;
-        let test_instances = get_instances(&mut inst)?;
+        let (train_instances, test_instances) =
+            get_instance_section(&mut inst, reader.payload_version)?;
         inst.finish()?;
         let mut ds = reader.section(*b"DSET")?;
         let dataset = get_dataset(&mut ds)?;
@@ -509,16 +659,18 @@ impl Artifact for CollectedCorpus {
     }
 }
 
+/// Bundle payload **v2**: same family-tagged sparse `INST` section as
+/// [`CollectedCorpus`]; the reader still decodes v1 payloads.
 impl Artifact for QrossBundle {
     const KIND: [u8; 4] = *b"BNDL";
+    const VERSION: u32 = 2;
 
     fn write_sections(&self, out: &mut SectionWriter) {
         out.section(*b"PCFG", |w| put_pipeline_config(w, &self.config));
         out.section(*b"FEAT", |w| put_featurizer_spec(w, &self.featurizer));
         out.section(*b"SURR", |w| put_surrogate_state(w, &self.surrogate));
         out.section(*b"INST", |w| {
-            put_instances(w, &self.train_instances);
-            put_instances(w, &self.test_instances);
+            put_instance_section_v2(w, &self.train_instances, &self.test_instances);
         });
         out.section(*b"RPRT", |w| {
             w.put_usize(self.dataset_len);
@@ -537,8 +689,8 @@ impl Artifact for QrossBundle {
         let surrogate = get_surrogate_state(&mut sur)?;
         sur.finish()?;
         let mut inst = reader.section(*b"INST")?;
-        let train_instances = get_instances(&mut inst)?;
-        let test_instances = get_instances(&mut inst)?;
+        let (train_instances, test_instances) =
+            get_instance_section(&mut inst, reader.payload_version)?;
         inst.finish()?;
         let mut rp = reader.section(*b"RPRT")?;
         let dataset_len = rp.get_usize()?;
@@ -563,6 +715,45 @@ impl Artifact for QrossBundle {
             dataset_len,
             report,
         })
+    }
+}
+
+impl CollectedCorpus {
+    /// Encodes this corpus as a **payload v1** container (dense n×n
+    /// instance matrices), exactly as pre-v2 writers produced. Kept for
+    /// the v1-reader compatibility gate and as the size baseline the
+    /// sparse layout is measured against; new code should use
+    /// [`Artifact::to_store_bytes`].
+    pub fn to_v1_bytes(&self) -> Vec<u8> {
+        let mut out = SectionWriter::new();
+        out.section(*b"PCFG", |w| put_pipeline_config(w, &self.config));
+        out.section(*b"FEAT", |w| put_featurizer_spec(w, &self.featurizer));
+        out.section(*b"INST", |w| {
+            put_instances(w, &self.train_instances);
+            put_instances(w, &self.test_instances);
+        });
+        out.section(*b"DSET", |w| put_dataset(w, &self.dataset));
+        out.encode(Self::KIND, 1)
+    }
+}
+
+impl QrossBundle {
+    /// Encodes this bundle as a **payload v1** container (dense n×n
+    /// instance matrices); see [`CollectedCorpus::to_v1_bytes`].
+    pub fn to_v1_bytes(&self) -> Vec<u8> {
+        let mut out = SectionWriter::new();
+        out.section(*b"PCFG", |w| put_pipeline_config(w, &self.config));
+        out.section(*b"FEAT", |w| put_featurizer_spec(w, &self.featurizer));
+        out.section(*b"SURR", |w| put_surrogate_state(w, &self.surrogate));
+        out.section(*b"INST", |w| {
+            put_instances(w, &self.train_instances);
+            put_instances(w, &self.test_instances);
+        });
+        out.section(*b"RPRT", |w| {
+            w.put_usize(self.dataset_len);
+            put_report(w, &self.report);
+        });
+        out.encode(Self::KIND, 1)
     }
 }
 
@@ -833,6 +1024,79 @@ mod tests {
         assert_eq!(back.train_instances, corpus.train_instances);
         assert_eq!(back.test_instances, corpus.test_instances);
         assert_eq!(back.dataset, corpus.dataset);
+    }
+
+    fn coord_corpus(cities: usize, instances: usize) -> CollectedCorpus {
+        let train: Vec<TspInstance> = (0..instances)
+            .map(|k| {
+                let coords: Vec<(f64, f64)> = (0..cities)
+                    .map(|i| {
+                        let t = (k * cities + i) as f64;
+                        (t * 1.25 + 0.5, (t * 0.75).sin() * 10.0)
+                    })
+                    .collect();
+                TspInstance::from_coords(&format!("c{k}"), &coords)
+            })
+            .collect();
+        CollectedCorpus {
+            config: PipelineConfig::micro(),
+            featurizer: FeaturizerSpec::RandomGcn { hidden: 4, seed: 9 },
+            train_instances: train.clone(),
+            test_instances: train,
+            dataset: {
+                let mut ds = SurrogateDataset::new(10);
+                ds.push(DatasetRow {
+                    features: vec![0.5; 10],
+                    a: 1.0,
+                    pf: 0.5,
+                    e_avg: 1.0,
+                    e_std: 0.1,
+                });
+                ds
+            },
+        }
+    }
+
+    #[test]
+    fn v1_payload_still_decodes() {
+        // A legacy dense-matrix corpus loads through the v2 reader with
+        // bit-identical distances; only the coordinate provenance (not
+        // representable in v1) is lost.
+        let corpus = coord_corpus(6, 3);
+        let v1 = corpus.to_v1_bytes();
+        let back = CollectedCorpus::from_store_bytes(&v1).unwrap();
+        assert_eq!(back.config, corpus.config);
+        assert_eq!(back.dataset, corpus.dataset);
+        for (a, b) in back.train_instances.iter().zip(&corpus.train_instances) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.matrix().as_slice(), b.matrix().as_slice());
+            assert!(a.coords().is_none());
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_coords_and_explicit_instances() {
+        let mut corpus = coord_corpus(6, 2);
+        // Mix in an explicit-matrix instance (coords dropped by scaling):
+        // it takes the upper-triangle path.
+        let explicit = corpus.train_instances[0].scaled(2.0);
+        assert!(explicit.coords().is_none());
+        corpus.train_instances.push(explicit);
+        let back = CollectedCorpus::from_store_bytes(&corpus.to_store_bytes()).unwrap();
+        assert_eq!(back.train_instances, corpus.train_instances);
+        assert_eq!(back.test_instances, corpus.test_instances);
+    }
+
+    #[test]
+    fn v2_corpus_is_smaller_than_dense_v1() {
+        // The headline saving: 2n coordinates instead of n² matrix cells.
+        let corpus = coord_corpus(12, 4);
+        let v2 = corpus.to_store_bytes().len();
+        let v1 = corpus.to_v1_bytes().len();
+        assert!(
+            v2 < v1,
+            "sparse v2 ({v2} bytes) did not shrink vs dense v1 ({v1} bytes)"
+        );
     }
 
     #[test]

@@ -20,19 +20,36 @@
 //! * [`mvc`] — weighted Minimum Vertex Cover with the appendix-B QUBO
 //!   penalty form;
 //! * [`qap`] — Quadratic Assignment Problem with the permutation QUBO
-//!   encoding.
+//!   encoding;
+//! * [`maxcut`] — balanced Max-Cut (cardinality constraint relaxed with
+//!   penalty `A`);
+//! * [`knapsack`] — 0/1 knapsack with slack-bit capacity encoding
+//!   (Lucas 2014 §5.2).
 //!
 //! All encodings implement [`RelaxableProblem`], the interface the QROSS
 //! pipeline consumes: build a QUBO for a relaxation parameter `A`, test
 //! feasibility of solver outputs, and score feasible solutions in original
-//! objective units.
+//! objective units. The [`family`] module raises that contract to the
+//! *family* level: a [`family::ProblemFamily`] owns generation,
+//! featurization and a compact instance encoding, and a static registry
+//! makes families addressable by name — adding one means touching only
+//! this crate plus one registration line.
 
+pub mod family;
+pub mod knapsack;
+pub mod maxcut;
 pub mod mvc;
 pub mod qap;
 pub mod realworld;
 pub mod tsp;
 pub mod tsplib;
 
+pub use family::{
+    known_families, lookup_family, registry, CorpusTier, FamilyProblem, InstanceData,
+    ProblemFamily, FAMILY_FEATURE_DIM,
+};
+pub use knapsack::KnapsackInstance;
+pub use maxcut::MaxCutInstance;
 pub use mvc::MvcInstance;
 pub use qap::QapInstance;
 pub use tsp::{TspEncoding, TspInstance};
@@ -63,6 +80,28 @@ pub trait RelaxableProblem: Send + Sync {
     fn fitness(&self, x: &[u8]) -> Option<f64>;
 }
 
+impl<T: RelaxableProblem + ?Sized> RelaxableProblem for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn num_vars(&self) -> usize {
+        (**self).num_vars()
+    }
+
+    fn to_qubo(&self, relaxation: f64) -> QuboModel {
+        (**self).to_qubo(relaxation)
+    }
+
+    fn is_feasible(&self, x: &[u8]) -> bool {
+        (**self).is_feasible(x)
+    }
+
+    fn fitness(&self, x: &[u8]) -> Option<f64> {
+        (**self).fitness(x)
+    }
+}
+
 /// Errors from problem construction and data parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProblemError {
@@ -79,6 +118,13 @@ pub enum ProblemError {
         /// explanation
         message: String,
     },
+    /// A problem-family name did not match any registered family.
+    UnknownFamily {
+        /// the name that failed to resolve
+        name: String,
+        /// ` | `-joined registered family names
+        known: String,
+    },
 }
 
 impl std::fmt::Display for ProblemError {
@@ -89,6 +135,9 @@ impl std::fmt::Display for ProblemError {
             }
             ProblemError::InvalidInstance { message } => {
                 write!(f, "invalid instance: {message}")
+            }
+            ProblemError::UnknownFamily { name, known } => {
+                write!(f, "unknown problem family `{name}` (known: {known})")
             }
         }
     }

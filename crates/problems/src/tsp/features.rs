@@ -1,0 +1,167 @@
+//! Statistical graph-level features of a TSP instance.
+//!
+//! This is the `tsp` family's featurization recipe: 24 deterministic
+//! statistics of the distance matrix — size features, distance moments
+//! and quantiles, nearest-neighbour statistics, minimum-spanning-tree
+//! weight and a greedy-tour estimate. The function lives here (rather
+//! than in `core`) so the problem-family layer owns it; the core
+//! `StatisticalFeaturizer` delegates to [`statistical_features`] and is
+//! bit-for-bit identical to the pre-refactor extractor.
+
+use mathkit::stats;
+
+use super::TspInstance;
+
+/// Width of the vectors produced by [`statistical_features`].
+pub const STAT_DIM: usize = 24;
+
+/// Extracts the 24 statistical features of `instance`.
+///
+/// Total on any input: degenerate (0/1-city) instances produce an
+/// all-zero vector with the size features filled in, and NaN distances
+/// degrade to NaN features rather than panicking — a serving process
+/// must survive hostile uploads.
+pub fn statistical_features(instance: &TspInstance) -> Vec<f64> {
+    let n = instance.num_cities();
+    if n < 2 {
+        // Degenerate instance: no pairwise distances exist. Produce a
+        // well-defined all-zero vector (size features filled in) so a
+        // serving process never panics on a hostile upload.
+        let mut v = vec![0.0; STAT_DIM];
+        v[0] = n as f64;
+        v[1] = (n.max(1) as f64).ln();
+        return v;
+    }
+    let mut off_diag: Vec<f64> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            off_diag.push(instance.distance(i, j));
+        }
+    }
+    // total_cmp, not partial_cmp: a NaN distance (e.g. `NaN`
+    // coordinates in an uploaded file) must degrade to NaN features,
+    // never take the featurizer — and the serving process — down.
+    off_diag.sort_by(f64::total_cmp);
+    let q = |p: f64| stats::quantile_sorted(&off_diag, p);
+    let mean = stats::mean(&off_diag);
+    let std = stats::std_population(&off_diag);
+
+    // Nearest-neighbour distances per city.
+    let mut nn: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| instance.distance(i, j))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    nn.sort_by(f64::total_cmp);
+    // Farthest-neighbour (eccentricity) per city.
+    let ecc: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| instance.distance(i, j))
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+
+    let mst = mst_weight(instance);
+    let (_, greedy_len) = super::heuristics::reference_tour_shallow(instance);
+
+    vec![
+        n as f64,
+        (n as f64).ln(),
+        mean,
+        std,
+        if mean.abs() > 1e-12 { std / mean } else { 0.0 }, // coefficient of variation
+        q(0.0),
+        q(0.1),
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        q(0.9),
+        q(1.0),
+        stats::mean(&nn),
+        stats::std_population(&nn),
+        nn.first().copied().unwrap_or(0.0),
+        nn.last().copied().unwrap_or(0.0),
+        stats::mean(&ecc),
+        stats::std_population(&ecc),
+        mst,
+        mst / n as f64,
+        greedy_len,
+        greedy_len / n as f64,
+        // skewness and excess-kurtosis of the distance distribution
+        central_moment(&off_diag, mean, 3) / std.max(1e-12).powi(3),
+        central_moment(&off_diag, mean, 4) / std.max(1e-12).powi(4) - 3.0,
+    ]
+}
+
+fn central_moment(xs: &[f64], mean: f64, k: i32) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|x| (x - mean).powi(k)).sum::<f64>() / xs.len() as f64
+}
+
+/// Prim's MST total weight over the complete distance graph, O(n²).
+#[allow(clippy::needless_range_loop)] // j indexes best/in_tree and distances
+pub fn mst_weight(instance: &TspInstance) -> f64 {
+    let n = instance.num_cities();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best[j] = instance.distance(0, j);
+    }
+    let mut total = 0.0;
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best[j] < pick_d {
+                pick_d = best[j];
+                pick = j;
+            }
+        }
+        if pick == usize::MAX {
+            // Every remaining frontier distance is NaN (or +inf): no
+            // comparison succeeded. Absorb the first remaining vertex at
+            // its (non-finite) cost instead of indexing with the
+            // sentinel — the weight degrades to NaN, extraction stays
+            // total.
+            pick = (0..n).find(|&j| !in_tree[j]).expect("vertices remain");
+            pick_d = best[pick];
+        }
+        total += pick_d;
+        in_tree[pick] = true;
+        for j in 0..n {
+            if !in_tree[j] {
+                best[j] = best[j].min(instance.distance(pick, j));
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_matches_constant() {
+        let inst = TspInstance::from_coords("t", &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(statistical_features(&inst).len(), STAT_DIM);
+    }
+
+    #[test]
+    fn mst_weight_known() {
+        // Line of 4 cities at distance 1: MST = 3.
+        let line = TspInstance::from_coords("l", &[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        assert!((mst_weight(&line) - 3.0).abs() < 1e-12);
+    }
+}

@@ -13,6 +13,7 @@
 //!   used to normalise optimality gaps.
 
 pub mod encoding;
+pub mod features;
 pub mod generator;
 pub mod heuristics;
 pub mod preprocess;
@@ -39,11 +40,19 @@ use crate::ProblemError;
 pub struct TspInstance {
     name: String,
     dist: Matrix,
+    /// Generating coordinates, kept when the instance was built with
+    /// [`TspInstance::from_coords`] — the family layer persists these
+    /// (2n floats) instead of the dense n×n matrix, and re-deriving the
+    /// matrix from them is bit-identical because the Euclidean distance
+    /// computation is deterministic. `None` for explicit-matrix
+    /// instances (TSPLIB `EXPLICIT`, MVODM outputs, scaled copies).
+    coords: Option<Vec<(f64, f64)>>,
 }
 
 impl TspInstance {
     /// Builds an instance from planar coordinates with plain Euclidean
     /// distances (no TSPLIB rounding — use [`crate::tsplib`] for that).
+    /// The coordinates are retained (see [`TspInstance::coords`]).
     pub fn from_coords(name: &str, coords: &[(f64, f64)]) -> Self {
         let n = coords.len();
         let mut dist = Matrix::zeros(n, n);
@@ -59,6 +68,7 @@ impl TspInstance {
         TspInstance {
             name: name.to_string(),
             dist,
+            coords: Some(coords.to_vec()),
         }
     }
 
@@ -100,12 +110,19 @@ impl TspInstance {
         Ok(TspInstance {
             name: name.to_string(),
             dist,
+            coords: None,
         })
     }
 
     /// Instance identifier.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The generating planar coordinates, when the instance was built
+    /// from them (`None` for explicit-matrix instances).
+    pub fn coords(&self) -> Option<&[(f64, f64)]> {
+        self.coords.as_deref()
     }
 
     /// Number of cities.
@@ -195,6 +212,10 @@ impl TspInstance {
         TspInstance {
             name: self.name.clone(),
             dist: self.dist.scale(factor),
+            // Scaled distances no longer match the coordinates; drop them
+            // rather than persist a recipe that would rebuild the wrong
+            // matrix.
+            coords: None,
         }
     }
 

@@ -173,7 +173,15 @@ impl SectionWriter {
         self.sections.push((tag, w.into_bytes()));
     }
 
-    fn encode(self, kind: [u8; 4], payload_version: u32) -> Vec<u8> {
+    /// Serialises the accumulated sections as a full container with the
+    /// given kind tag and payload version.
+    ///
+    /// [`Artifact::to_store_bytes`] calls this with `Artifact::VERSION`;
+    /// it is public so artifact crates can also emit *older* payload
+    /// versions of a kind (golden compatibility fixtures, size
+    /// comparisons against a legacy layout) without duplicating the
+    /// container framing.
+    pub fn encode(self, kind: [u8; 4], payload_version: u32) -> Vec<u8> {
         let table_len = self.sections.len() * SECTION_ENTRY_LEN;
         let blob_len: usize = self.sections.iter().map(|(_, b)| b.len()).sum();
         let mut out = Vec::with_capacity(HEADER_LEN + table_len + blob_len);

@@ -12,12 +12,15 @@
 //!   decoding (forward-compatibility gate).
 
 use bench::serve::proposal_trace;
+use problems::TspInstance;
 use qross_repro::neural::layers::LayerSpec;
 use qross_repro::neural::network::MlpState;
-use qross_repro::qross::dataset::Scalers;
-use qross_repro::qross::pipeline::{CollectedCorpus, Pipeline, PipelineConfig, TrainedQross};
-use qross_repro::qross::surrogate::SurrogateState;
-use qross_repro::qross::Surrogate;
+use qross_repro::qross::dataset::{DatasetRow, Scalers, SurrogateDataset};
+use qross_repro::qross::pipeline::{
+    CollectedCorpus, Pipeline, PipelineConfig, QrossBundle, TrainedQross,
+};
+use qross_repro::qross::surrogate::{SurrogateState, TrainReport};
+use qross_repro::qross::{FeaturizerSpec, Surrogate};
 use qross_repro::solvers::sa::{SaConfig, SimulatedAnnealer};
 use qross_store::Artifact;
 
@@ -222,4 +225,189 @@ fn golden_fixture_still_decodes() {
     let q = sur.predict(&[0.25, -0.5], 1.0);
     assert_eq!(p, q);
     assert!(p.pf.is_finite() && p.e_avg.is_finite() && p.e_std.is_finite());
+}
+
+// ---------------------------------------------------------------------------
+// Golden instance-section fixtures (payload v1 dense / v2 sparse)
+// ---------------------------------------------------------------------------
+
+const GOLDEN_CORPUS_V1_PATH: &str = "tests/fixtures/golden_corpus_v1.qross";
+const GOLDEN_CORPUS_V2_PATH: &str = "tests/fixtures/golden_corpus_v2.qross";
+const GOLDEN_BUNDLE_V1_PATH: &str = "tests/fixtures/golden_bundle_v1.qross";
+
+/// Golden instances from pure integer arithmetic: quarter-unit
+/// coordinates are exactly representable and `sqrt` is IEEE-correctly
+/// rounded, so the derived distance matrices are identical on every
+/// platform. One instance is pushed through `scaled` (coords dropped)
+/// so the fixtures cover the upper-triangle storage path too.
+fn golden_instances() -> Vec<TspInstance> {
+    let coords_of = |salt: usize| -> Vec<(f64, f64)> {
+        (0..6)
+            .map(|i| {
+                let x = ((i * 13 + salt * 7 + 5) % 40) as f64 * 0.25;
+                let y = ((i * 29 + salt * 11 + 3) % 40) as f64 * 0.25;
+                (x, y)
+            })
+            .collect()
+    };
+    let a = TspInstance::from_coords("golden-a", &coords_of(0));
+    let b = TspInstance::from_coords("golden-b", &coords_of(1));
+    let explicit = a.scaled(2.0);
+    vec![a, b, explicit]
+}
+
+/// The golden corpus: coordinate + explicit instances, the RandomGcn
+/// recipe (2·4 + 2 = 10 features) and a tiny matching dataset, all from
+/// integer-derived rationals.
+fn golden_corpus() -> CollectedCorpus {
+    let val = |k: usize| (((k * 37 + 11) % 64) as f64 - 32.0) / 16.0;
+    let mut dataset = SurrogateDataset::new(10);
+    for r in 0..2 {
+        dataset.push(DatasetRow {
+            features: (0..10).map(|c| val(r * 10 + c)).collect(),
+            a: 0.5 + r as f64,
+            pf: 0.25 * (r + 1) as f64,
+            e_avg: 4.0 - r as f64,
+            e_std: 0.5,
+        });
+    }
+    let instances = golden_instances();
+    CollectedCorpus {
+        config: PipelineConfig::micro(),
+        featurizer: FeaturizerSpec::RandomGcn { hidden: 4, seed: 9 },
+        train_instances: instances.clone(),
+        test_instances: instances[..1].to_vec(),
+        dataset,
+    }
+}
+
+/// A golden serve bundle over the same instances: a pure-integer
+/// surrogate snapshot sized to the RandomGcn recipe's 10 features.
+fn golden_bundle() -> QrossBundle {
+    let val = |k: usize| (((k * 37 + 11) % 64) as f64 - 32.0) / 16.0;
+    let dense = |input: usize, output: usize, salt: usize| LayerSpec::Dense {
+        input,
+        output,
+        weights: (0..input * output).map(|k| val(k + salt)).collect(),
+        bias: (0..output).map(|k| val(k + salt + 101)).collect(),
+    };
+    let net = |salt: usize, out: usize| MlpState {
+        input_dim: 11,
+        layers: vec![
+            dense(11, 4, salt),
+            LayerSpec::Relu,
+            dense(4, out, salt + 53),
+        ],
+    };
+    let z = |m: f64, s: f64| qross_repro::mathkit::stats::ZScore { mean: m, std: s };
+    let corpus = golden_corpus();
+    QrossBundle {
+        config: corpus.config,
+        featurizer: corpus.featurizer,
+        surrogate: SurrogateState {
+            pf_net: net(0, 1),
+            e_net: net(211, 2),
+            scalers: Scalers {
+                features: (0..10).map(|k| z(val(k), 2.0)).collect(),
+                log_a: z(0.0, 1.0),
+                e_avg: z(8.0, 4.0),
+                e_std: z(1.0, 0.25),
+            },
+        },
+        train_instances: corpus.train_instances,
+        test_instances: corpus.test_instances,
+        dataset_len: corpus.dataset.len(),
+        report: TrainReport::default(),
+    }
+}
+
+fn write_fixture(path: &str, bytes: &[u8]) {
+    if std::env::var("QROSS_WRITE_GOLDEN").is_ok() {
+        std::fs::write(path, bytes).expect("write golden fixture");
+        println!("wrote {path}");
+    }
+}
+
+/// The committed v1 (dense-matrix) and v2 (sparse coordinate) corpus
+/// fixtures must both keep decoding, and must reconstruct bit-identical
+/// distance matrices. The v2 fixture additionally restores coordinate
+/// provenance; v1 cannot carry it. Regenerate (both at once) with
+/// `QROSS_WRITE_GOLDEN=1 cargo test golden` — when the payload version
+/// bumps again, keep these fixtures and add new ones.
+#[test]
+fn golden_corpus_fixtures_decode_with_bit_identical_instances() {
+    let expected = golden_corpus();
+    write_fixture(GOLDEN_CORPUS_V1_PATH, &expected.to_v1_bytes());
+    write_fixture(GOLDEN_CORPUS_V2_PATH, &expected.to_store_bytes());
+
+    let v1_bytes = std::fs::read(GOLDEN_CORPUS_V1_PATH).expect("v1 corpus fixture missing");
+    let v1 = CollectedCorpus::from_store_bytes(&v1_bytes)
+        .expect("golden v1 corpus no longer decodes: dense-instance compatibility broken");
+    assert_eq!(v1.config, expected.config);
+    assert_eq!(v1.featurizer, expected.featurizer);
+    assert_eq!(v1.dataset, expected.dataset);
+    for (got, want) in v1.train_instances.iter().chain(&v1.test_instances).zip(
+        expected
+            .train_instances
+            .iter()
+            .chain(&expected.test_instances),
+    ) {
+        assert_eq!(got.name(), want.name());
+        let bits = |i: &TspInstance| -> Vec<u64> {
+            i.matrix().as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        assert_eq!(bits(got), bits(want), "v1 matrix bits drifted");
+        assert!(got.coords().is_none(), "v1 cannot carry coordinates");
+    }
+
+    let v2_bytes = std::fs::read(GOLDEN_CORPUS_V2_PATH).expect("v2 corpus fixture missing");
+    let v2 = CollectedCorpus::from_store_bytes(&v2_bytes)
+        .expect("golden v2 corpus no longer decodes: sparse-instance compatibility broken");
+    assert_eq!(v2, expected, "v2 reload is not bit-identical");
+    assert!(v2.train_instances[0].coords().is_some());
+    assert!(v2.train_instances[2].coords().is_none());
+}
+
+/// The v1-reader compatibility gate the refactor must preserve: a serve
+/// bundle written with the legacy dense instance section reloads through
+/// today's reader into a model whose featurisation and `predict_grid`
+/// are bit-identical to the in-memory original.
+#[test]
+fn golden_bundle_v1_reloads_with_bit_identical_predict_grid() {
+    let expected = golden_bundle();
+    write_fixture(GOLDEN_BUNDLE_V1_PATH, &expected.to_v1_bytes());
+
+    let bytes = std::fs::read(GOLDEN_BUNDLE_V1_PATH).expect("v1 bundle fixture missing");
+    let decoded = QrossBundle::from_store_bytes(&bytes)
+        .expect("golden v1 bundle no longer decodes: dense-instance compatibility broken");
+    let reloaded = decoded.into_trained().expect("restore trained model");
+    let reference = expected.into_trained().expect("restore reference model");
+
+    let grid = a_grid();
+    assert_eq!(
+        reloaded.test_encodings.len(),
+        reference.test_encodings.len()
+    );
+    for (enc_r, enc_e) in reloaded
+        .test_encodings
+        .iter()
+        .zip(&reference.test_encodings)
+    {
+        let feat_r = reloaded.features_for(enc_r);
+        let feat_e = reference.features_for(enc_e);
+        assert_eq!(
+            feat_r, feat_e,
+            "featurisation drifted through the v1 reader"
+        );
+        for (pr, pe) in reloaded
+            .surrogate
+            .predict_grid(&feat_r, &grid)
+            .iter()
+            .zip(reference.surrogate.predict_grid(&feat_e, &grid))
+        {
+            assert_eq!(pr.pf.to_bits(), pe.pf.to_bits());
+            assert_eq!(pr.e_avg.to_bits(), pe.e_avg.to_bits());
+            assert_eq!(pr.e_std.to_bits(), pe.e_std.to_bits());
+        }
+    }
 }

@@ -6,10 +6,13 @@
 
 use proptest::prelude::*;
 
+use problems::{TspEncoding, TspInstance};
 use qross_repro::neural::layers::LayerSpec;
-use qross_repro::neural::network::MlpState;
+use qross_repro::neural::network::{MlpBuilder, MlpState};
 use qross_repro::qross::dataset::{DatasetRow, Scalers, SurrogateDataset};
-use qross_repro::qross::surrogate::SurrogateState;
+use qross_repro::qross::pipeline::PipelineConfig;
+use qross_repro::qross::surrogate::{Surrogate, SurrogateState};
+use qross_repro::qross::{CollectedCorpus, FeaturizerSpec};
 use qross_store::{Artifact, StoreError};
 
 /// Arbitrary `f64` *bit patterns* — covers NaNs with payloads, signed
@@ -93,6 +96,43 @@ fn mlp_state_with(input: usize, output: usize) -> impl Strategy<Value = MlpState
                 }
             })
     })
+}
+
+/// Arbitrary coordinate lists for one TSP instance (finite, so the
+/// derived distance matrix is a valid instance).
+fn coords_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 4..10)
+}
+
+/// Deterministic surrogate over the statistical featurizer's 24
+/// features, driving the `predict_grid` leg of the sparse↔dense
+/// equivalence property.
+fn grid_surrogate() -> Surrogate {
+    let z = |m: f64, s: f64| qross_repro::mathkit::stats::ZScore { mean: m, std: s };
+    let state = SurrogateState {
+        pf_net: MlpBuilder::new(25)
+            .dense(8)
+            .relu()
+            .dense(1)
+            .sigmoid()
+            .build(17)
+            .to_state(),
+        e_net: MlpBuilder::new(25)
+            .dense(8)
+            .relu()
+            .dense(2)
+            .build(18)
+            .to_state(),
+        scalers: Scalers {
+            features: (0..24)
+                .map(|c| z(0.1 * c as f64, 1.0 + 0.03 * c as f64))
+                .collect(),
+            log_a: z(0.0, 1.0),
+            e_avg: z(5.0, 2.0),
+            e_std: z(1.0, 0.5),
+        },
+    };
+    Surrogate::from_state(state).expect("consistent state")
 }
 
 /// Bit-level equality for states (`==` on f64 treats NaN ≠ NaN, so the
@@ -240,6 +280,64 @@ proptest! {
                     .rows()
                     .iter()
                     .all(|r| r.a > 0.0 && r.a.is_finite()));
+            }
+        }
+    }
+
+    /// Sparse (coordinate) instance storage is an encoding detail, not a
+    /// model change: a corpus round-tripped through the v2 sparse layout
+    /// and through the legacy dense v1 layout reconstructs bit-identical
+    /// distance matrices, features and grid predictions for arbitrary
+    /// coordinate instances.
+    #[test]
+    fn sparse_and_dense_instance_storage_agree_bit_for_bit(
+        all_coords in proptest::collection::vec(coords_strategy(), 1..4),
+    ) {
+        let train: Vec<TspInstance> = all_coords
+            .iter()
+            .enumerate()
+            .map(|(k, coords)| TspInstance::from_coords(&format!("p{k}"), coords))
+            .collect();
+        let corpus = CollectedCorpus {
+            config: PipelineConfig::micro(),
+            featurizer: FeaturizerSpec::Statistical,
+            train_instances: train.clone(),
+            test_instances: Vec::new(),
+            dataset: SurrogateDataset::new(24),
+        };
+        let sparse = CollectedCorpus::from_store_bytes(&corpus.to_store_bytes()).unwrap();
+        let dense = CollectedCorpus::from_store_bytes(&corpus.to_v1_bytes()).unwrap();
+        let featurizer = corpus.featurizer.build();
+        let surrogate = grid_surrogate();
+        let grid = [0.25, 1.0, 4.0];
+        let matrix_bits = |inst: &TspInstance| -> Vec<u64> {
+            inst.matrix().as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        let feature_bits = |f: &[f64]| -> Vec<u64> { f.iter().map(|x| x.to_bits()).collect() };
+        for ((orig, s), d) in train.iter().zip(&sparse.train_instances).zip(&dense.train_instances) {
+            // Encoding: both storage forms rebuild the exact matrix.
+            prop_assert_eq!(matrix_bits(orig), matrix_bits(s));
+            prop_assert_eq!(matrix_bits(orig), matrix_bits(d));
+            // Provenance: v2 keeps the coordinates, v1 cannot carry them.
+            prop_assert!(s.coords().is_some());
+            prop_assert!(d.coords().is_none());
+            // Features through the real preprocessing pipeline.
+            let feats = |inst: &TspInstance| {
+                featurizer.extract(TspEncoding::preprocessed(inst.clone()).qubo_instance())
+            };
+            let (fo, fs, fd) = (feats(orig), feats(s), feats(d));
+            prop_assert_eq!(feature_bits(&fo), feature_bits(&fs));
+            prop_assert_eq!(feature_bits(&fo), feature_bits(&fd));
+            // Grid predictions off the reconstructed instances.
+            let po = surrogate.predict_grid(&fo, &grid);
+            for (reconstructed, reference) in [&fs, &fd]
+                .iter()
+                .map(|f| surrogate.predict_grid(f, &grid))
+                .flat_map(|preds| preds.into_iter().zip(po.iter().copied()).collect::<Vec<_>>())
+            {
+                prop_assert_eq!(reconstructed.pf.to_bits(), reference.pf.to_bits());
+                prop_assert_eq!(reconstructed.e_avg.to_bits(), reference.e_avg.to_bits());
+                prop_assert_eq!(reconstructed.e_std.to_bits(), reference.e_std.to_bits());
             }
         }
     }
