@@ -161,6 +161,14 @@ fn bench_serve_swap(c: &mut Criterion) {
         c.bench_function("serve_swap/predict_during_continuous_swaps", |b| {
             b.iter(|| eng.predict(&probe.features, probe.a).expect("serve"));
         });
+        // In `--test` mode the measurement window can be shorter than one
+        // retrain cycle (or even the swap thread's spawn latency), so keep
+        // predict traffic flowing until a swap actually lands — the assert
+        // below must gate on the engine, not on the scheduler.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while eng.stats().refreshes == 0 && std::time::Instant::now() < deadline {
+            eng.predict(&probe.features, probe.a).expect("serve");
+        }
         stop.store(true, Ordering::Relaxed);
     });
     let swapped = eng.stats().refreshes;

@@ -43,6 +43,7 @@ use qross::surrogate::{Surrogate, SurrogateState};
 use qross_store::Artifact;
 
 const USAGE: &str = "qross-serve --model PATH [--listen ADDR | --listen-threaded ADDR] \
+                     [--metrics-listen ADDR] \
                      [--max-conns N] [--tenant NAME=WEIGHT[:QUOTA]]... [--workers N] \
                      [--batch ROWS] [--queue ROWS] [--cache ENTRIES] \
                      [--online] [--refresh-after N] [--checkpoint-dir DIR] \
@@ -57,6 +58,9 @@ enum Listen {
 struct ServeCli {
     model: String,
     listen: Listen,
+    /// Prometheus exposition endpoint (`GET /metrics`), on its own port
+    /// so scrapes never share a socket with protocol bytes.
+    metrics_listen: Option<String>,
     max_conns: usize,
     policy: TenantPolicy,
     config: ServeConfig,
@@ -111,6 +115,7 @@ fn parse_cli() -> ServeCli {
     let mut cli = ServeCli {
         model: String::new(),
         listen: Listen::Stdio,
+        metrics_listen: None,
         max_conns: 0,
         policy: TenantPolicy::default(),
         config: ServeConfig::default(),
@@ -135,6 +140,7 @@ fn parse_cli() -> ServeCli {
             "--model"
                 | "--listen"
                 | "--listen-threaded"
+                | "--metrics-listen"
                 | "--max-conns"
                 | "--tenant"
                 | "--workers"
@@ -164,6 +170,7 @@ fn parse_cli() -> ServeCli {
             "--model" => cli.model = value.clone(),
             "--listen" => cli.listen = Listen::EventLoop(value.clone()),
             "--listen-threaded" => cli.listen = Listen::Threaded(value.clone()),
+            "--metrics-listen" => cli.metrics_listen = Some(value.clone()),
             "--max-conns" => cli.max_conns = parse_count("--max-conns", value).max(1),
             "--tenant" => parse_tenant_spec(&mut cli.policy, value),
             "--workers" => cli.config.workers = parse_count("--workers", value),
@@ -312,6 +319,23 @@ fn main() {
             String::new()
         }
     );
+
+    // The metrics endpoint thread outlives every listen mode, so the
+    // engine moves behind an Arc; protocol paths keep borrowing it.
+    let engine = Arc::new(engine);
+    if let Some(addr) = &cli.metrics_listen {
+        let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot listen on {addr} for metrics: {e}");
+            std::process::exit(1);
+        });
+        // Force lazily-created series to register now, so the first
+        // scrape lists every metric even before traffic touches it.
+        bench::protocol::register_protocol_metrics();
+        solvers::metrics::register_metrics();
+        eprintln!("qross-serve: metrics on http://{addr}/metrics");
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || bench::net::serve_metrics_http(&engine, listener));
+    }
 
     match cli.listen {
         Listen::Stdio => {

@@ -20,6 +20,9 @@
 //!   pause at the connection cap ([`EventLoopConfig::max_conns`]), and
 //!   persistent `accept` failures back off exponentially
 //!   ([`AcceptBackoff`]) instead of spinning hot;
+//! * observability: the loop registers its own counters on the engine's
+//!   metrics registry — readiness events dispatched, backpressure read
+//!   pauses, accepts and accept backoffs — all no-ops under `obs-off`;
 //! * graceful drain: a shutdown flag stops accepting, finishes every
 //!   in-flight response, then closes.
 //!
@@ -136,6 +139,111 @@ impl EventLoopConfig {
     }
 }
 
+/// The event loop's own counters, registered on the engine's metrics
+/// registry so one scrape covers the serving pipeline end to end.
+/// Recording is a relaxed atomic add (nothing at all under `obs-off`);
+/// registration happens once, at loop start.
+struct NetObs {
+    /// poller readiness events dispatched (listener + wake + sockets)
+    readiness_events: Arc<obs::Counter>,
+    /// connections whose reads were paused by backpressure (staged
+    /// window or write buffer full) — transitions, not poll turns
+    backpressure_pauses: Arc<obs::Counter>,
+    /// connections accepted
+    accepted: Arc<obs::Counter>,
+    /// accept failures that parked the listener with a backoff delay
+    accept_backoffs: Arc<obs::Counter>,
+}
+
+impl NetObs {
+    fn new(registry: &obs::Registry) -> NetObs {
+        NetObs {
+            readiness_events: registry.counter(
+                "qross_net_readiness_events_total",
+                "poller readiness events dispatched by the serving event loop",
+            ),
+            backpressure_pauses: registry.counter(
+                "qross_net_backpressure_pauses_total",
+                "connection reads paused because the staged-response window or write buffer filled",
+            ),
+            accepted: registry.counter(
+                "qross_net_accepted_total",
+                "connections accepted by the serving event loop",
+            ),
+            accept_backoffs: registry.counter(
+                "qross_net_accept_backoffs_total",
+                "accept failures that parked the listener with an exponential backoff",
+            ),
+        }
+    }
+}
+
+/// Minimal blocking HTTP/1.1 endpoint for `qross-serve
+/// --metrics-listen`: `GET /metrics` answers the Prometheus text
+/// exposition (format 0.0.4) covering the engine's registry (serve
+/// pipeline, online trainer, event loop) plus the process-global one
+/// (solver sweeps, per-family request counters). One connection at a
+/// time — scrapes are rare and tiny, and keeping this loop trivial
+/// means it cannot perturb the serving path it observes. Each scrape
+/// calls [`ServeEngine::metrics`] first so sampled gauges (queue depth,
+/// generation, replay depth) are fresh at render time.
+pub fn serve_metrics_http(engine: &ServeEngine, listener: TcpListener) {
+    let mut backoff = AcceptBackoff::new();
+    loop {
+        let mut stream = match listener.accept() {
+            Ok((stream, _peer)) => {
+                backoff.reset();
+                stream
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => {
+                let delay = backoff.failure();
+                eprintln!("warning: metrics accept failed: {e} (retrying in {delay:?})");
+                std::thread::sleep(delay);
+                continue;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        // Read the request head (scrapes are a handful of lines).
+        let mut head = Vec::new();
+        let mut buf = [0u8; 1024];
+        while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => head.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        let request_line = head
+            .split(|&b| b == b'\r' || b == b'\n')
+            .next()
+            .unwrap_or_default();
+        let mut parts = request_line.split(|&b| b == b' ');
+        let method = parts.next().unwrap_or_default();
+        let path = parts.next().unwrap_or_default();
+        let (status, body) = if method != b"GET" {
+            ("405 Method Not Allowed", "method not allowed\n".to_string())
+        } else if path == b"/metrics" || path == b"/" {
+            // Refresh sampled gauges, then render both registries.
+            let _ = engine.metrics();
+            (
+                "200 OK",
+                obs::prom::render(&[engine.obs().registry(), obs::global()]),
+            )
+        } else {
+            ("404 Not Found", "try /metrics\n".to_string())
+        };
+        let response = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        );
+        let _ = stream.write_all(response.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
 /// One multiplexed connection's state.
 struct Conn {
     stream: TcpStream,
@@ -217,6 +325,7 @@ pub fn serve_event_loop(
         backoff: AcceptBackoff::new(),
         backoff_until: None,
         draining: false,
+        obs: NetObs::new(engine.obs().registry()),
     };
     el.run()
 }
@@ -237,6 +346,7 @@ struct EventLoop<'a> {
     backoff: AcceptBackoff,
     backoff_until: Option<Instant>,
     draining: bool,
+    obs: NetObs,
 }
 
 fn lock_completed(completed: &Mutex<Vec<u64>>) -> MutexGuard<'_, Vec<u64>> {
@@ -301,6 +411,7 @@ impl EventLoop<'_> {
                 -1
             };
             self.poller.wait(&mut events, timeout_ms)?;
+            self.obs.readiness_events.add(events.len() as u64);
 
             for ev in std::mem::take(&mut events) {
                 match ev.token {
@@ -372,6 +483,7 @@ impl EventLoop<'_> {
                         registered: Interest::READ,
                     });
                     self.live += 1;
+                    self.obs.accepted.inc();
                     // The client may have sent requests before we
                     // registered; serving them now saves a loop turn.
                     self.step(idx);
@@ -385,6 +497,7 @@ impl EventLoop<'_> {
                     // the listener parks for a bounded, exponentially
                     // growing delay.
                     let delay = self.backoff.failure();
+                    self.obs.accept_backoffs.inc();
                     eprintln!("warning: accept failed: {e} (retrying in {delay:?})");
                     self.park_listener();
                     self.backoff_until = Some(Instant::now() + delay);
@@ -436,6 +549,11 @@ impl EventLoop<'_> {
             Fate::Keep => {
                 let want = conn.desired_interest(&self.config);
                 if want != conn.registered {
+                    if conn.registered.readable && !want.readable && !conn.eof {
+                        // Pause *transition* (not per poll turn): the
+                        // staged window or write buffer just filled.
+                        self.obs.backpressure_pauses.inc();
+                    }
                     let fd = conn.stream.as_raw_fd();
                     if self
                         .poller
@@ -484,7 +602,11 @@ impl EventLoop<'_> {
         // connection's sniffed wire format (while undecided the emitter
         // is necessarily empty, so the default is never observable).
         let wire = conn.codec.wire().unwrap_or(WireFormat::Ndjson);
-        if conn.emitter.pump(wire, &mut conn.out).is_err() {
+        if conn
+            .emitter
+            .pump(self.engine.obs(), wire, &mut conn.out)
+            .is_err()
+        {
             return Fate::Close;
         }
         // Flush as much as the socket will take.
@@ -510,7 +632,11 @@ impl EventLoop<'_> {
         // the socket never becomes readable again.
         self.stage_ready(conn);
         let wire = conn.codec.wire().unwrap_or(WireFormat::Ndjson);
-        if conn.emitter.pump(wire, &mut conn.out).is_err() {
+        if conn
+            .emitter
+            .pump(self.engine.obs(), wire, &mut conn.out)
+            .is_err()
+        {
             return Fate::Close;
         }
         if conn.finished() {

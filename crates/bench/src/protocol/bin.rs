@@ -50,6 +50,7 @@
 //! | `0x03` | feedback | `id: opt_u64, a pf e_avg e_std: f64×4, seed: u64, tag: str, features: f64s` |
 //! | `0x04` | refresh  | `id: opt_u64` |
 //! | `0x05` | instance | `id: opt_u64, tenant: str, family: str, name: str, dims: u64s, scalars: f64s, vec_count: u32, vec_count × f64s, edge_count: u32, edge_count × (u v: u32×2, w: f64), a_values: f64s` |
+//! | `0x06` | metrics  | `id: opt_u64` |
 //!
 //! `u64s` is a `u32` element count followed by raw `u64`s, the integer
 //! sibling of `f64s`. The `instance` payload is the wire form of
@@ -64,14 +65,20 @@
 //! | `0x81` | predict | `id: opt_u64, count: u32, count × (a pf e_avg e_std: f64×4)` |
 //! | `0x82` | info    | `id: opt_u64, bundle: u8, feature_dim: u32, generation: u64, online: u8, dataset_len train_instances feedback_count buffer_len refresh_after: opt_u64×5` |
 //! | `0x83` | ack     | `id: opt_u64, generation feedback_count buffer_len: opt_u64×3, refreshed: opt_bool` (feedback / refresh) |
+//! | `0x84` | metrics | `id: opt_u64, ok: u8, uptime_secs qps: f64×2, latency_p50_us latency_p99_us: opt_f64×2, batch_occupancy cache_hit_rate: f64×2, generation queue_depth rejected rejected_quota rejected_capacity: u64×5, tenant_count: u32, tenant_count × (tenant: str, weight quota_rows requests rows rejected rejected_quota rejected_capacity pending_rows: u64×8)` |
 //! | `0x7F` | error   | `id: opt_u64, message: str` |
 //!
-//! `tsp` TSPLIB uploads and the wall-clock `metrics` op stay NDJSON-only
-//! (one is a text format, the other is excluded from every byte-diff) —
-//! TSP instances travel over QBIN through the `instance` op's compact
-//! coordinate/edge encoding instead; a QBIN frame carrying an unknown op
-//! gets an error frame back and the session keeps serving, exactly like
-//! an unknown NDJSON op.
+//! `opt_f64` is a presence byte followed by the raw `f64` bit pattern
+//! when present — the binary form of a nullable latency quantile.
+//!
+//! `tsp` TSPLIB uploads and the `trace` diagnostic dump stay NDJSON-only
+//! (one is a text format, the other a debugging aid) — TSP instances
+//! travel over QBIN through the `instance` op's compact coordinate/edge
+//! encoding instead, and the wall-clock `metrics` snapshot gets its own
+//! frame pair (`0x06`/`0x84`; like its NDJSON sibling it is excluded
+//! from every byte-diff). A QBIN frame carrying an unknown op gets an
+//! error frame back and the session keeps serving, exactly like an
+//! unknown NDJSON op.
 
 use problems::InstanceData;
 use qross_store::codec::crc32;
@@ -101,11 +108,13 @@ pub const OP_INFO: u8 = 0x02;
 pub const OP_FEEDBACK: u8 = 0x03;
 pub const OP_REFRESH: u8 = 0x04;
 pub const OP_INSTANCE: u8 = 0x05;
+pub const OP_METRICS: u8 = 0x06;
 
 /// Response op tags.
 pub const OP_RESP_PREDICT: u8 = 0x81;
 pub const OP_RESP_INFO: u8 = 0x82;
 pub const OP_RESP_ACK: u8 = 0x83;
+pub const OP_RESP_METRICS: u8 = 0x84;
 pub const OP_RESP_ERROR: u8 = 0x7F;
 
 /// Typed QBIN protocol error. Decoding hostile, truncated or corrupted
@@ -198,7 +207,7 @@ impl std::fmt::Display for BinError {
                 f,
                 "qbin: unknown op {op:#04x} (expected predict {OP_PREDICT:#04x} | info \
                  {OP_INFO:#04x} | feedback {OP_FEEDBACK:#04x} | refresh {OP_REFRESH:#04x} | \
-                 instance {OP_INSTANCE:#04x})"
+                 instance {OP_INSTANCE:#04x} | metrics {OP_METRICS:#04x})"
             ),
         }
     }
@@ -323,6 +332,16 @@ impl<'a> PayloadReader<'a> {
         }
     }
 
+    fn get_opt_f64(&mut self) -> Result<Option<f64>, BinError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_f64()?)),
+            other => Err(BinError::Malformed {
+                message: format!("invalid Option tag {other:#04x}"),
+            }),
+        }
+    }
+
     fn get_opt_bool(&mut self) -> Result<Option<bool>, BinError> {
         match self.get_u8()? {
             0 => Ok(None),
@@ -417,6 +436,16 @@ fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
         Some(v) => {
             out.push(1);
             put_u64(out, v);
+        }
+    }
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
         }
     }
 }
@@ -694,6 +723,12 @@ pub enum BinRequest<'a> {
         /// client correlation id, echoed
         id: Option<u64>,
     },
+    /// point-in-time engine metrics snapshot (wall-clock-dependent;
+    /// answered with an [`OP_RESP_METRICS`] frame, never byte-diffed)
+    Metrics {
+        /// client correlation id, echoed
+        id: Option<u64>,
+    },
     /// upload a compact instance of a registered problem family and
     /// evaluate the surrogate on its features over `a_values`
     Instance {
@@ -757,6 +792,9 @@ pub fn decode_request<'a>(frame: &Frame<'a>) -> Result<BinRequest<'a>, BinError>
             }
         }
         OP_REFRESH => BinRequest::Refresh {
+            id: r.get_opt_u64()?,
+        },
+        OP_METRICS => BinRequest::Metrics {
             id: r.get_opt_u64()?,
         },
         OP_INSTANCE => {
@@ -848,6 +886,11 @@ pub fn encode_refresh(out: &mut Vec<u8>, id: Option<u64>) {
     write_frame(out, OP_REFRESH, |p| put_opt_u64(p, id));
 }
 
+/// Encodes a metrics request frame.
+pub fn encode_metrics_request(out: &mut Vec<u8>, id: Option<u64>) {
+    write_frame(out, OP_METRICS, |p| put_opt_u64(p, id));
+}
+
 /// Encodes an instance request frame: the compact wire form of
 /// [`InstanceData`] plus the grid to evaluate. Every `f64` travels as
 /// its exact bit pattern, so a QBIN upload and the NDJSON `instance` op
@@ -888,7 +931,7 @@ pub fn encode_instance(
 // Responses
 // ---------------------------------------------------------------------------
 
-use super::{ModelInfo, PredictionOut, Response};
+use super::{MetricsOut, MetricsResponse, ModelInfo, PredictionOut, Response, TenantMetricsOut};
 
 /// Encodes a [`Response`] as one QBIN frame appended to `out` — the
 /// binary rendition of the NDJSON response line, carrying the identical
@@ -941,6 +984,112 @@ pub fn encode_response(out: &mut Vec<u8>, response: &Response) {
         put_opt_u64(p, response.buffer_len);
         put_opt_bool(p, response.refreshed);
     });
+}
+
+/// Encodes a [`MetricsResponse`] as one [`OP_RESP_METRICS`] frame — the
+/// binary rendition of the NDJSON `metrics` line. Like that line it is
+/// wall-clock-dependent and excluded from every byte-diff; the f64
+/// fields travel as exact bit patterns regardless.
+pub fn encode_metrics_response(out: &mut Vec<u8>, payload: &MetricsResponse) {
+    let m = &payload.metrics;
+    write_frame(out, OP_RESP_METRICS, |p| {
+        put_opt_u64(p, payload.id);
+        p.push(u8::from(payload.ok));
+        put_f64(p, m.uptime_secs);
+        put_f64(p, m.qps);
+        put_opt_f64(p, m.latency_p50_us);
+        put_opt_f64(p, m.latency_p99_us);
+        put_f64(p, m.batch_occupancy);
+        put_f64(p, m.cache_hit_rate);
+        put_u64(p, m.generation);
+        put_u64(p, m.queue_depth);
+        put_u64(p, m.rejected);
+        put_u64(p, m.rejected_quota);
+        put_u64(p, m.rejected_capacity);
+        put_u32(p, m.tenants.len() as u32);
+        for t in &m.tenants {
+            put_str(p, &t.tenant);
+            put_u64(p, t.weight);
+            put_u64(p, t.quota_rows);
+            put_u64(p, t.requests);
+            put_u64(p, t.rows);
+            put_u64(p, t.rejected);
+            put_u64(p, t.rejected_quota);
+            put_u64(p, t.rejected_capacity);
+            put_u64(p, t.pending_rows);
+        }
+    });
+}
+
+/// Decodes one [`OP_RESP_METRICS`] frame into the NDJSON-equivalent
+/// [`MetricsResponse`] (client side: tests, the CI scrape check).
+///
+/// # Errors
+///
+/// [`BinError::UnknownOp`] for any other op tag,
+/// [`BinError::Truncated`] / [`BinError::Malformed`] for payloads that
+/// do not match the metrics grammar.
+pub fn decode_metrics_response(frame: &Frame<'_>) -> Result<MetricsResponse, BinError> {
+    if frame.op != OP_RESP_METRICS {
+        return Err(BinError::UnknownOp { op: frame.op });
+    }
+    let mut r = PayloadReader::new(frame.payload);
+    let id = r.get_opt_u64()?;
+    let ok = r.get_u8()? != 0;
+    let uptime_secs = r.get_f64()?;
+    let qps = r.get_f64()?;
+    let latency_p50_us = r.get_opt_f64()?;
+    let latency_p99_us = r.get_opt_f64()?;
+    let batch_occupancy = r.get_f64()?;
+    let cache_hit_rate = r.get_f64()?;
+    let generation = r.get_u64()?;
+    let queue_depth = r.get_u64()?;
+    let rejected = r.get_u64()?;
+    let rejected_quota = r.get_u64()?;
+    let rejected_capacity = r.get_u64()?;
+    let count = r.get_u32()? as usize;
+    // Each tenant row needs at least its 4-byte name count plus eight
+    // u64s; validate before allocating.
+    if count.saturating_mul(4 + 8 * 8) > r.remaining() {
+        return Err(BinError::Truncated {
+            needed: count.saturating_mul(4 + 8 * 8),
+            available: r.remaining(),
+        });
+    }
+    let mut tenants = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tenant = r.get_str()?.to_string();
+        tenants.push(TenantMetricsOut {
+            tenant,
+            weight: r.get_u64()?,
+            quota_rows: r.get_u64()?,
+            requests: r.get_u64()?,
+            rows: r.get_u64()?,
+            rejected: r.get_u64()?,
+            rejected_quota: r.get_u64()?,
+            rejected_capacity: r.get_u64()?,
+            pending_rows: r.get_u64()?,
+        });
+    }
+    r.finish()?;
+    Ok(MetricsResponse {
+        id,
+        ok,
+        metrics: MetricsOut {
+            uptime_secs,
+            qps,
+            latency_p50_us,
+            latency_p99_us,
+            batch_occupancy,
+            cache_hit_rate,
+            generation,
+            queue_depth,
+            rejected,
+            rejected_quota,
+            rejected_capacity,
+            tenants,
+        },
+    })
 }
 
 /// Decodes one response frame's payload into the NDJSON-equivalent
@@ -1268,6 +1417,87 @@ mod tests {
             decoded[0].error.as_deref(),
             Some("predict needs `features`")
         );
+    }
+
+    #[test]
+    fn metrics_response_roundtrip_is_bit_exact() {
+        let payload = MetricsResponse {
+            id: Some(42),
+            ok: true,
+            metrics: MetricsOut {
+                uptime_secs: 12.25,
+                qps: f64::from_bits(0x3FF8_0000_0000_0001),
+                latency_p50_us: Some(810.5),
+                latency_p99_us: None,
+                batch_occupancy: 3.5,
+                cache_hit_rate: 0.25,
+                generation: 7,
+                queue_depth: 9,
+                rejected: 5,
+                rejected_quota: 2,
+                rejected_capacity: 3,
+                tenants: vec![TenantMetricsOut {
+                    tenant: "team-a".to_string(),
+                    weight: 4,
+                    quota_rows: 128,
+                    requests: 1000,
+                    rows: 5000,
+                    rejected: 5,
+                    rejected_quota: 2,
+                    rejected_capacity: 3,
+                    pending_rows: 17,
+                }],
+            },
+        };
+        let mut out = Vec::new();
+        encode_metrics_response(&mut out, &payload);
+        let mut codec = FrameCodec::new();
+        codec.feed(&out);
+        let frame = codec.next_frame().expect("frame").expect("valid");
+        assert_eq!(frame.op, OP_RESP_METRICS);
+        let decoded = decode_metrics_response(&frame).expect("decodes");
+        assert_eq!(decoded, payload);
+        assert_eq!(
+            decoded.metrics.qps.to_bits(),
+            payload.metrics.qps.to_bits(),
+            "f64 fields travel as exact bit patterns"
+        );
+    }
+
+    #[test]
+    fn metrics_request_roundtrips_and_hostile_tenant_count_rejects() {
+        let mut out = Vec::new();
+        encode_metrics_request(&mut out, Some(3));
+        let mut codec = FrameCodec::new();
+        codec.feed(&out);
+        let frame = codec.next_frame().expect("frame").expect("valid");
+        assert!(matches!(
+            decode_request(&frame),
+            Ok(BinRequest::Metrics { id: Some(3) })
+        ));
+        // A hostile tenant count far beyond the payload must fail
+        // Truncated before allocating.
+        let mut bad = Vec::new();
+        write_frame(&mut bad, OP_RESP_METRICS, |p| {
+            put_opt_u64(p, None);
+            p.push(1);
+            for _ in 0..4 {
+                put_f64(p, 0.0);
+            }
+            p.push(0); // p50 absent
+            p.push(0); // p99 absent
+            for _ in 0..5 {
+                put_u64(p, 0);
+            }
+            put_u32(p, u32::MAX); // hostile tenant count
+        });
+        let mut codec = FrameCodec::new();
+        codec.feed(&bad);
+        let frame = codec.next_frame().expect("frame").expect("CRC valid");
+        assert!(matches!(
+            decode_metrics_response(&frame),
+            Err(BinError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -28,7 +28,9 @@
 
 use std::collections::VecDeque;
 
-use super::{bin, complete, emit_response, Staged};
+use qross::serve::ServeObs;
+
+use super::{bin, emit_metrics, emit_pending, emit_response, Staged};
 
 /// Longest accepted request line (bytes, newline excluded). A client
 /// streaming one endless line used to grow the read buffer without
@@ -348,37 +350,64 @@ impl ResponseEmitter {
 
     /// Appends every head-of-line-complete response to `out` (one NDJSON
     /// line or QBIN frame each) without blocking; returns how many
-    /// responses were emitted.
+    /// responses were emitted. `serve_obs` is the engine's observability
+    /// handle (`engine.obs()`): emitting an engine-served response
+    /// records its encode stage and offers the finished span to the
+    /// slowest-request trace log.
     ///
     /// # Errors
     ///
     /// Serialization failure only (cannot happen for the fixed response
     /// schema).
-    pub fn pump(&mut self, wire: WireFormat, out: &mut Vec<u8>) -> std::io::Result<usize> {
+    pub fn pump(
+        &mut self,
+        serve_obs: &ServeObs,
+        wire: WireFormat,
+        out: &mut Vec<u8>,
+    ) -> std::io::Result<usize> {
         let mut emitted = 0usize;
         while let Some(front) = self.queue.front_mut() {
             match front {
-                Staged::Pending { pending, .. } => match pending.try_wait() {
+                Staged::Pending { pending, .. } => match pending.try_wait_spanned() {
                     None => break,
-                    Some(outcome) => {
-                        let Some(Staged::Pending { head, a_values, .. }) = self.queue.pop_front()
+                    Some((span, outcome)) => {
+                        let Some(Staged::Pending {
+                            head,
+                            a_values,
+                            op,
+                            tenant,
+                            ..
+                        }) = self.queue.pop_front()
                         else {
                             unreachable!("front was Pending");
                         };
-                        let response = complete(head, a_values, outcome);
-                        emit_response(&response, wire, &mut self.scratch, out)?;
+                        emit_pending(
+                            serve_obs,
+                            op,
+                            &tenant,
+                            span,
+                            head,
+                            a_values,
+                            outcome,
+                            wire,
+                            &mut self.scratch,
+                            out,
+                        )?;
                     }
                 },
-                Staged::Ready(_) | Staged::Raw(_) => {
+                Staged::Ready(_) | Staged::Raw(_) | Staged::Metrics(_) => {
                     match self.queue.pop_front().expect("front exists") {
                         Staged::Ready(response) => {
                             emit_response(&response, wire, &mut self.scratch, out)?;
                         }
                         Staged::Raw(line) => {
-                            // Pre-serialized NDJSON (`metrics`) — the op
+                            // Pre-serialized NDJSON (`trace`) — the op
                             // is not reachable over QBIN.
                             out.extend_from_slice(line.as_bytes());
                             out.push(b'\n');
+                        }
+                        Staged::Metrics(payload) => {
+                            emit_metrics(&payload, wire, &mut self.scratch, out)?;
                         }
                         Staged::Pending { .. } => unreachable!("front was not Pending"),
                     }

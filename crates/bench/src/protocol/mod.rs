@@ -68,11 +68,17 @@
 //! * `refresh` — force a retrain/hot-swap now (the operator's refresh
 //!   button); same completion ordering as a triggering `feedback`.
 //! * `metrics` — a point-in-time engine metrics snapshot (qps, p50/p99
-//!   latency, batch occupancy, cache hit rate, per-tenant rejects,
-//!   generation). Unlike every other response it is *not* deterministic
-//!   across replays (it reports wall-clock rates), so it has its own
-//!   response schema ([`MetricsResponse`]) and never appears in the CI
-//!   byte-diff fixtures.
+//!   latency, batch occupancy, cache hit rate, per-tenant rejects split
+//!   by reason, generation). Unlike every other response it is *not*
+//!   deterministic across replays (it reports wall-clock rates), so it
+//!   has its own response schema ([`MetricsResponse`]) and never appears
+//!   in the CI byte-diff fixtures. Served on both wires: NDJSON op
+//!   `metrics` and QBIN op `0x06` ([`bin::OP_METRICS`]).
+//! * `trace` — the engine's bounded slowest-request log
+//!   ([`TraceResponse`]): per-request trace IDs with the
+//!   decode/queue/batch/forward/cache/encode latency breakdown. Like
+//!   `metrics` it is wall-clock-dependent and excluded from byte-diffs;
+//!   NDJSON-only.
 //!
 //! Any request may carry an optional `tenant` string: the engine's
 //! admission control (per-tenant quotas, weighted fair queueing) accounts
@@ -112,7 +118,7 @@ use std::sync::mpsc;
 use problems::tsplib::parse_tsplib;
 use problems::{InstanceData, TspEncoding};
 use qross::online::FeedbackRecord;
-use qross::serve::{CompletionNotify, PendingPrediction, ServeEngine};
+use qross::serve::{CompletionNotify, PendingPrediction, ServeEngine, ServeObs};
 use qross::surrogate::SurrogatePrediction;
 use serde::{Deserialize, Serialize};
 
@@ -273,6 +279,10 @@ pub struct TenantMetricsOut {
     pub requests: u64,
     pub rows: u64,
     pub rejected: u64,
+    /// rejections because this tenant's own row quota was full
+    pub rejected_quota: u64,
+    /// rejections because the global queue capacity was full
+    pub rejected_capacity: u64,
     pub pending_rows: u64,
 }
 
@@ -296,6 +306,10 @@ pub struct MetricsOut {
     pub queue_depth: u64,
     /// total rejected requests (tenant quotas + global capacity)
     pub rejected: u64,
+    /// rejections because a tenant's own row quota was full
+    pub rejected_quota: u64,
+    /// rejections because the global queue capacity was full
+    pub rejected_capacity: u64,
     pub tenants: Vec<TenantMetricsOut>,
 }
 
@@ -313,6 +327,41 @@ pub struct MetricsResponse {
     pub metrics: MetricsOut,
 }
 
+/// One entry of a [`TraceResponse`]: a slow request's identity and its
+/// per-stage latency breakdown, nanoseconds per pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntryOut {
+    /// the request's trace ID, minted at decode
+    pub trace_id: u64,
+    /// request op (`predict` | `tsp` | `instance`)
+    pub op: String,
+    /// tenant the request was admitted under (empty = default)
+    pub tenant: String,
+    /// sum of the stage durations below
+    pub total_ns: u64,
+    pub decode_ns: u64,
+    pub queue_ns: u64,
+    pub batch_ns: u64,
+    pub forward_ns: u64,
+    pub cache_ns: u64,
+    pub encode_ns: u64,
+}
+
+/// The `trace` op's response line: the engine's bounded
+/// keep-the-N-slowest request log, slowest first. Wall-clock-dependent
+/// like [`MetricsResponse`], so it shares that schema's exclusion from
+/// every byte-diff fixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceResponse {
+    /// the request's `id`, echoed
+    pub id: Option<u64>,
+    pub ok: bool,
+    /// the N in keep-the-N-slowest
+    pub capacity: u64,
+    /// retained entries, slowest first
+    pub entries: Vec<TraceEntryOut>,
+}
+
 /// A request that has been validated and (when it needs the engine)
 /// submitted, but whose response may not be computed yet. Staging is
 /// cheap; the expensive part rides on the engine's worker pool, so a
@@ -322,9 +371,13 @@ pub struct MetricsResponse {
 pub enum Staged {
     /// response already complete (errors, `info`)
     Ready(Box<Response>),
-    /// a pre-serialized response line (`metrics` — its schema is not
-    /// [`Response`], see [`MetricsResponse`])
+    /// a pre-serialized response line (`trace` — its schema is not
+    /// [`Response`], and the op is NDJSON-only)
     Raw(String),
+    /// a metrics snapshot, serialized at emit in the connection's wire
+    /// format — an NDJSON [`MetricsResponse`] line or a QBIN metrics
+    /// frame ([`bin::OP_RESP_METRICS`])
+    Metrics(Box<MetricsResponse>),
     /// engine-served predictions still in flight
     Pending {
         /// response skeleton: everything but `predictions`
@@ -333,6 +386,10 @@ pub enum Staged {
         a_values: Vec<f64>,
         /// the engine's response handle
         pending: PendingPrediction,
+        /// op name, trace-log attribution only
+        op: &'static str,
+        /// tenant label, trace-log attribution only
+        tenant: String,
     },
 }
 
@@ -350,6 +407,7 @@ pub fn stage_opts(
     line: &str,
     notify: Option<CompletionNotify>,
 ) -> Option<Staged> {
+    let sw = obs::Stopwatch::start();
     let line = line.trim();
     if line.is_empty() {
         return None;
@@ -365,6 +423,11 @@ pub fn stage_opts(
     };
     let id = request.id;
     let tenant = request.tenant.clone();
+    // The span is minted at decode: the JSON parse above is the
+    // request's decode stage. Ops that never reach the engine simply
+    // drop it — a span is `Copy` and records nothing on its own.
+    let mut span = obs::Span::begin();
+    span.record(obs::Stage::Decode, sw.elapsed_ns());
     let staged = match request.op.as_deref() {
         Some("info") | Some("model-info") => Staged::Ready(Box::new(Response {
             id,
@@ -373,6 +436,7 @@ pub fn stage_opts(
             ..Default::default()
         })),
         Some("metrics") => stage_metrics(engine, id),
+        Some("trace") => stage_trace(engine, id),
         Some("feedback") => stage_feedback(engine, id, &request),
         Some("refresh") => stage_refresh(engine, id),
         Some("predict") => {
@@ -400,6 +464,8 @@ pub fn stage_opts(
                 features,
                 a_values,
                 notify,
+                "predict",
+                span,
             )
         }
         Some("tsp") => stage_tsp(
@@ -410,6 +476,7 @@ pub fn stage_opts(
             request.a,
             request.a_values,
             notify,
+            span,
         ),
         Some("instance") | Some("solve") => stage_instance(
             engine,
@@ -421,10 +488,12 @@ pub fn stage_opts(
             request.a,
             request.a_values,
             notify,
+            span,
         ),
         // The op list in this message is frozen: the committed
         // error-replay fixtures byte-diff against it, so later ops
-        // (`metrics`) are documented in README/ARTIFACTS instead.
+        // (`metrics`, `trace`) are documented in README/ARTIFACTS
+        // instead.
         Some(other) => Staged::Ready(Box::new(Response::err(
             id,
             format!(
@@ -437,11 +506,12 @@ pub fn stage_opts(
     Some(staged)
 }
 
-/// The `metrics` op: snapshot the engine and pre-serialize the line (its
-/// schema is [`MetricsResponse`], not [`Response`]).
+/// The `metrics` op, either wire: snapshot the engine into the
+/// [`MetricsResponse`] schema; serialization happens at emit, per the
+/// connection's wire format.
 fn stage_metrics(engine: &ServeEngine, id: Option<u64>) -> Staged {
     let m = engine.metrics();
-    let payload = MetricsResponse {
+    Staged::Metrics(Box::new(MetricsResponse {
         id,
         ok: true,
         metrics: MetricsOut {
@@ -454,6 +524,8 @@ fn stage_metrics(engine: &ServeEngine, id: Option<u64>) -> Staged {
             generation: m.generation,
             queue_depth: m.queue_depth as u64,
             rejected: m.rejected,
+            rejected_quota: m.rejected_quota,
+            rejected_capacity: m.rejected_capacity,
             tenants: m
                 .tenants
                 .into_iter()
@@ -464,16 +536,46 @@ fn stage_metrics(engine: &ServeEngine, id: Option<u64>) -> Staged {
                     requests: t.requests,
                     rows: t.rows,
                     rejected: t.rejected,
+                    rejected_quota: t.rejected_quota,
+                    rejected_capacity: t.rejected_capacity,
                     pending_rows: t.pending_rows as u64,
                 })
                 .collect(),
         },
+    }))
+}
+
+/// The `trace` op (NDJSON-only): dump the engine's keep-the-N-slowest
+/// request log with per-stage latency breakdowns, pre-serialized (its
+/// schema is [`TraceResponse`], not [`Response`]).
+fn stage_trace(engine: &ServeEngine, id: Option<u64>) -> Staged {
+    let log = engine.obs().trace_log();
+    let payload = TraceResponse {
+        id,
+        ok: true,
+        capacity: log.capacity() as u64,
+        entries: log
+            .snapshot()
+            .into_iter()
+            .map(|e| TraceEntryOut {
+                trace_id: e.trace_id,
+                op: e.op.to_string(),
+                tenant: e.tenant,
+                total_ns: e.total_ns,
+                decode_ns: e.stage_ns[obs::Stage::Decode as usize],
+                queue_ns: e.stage_ns[obs::Stage::Queue as usize],
+                batch_ns: e.stage_ns[obs::Stage::Batch as usize],
+                forward_ns: e.stage_ns[obs::Stage::Forward as usize],
+                cache_ns: e.stage_ns[obs::Stage::Cache as usize],
+                encode_ns: e.stage_ns[obs::Stage::Encode as usize],
+            })
+            .collect(),
     };
     match serde_json::to_string(&payload) {
         Ok(line) => Staged::Raw(line),
         Err(e) => Staged::Ready(Box::new(Response::err(
             id,
-            format!("metrics serialization failed: {e}"),
+            format!("trace serialization failed: {e}"),
         ))),
     }
 }
@@ -512,15 +614,17 @@ pub fn stage_line(
 ///
 /// Payload-level rejects (unknown op, grammar violations) become
 /// `ok: false` responses, mirroring how NDJSON treats an unknown `op` —
-/// the session keeps serving. `tsp` TSPLIB uploads and `metrics` are
-/// NDJSON-only ops by design (one is a text format, the other has a
-/// non-[`Response`] schema); instance uploads travel over QBIN through
-/// the compact `instance` op instead.
+/// the session keeps serving. `tsp` TSPLIB uploads and `trace` are
+/// NDJSON-only ops by design (one is a text format, the other a
+/// diagnostic dump); instance uploads travel over QBIN through the
+/// compact `instance` op instead, and `metrics` has its own frame pair
+/// ([`bin::OP_METRICS`] / [`bin::OP_RESP_METRICS`]).
 pub fn stage_frame(
     engine: &ServeEngine,
     frame: &bin::Frame<'_>,
     notify: Option<CompletionNotify>,
 ) -> Staged {
+    let sw = obs::Stopwatch::start();
     let request = match bin::decode_request(frame) {
         Ok(request) => request,
         Err(e) => {
@@ -532,6 +636,10 @@ pub fn stage_frame(
             )))
         }
     };
+    // Decode stage = the zero-copy payload parse above (the owning
+    // copies below are charged to decode too, via the submit wrappers'
+    // recorded span).
+    let mut span = obs::Span::begin();
     match request {
         bin::BinRequest::Predict {
             id,
@@ -546,14 +654,18 @@ pub fn stage_frame(
                 )));
             }
             let tenant = (!tenant.is_empty()).then_some(tenant);
+            let (features, a_values) = (features.to_vec(), a_values.to_vec());
+            span.record(obs::Stage::Decode, sw.elapsed_ns());
             submit(
                 engine,
                 id,
                 tenant,
                 Response::default(),
-                features.to_vec(),
-                a_values.to_vec(),
+                features,
+                a_values,
                 notify,
+                "predict",
+                span,
             )
         }
         bin::BinRequest::Info { id } => Staged::Ready(Box::new(Response {
@@ -562,6 +674,7 @@ pub fn stage_frame(
             info: Some(model_info(engine)),
             ..Default::default()
         })),
+        bin::BinRequest::Metrics { id } => stage_metrics(engine, id),
         bin::BinRequest::Feedback {
             id,
             a,
@@ -597,7 +710,9 @@ pub fn stage_frame(
                 Err(e) => return bad_request(id, e),
             };
             let tenant = (!tenant.is_empty()).then_some(tenant);
-            stage_instance_data(engine, id, tenant, family, &data, a_values.to_vec(), notify)
+            let a_values = a_values.to_vec();
+            span.record(obs::Stage::Decode, sw.elapsed_ns());
+            stage_instance_data(engine, id, tenant, family, &data, a_values, notify, span)
         }
     }
 }
@@ -650,6 +765,67 @@ fn emit_response(
             out.push(b'\n');
         }
         WireFormat::Qbin => bin::encode_response(out, response),
+    }
+    Ok(())
+}
+
+/// Serializes one [`MetricsResponse`] onto `out` in the connection's
+/// wire format — the NDJSON `metrics` line (byte-identical to a fresh
+/// `to_string`) or one QBIN metrics frame.
+///
+/// # Errors
+///
+/// As [`emit_response`].
+fn emit_metrics(
+    payload: &MetricsResponse,
+    wire: WireFormat,
+    scratch: &mut String,
+    out: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    match wire {
+        WireFormat::Ndjson => {
+            scratch.clear();
+            serde_json::to_string_into(payload, scratch)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            out.extend_from_slice(scratch.as_bytes());
+            out.push(b'\n');
+        }
+        WireFormat::Qbin => bin::encode_metrics_response(out, payload),
+    }
+    Ok(())
+}
+
+/// Completes and serializes one engine-served response — the shared
+/// emit half of the blocking writer and the event-loop emitter. The
+/// serialization is timed as the span's encode stage; the finished span
+/// then lands in the encode histogram and is offered to the engine's
+/// slowest-request trace log. All of it compiles away under `obs-off`;
+/// the emitted bytes are the same either way.
+///
+/// # Errors
+///
+/// As [`emit_response`].
+#[allow(clippy::too_many_arguments)]
+fn emit_pending(
+    serve_obs: &ServeObs,
+    op: &'static str,
+    tenant: &str,
+    mut span: obs::Span,
+    head: Box<Response>,
+    a_values: Vec<f64>,
+    outcome: Result<Vec<SurrogatePrediction>, qross::QrossError>,
+    wire: WireFormat,
+    scratch: &mut String,
+    out: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    let sw = obs::Stopwatch::start();
+    let response = complete(head, a_values, outcome);
+    emit_response(&response, wire, scratch, out)?;
+    if obs::ENABLED {
+        let encode_ns = sw.elapsed_ns();
+        span.record(obs::Stage::Encode, encode_ns);
+        serve_obs.record_stage(obs::Stage::Encode, encode_ns);
+        serve_obs.trace_log().observe(&span, op, tenant);
     }
     Ok(())
 }
@@ -770,7 +946,9 @@ fn stage_tsp(
     a: Option<f64>,
     a_values: Option<Vec<f64>>,
     notify: Option<CompletionNotify>,
+    span: obs::Span,
 ) -> Staged {
+    record_family_request("tsp");
     let snapshot = engine.model();
     let Some(trained) = snapshot.model.trained() else {
         return Staged::Ready(Box::new(Response::err(
@@ -806,7 +984,45 @@ fn stage_tsp(
         (None, Some(a)) => vec![a],
         (None, None) => Vec::new(),
     };
-    submit(engine, id, tenant, head, features, a_values, notify)
+    submit(
+        engine, id, tenant, head, features, a_values, notify, "tsp", span,
+    )
+}
+
+/// Bumps `qross_family_requests_total{family=...}` on the process-wide
+/// registry. The counter handles are resolved once per process (one
+/// `OnceLock` map over the static family registry), so the per-request
+/// cost is a `HashMap` probe and a relaxed atomic add — and nothing at
+/// all under `obs-off`.
+fn record_family_request(family: &str) {
+    if !obs::ENABLED {
+        return;
+    }
+    static FAMILY_REQUESTS: std::sync::OnceLock<
+        std::collections::HashMap<&'static str, std::sync::Arc<obs::Counter>>,
+    > = std::sync::OnceLock::new();
+    let counters = FAMILY_REQUESTS.get_or_init(|| {
+        problems::registry()
+            .iter()
+            .map(|f| {
+                let counter = obs::global().counter(
+                    obs::labeled("qross_family_requests_total", "family", f.name()),
+                    "instance uploads staged, by problem family",
+                );
+                (f.name(), counter)
+            })
+            .collect()
+    });
+    if let Some(counter) = counters.get(family) {
+        counter.inc();
+    }
+}
+
+/// Forces registration of the protocol layer's lazily-created global
+/// metrics (the per-family request counters) so a pre-traffic scrape
+/// already lists every series at zero. No-op under `obs-off`.
+pub fn register_protocol_metrics() {
+    record_family_request("");
 }
 
 /// A family-layer rejection (unknown family, malformed payload) as a
@@ -840,6 +1056,7 @@ fn stage_instance(
     a: Option<f64>,
     a_values: Option<Vec<f64>>,
     notify: Option<CompletionNotify>,
+    span: obs::Span,
 ) -> Staged {
     let Some(family_name) = family else {
         return Staged::Ready(Box::new(Response::err(id, "instance needs `family`")));
@@ -850,7 +1067,7 @@ fn stage_instance(
     };
     // The TSPLIB text path stays available through the generic op.
     if family.name() == "tsp" && instance.is_none() && tsplib.is_some() {
-        return stage_tsp(engine, id, tenant, tsplib, a, a_values, notify);
+        return stage_tsp(engine, id, tenant, tsplib, a, a_values, notify, span);
     }
     let Some(data) = instance else {
         return Staged::Ready(Box::new(Response::err(id, "instance needs `instance`")));
@@ -860,11 +1077,12 @@ fn stage_instance(
         (None, Some(a)) => vec![a],
         (None, None) => Vec::new(),
     };
-    stage_instance_data(engine, id, tenant, family, &data, a_values, notify)
+    stage_instance_data(engine, id, tenant, family, &data, a_values, notify, span)
 }
 
 /// The format-independent core of the `instance` op, shared with the
 /// QBIN frame path: decode through the family codec, featurise, submit.
+#[allow(clippy::too_many_arguments)]
 fn stage_instance_data(
     engine: &ServeEngine,
     id: Option<u64>,
@@ -873,7 +1091,9 @@ fn stage_instance_data(
     data: &InstanceData,
     a_values: Vec<f64>,
     notify: Option<CompletionNotify>,
+    span: obs::Span,
 ) -> Staged {
+    record_family_request(family.name());
     let problem = match family.decode(data) {
         Ok(problem) => problem,
         Err(e) => return bad_request(id, e),
@@ -883,12 +1103,16 @@ fn stage_instance_data(
         instance: Some(problems::RelaxableProblem::name(&problem).to_string()),
         ..Default::default()
     };
-    submit(engine, id, tenant, head, features, a_values, notify)
+    submit(
+        engine, id, tenant, head, features, a_values, notify, "instance", span,
+    )
 }
 
 /// Pushes validated work into the engine; engine-side rejections
 /// (width/finiteness checks, quotas, backpressure) become `ok: false`
-/// responses.
+/// responses. The request's span (decode already recorded) rides into
+/// the engine, which fills in queue/batch/forward/cache and hands it
+/// back with the completion.
 #[allow(clippy::too_many_arguments)]
 fn submit(
     engine: &ServeEngine,
@@ -898,14 +1122,23 @@ fn submit(
     features: Vec<f64>,
     a_values: Vec<f64>,
     notify: Option<CompletionNotify>,
+    op: &'static str,
+    span: obs::Span,
 ) -> Staged {
-    match engine.submit_opts(tenant, features, a_values.clone(), notify) {
+    if obs::ENABLED {
+        engine
+            .obs()
+            .record_stage(obs::Stage::Decode, span.stage_ns(obs::Stage::Decode));
+    }
+    match engine.submit_spanned(tenant, features, a_values.clone(), notify, span) {
         Ok(pending) => {
             head.id = id;
             Staged::Pending {
                 head: Box::new(head),
                 a_values,
                 pending,
+                op,
+                tenant: tenant.unwrap_or("").to_string(),
             }
         }
         Err(e) => {
@@ -965,10 +1198,13 @@ pub fn render(staged: Staged) -> std::io::Result<String> {
     match staged {
         Staged::Ready(response) => render_response(&response),
         Staged::Raw(line) => Ok(line),
+        Staged::Metrics(payload) => serde_json::to_string(payload.as_ref())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
         Staged::Pending {
             head,
             a_values,
             pending,
+            ..
         } => render_response(&complete(head, a_values, pending.wait())),
     }
 }
@@ -1078,21 +1314,33 @@ where
             match staged {
                 Staged::Ready(response) => emit_response(&response, wire, &mut scratch, &mut out)?,
                 Staged::Raw(line) => {
-                    // Pre-serialized NDJSON (`metrics`) — not reachable
+                    // Pre-serialized NDJSON (`trace`) — not reachable
                     // over QBIN.
                     out.extend_from_slice(line.as_bytes());
                     out.push(b'\n');
                 }
+                Staged::Metrics(payload) => emit_metrics(&payload, wire, &mut scratch, &mut out)?,
                 Staged::Pending {
                     head,
                     a_values,
                     pending,
-                } => emit_response(
-                    &complete(head, a_values, pending.wait()),
-                    wire,
-                    &mut scratch,
-                    &mut out,
-                )?,
+                    op,
+                    tenant,
+                } => {
+                    let (span, outcome) = pending.wait_spanned();
+                    emit_pending(
+                        engine.obs(),
+                        op,
+                        &tenant,
+                        span,
+                        head,
+                        a_values,
+                        outcome,
+                        wire,
+                        &mut scratch,
+                        &mut out,
+                    )?;
+                }
             }
             writer.write_all(&out)?;
             writer.flush()

@@ -54,7 +54,7 @@ pub mod surrogate;
 pub use features::{FeatureExtractor, FeaturizerSpec, RandomGcnFeaturizer, StatisticalFeaturizer};
 pub use online::{FeedbackRecord, LineageHeader, OnlineConfig, ReplayBuffer, SurrogateCheckpoint};
 pub use pipeline::{CollectedCorpus, QrossBundle};
-pub use serve::{ServeConfig, ServeEngine, ServeModel, ServeStats, VersionedModel};
+pub use serve::{ServeConfig, ServeEngine, ServeModel, ServeObs, ServeStats, VersionedModel};
 pub use surrogate::{PredictScratch, Surrogate, SurrogatePrediction};
 
 /// Errors from the QROSS pipeline.

@@ -249,98 +249,186 @@ pub struct ServeStats {
     /// forward-pass batches executed by workers
     pub batches: usize,
     /// requests rejected with [`QrossError::Overloaded`]
+    /// (`rejected_quota + rejected_capacity`)
     pub rejected: usize,
+    /// requests rejected because the tenant's own row quota was full
+    pub rejected_quota: usize,
+    /// requests rejected because the global queue capacity was full
+    pub rejected_capacity: usize,
     /// feedback records accepted ([`ServeEngine::submit_feedback`])
     pub feedback: usize,
     /// successful retrain/hot-swap cycles
     pub refreshes: usize,
 }
 
-/// Number of log₂ latency buckets: bucket `i` counts requests whose
-/// submit→answer latency fell in `[2^i, 2^(i+1))` nanoseconds. 48 buckets
-/// span ~1ns to ~3.2 days — everything a serving process can observe.
-const LATENCY_BUCKETS: usize = 48;
+/// How many slow requests the engine's trace ring retains for the
+/// `trace` protocol op (the N slowest since start, by total span time).
+const TRACE_CAPACITY: usize = 64;
 
-/// Log-bucketed request-latency histogram. Recording is one relaxed
-/// atomic increment — lock-free, wait-free, safe from any worker thread —
-/// and quantile reads fold the bucket counts without stopping writers
-/// (a racing snapshot may be off by the handful of in-flight increments,
-/// which is noise at metrics time scales).
-#[derive(Debug)]
-struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn record(&self, nanos: u64) {
-        // floor(log2(nanos)), with 0 mapped to bucket 0.
-        let bucket = (63 - (nanos | 1).leading_zeros()) as usize;
-        self.buckets[bucket.min(LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The latency (µs) at quantile `q` (0..=1): the geometric midpoint
-    /// of the first bucket whose cumulative count reaches `q`·total.
-    /// `None` when nothing has been recorded yet.
-    fn quantile_us(&self, q: f64) -> Option<f64> {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let rank = (q * total as f64).ceil().max(1.0) as u64;
-        let mut cumulative = 0u64;
-        for (i, &count) in counts.iter().enumerate() {
-            cumulative += count;
-            if cumulative >= rank {
-                // Geometric midpoint of [2^i, 2^(i+1)) ns: 2^(i+0.5).
-                let mid_ns = 2f64.powf(i as f64 + 0.5);
-                return Some(mid_ns / 1_000.0);
-            }
-        }
-        None
-    }
-}
-
-#[derive(Debug, Default)]
-struct StatCounters {
-    requests: AtomicU64,
-    rows: AtomicU64,
-    cache_hits: AtomicU64,
-    batches: AtomicU64,
+/// The engine's observability bundle: a per-engine [`obs::Registry`]
+/// (engine-owned so parallel engines and tests never share counters),
+/// the registered handles the hot paths record through, and the
+/// keep-the-slowest trace log behind the `trace` op.
+///
+/// Recording is lock-free (sharded relaxed atomics); under the `obs-off`
+/// feature every recording call compiles to a no-op and
+/// [`ServeEngine::metrics`] degrades to zeros. Response *bytes* are
+/// identical either way — CI replays the committed request mixes against
+/// both builds and diffs them.
+pub struct ServeObs {
+    registry: Arc<obs::Registry>,
+    trace_log: Arc<obs::TraceLog>,
+    requests: Arc<obs::Counter>,
+    rows: Arc<obs::Counter>,
+    cache_hits: Arc<obs::Counter>,
+    batches: Arc<obs::Counter>,
     /// rows answered by a worker forward pass (excludes cache hits) —
     /// `batched_rows / batches` is the mean batch occupancy
-    batched_rows: AtomicU64,
-    rejected: AtomicU64,
-    feedback: AtomicU64,
-    refreshes: AtomicU64,
+    batched_rows: Arc<obs::Counter>,
+    rejected_quota: Arc<obs::Counter>,
+    rejected_capacity: Arc<obs::Counter>,
+    feedback: Arc<obs::Counter>,
+    refreshes: Arc<obs::Counter>,
     /// submit→answer latency of every accepted request
-    latency: LatencyHistogram,
+    latency: Arc<obs::Histogram>,
+    /// per-[`obs::Stage`] latency breakdown, [`obs::Stage::ALL`] order
+    stage: [Arc<obs::Histogram>; obs::STAGES],
+    queue_depth: Arc<obs::Gauge>,
+    generation: Arc<obs::Gauge>,
+    retrain_ns: Arc<obs::Histogram>,
+    swap_ns: Arc<obs::Histogram>,
+    replay_depth: Arc<obs::Gauge>,
 }
 
-impl StatCounters {
-    fn snapshot(&self) -> ServeStats {
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed) as usize;
-        ServeStats {
-            requests: get(&self.requests),
-            rows: get(&self.rows),
-            cache_hits: get(&self.cache_hits),
-            batches: get(&self.batches),
-            rejected: get(&self.rejected),
-            feedback: get(&self.feedback),
-            refreshes: get(&self.refreshes),
+impl ServeObs {
+    /// Registers the engine's full metric set on a fresh registry, so the
+    /// exposition schema is stable from the first scrape (metrics appear
+    /// at zero, not on first use).
+    pub fn new() -> Self {
+        let registry = Arc::new(obs::Registry::new());
+        let r = &registry;
+        let stage = obs::Stage::ALL.map(|s| {
+            r.histogram(
+                obs::labeled("qross_serve_stage_ns", "stage", s.name()),
+                "per-stage request latency breakdown (ns)",
+            )
+        });
+        ServeObs {
+            requests: r.counter("qross_serve_requests_total", "requests accepted"),
+            rows: r.counter("qross_serve_rows_total", "prediction rows answered"),
+            cache_hits: r.counter(
+                "qross_serve_cache_hits_total",
+                "rows answered from the prediction cache",
+            ),
+            batches: r.counter(
+                "qross_serve_batches_total",
+                "worker forward-pass batches executed",
+            ),
+            batched_rows: r.counter(
+                "qross_serve_batched_rows_total",
+                "rows answered by worker forward passes (cache hits excluded)",
+            ),
+            rejected_quota: r.counter(
+                obs::labeled("qross_serve_rejected_total", "reason", "quota"),
+                "requests rejected, by reason (tenant quota vs global capacity)",
+            ),
+            rejected_capacity: r.counter(
+                obs::labeled("qross_serve_rejected_total", "reason", "capacity"),
+                "requests rejected, by reason (tenant quota vs global capacity)",
+            ),
+            feedback: r.counter(
+                "qross_online_feedback_total",
+                "feedback records accepted by the online loop",
+            ),
+            refreshes: r.counter(
+                "qross_online_refreshes_total",
+                "successful retrain/hot-swap cycles (generation installs)",
+            ),
+            latency: r.histogram(
+                "qross_serve_latency_ns",
+                "submit-to-answer latency of accepted requests (ns)",
+            ),
+            stage,
+            queue_depth: r.gauge(
+                "qross_serve_queue_depth_rows",
+                "rows currently queued across all tenants",
+            ),
+            generation: r.gauge(
+                "qross_serve_model_generation",
+                "model generation currently serving new requests",
+            ),
+            retrain_ns: r.histogram(
+                "qross_online_retrain_ns",
+                "online retrain duration, merge through checkpoint and swap (ns)",
+            ),
+            swap_ns: r.histogram(
+                "qross_online_swap_ns",
+                "model hot-swap critical section (ns)",
+            ),
+            replay_depth: r.gauge(
+                "qross_online_replay_depth_rows",
+                "replay-buffer records retained",
+            ),
+            trace_log: Arc::new(obs::TraceLog::new(TRACE_CAPACITY)),
+            registry,
         }
+    }
+
+    /// The engine's metric registry — exposition renders it alongside
+    /// [`obs::global()`] (which holds the solver-kernel metrics).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
+    }
+
+    /// The keep-the-slowest request log the `trace` op dumps.
+    pub fn trace_log(&self) -> &Arc<obs::TraceLog> {
+        &self.trace_log
+    }
+
+    /// Records `ns` into the per-stage histogram for `stage`. The wire
+    /// layer calls this for decode/encode (it owns those stages' clocks);
+    /// the engine records the interior stages itself.
+    pub fn record_stage(&self, stage: obs::Stage, ns: u64) {
+        self.stage[stage as usize].record(ns);
+    }
+
+    /// Folds a finished request's span into the engine-interior stage
+    /// histograms (queue/batch/forward/cache — decode/encode belong to
+    /// the wire layer).
+    fn record_engine_stages(&self, span: &obs::Span) {
+        if !obs::ENABLED {
+            return;
+        }
+        for stage in [
+            obs::Stage::Queue,
+            obs::Stage::Batch,
+            obs::Stage::Forward,
+            obs::Stage::Cache,
+        ] {
+            self.stage[stage as usize].record(span.stage_ns(stage));
+        }
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        let quota = self.rejected_quota.get() as usize;
+        let capacity = self.rejected_capacity.get() as usize;
+        ServeStats {
+            requests: self.requests.get() as usize,
+            rows: self.rows.get() as usize,
+            cache_hits: self.cache_hits.get() as usize,
+            batches: self.batches.get() as usize,
+            rejected: quota + capacity,
+            rejected_quota: quota,
+            rejected_capacity: capacity,
+            feedback: self.feedback.get() as usize,
+            refreshes: self.refreshes.get() as usize,
+        }
+    }
+}
+
+impl Default for ServeObs {
+    fn default() -> Self {
+        ServeObs::new()
     }
 }
 
@@ -505,8 +593,11 @@ struct Job {
     results: Vec<Option<SurrogatePrediction>>,
     model: Arc<VersionedModel>,
     submitted: Instant,
+    /// the request's trace span, accumulated through the pipeline and
+    /// returned to the submitter alongside the result
+    span: obs::Span,
     notify: Option<CompletionNotify>,
-    tx: mpsc::Sender<Result<Vec<SurrogatePrediction>, QrossError>>,
+    tx: mpsc::Sender<(obs::Span, Result<Vec<SurrogatePrediction>, QrossError>)>,
 }
 
 impl Job {
@@ -514,17 +605,20 @@ impl Job {
         self.results.iter().filter(|r| r.is_none()).count()
     }
 
-    fn finish(self, stats: &StatCounters) {
+    fn finish(self, serve_obs: &ServeObs) {
         let out: Vec<SurrogatePrediction> = self
             .results
             .into_iter()
             .map(|r| r.expect("all slots computed"))
             .collect();
-        stats
-            .latency
-            .record(self.submitted.elapsed().as_nanos() as u64);
+        if obs::ENABLED {
+            serve_obs
+                .latency
+                .record(self.submitted.elapsed().as_nanos() as u64);
+            serve_obs.record_engine_stages(&self.span);
+        }
         // A dropped receiver just means the client went away; ignore.
-        let _ = self.tx.send(Ok(out));
+        let _ = self.tx.send((self.span, Ok(out)));
         // Wake the submitter's event loop (if any) only after the result
         // is deliverable: a woken poller must find the response ready.
         if let Some(notify) = self.notify {
@@ -551,7 +645,15 @@ struct TenantQueue {
     // -- per-tenant counters (mutated under the queue lock) --
     requests: u64,
     rows: u64,
-    rejected: u64,
+    rejected_quota: u64,
+    rejected_capacity: u64,
+}
+
+impl TenantQueue {
+    /// Total rejections (both reasons).
+    fn rejected(&self) -> u64 {
+        self.rejected_quota + self.rejected_capacity
+    }
 }
 
 /// The tenant-aware job queue. A tenant with queued jobs sits in the
@@ -610,7 +712,8 @@ impl Queue {
             queued: false,
             requests: 0,
             rows: 0,
-            rejected: 0,
+            rejected_quota: 0,
+            rejected_capacity: 0,
         });
         self.by_name.insert(name.to_string(), idx);
         idx
@@ -781,7 +884,7 @@ struct Shared {
     queue: Mutex<Queue>,
     work_ready: Condvar,
     cache: Mutex<LruCache>,
-    stats: StatCounters,
+    obs: ServeObs,
     online: Option<OnlineShared>,
 }
 
@@ -811,6 +914,7 @@ impl Shared {
         features: Vec<f64>,
         a_values: Vec<f64>,
         notify: Option<CompletionNotify>,
+        mut span: obs::Span,
     ) -> Result<PendingPrediction, QrossError> {
         let expect = self.feature_dim;
         if features.len() != expect {
@@ -837,10 +941,10 @@ impl Shared {
         // tenant registry.
         let total_rows = a_values.len() as u64;
         let accept = |hits: u64| {
-            self.stats.requests.fetch_add(1, Ordering::Relaxed);
-            self.stats.rows.fetch_add(total_rows, Ordering::Relaxed);
+            self.obs.requests.inc();
+            self.obs.rows.add(total_rows);
             if hits > 0 {
-                self.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
+                self.obs.cache_hits.add(hits);
             }
         };
         let accept_tenant = |q: &mut Queue, idx: usize| {
@@ -854,8 +958,9 @@ impl Shared {
             let idx = q.tenant_index(tenant, &self.policy);
             accept_tenant(&mut q, idx);
             drop(q);
-            self.stats.latency.record(0);
-            let _ = tx.send(Ok(Vec::new()));
+            self.obs.latency.record(0);
+            self.obs.record_engine_stages(&span);
+            let _ = tx.send((span, Ok(Vec::new())));
             if let Some(notify) = notify {
                 notify();
             }
@@ -871,6 +976,7 @@ impl Shared {
         let mut results: Vec<Option<SurrogatePrediction>> = vec![None; a_values.len()];
         let mut hits = 0u64;
         if self.config.cache_capacity > 0 {
+            let sw = obs::Stopwatch::start();
             let mut cache = lock(&self.cache);
             for (slot, &a) in a_values.iter().enumerate() {
                 if let Some(hit) = cache.get(&cache_key(model.generation, &features, a)) {
@@ -878,6 +984,8 @@ impl Shared {
                     hits += 1;
                 }
             }
+            drop(cache);
+            span.record(obs::Stage::Cache, sw.elapsed_ns());
         }
 
         let job = Job {
@@ -886,6 +994,7 @@ impl Shared {
             results,
             model,
             submitted,
+            span,
             notify,
             tx,
         };
@@ -896,7 +1005,7 @@ impl Shared {
             let idx = q.tenant_index(tenant, &self.policy);
             accept_tenant(&mut q, idx);
             drop(q);
-            job.finish(&self.stats);
+            job.finish(&self.obs);
             return Ok(PendingPrediction { rx });
         }
         if pending > self.config.queue_capacity {
@@ -918,13 +1027,13 @@ impl Shared {
             // backpressure, never unbounded buffering).
             let quota = q.tenants[idx].class.quota_rows;
             if quota > 0 && q.tenants[idx].pending_rows + pending > quota {
-                q.tenants[idx].rejected += 1;
-                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                q.tenants[idx].rejected_quota += 1;
+                self.obs.rejected_quota.inc();
                 return Err(QrossError::Overloaded { capacity: quota });
             }
             if q.pending_rows + pending > self.config.queue_capacity {
-                q.tenants[idx].rejected += 1;
-                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                q.tenants[idx].rejected_capacity += 1;
+                self.obs.rejected_capacity.inc();
                 return Err(QrossError::Overloaded {
                     capacity: self.config.queue_capacity,
                 });
@@ -943,35 +1052,45 @@ impl Shared {
     /// for observability, not for accounting.
     fn metrics(&self) -> EngineMetrics {
         let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let requests = get(&self.stats.requests);
-        let batches = get(&self.stats.batches);
-        let batched_rows = get(&self.stats.batched_rows);
-        let rows = get(&self.stats.rows);
-        let cache_hits = get(&self.stats.cache_hits);
+        let requests = self.obs.requests.get();
+        let batches = self.obs.batches.get();
+        let batched_rows = self.obs.batched_rows.get();
+        let rows = self.obs.rows.get();
+        let cache_hits = self.obs.cache_hits.get();
+        let rejected_quota = self.obs.rejected_quota.get();
+        let rejected_capacity = self.obs.rejected_capacity.get();
         let (queue_depth, tenants) = {
             let q = lock(&self.queue);
             let tenants = q
                 .tenants
                 .iter()
-                .filter(|t| t.requests > 0 || t.rejected > 0 || t.class != TenantClass::default())
+                .filter(|t| t.requests > 0 || t.rejected() > 0 || t.class != TenantClass::default())
                 .map(|t| TenantMetrics {
                     tenant: t.name.clone(),
                     weight: t.class.weight,
                     quota_rows: t.class.quota_rows,
                     requests: t.requests,
                     rows: t.rows,
-                    rejected: t.rejected,
+                    rejected: t.rejected(),
+                    rejected_quota: t.rejected_quota,
+                    rejected_capacity: t.rejected_capacity,
                     pending_rows: t.pending_rows,
                 })
                 .collect();
             (q.pending_rows, tenants)
         };
+        let generation = self.generation.load(Ordering::SeqCst);
+        // Instantaneous values are mirrored into gauges here, on the
+        // metrics/scrape path, so exposition stays current without the
+        // hot path maintaining them.
+        self.obs.queue_depth.set(queue_depth as i64);
+        self.obs.generation.set(generation as i64);
+        let latency = self.obs.latency.snapshot();
         EngineMetrics {
             uptime_secs: uptime,
             qps: requests as f64 / uptime,
-            latency_p50_us: self.stats.latency.quantile_us(0.50),
-            latency_p99_us: self.stats.latency.quantile_us(0.99),
+            latency_p50_us: latency.quantile(0.50).map(|ns| ns / 1_000.0),
+            latency_p99_us: latency.quantile(0.99).map(|ns| ns / 1_000.0),
             batch_occupancy: if batches > 0 {
                 batched_rows as f64 / batches as f64
             } else {
@@ -982,9 +1101,11 @@ impl Shared {
             } else {
                 0.0
             },
-            generation: self.generation.load(Ordering::SeqCst),
+            generation,
             queue_depth,
-            rejected: get(&self.stats.rejected),
+            rejected: rejected_quota + rejected_capacity,
+            rejected_quota,
+            rejected_capacity,
             tenants,
         }
     }
@@ -1031,6 +1152,15 @@ impl Shared {
         scratch: &mut crate::surrogate::PredictScratch,
         mut batch: Vec<Job>,
     ) {
+        // Queue-wait stage: submit → drain. Measured before grouping so
+        // assembly time lands in the batch stage, not here.
+        if obs::ENABLED {
+            for job in batch.iter_mut() {
+                let waited = job.submitted.elapsed().as_nanos() as u64;
+                job.span.record(obs::Stage::Queue, waited);
+            }
+        }
+        let mut assembly = obs::Stopwatch::start();
         // (job index, slot index) per generation group, in deterministic
         // job/slot order within each group.
         type GenGroup = (Arc<VersionedModel>, Vec<(usize, usize)>);
@@ -1048,17 +1178,25 @@ impl Shared {
                 }
             }
         }
+        if obs::ENABLED {
+            let assembly_ns = assembly.lap();
+            for job in batch.iter_mut() {
+                job.span.record(obs::Stage::Batch, assembly_ns);
+            }
+        }
         for (model, index) in &groups {
             let queries: Vec<(&[f64], f64)> = index
                 .iter()
                 .map(|&(j, slot)| (batch[j].features.as_slice(), batch[j].a_values[slot]))
                 .collect();
+            let sw = obs::Stopwatch::start();
             let predictions = model.model.surrogate().predict_many_with(scratch, &queries);
-            self.stats.batches.fetch_add(1, Ordering::Relaxed);
-            self.stats
-                .batched_rows
-                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            let forward_ns = sw.elapsed_ns();
+            self.obs.batches.inc();
+            self.obs.batched_rows.add(queries.len() as u64);
+            let mut cache_ns = 0u64;
             if self.config.cache_capacity > 0 {
+                let sw = obs::Stopwatch::start();
                 let mut cache = lock(&self.cache);
                 for (&(j, slot), &p) in index.iter().zip(&predictions) {
                     cache.insert(
@@ -1070,13 +1208,28 @@ impl Shared {
                         p,
                     );
                 }
+                drop(cache);
+                cache_ns = sw.elapsed_ns();
             }
             for (&(j, slot), &p) in index.iter().zip(&predictions) {
                 batch[j].results[slot] = Some(p);
             }
+            if obs::ENABLED {
+                // Attribute this group's forward/cache time to each job
+                // that contributed rows, once per job (the index is in
+                // non-decreasing job order by construction).
+                let mut last_j = usize::MAX;
+                for &(j, _) in index {
+                    if j != last_j {
+                        batch[j].span.record(obs::Stage::Forward, forward_ns);
+                        batch[j].span.record(obs::Stage::Cache, cache_ns);
+                        last_j = j;
+                    }
+                }
+            }
         }
         for job in batch {
-            job.finish(&self.stats);
+            job.finish(&self.obs);
         }
     }
 
@@ -1163,13 +1316,14 @@ impl Shared {
             } else {
                 None
             };
+            self.obs.replay_depth.set(st.buffer.len() as i64);
             FeedbackAck {
                 feedback_count: st.feedback_count,
                 buffer_len: st.buffer.len(),
                 refresh: pending,
             }
         };
-        self.stats.feedback.fetch_add(1, Ordering::Relaxed);
+        self.obs.feedback.inc();
         Ok(ack)
     }
 
@@ -1219,6 +1373,7 @@ impl Shared {
     /// reloadable from disk.
     fn run_retrain(&self, job: &RetrainJob) -> Result<u64, QrossError> {
         let online = self.online.as_ref().expect("trainer only runs online");
+        let retrain_sw = obs::Stopwatch::start();
         let current = self.current_model();
         let dataset = merge_for_finetune(
             online.base.as_ref(),
@@ -1254,8 +1409,14 @@ impl Shared {
         }
         let model = swap_surrogate(&current.model, tuned)?;
         {
+            // Swap latency = the slot-lock critical section readers can
+            // actually contend on (the pointer exchange, not the
+            // fine-tune).
+            let sw = obs::Stopwatch::start();
             let mut slot = lock(&self.slot);
             *slot = Arc::new(VersionedModel { generation, model });
+            drop(slot);
+            self.obs.swap_ns.record(sw.elapsed_ns());
         }
         self.generation.store(generation, Ordering::SeqCst);
         // Entries keyed to superseded generations can never hit again
@@ -1267,7 +1428,9 @@ impl Shared {
         if self.config.cache_capacity > 0 {
             lock(&self.cache).clear();
         }
-        self.stats.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.obs.refreshes.inc();
+        self.obs.generation.set(generation as i64);
+        self.obs.retrain_ns.record(retrain_sw.elapsed_ns());
         Ok(generation)
     }
 }
@@ -1310,7 +1473,12 @@ pub struct TenantMetrics {
     pub quota_rows: usize,
     pub requests: u64,
     pub rows: u64,
+    /// total rejections (`rejected_quota + rejected_capacity`)
     pub rejected: u64,
+    /// rejections because this tenant's own row quota was full
+    pub rejected_quota: u64,
+    /// rejections because the global queue capacity was full
+    pub rejected_capacity: u64,
     pub pending_rows: usize,
 }
 
@@ -1335,6 +1503,10 @@ pub struct EngineMetrics {
     pub queue_depth: usize,
     /// total rejected requests (quota + global capacity)
     pub rejected: u64,
+    /// rejections because a tenant's own row quota was full
+    pub rejected_quota: u64,
+    /// rejections because the global queue capacity was full
+    pub rejected_capacity: u64,
     /// tenants that have seen traffic or carry a non-default class
     pub tenants: Vec<TenantMetrics>,
 }
@@ -1342,7 +1514,7 @@ pub struct EngineMetrics {
 /// A response handle returned by [`ServeEngine::submit`].
 #[derive(Debug)]
 pub struct PendingPrediction {
-    rx: mpsc::Receiver<Result<Vec<SurrogatePrediction>, QrossError>>,
+    rx: mpsc::Receiver<(obs::Span, Result<Vec<SurrogatePrediction>, QrossError>)>,
 }
 
 impl PendingPrediction {
@@ -1353,10 +1525,27 @@ impl PendingPrediction {
     /// Propagates the engine's error for this request, or
     /// [`QrossError::Serve`] if the worker holding it died.
     pub fn wait(self) -> Result<Vec<SurrogatePrediction>, QrossError> {
-        self.rx.recv().unwrap_or_else(|_| {
-            Err(QrossError::Serve {
-                message: "worker disconnected before answering".to_string(),
+        self.rx
+            .recv()
+            .map(|(_, result)| result)
+            .unwrap_or_else(|_| {
+                Err(QrossError::Serve {
+                    message: "worker disconnected before answering".to_string(),
+                })
             })
+    }
+
+    /// [`PendingPrediction::wait`] plus the request's trace span, for
+    /// blocking drivers that record encode time and feed the engine's
+    /// [`obs::TraceLog`].
+    pub fn wait_spanned(self) -> (obs::Span, Result<Vec<SurrogatePrediction>, QrossError>) {
+        self.rx.recv().unwrap_or_else(|_| {
+            (
+                obs::Span::default(),
+                Err(QrossError::Serve {
+                    message: "worker disconnected before answering".to_string(),
+                }),
+            )
         })
     }
 
@@ -1366,12 +1555,25 @@ impl PendingPrediction {
     /// per request. A dead worker reports as `Some(Err(Serve))`, matching
     /// [`PendingPrediction::wait`].
     pub fn try_wait(&mut self) -> Option<Result<Vec<SurrogatePrediction>, QrossError>> {
+        self.try_wait_spanned().map(|(_, result)| result)
+    }
+
+    /// [`PendingPrediction::try_wait`] plus the request's trace span as
+    /// the engine finished it (queue/batch/forward/cache stages filled
+    /// in). The wire layer adds its encode time and offers the span to
+    /// the engine's [`obs::TraceLog`].
+    pub fn try_wait_spanned(
+        &mut self,
+    ) -> Option<(obs::Span, Result<Vec<SurrogatePrediction>, QrossError>)> {
         match self.rx.try_recv() {
-            Ok(result) => Some(result),
+            Ok(answer) => Some(answer),
             Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(QrossError::Serve {
-                message: "worker disconnected before answering".to_string(),
-            })),
+            Err(mpsc::TryRecvError::Disconnected) => Some((
+                obs::Span::default(),
+                Err(QrossError::Serve {
+                    message: "worker disconnected before answering".to_string(),
+                }),
+            )),
         }
     }
 }
@@ -1575,7 +1777,7 @@ impl ServeEngine {
             started: Instant::now(),
             work_ready: Condvar::new(),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
-            stats: StatCounters::default(),
+            obs: ServeObs::new(),
             online: online_shared,
         });
         let trainer = shared.online.as_ref().map(|online| {
@@ -1633,7 +1835,14 @@ impl ServeEngine {
 
     /// Current serving counters.
     pub fn stats(&self) -> ServeStats {
-        self.shared.stats.snapshot()
+        self.shared.obs.snapshot()
+    }
+
+    /// The engine's observability bundle: its metric registry (for
+    /// Prometheus exposition), per-stage histograms (the wire layer
+    /// records decode/encode through it) and the slow-request trace log.
+    pub fn obs(&self) -> &ServeObs {
+        &self.shared.obs
     }
 
     /// Ingests one observed solver outcome. When the record is the
@@ -1680,7 +1889,8 @@ impl ServeEngine {
         features: Vec<f64>,
         a_values: Vec<f64>,
     ) -> Result<PendingPrediction, QrossError> {
-        self.shared.submit_opts(None, features, a_values, None)
+        self.shared
+            .submit_opts(None, features, a_values, None, obs::Span::begin())
     }
 
     /// [`ServeEngine::submit`] with admission options: the requesting
@@ -1700,7 +1910,24 @@ impl ServeEngine {
         a_values: Vec<f64>,
         notify: Option<CompletionNotify>,
     ) -> Result<PendingPrediction, QrossError> {
-        self.shared.submit_opts(tenant, features, a_values, notify)
+        self.shared
+            .submit_opts(tenant, features, a_values, notify, obs::Span::begin())
+    }
+
+    /// [`ServeEngine::submit_opts`] with a caller-minted [`obs::Span`]:
+    /// protocol front-ends mint the span at decode (recording the decode
+    /// stage into it) and thread it through so the per-request trace
+    /// covers the full wire-to-wire pipeline.
+    pub fn submit_spanned(
+        &self,
+        tenant: Option<&str>,
+        features: Vec<f64>,
+        a_values: Vec<f64>,
+        notify: Option<CompletionNotify>,
+        span: obs::Span,
+    ) -> Result<PendingPrediction, QrossError> {
+        self.shared
+            .submit_opts(tenant, features, a_values, notify, span)
     }
 
     /// A point-in-time metrics snapshot (the `metrics` protocol op).
@@ -1914,10 +2141,12 @@ mod tests {
             started: Instant::now(),
             work_ready: Condvar::new(),
             cache: Mutex::new(LruCache::new(0)),
-            stats: StatCounters::default(),
+            obs: ServeObs::new(),
             online: None,
         });
-        let submit = |a_values: Vec<f64>| shared.submit_opts(None, vec![0.0, 0.0], a_values, None);
+        let submit = |a_values: Vec<f64>| {
+            shared.submit_opts(None, vec![0.0, 0.0], a_values, None, obs::Span::begin())
+        };
         assert!(submit(vec![1.0, 2.0]).is_ok());
         assert!(submit(vec![1.0]).is_ok());
         // 3 rows pending == capacity: the next row must bounce.
@@ -1929,8 +2158,10 @@ mod tests {
         let err = submit(vec![1.0, 2.0, 3.0, 4.0]).unwrap_err();
         assert!(matches!(err, QrossError::BadRequest { .. }));
         // Rejections never count as accepted work.
-        let stats = shared.stats.snapshot();
+        let stats = shared.obs.snapshot();
         assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.rejected_capacity, 1);
+        assert_eq!(stats.rejected_quota, 0);
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.rows, 3);
         // Rejection is not sticky: drain one batch and submit again.
@@ -2334,7 +2565,7 @@ mod tests {
             started: Instant::now(),
             work_ready: Condvar::new(),
             cache: Mutex::new(LruCache::new(0)),
-            stats: StatCounters::default(),
+            obs: ServeObs::new(),
             online: None,
         })
     }
@@ -2353,7 +2584,13 @@ mod tests {
         };
         let shared = workerless(policy, 1024);
         let submit = |tenant: Option<&str>, rows: usize| {
-            shared.submit_opts(tenant, vec![0.0, 0.0], vec![1.0; rows], None)
+            shared.submit_opts(
+                tenant,
+                vec![0.0, 0.0],
+                vec![1.0; rows],
+                None,
+                obs::Span::begin(),
+            )
         };
         assert!(submit(Some("capped"), 2).is_ok());
         // The capped tenant's quota is exhausted; its next row bounces…
@@ -2369,9 +2606,13 @@ mod tests {
             .find(|t| t.tenant == "capped")
             .expect("capped tenant visible");
         assert_eq!(capped.rejected, 1);
+        assert_eq!(capped.rejected_quota, 1);
+        assert_eq!(capped.rejected_capacity, 0);
         assert_eq!(capped.requests, 1);
         assert_eq!(capped.pending_rows, 2);
         assert_eq!(metrics.rejected, 1);
+        assert_eq!(metrics.rejected_quota, 1);
+        assert_eq!(metrics.rejected_capacity, 0);
         assert_eq!(metrics.queue_depth, 10);
     }
 
@@ -2416,10 +2657,22 @@ mod tests {
         // Both tenants backlogged with single-row jobs.
         for _ in 0..200 {
             shared
-                .submit_opts(Some("heavy"), vec![0.0, 0.0], vec![1.0], None)
+                .submit_opts(
+                    Some("heavy"),
+                    vec![0.0, 0.0],
+                    vec![1.0],
+                    None,
+                    obs::Span::begin(),
+                )
                 .expect("heavy submit");
             shared
-                .submit_opts(Some("light"), vec![0.0, 0.0], vec![1.0], None)
+                .submit_opts(
+                    Some("light"),
+                    vec![0.0, 0.0],
+                    vec![1.0],
+                    None,
+                    obs::Span::begin(),
+                )
                 .expect("light submit");
         }
         // Drain a contended stretch; service per tenant is measured as
@@ -2474,7 +2727,13 @@ mod tests {
         let shared = workerless(TenantPolicy::default(), usize::MAX);
         for k in 0..5 {
             shared
-                .submit_opts(None, vec![k as f64, 0.0], vec![1.0], None)
+                .submit_opts(
+                    None,
+                    vec![k as f64, 0.0],
+                    vec![1.0],
+                    None,
+                    obs::Span::begin(),
+                )
                 .expect("submit");
         }
         let batch = {
@@ -2499,7 +2758,13 @@ mod tests {
         // the batch is otherwise empty — fairness never deadlocks work.
         let shared = workerless(TenantPolicy::default(), usize::MAX);
         shared
-            .submit_opts(None, vec![0.0, 0.0], vec![1.0; 64], None)
+            .submit_opts(
+                None,
+                vec![0.0, 0.0],
+                vec![1.0; 64],
+                None,
+                obs::Span::begin(),
+            )
             .expect("submit");
         let batch = {
             let mut q = lock(&shared.queue);
@@ -2511,8 +2776,14 @@ mod tests {
 
     #[test]
     fn latency_histogram_quantiles_are_log_bucket_exact() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), None);
+        // The engine's latency quantiles are served by `obs::Histogram`
+        // with the engine's historical rank rule; pin the bucket math in
+        // the µs units `EngineMetrics` reports.
+        let h = obs::Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        if !obs::ENABLED {
+            return;
+        }
         // 100 samples at ~1µs, 1 sample at ~1ms: p50 lands in the 1µs
         // bucket, p999 in the 1ms bucket. Buckets are powers of two, so
         // use exact powers to pin bucket indices.
@@ -2520,9 +2791,10 @@ mod tests {
             h.record(1 << 10); // bucket 10: [1024, 2048) ns
         }
         h.record(1 << 20); // bucket 20: [1.05, 2.10) ms
-        let p50 = h.quantile_us(0.50).expect("recorded");
+        let us = |q: f64| h.snapshot().quantile(q).expect("recorded") / 1_000.0;
+        let p50 = us(0.50);
         assert!((1.0..=2.1).contains(&p50), "p50 {p50}µs outside bucket 10");
-        let p999 = h.quantile_us(0.999).expect("recorded");
+        let p999 = us(0.999);
         assert!(
             (1000.0..=2200.0).contains(&p999),
             "p999 {p999}µs outside bucket 20"

@@ -1,0 +1,552 @@
+//! Lock-free sharded metrics: counters, gauges, log₂ histograms behind
+//! one [`Registry`].
+//!
+//! Recording never locks and never allocates: each metric is an array of
+//! cache-line-padded shards and a thread records into the shard assigned
+//! to it (round-robin at first touch), so concurrent writers on
+//! different threads touch different cache lines. Reads merge the shards
+//! — a read racing writers sees some prefix of them, which is the usual
+//! monotonic-counter contract.
+//!
+//! Registration (the only allocating, locking path) happens once per
+//! metric at startup; handles are `Arc`s the call sites keep, so the hot
+//! path is handle-deref + one relaxed `fetch_add`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::ENABLED;
+
+/// Number of per-metric shards (power of two).
+const SHARDS: usize = 8;
+
+/// Log₂ buckets per histogram: bucket `b` counts values `v` with
+/// `floor(log2(max(v, 1))) == b`, i.e. `[2^b, 2^(b+1))`, with 0 landing
+/// in bucket 0 and everything up to `u64::MAX` representable (bucket 63
+/// is the saturation bucket only in the sense that it is the last one —
+/// no u64 value can overflow past it).
+pub const HIST_BUCKETS: usize = 64;
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// The calling thread's shard index, assigned round-robin on first use.
+#[inline]
+fn shard_idx() -> usize {
+    MY_SHARD.with(|cell| {
+        let mut s = cell.get();
+        if s == usize::MAX {
+            s = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+            cell.set(s);
+        }
+        s
+    })
+}
+
+/// One cache line per shard so concurrent writers never false-share.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    const fn zero() -> Self {
+        PaddedU64(AtomicU64::new(0))
+    }
+}
+
+/// A monotonically increasing counter.
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// A fresh zero counter (prefer registering via [`Registry::counter`]).
+    pub fn new() -> Self {
+        Counter {
+            shards: [(); SHARDS].map(|_| PaddedU64::zero()),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if ENABLED {
+            self.shards[shard_idx()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum over shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// An instantaneous signed value (queue depths, generations). Gauges are
+/// set from cold paths, so a single atomic suffices.
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh zero gauge (prefer registering via [`Registry::gauge`]).
+    pub fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if ENABLED {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if ENABLED {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+struct HistShard {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistShard {
+    fn zero() -> Self {
+        HistShard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` observations (typically
+/// nanoseconds). Same bucketing as the serving engine's historical
+/// latency histogram: resolution is a factor of 2, enough for p50/p99
+/// over microsecond-to-second latencies without any configuration.
+pub struct Histogram {
+    shards: [HistShard; SHARDS],
+}
+
+impl Histogram {
+    /// A fresh empty histogram (prefer [`Registry::histogram`]).
+    pub fn new() -> Self {
+        Histogram {
+            shards: [(); SHARDS].map(|_| HistShard::zero()),
+        }
+    }
+
+    /// The bucket index `value` lands in: `floor(log2(max(value, 1)))`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (63 - (value | 1).leading_zeros()) as usize
+    }
+
+    /// Records one observation. Two relaxed RMWs (bucket + sum); the
+    /// total count is derived from the buckets at snapshot time so the
+    /// hot path doesn't pay a third.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if ENABLED {
+            let shard = &self.shards[shard_idx()];
+            shard.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+            shard.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Merges all shards into one consistent-enough snapshot (reads race
+    /// writers; each shard cell is read once, and the count is the sum
+    /// of the merged buckets).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut out = HistSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        };
+        for shard in &self.shards {
+            for (b, cell) in shard.buckets.iter().enumerate() {
+                out.buckets[b] = out.buckets[b].wrapping_add(cell.load(Ordering::Relaxed));
+            }
+            out.sum = out.sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        out.count = out.buckets.iter().fold(0u64, |a, &c| a.wrapping_add(c));
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A merged point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// per-bucket observation counts (see [`Histogram::bucket_of`])
+    pub buckets: [u64; HIST_BUCKETS],
+    /// total observations
+    pub count: u64,
+    /// sum of observed values (wrapping)
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// Estimates quantile `q` (in `[0, 1]`) as the geometric midpoint
+    /// `2^(bucket + 0.5)` of the bucket holding the `q`-th observation —
+    /// the same estimator the serving engine has always used for its
+    /// p50/p99, so wall-clock semantics are unchanged. `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(2f64.powf(b as f64 + 0.5));
+            }
+        }
+        None
+    }
+}
+
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: &'static str,
+    slot: Slot,
+}
+
+/// A read-only view of one registered metric, for exposition.
+pub enum MetricView {
+    /// counter value
+    Counter(u64),
+    /// gauge value
+    Gauge(i64),
+    /// merged histogram snapshot (boxed: 64 buckets dwarf the scalars)
+    Histogram(Box<HistSnapshot>),
+}
+
+/// A named collection of metrics. Registration is idempotent by name
+/// (re-registering returns the existing handle), locking, and meant for
+/// startup; recording through the returned handles is lock-free.
+///
+/// Metric names follow Prometheus conventions and may carry one inline
+/// label set: `qross_solver_samples_total{solver="sa"}` (see
+/// [`crate::labeled`]). The renderer groups entries sharing a base name
+/// under one `# HELP`/`# TYPE` header.
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers (or looks up) a counter. A name already registered as a
+    /// different kind yields a fresh *unregistered* handle rather than a
+    /// panic: recording still works, the metric just isn't exported
+    /// twice under a conflicting type.
+    pub fn counter(&self, name: impl Into<String>, help: &'static str) -> Arc<Counter> {
+        let name = name.into();
+        let mut entries = lock(&self.entries);
+        match entries.get(&name) {
+            Some(Entry {
+                slot: Slot::Counter(c),
+                ..
+            }) => c.clone(),
+            Some(_) => Arc::new(Counter::new()),
+            None => {
+                let c = Arc::new(Counter::new());
+                entries.insert(
+                    name,
+                    Entry {
+                        help,
+                        slot: Slot::Counter(c.clone()),
+                    },
+                );
+                c
+            }
+        }
+    }
+
+    /// Registers (or looks up) a gauge; see [`Registry::counter`] for
+    /// the conflict rule.
+    pub fn gauge(&self, name: impl Into<String>, help: &'static str) -> Arc<Gauge> {
+        let name = name.into();
+        let mut entries = lock(&self.entries);
+        match entries.get(&name) {
+            Some(Entry {
+                slot: Slot::Gauge(g),
+                ..
+            }) => g.clone(),
+            Some(_) => Arc::new(Gauge::new()),
+            None => {
+                let g = Arc::new(Gauge::new());
+                entries.insert(
+                    name,
+                    Entry {
+                        help,
+                        slot: Slot::Gauge(g.clone()),
+                    },
+                );
+                g
+            }
+        }
+    }
+
+    /// Registers (or looks up) a histogram; see [`Registry::counter`]
+    /// for the conflict rule.
+    pub fn histogram(&self, name: impl Into<String>, help: &'static str) -> Arc<Histogram> {
+        let name = name.into();
+        let mut entries = lock(&self.entries);
+        match entries.get(&name) {
+            Some(Entry {
+                slot: Slot::Histogram(h),
+                ..
+            }) => h.clone(),
+            Some(_) => Arc::new(Histogram::new()),
+            None => {
+                let h = Arc::new(Histogram::new());
+                entries.insert(
+                    name,
+                    Entry {
+                        help,
+                        slot: Slot::Histogram(h.clone()),
+                    },
+                );
+                h
+            }
+        }
+    }
+
+    /// Snapshots every registered metric, sorted by name (labeled
+    /// variants of one base name sort adjacently).
+    pub fn collect(&self) -> Vec<(String, &'static str, MetricView)> {
+        let entries = lock(&self.entries);
+        entries
+            .iter()
+            .map(|(name, e)| {
+                let view = match &e.slot {
+                    Slot::Counter(c) => MetricView::Counter(c.get()),
+                    Slot::Gauge(g) => MetricView::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricView::Histogram(Box::new(h.snapshot())),
+                };
+                (name.clone(), e.help, view)
+            })
+            .collect()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total", "h");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        if ENABLED {
+            assert_eq!(c.get(), 4000);
+        } else {
+            assert_eq!(c.get(), 0);
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("same", "h");
+        let b = reg.counter("same", "h");
+        a.add(2);
+        b.add(3);
+        if ENABLED {
+            assert_eq!(a.get(), 5);
+        }
+        assert_eq!(reg.collect().len(), 1);
+    }
+
+    #[test]
+    fn kind_conflict_yields_detached_handle() {
+        let reg = Registry::new();
+        let _c = reg.counter("clash", "h");
+        let g = reg.gauge("clash", "h");
+        g.set(9); // must not panic, must not corrupt the counter entry
+        assert_eq!(reg.collect().len(), 1);
+        assert!(matches!(reg.collect()[0].2, MetricView::Counter(_)));
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        if ENABLED {
+            assert_eq!(g.get(), 7);
+        } else {
+            assert_eq!(g.get(), 0);
+        }
+    }
+
+    // ---- histogram edge cases: log₂ bucket boundaries ----
+
+    #[test]
+    fn bucket_boundaries_at_exact_powers_of_two() {
+        // 2^k lands in bucket k; 2^k - 1 lands in bucket k - 1.
+        for k in 1..64u32 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_of(v), k as usize, "2^{k}");
+            assert_eq!(Histogram::bucket_of(v - 1), (k - 1) as usize, "2^{k}-1");
+        }
+        assert_eq!(Histogram::bucket_of(1), 0);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        let h = Histogram::new();
+        h.record(0);
+        let snap = h.snapshot();
+        if ENABLED {
+            assert_eq!(snap.buckets[0], 1);
+            assert_eq!(snap.count, 1);
+            assert_eq!(snap.sum, 0);
+        } else {
+            assert_eq!(snap.count, 0);
+        }
+    }
+
+    #[test]
+    fn u64_max_saturates_into_last_bucket() {
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        if ENABLED {
+            assert_eq!(snap.buckets[HIST_BUCKETS - 1], 2);
+            // The sum wraps (documented); the count stays exact.
+            assert_eq!(snap.count, 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_shard_merge_matches_single_threaded_oracle() {
+        if !ENABLED {
+            return;
+        }
+        // The same observation multiset recorded from 8 threads must
+        // merge to exactly what a single thread records.
+        let values: Vec<u64> = (0..4096u64)
+            .map(|i| {
+                i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left((i % 64) as u32)
+            })
+            .collect();
+        let oracle = Histogram::new();
+        for &v in &values {
+            oracle.record(v);
+        }
+        let shared = Arc::new(Histogram::new());
+        let threads: Vec<_> = values
+            .chunks(512)
+            .map(|chunk| {
+                let h = shared.clone();
+                let chunk = chunk.to_vec();
+                std::thread::spawn(move || {
+                    for v in chunk {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(shared.snapshot(), oracle.snapshot());
+    }
+
+    #[test]
+    fn quantile_midpoint_and_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        for _ in 0..10 {
+            h.record(1000); // bucket 9: [512, 1024)
+        }
+        if ENABLED {
+            let p50 = h.snapshot().quantile(0.5).unwrap();
+            assert_eq!(p50, 2f64.powf(9.5));
+            // All mass in one bucket: p0 == p99.
+            assert_eq!(h.snapshot().quantile(0.0), h.snapshot().quantile(0.99));
+        }
+    }
+}

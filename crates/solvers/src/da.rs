@@ -248,6 +248,7 @@ impl Solver for DigitalAnnealer {
     }
 
     fn sample(&self, model: &QuboModel, batch: usize, seed: u64) -> SampleSet {
+        let sw = obs::Stopwatch::start();
         if model.num_vars() == 0 {
             return SampleSet::from_samples(
                 (0..batch)
@@ -283,7 +284,17 @@ impl Solver for DigitalAnnealer {
                 self.run_chunk(scratch, first, count, &schedule, seed)
             },
         );
-        SampleSet::from_samples(nested.into_iter().flatten().collect())
+        let set = SampleSet::from_samples(nested.into_iter().flatten().collect());
+        // Parallel trial: every Monte-Carlo step evaluates all `n`
+        // candidate flips, so one step is one full sweep of deltas.
+        let steps = schedule.steps() as u64;
+        crate::metrics::record_sample(
+            "da",
+            sw.elapsed_ns(),
+            steps * batch as u64,
+            steps * model.num_vars() as u64 * batch as u64,
+        );
+        set
     }
 }
 

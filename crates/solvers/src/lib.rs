@@ -66,6 +66,7 @@
 
 pub mod da;
 pub mod exhaustive;
+pub mod metrics;
 pub mod noise;
 pub mod parallel;
 pub mod qbsolv;

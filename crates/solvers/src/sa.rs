@@ -226,6 +226,7 @@ impl Solver for SimulatedAnnealer {
     }
 
     fn sample(&self, model: &QuboModel, batch: usize, seed: u64) -> SampleSet {
+        let sw = obs::Stopwatch::start();
         if model.num_vars() == 0 {
             return SampleSet::from_samples(
                 (0..batch)
@@ -259,7 +260,18 @@ impl Solver for SimulatedAnnealer {
                 self.run_chunk(scratch, first, count, &schedule, seed)
             },
         );
-        SampleSet::from_samples(nested.into_iter().flatten().collect())
+        let set = SampleSet::from_samples(nested.into_iter().flatten().collect());
+        // Each replica runs `steps` sweeps of `n` Metropolis attempts;
+        // every attempt reads one maintained flip-delta (an O(1)
+        // incremental energy evaluation).
+        let steps = schedule.steps() as u64;
+        crate::metrics::record_sample(
+            "sa",
+            sw.elapsed_ns(),
+            steps * batch as u64,
+            steps * model.num_vars() as u64 * batch as u64,
+        );
+        set
     }
 }
 

@@ -108,7 +108,9 @@ impl TabuSearch {
         tabu_until.clear();
         tabu_until.resize(n, 0usize);
         let mut stall = 0usize;
+        let mut iters_done = 0usize;
         for iter in 1..=self.config.max_iters {
+            iters_done = iter;
             // Best admissible flip: non-tabu, or tabu-but-aspiring.
             let mut chosen: Option<(usize, f64)> = None;
             let mut ties = 0u32;
@@ -154,6 +156,11 @@ impl TabuSearch {
                 }
             }
         }
+        // Iteration count is adaptive (stall cutoff, all-tabu bail), so
+        // the work is counted here where it's known: one iteration scans
+        // all `n` maintained flip-deltas. Covers `improve()` too —
+        // qbsolv's sub-QUBO refinements are real tabu sweeps.
+        crate::metrics::record_sweeps("tabu", iters_done as u64, (iters_done * n) as u64);
         Sample {
             assignment: best_x.clone(),
             energy: best_e,
@@ -167,6 +174,7 @@ impl Solver for TabuSearch {
     }
 
     fn sample(&self, model: &QuboModel, batch: usize, seed: u64) -> SampleSet {
+        let sw = obs::Stopwatch::start();
         let n = model.num_vars();
         if n == 0 {
             return SampleSet::from_samples(
@@ -188,7 +196,11 @@ impl Solver for TabuSearch {
                 self.search(state, best_x, tabu_until, rs)
             },
         );
-        SampleSet::from_samples(samples)
+        let set = SampleSet::from_samples(samples);
+        // Sweep/eval counters are bumped inside `search` (adaptive
+        // iteration count); only the duration is recorded here.
+        crate::metrics::record_sample("tabu", sw.elapsed_ns(), 0, 0);
+        set
     }
 }
 
